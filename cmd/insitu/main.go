@@ -1,0 +1,89 @@
+// Command insitu runs a proxy simulation with in situ rendering: the
+// Strawman batch workflow from the command line, optionally distributed
+// over simulated MPI tasks and streamed to a browser.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"insitu/internal/comm"
+	"insitu/internal/conduit"
+	"insitu/internal/sim"
+	"insitu/internal/strawman"
+)
+
+func main() {
+	proxy := flag.String("sim", "cloverleaf", "proxy: cloverleaf, kripke, or lulesh")
+	steps := flag.Int("steps", 5, "simulation cycles")
+	every := flag.Int("every", 1, "render every k-th cycle")
+	n := flag.Int("n", 24, "grid points per axis per task")
+	tasks := flag.Int("tasks", 1, "simulated MPI tasks")
+	renderer := flag.String("renderer", "raytracer", "raytracer, rasterizer, or volume")
+	size := flag.Int("size", 512, "image size")
+	dev := flag.String("device", "cpu", "device profile")
+	out := flag.String("out", "insitu_out", "output directory")
+	web := flag.Int("web", 0, "stream images on this local port (0 = off)")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	world := comm.NewWorld(*tasks)
+	err := world.Run(func(c *comm.Comm) error {
+		s, err := sim.New(*proxy, *n, *tasks, c.Rank())
+		if err != nil {
+			return err
+		}
+		opts := conduit.NewNode()
+		opts.Set("device", *dev)
+		if *tasks > 1 {
+			opts.SetExternal("mpi_comm", c)
+		}
+		if *web > 0 {
+			opts.Set("web/port", *web)
+		}
+		sman, err := strawman.Open(opts)
+		if err != nil {
+			return err
+		}
+		defer sman.Close()
+
+		data := conduit.NewNode()
+		for cyc := 0; cyc < *steps; cyc++ {
+			s.Step()
+			if s.Cycle()%*every != 0 {
+				continue
+			}
+			s.Publish(data)
+			if err := sman.Publish(data); err != nil {
+				return err
+			}
+			actions := conduit.NewNode()
+			add := actions.Append()
+			add.Set("action", "add_plot")
+			add.Set("var", s.PrimaryField())
+			add.Set("renderer", *renderer)
+			actions.Append().Set("action", "draw_plots")
+			save := actions.Append()
+			save.Set("action", "save_image")
+			save.Set("fileName", filepath.Join(*out, fmt.Sprintf("%s_%04d", *proxy, s.Cycle())))
+			save.Set("width", *size)
+			save.Set("height", *size)
+			if err := sman.Execute(actions); err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				fmt.Printf("cycle %4d  t=%.5f  vis=%.3fs\n",
+					s.Cycle(), s.Time(), sman.LastVisTime.Seconds())
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

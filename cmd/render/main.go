@@ -1,0 +1,104 @@
+// Command render rasterizes, ray traces, or volume renders a synthetic
+// dataset to a PNG — a fast way to exercise any renderer on any dataset
+// and device profile.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"insitu/internal/device"
+	"insitu/internal/mesh"
+	"insitu/internal/mesh/synthdata"
+	"insitu/internal/render"
+	"insitu/internal/render/raster"
+	"insitu/internal/render/raytrace"
+	"insitu/internal/render/volume"
+)
+
+func main() {
+	dataset := flag.String("dataset", "rm", "dataset: "+strings.Join(datasetNames(), ", "))
+	n := flag.Int("n", 48, "grid points per axis")
+	rendererName := flag.String("renderer", "raytracer", "raytracer, rasterizer, or volume")
+	size := flag.Int("size", 768, "image size (square)")
+	dev := flag.String("device", "cpu", "device profile: "+strings.Join(device.ProfileNames(), ", "))
+	zoom := flag.Float64("zoom", 1.4, "camera zoom (<1 zoomed out, >1 close)")
+	azimuth := flag.Float64("azimuth", 30, "camera azimuth in degrees")
+	out := flag.String("out", "render.png", "output PNG")
+	workload := flag.Int("workload", 3, "ray tracing workload (1, 2, or 3)")
+	flag.Parse()
+
+	ds, err := synthdata.ByName(*dataset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := device.Profile(*dev)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid := synthdata.Grid(ds.FieldName, ds.Func, *n, *n, *n, synthdata.UnitBounds())
+
+	switch *rendererName {
+	case "raytracer", "rasterizer":
+		iso, err := grid.Isosurface(d, ds.FieldName, ds.Isovalue, mesh.IsoOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cam := render.OrbitCamera(iso.Bounds(), *azimuth, 20, *zoom)
+		if *rendererName == "raytracer" {
+			img, stats, err := raytrace.New(d, iso).Render(raytrace.Options{
+				Width: *size, Height: *size, Camera: cam,
+				Workload:   raytrace.Workload(*workload),
+				Compaction: true, Supersample: *workload == 3,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%d triangles, %s, %d rays\n", iso.NumTriangles(), stats.Phases.Total().Round(1e6), stats.TotalRays)
+			fail(img.SavePNG(*out))
+		} else {
+			img, stats, err := raster.New(d, iso).Render(raster.Options{
+				Width: *size, Height: *size, Camera: cam,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%d triangles (%d visible), %s\n",
+				stats.Objects, stats.VisibleObjects, stats.Phases.Total().Round(1e6))
+			fail(img.SavePNG(*out))
+		}
+	case "volume":
+		vr, err := volume.NewStructured(d, grid, ds.FieldName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cam := render.OrbitCamera(grid.Bounds(), *azimuth, 20, *zoom)
+		img, stats, err := vr.Render(volume.StructuredOptions{
+			Width: *size, Height: *size, Camera: cam, Samples: 400,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d cells, %s, SPR %.1f\n", stats.Objects, stats.Phases.Total().Round(1e6), stats.SPR())
+		fail(img.SavePNG(*out))
+	default:
+		log.Fatalf("unknown renderer %q", *rendererName)
+	}
+	fmt.Println("wrote", *out)
+}
+
+func fail(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func datasetNames() []string {
+	var names []string
+	for _, d := range synthdata.Datasets() {
+		names = append(names, d.Name)
+	}
+	return names
+}

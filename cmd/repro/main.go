@@ -1,0 +1,118 @@
+// Command repro regenerates every table and figure of the paper's
+// evaluation chapters on this machine. Each experiment is a subcommand;
+// "all" runs the full set. Absolute numbers differ from the paper's
+// testbeds (see DESIGN.md for the substitutions); the shapes — who wins,
+// by what factor, where crossovers fall — are the reproduction targets.
+//
+// Usage:
+//
+//	repro [-short] [-out DIR] <experiment>...
+//	repro list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// experiment is one regenerable table or figure.
+type experiment struct {
+	name string
+	desc string
+	run  func(*env) error
+}
+
+// env carries shared state: flags plus the lazily built study corpus.
+type env struct {
+	short  bool
+	outDir string
+	corpus *corpusCache
+}
+
+var experiments []experiment
+
+func register(name, desc string, run func(*env) error) {
+	experiments = append(experiments, experiment{name, desc, run})
+}
+
+func main() {
+	short := flag.Bool("short", false, "run reduced-size experiments")
+	out := flag.String("out", "repro_out", "output directory for images and CSVs")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	e := &env{short: *short, outDir: *out, corpus: &corpusCache{}}
+
+	sort.Slice(experiments, func(i, j int) bool { return experiments[i].name < experiments[j].name })
+	if args[0] == "list" {
+		for _, ex := range experiments {
+			fmt.Printf("  %-10s %s\n", ex.name, ex.desc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, a := range args {
+		if a == "all" {
+			for _, ex := range experiments {
+				want[ex.name] = true
+			}
+			continue
+		}
+		want[a] = true
+	}
+	known := map[string]bool{}
+	for _, ex := range experiments {
+		known[ex.name] = true
+	}
+	for name := range want {
+		if !known[name] {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try: repro list)\n", name)
+			os.Exit(2)
+		}
+	}
+	for _, ex := range experiments {
+		if !want[ex.name] {
+			continue
+		}
+		fmt.Printf("\n================ %s — %s ================\n", ex.name, ex.desc)
+		if err := ex.run(e); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", ex.name, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `repro regenerates the paper's tables and figures.
+
+usage: repro [-short] [-out DIR] <experiment>... | all | list
+
+experiments:
+`)
+	sort.Slice(experiments, func(i, j int) bool { return experiments[i].name < experiments[j].name })
+	for _, ex := range experiments {
+		fmt.Fprintf(os.Stderr, "  %-10s %s\n", ex.name, ex.desc)
+	}
+}
+
+// printHeader prints a fixed-width table header plus separator.
+func printHeader(cols ...string) {
+	var sb strings.Builder
+	for _, c := range cols {
+		fmt.Fprintf(&sb, "%-14s", c)
+	}
+	fmt.Println(sb.String())
+	fmt.Println(strings.Repeat("-", 14*len(cols)))
+}
+
+func cell(v any) string { return fmt.Sprintf("%-14v", v) }

@@ -1,0 +1,29 @@
+// Package insitu reproduces "Performance Modeling of In Situ Rendering"
+// (Larsen et al., SC 2016 / Larsen's 2016 dissertation) as a production
+// Go library.
+//
+// The system answers the in situ feasibility question — is it possible to
+// perform X1 rendering tasks while devoting no more than X2 time to them?
+// — with statistical performance models based on algorithmic complexity.
+// It contains:
+//
+//   - data-parallel renderers (ray tracing, rasterization, structured and
+//     unstructured volume rendering) built from the primitives in
+//     internal/dpp and executed on internal/device profiles;
+//   - the in situ substrate: internal/conduit (hierarchical zero-copy data
+//     description), internal/strawman (batch in situ pipeline),
+//     internal/comm (simulated MPI), internal/composite (sort-last
+//     radix-k / binary-swap / direct-send compositing), and three proxy
+//     physics applications in internal/sim;
+//   - the modeling methodology in internal/core and internal/stats:
+//     complexity-derived linear models, OLS fitting, cross validation,
+//     the configuration-to-inputs mapping, and the feasibility analyses;
+//   - the measurement harness in internal/study and comparator renderers
+//     in internal/baseline.
+//
+// Entry points: cmd/repro regenerates every table and figure of the
+// paper's evaluation; cmd/insitu runs a proxy simulation with in situ
+// rendering; cmd/render renders a synthetic dataset; the examples/
+// directory holds four runnable walkthroughs. bench_test.go in this
+// directory carries one benchmark per reproduced table and figure.
+package insitu

@@ -1,0 +1,104 @@
+// Adaptive demonstrates the paper's Chapter VI direction: an in situ
+// layer that measures as it renders, refines its performance models on
+// line, and decides — under a declared time budget — which renderer and
+// image size to use, then verifies the decision against reality.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"insitu/internal/adaptive"
+	"insitu/internal/core"
+	"insitu/internal/device"
+	"insitu/internal/mesh"
+	"insitu/internal/mesh/synthdata"
+	"insitu/internal/render"
+	"insitu/internal/render/raster"
+	"insitu/internal/render/raytrace"
+	"insitu/internal/study"
+)
+
+func main() {
+	budget := flag.Float64("budget", 0.5, "visualization budget per invocation (seconds)")
+	images := flag.Int("images", 8, "images per invocation")
+	flag.Parse()
+
+	// 1. Seed the online fitter with a quick calibration pass.
+	var plan []study.Config
+	for _, n := range []int{12, 16, 20} {
+		for _, img := range []int{96, 160, 224} {
+			for _, r := range []core.Renderer{core.RayTrace, core.Raster} {
+				plan = append(plan, study.Config{
+					Arch: "cpu", Renderer: r, Sim: "kripke",
+					Tasks: 1, ImageSize: img, N: n, Frames: 2,
+				})
+			}
+		}
+	}
+	fmt.Printf("calibrating on %d configurations...\n", len(plan))
+	rows, err := study.Run(plan, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fitter := adaptive.NewOnlineFitter(study.Samples(rows))
+	set, err := fitter.Models()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("corpus: %d samples covering %v\n", fitter.Len(), fitter.Keys())
+
+	// 2. Ask the advisor for a configuration that fits the budget.
+	advisor := adaptive.NewAdvisor(set, fitter.Mapping(), "cpu")
+	const n = 24
+	decision, err := advisor.Decide(n, 1, adaptive.Constraints{
+		MaxVisSeconds: *budget,
+		Images:        *images,
+		MinImageSize:  128,
+		MaxImageSize:  2048,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("decision: %s at %d^2 (predicted %.3fs for %d images, feasible=%v)\n",
+		decision.Renderer, decision.ImageSize, decision.PredictedSeconds, *images, decision.Feasible)
+
+	// 3. Execute the decision and compare prediction with reality.
+	ds, err := synthdata.ByName("rm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid := synthdata.Grid(ds.FieldName, ds.Func, n, n, n, synthdata.UnitBounds())
+	iso, err := grid.Isosurface(device.CPU(), ds.FieldName, ds.Isovalue, mesh.IsoOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cam := render.OrbitCamera(iso.Bounds(), 30, 20, 1.2)
+	start := time.Now()
+	switch decision.Renderer {
+	case core.RayTrace:
+		rdr := raytrace.New(device.CPU(), iso)
+		for i := 0; i < *images; i++ {
+			if _, _, err := rdr.Render(raytrace.Options{
+				Width: decision.ImageSize, Height: decision.ImageSize,
+				Camera: cam, Workload: raytrace.Workload2,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	case core.Raster:
+		rdr := raster.New(device.CPU(), iso)
+		for i := 0; i < *images; i++ {
+			if _, _, err := rdr.Render(raster.Options{
+				Width: decision.ImageSize, Height: decision.ImageSize, Camera: cam,
+			}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	actual := time.Since(start).Seconds()
+	fmt.Printf("actual: %.3fs (budget %.3fs) — prediction error %+.0f%%\n",
+		actual, *budget, 100*(decision.PredictedSeconds-actual)/actual)
+}

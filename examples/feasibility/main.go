@@ -1,0 +1,80 @@
+// Feasibility answers the paper's headline question end to end: it runs a
+// small measurement study on this machine, fits the performance models,
+// and reports (a) how many images of each size fit in a 60-second budget
+// and (b) where ray tracing beats rasterization — before committing any
+// simulation time to rendering.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"insitu/internal/core"
+	"insitu/internal/study"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "log study progress")
+	flag.Parse()
+
+	// 1. Measure: a small single-architecture corpus.
+	var plan []study.Config
+	for _, n := range []int{12, 16, 20, 24} {
+		for _, img := range []int{96, 160, 224} {
+			for _, r := range []core.Renderer{core.RayTrace, core.Raster, core.Volume} {
+				plan = append(plan, study.Config{
+					Arch: "cpu", Renderer: r, Sim: "kripke",
+					Tasks: 1, ImageSize: img, N: n, Frames: 3,
+				})
+			}
+		}
+	}
+	var logW *os.File
+	if *verbose {
+		logW = os.Stdout
+	}
+	fmt.Printf("measuring %d configurations...\n", len(plan))
+	rows, err := study.Run(plan, logW)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Fit the complexity models.
+	samples := study.Samples(rows)
+	set, err := core.FitModels(samples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mp := core.CalibrateMapping(samples)
+	for k, m := range set.Models {
+		fmt.Printf("model %-16s R2=%.3f coef=%v\n", k, m.Fit.R2, m.Coefficients())
+	}
+
+	// 3. Ask the feasibility question: a 60 s budget, 32^3 cells per task.
+	fmt.Println("\nimages renderable in a 60 s budget (N=32, 1 task):")
+	sizes := []int{256, 512, 1024, 2048}
+	for _, r := range []core.Renderer{core.RayTrace, core.Raster, core.Volume} {
+		pts, err := set.ImagesInBudget("cpu", r, mp, 32, 1, 60, sizes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s", r)
+		for _, p := range pts {
+			fmt.Printf("  %5d px: %8.0f", p.ImageSize, p.Images)
+		}
+		fmt.Println()
+	}
+
+	// 4. Ray tracing vs rasterization.
+	cells, err := set.CompareRTvsRaster("cpu", mp, 1, 100,
+		[]int{256, 1024, 4096}, []int{32, 128, 512})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npredicted raytrace/raster time ratio (<1 means ray tracing wins):")
+	for _, c := range cells {
+		fmt.Printf("  N=%-4d img=%-5d ratio=%.2f\n", c.N, c.ImageSize, c.Ratio)
+	}
+}

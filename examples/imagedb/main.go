@@ -1,0 +1,78 @@
+// Imagedb is the image-database in situ use case that motivates the
+// paper's feasibility question: while a simulation runs, extract many
+// renderings per time step from different camera angles (the Cinema
+// workflow), so scientists can explore the results post hoc without
+// storing the full simulation state.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"insitu/internal/conduit"
+	"insitu/internal/sim"
+	"insitu/internal/strawman"
+)
+
+func main() {
+	proxy := flag.String("sim", "cloverleaf", "proxy simulation (cloverleaf, kripke, lulesh)")
+	steps := flag.Int("steps", 3, "simulation cycles")
+	cameras := flag.Int("cameras", 6, "camera angles per cycle")
+	size := flag.Int("size", 256, "image size")
+	out := flag.String("out", "imagedb_out", "output directory")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	s, err := sim.New(*proxy, 20, 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The canonical Strawman integration: describe once, publish every
+	// cycle (zero-copy), execute an action list per extraction.
+	opts := conduit.NewNode()
+	opts.Set("device", "cpu")
+	sman, err := strawman.Open(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sman.Close()
+
+	data := conduit.NewNode()
+	images := 0
+	for cyc := 0; cyc < *steps; cyc++ {
+		s.Step()
+		s.Publish(data)
+		if err := sman.Publish(data); err != nil {
+			log.Fatal(err)
+		}
+		for c := 0; c < *cameras; c++ {
+			actions := conduit.NewNode()
+			add := actions.Append()
+			add.Set("action", "add_plot")
+			add.Set("var", s.PrimaryField())
+			add.Set("renderer", "raytracer")
+			save := actions.Append()
+			save.Set("action", "save_image")
+			save.Set("fileName", filepath.Join(*out,
+				fmt.Sprintf("%s_c%03d_v%02d", *proxy, s.Cycle(), c)))
+			save.Set("width", *size)
+			save.Set("height", *size)
+			save.Set("camera/azimuth", float64(c)*360/float64(*cameras))
+			save.Set("camera/elevation", 20.0)
+			save.Set("camera/zoom", 1.2)
+			if err := sman.Execute(actions); err != nil {
+				log.Fatal(err)
+			}
+			images++
+		}
+		fmt.Printf("cycle %d: %d views rendered (vis %.3fs)\n",
+			s.Cycle(), *cameras, sman.LastVisTime.Seconds())
+	}
+	fmt.Printf("image database: %d images in %s\n", images, *out)
+}

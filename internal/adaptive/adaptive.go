@@ -1,0 +1,256 @@
+// Package adaptive implements the paper's Chapter VI direction: an
+// adaptive in situ layer that sits between a simulation and the
+// visualization pipeline, consuming the fitted performance models to make
+// run-time decisions under constraints. The simulation registers what it
+// can afford (time per cycle); the layer chooses rendering configurations
+// whose predicted cost fits, and refines its models on line as every
+// completed render deposits a new measurement.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"insitu/internal/core"
+)
+
+// Constraints are the simulation-registered limits (§6.3).
+type Constraints struct {
+	// MaxVisSeconds is the time the simulation will devote to one
+	// visualization invocation.
+	MaxVisSeconds float64
+	// MinImageSize is the smallest acceptable square image.
+	MinImageSize int
+	// MaxImageSize caps the search.
+	MaxImageSize int
+	// Images is how many renderings the invocation must produce
+	// (image-database use cases render many views per cycle).
+	Images int
+}
+
+// Normalize fills defaults.
+func (c Constraints) Normalize() Constraints {
+	if c.MinImageSize <= 0 {
+		c.MinImageSize = 128
+	}
+	if c.MaxImageSize <= 0 {
+		c.MaxImageSize = 4096
+	}
+	if c.Images <= 0 {
+		c.Images = 1
+	}
+	return c
+}
+
+// Decision is the layer's chosen configuration.
+type Decision struct {
+	Renderer  core.Renderer
+	ImageSize int
+	// PredictedSeconds is the model's estimate for the whole invocation
+	// (build amortized over the images).
+	PredictedSeconds float64
+	// Feasible reports whether the constraints can be met at all; when
+	// false, the decision holds the cheapest available configuration.
+	Feasible bool
+}
+
+// Advisor makes rendering decisions from a fitted model set.
+type Advisor struct {
+	Set     *core.ModelSet
+	Mapping core.Mapping
+	Arch    string
+	// Candidates are the renderers the advisor may choose among; nil
+	// means every renderer with a model for Arch.
+	Candidates []core.Renderer
+}
+
+// NewAdvisor builds an advisor over every model fitted for arch.
+func NewAdvisor(set *core.ModelSet, mp core.Mapping, arch string) *Advisor {
+	return &Advisor{Set: set, Mapping: mp, Arch: arch}
+}
+
+// candidates lists usable renderers in deterministic order.
+func (a *Advisor) candidates() []core.Renderer {
+	if a.Candidates != nil {
+		return a.Candidates
+	}
+	var out []core.Renderer
+	for _, r := range []core.Renderer{core.RayTrace, core.Raster, core.Volume} {
+		if _, ok := a.Set.Models[core.Key(a.Arch, r)]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// predictInvocation estimates the cost of rendering cons.Images frames at
+// the given size with renderer r, amortizing any build cost.
+func (a *Advisor) predictInvocation(r core.Renderer, n, tasks, size, images int) (float64, error) {
+	m, ok := a.Set.Models[core.Key(a.Arch, r)]
+	if !ok {
+		return 0, fmt.Errorf("adaptive: no model for %s", core.Key(a.Arch, r))
+	}
+	in := a.Mapping.Map(core.Config{N: n, Tasks: tasks, Width: size, Height: size, Renderer: r})
+	per := m.Predict(in)
+	if tasks > 1 && a.Set.Compositing != nil {
+		per += a.Set.Compositing.Predict(in)
+	}
+	if per < 0 {
+		per = 0
+	}
+	return m.PredictBuild(in) + per*float64(images), nil
+}
+
+// Decide picks the renderer and largest image size whose predicted total
+// cost fits the constraints. Quality (image size) is maximized first,
+// then cost is minimized among renderers achieving it — the trade-off the
+// paper's Figure 14 lays out for a human, made automatically.
+func (a *Advisor) Decide(n, tasks int, cons Constraints) (Decision, error) {
+	cons = cons.Normalize()
+	cands := a.candidates()
+	if len(cands) == 0 {
+		return Decision{}, fmt.Errorf("adaptive: no models available for arch %q", a.Arch)
+	}
+	best := Decision{Feasible: false}
+	cheapest := Decision{PredictedSeconds: math.Inf(1)}
+	for _, r := range cands {
+		// Binary search the largest feasible size for this renderer.
+		lo, hi := cons.MinImageSize, cons.MaxImageSize
+		var feasibleSize int
+		var feasibleCost float64
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			cost, err := a.predictInvocation(r, n, tasks, mid, cons.Images)
+			if err != nil {
+				return Decision{}, err
+			}
+			if cost <= cons.MaxVisSeconds {
+				feasibleSize, feasibleCost = mid, cost
+				lo = mid + 1
+			} else {
+				hi = mid - 1
+			}
+		}
+		minCost, err := a.predictInvocation(r, n, tasks, cons.MinImageSize, cons.Images)
+		if err != nil {
+			return Decision{}, err
+		}
+		if minCost < cheapest.PredictedSeconds {
+			cheapest = Decision{Renderer: r, ImageSize: cons.MinImageSize, PredictedSeconds: minCost}
+		}
+		if feasibleSize == 0 {
+			continue
+		}
+		better := feasibleSize > best.ImageSize ||
+			(feasibleSize == best.ImageSize && feasibleCost < best.PredictedSeconds)
+		if !best.Feasible || better {
+			best = Decision{Renderer: r, ImageSize: feasibleSize, PredictedSeconds: feasibleCost, Feasible: true}
+		}
+	}
+	if !best.Feasible {
+		return cheapest, nil
+	}
+	return best, nil
+}
+
+// OnlineFitter accumulates measurements as renders complete and refits
+// the models on demand — §6.2's "models refined as the corpus grows".
+// It is safe for concurrent deposits.
+type OnlineFitter struct {
+	mu      sync.Mutex
+	samples []core.Sample
+	set     *core.ModelSet
+	dirty   bool
+	// MinSamplesPerModel gates refitting (OLS needs headroom).
+	MinSamplesPerModel int
+}
+
+// NewOnlineFitter starts with an optional seed corpus.
+func NewOnlineFitter(seed []core.Sample) *OnlineFitter {
+	return &OnlineFitter{
+		samples:            append([]core.Sample(nil), seed...),
+		dirty:              len(seed) > 0,
+		MinSamplesPerModel: 6,
+	}
+}
+
+// Deposit adds one measurement.
+func (f *OnlineFitter) Deposit(s core.Sample) {
+	f.mu.Lock()
+	f.samples = append(f.samples, s)
+	f.dirty = true
+	f.mu.Unlock()
+}
+
+// Len returns the corpus size.
+func (f *OnlineFitter) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.samples)
+}
+
+// Models returns the current fitted set, refitting lazily if new samples
+// arrived. Groups that are still too small are skipped silently; an error
+// is returned only when nothing can be fitted.
+func (f *OnlineFitter) Models() (*core.ModelSet, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.dirty && f.set != nil {
+		return f.set, nil
+	}
+	// Keep only groups with enough rows for a stable fit.
+	counts := map[string]int{}
+	for _, s := range f.samples {
+		counts[core.Key(s.Arch, s.Renderer)]++
+	}
+	var usable []core.Sample
+	for _, s := range f.samples {
+		if counts[core.Key(s.Arch, s.Renderer)] >= f.MinSamplesPerModel {
+			usable = append(usable, s)
+		}
+	}
+	if len(usable) == 0 {
+		return nil, fmt.Errorf("adaptive: corpus too small (%d samples, need %d per model)",
+			len(f.samples), f.MinSamplesPerModel)
+	}
+	set, err := core.FitModels(usable)
+	if err != nil {
+		return nil, err
+	}
+	f.set = set
+	f.dirty = false
+	return set, nil
+}
+
+// Mapping calibrates the configuration mapping from the current corpus.
+func (f *OnlineFitter) Mapping() core.Mapping {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return core.CalibrateMapping(f.samples)
+}
+
+// Coverage summarizes which (arch, renderer) groups have enough data, so
+// an in situ layer can decide what it can already predict (the paper's
+// "what algorithms are used most" telemetry).
+func (f *OnlineFitter) Coverage() map[string]int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := map[string]int{}
+	for _, s := range f.samples {
+		out[core.Key(s.Arch, s.Renderer)]++
+	}
+	return out
+}
+
+// Keys returns the covered model keys, sorted.
+func (f *OnlineFitter) Keys() []string {
+	cov := f.Coverage()
+	keys := make([]string, 0, len(cov))
+	for k := range cov {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

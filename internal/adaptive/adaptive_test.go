@@ -1,0 +1,204 @@
+package adaptive
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"insitu/internal/core"
+)
+
+// plantedSamples builds a corpus from a known generating process (same
+// coefficients as the core package tests).
+func plantedSamples(arch string, n int, seed int64) []core.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	var out []core.Sample
+	for i := 0; i < n; i++ {
+		tasks := []int{1, 2, 4}[rng.Intn(3)]
+		pix := float64(10000 + rng.Intn(90000))
+		ap := 0.5 * pix / math.Cbrt(float64(tasks))
+		objects := float64(2000 + rng.Intn(50000))
+
+		rtIn := core.Inputs{O: objects, AP: ap, Pixels: pix, AvgAP: ap, Tasks: tasks}
+		rt := core.Sample{
+			Arch: arch, Renderer: core.RayTrace, In: rtIn,
+			BuildTime:  3e-8*objects + 1e-4,
+			RenderTime: 2e-9*ap*math.Log2(objects) + 4e-8*ap + 2e-4,
+		}
+		if tasks > 1 {
+			rt.CompositeTime = 1.5e-8*ap + 5e-9*pix + 1e-4
+		}
+		out = append(out, rt)
+
+		vo := math.Min(ap, objects)
+		raIn := core.Inputs{O: objects, AP: ap, VO: vo, PPT: 4 * ap / vo, Pixels: pix, AvgAP: ap, Tasks: tasks}
+		ra := core.Sample{
+			Arch: arch, Renderer: core.Raster, In: raIn,
+			RenderTime: 1e-8*objects + 2e-9*4*ap + 1e-4,
+		}
+		if tasks > 1 {
+			ra.CompositeTime = 1.5e-8*ap + 5e-9*pix + 1e-4
+		}
+		out = append(out, ra)
+	}
+	return out
+}
+
+func advisorForTest(t *testing.T) *Advisor {
+	t.Helper()
+	samples := plantedSamples("cpu", 60, 5)
+	set, err := core.FitModels(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewAdvisor(set, core.CalibrateMapping(samples), "cpu")
+}
+
+func TestDecidePicksLargestFeasibleSize(t *testing.T) {
+	a := advisorForTest(t)
+	loose, err := a.Decide(128, 4, Constraints{MaxVisSeconds: 10, Images: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loose.Feasible {
+		t.Fatal("10 s for 10 images should be feasible")
+	}
+	tight, err := a.Decide(128, 4, Constraints{MaxVisSeconds: 0.05, Images: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Feasible && tight.ImageSize > loose.ImageSize {
+		t.Errorf("tighter budget chose a larger image: %d vs %d", tight.ImageSize, loose.ImageSize)
+	}
+	if loose.PredictedSeconds > 10 {
+		t.Errorf("decision predicts %v s over a 10 s budget", loose.PredictedSeconds)
+	}
+	if loose.ImageSize < 128 || loose.ImageSize > 4096 {
+		t.Errorf("image size %d outside default bounds", loose.ImageSize)
+	}
+}
+
+func TestDecideInfeasibleFallsBackToCheapest(t *testing.T) {
+	a := advisorForTest(t)
+	d, err := a.Decide(512, 1, Constraints{MaxVisSeconds: 1e-9, Images: 1000, MinImageSize: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Feasible {
+		t.Error("nanosecond budget should be infeasible")
+	}
+	if d.ImageSize != 512 {
+		t.Errorf("fallback should use the minimum size, got %d", d.ImageSize)
+	}
+	if d.Renderer == "" {
+		t.Error("fallback must still name a renderer")
+	}
+}
+
+func TestDecideMoreImagesCostMore(t *testing.T) {
+	a := advisorForTest(t)
+	few, err := a.Decide(128, 4, Constraints{MaxVisSeconds: 5, Images: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	many, err := a.Decide(128, 4, Constraints{MaxVisSeconds: 5, Images: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if many.Feasible && few.Feasible && many.ImageSize > few.ImageSize {
+		t.Errorf("500 images allowed a larger size than 1 image: %d vs %d",
+			many.ImageSize, few.ImageSize)
+	}
+}
+
+func TestAdvisorNoModels(t *testing.T) {
+	a := NewAdvisor(&core.ModelSet{Models: map[string]*core.Model{}}, core.DefaultMapping(), "cpu")
+	if _, err := a.Decide(64, 1, Constraints{MaxVisSeconds: 1}); err == nil {
+		t.Error("expected error with no models")
+	}
+}
+
+func TestOnlineFitterRefines(t *testing.T) {
+	f := NewOnlineFitter(nil)
+	if _, err := f.Models(); err == nil {
+		t.Error("empty corpus should not fit")
+	}
+	for _, s := range plantedSamples("cpu", 10, 9) {
+		f.Deposit(s)
+	}
+	set1, err := f.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt1 := set1.Models[core.Key("cpu", core.RayTrace)]
+	if rt1 == nil {
+		t.Fatal("ray tracing model missing")
+	}
+	// Depositing more samples marks the fitter dirty and changes the fit.
+	for _, s := range plantedSamples("cpu", 30, 11) {
+		f.Deposit(s)
+	}
+	set2, err := f.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set1 == set2 {
+		t.Error("new deposits should produce a refit")
+	}
+	if f.Len() != 80 {
+		t.Errorf("corpus size = %d", f.Len())
+	}
+	// Cached when clean.
+	set3, err := f.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set2 != set3 {
+		t.Error("clean fitter should return the cached set")
+	}
+	keys := f.Keys()
+	if len(keys) != 2 {
+		t.Errorf("coverage keys = %v", keys)
+	}
+}
+
+func TestOnlineFitterConcurrentDeposits(t *testing.T) {
+	f := NewOnlineFitter(plantedSamples("cpu", 10, 1))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, s := range plantedSamples("cpu", 5, int64(w)) {
+				f.Deposit(s)
+			}
+			_, _ = f.Models()
+		}(w)
+	}
+	wg.Wait()
+	if f.Len() != 10*2+4*5*2 {
+		t.Errorf("corpus size = %d", f.Len())
+	}
+	if _, err := f.Models(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlineFitterSkipsThinGroups(t *testing.T) {
+	f := NewOnlineFitter(plantedSamples("cpu", 10, 3))
+	// One lone sample for a different arch must not break fitting.
+	f.Deposit(core.Sample{Arch: "weird", Renderer: core.Volume,
+		In: core.Inputs{AP: 1, CS: 1, SPR: 1, Tasks: 1}, RenderTime: 0.1})
+	set, err := f.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := set.Models[core.Key("weird", core.Volume)]; ok {
+		t.Error("thin group should be skipped")
+	}
+	cov := f.Coverage()
+	if cov[core.Key("weird", core.Volume)] != 1 {
+		t.Error("coverage should still count the thin group")
+	}
+}

@@ -1,0 +1,207 @@
+package baseline
+
+import (
+	"testing"
+
+	"insitu/internal/device"
+	"insitu/internal/mesh"
+	"insitu/internal/mesh/synthdata"
+	"insitu/internal/render"
+	"insitu/internal/render/raytrace"
+	"insitu/internal/render/volume"
+)
+
+func surfaceScene(t *testing.T, n int) *mesh.TriangleMesh {
+	t.Helper()
+	ds, err := synthdata.ByName("rm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := synthdata.Grid(ds.FieldName, ds.Func, n, n, n, synthdata.UnitBounds())
+	m, err := g.Isosurface(device.CPU(), ds.FieldName, ds.Isovalue, mesh.IsoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func tetScene(t *testing.T, n int) *mesh.TetMesh {
+	t.Helper()
+	ds, err := synthdata.ByName("nek")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := synthdata.Grid(ds.FieldName, ds.Func, n, n, n, synthdata.UnitBounds())
+	tm, err := g.Tetrahedralize(ds.FieldName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tm
+}
+
+func TestTunedTracersAgreeWithDPPOnHits(t *testing.T) {
+	m := surfaceScene(t, 12)
+	cam := render.OrbitCamera(m.Bounds(), 30, 20, 1.0)
+	w, h := 96, 72
+
+	img, _, err := raytrace.New(device.CPU(), m).Render(raytrace.Options{
+		Width: w, Height: h, Camera: cam, Workload: raytrace.Workload1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dppHits := img.ActivePixels()
+
+	fast := NewFastRT(m, 2)
+	fr := fast.Trace(cam, w, h)
+	if fr.Rays != w*h {
+		t.Errorf("fastrt rays = %d", fr.Rays)
+	}
+	if fr.Hits != dppHits {
+		t.Errorf("fastrt hits %d != dpp %d", fr.Hits, dppHits)
+	}
+	if fr.MRaysPerSec() <= 0 {
+		t.Error("fastrt rate missing")
+	}
+	if fast.BuildTime() <= 0 {
+		t.Error("fastrt build time missing")
+	}
+
+	queue := NewQueueRT(m, 2)
+	qr := queue.Trace(cam, w, h)
+	if qr.Hits != dppHits {
+		t.Errorf("queuert hits %d != dpp %d", qr.Hits, dppHits)
+	}
+}
+
+func TestHAVSCoversLikeDPPVolume(t *testing.T) {
+	tm := tetScene(t, 10)
+	cam := render.OrbitCamera(tm.Bounds(), 30, 20, 1.0)
+	w, h := 48, 36
+
+	ref, _, err := volume.NewUnstructured(device.CPU(), tm).Render(volume.UnstructuredOptions{
+		Width: w, Height: h, Camera: cam, SamplesZ: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hv := &HAVS{Mesh: tm, Dev: device.CPU()}
+	img, st, err := hv.Render(cam, w, h, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total <= 0 || st.Sort <= 0 {
+		t.Errorf("missing timings: %+v", st)
+	}
+	assertCoverageOverlap(t, "havs", ref.Color, img.Color, w*h, 0.7)
+}
+
+func TestBunykCoversLikeDPPVolume(t *testing.T) {
+	tm := tetScene(t, 8)
+	cam := render.OrbitCamera(tm.Bounds(), 30, 20, 1.0)
+	w, h := 40, 30
+
+	ref, _, err := volume.NewUnstructured(device.CPU(), tm).Render(volume.UnstructuredOptions{
+		Width: w, Height: h, Camera: cam, SamplesZ: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk := NewBunyk(tm)
+	if bk.PreprocessTime <= 0 {
+		t.Error("preprocess time missing")
+	}
+	if len(bk.boundary) == 0 {
+		t.Fatal("no boundary faces found")
+	}
+	// A cube of tets has 2 triangles per boundary cell face.
+	img, st, err := bk.Render(cam, w, h, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Total <= 0 {
+		t.Error("missing total time")
+	}
+	assertCoverageOverlap(t, "bunyk", ref.Color, img.Color, w*h, 0.7)
+}
+
+func TestVisItVRMatchesDPPVolume(t *testing.T) {
+	tm := tetScene(t, 8)
+	cam := render.OrbitCamera(tm.Bounds(), 30, 20, 1.0)
+	w, h := 40, 30
+	ref, _, err := volume.NewUnstructured(device.Serial(), tm).Render(volume.UnstructuredOptions{
+		Width: w, Height: h, Camera: cam, SamplesZ: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vv := &VisItVR{Mesh: tm}
+	img, st, err := vv.Render(cam, w, h, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ScreenSpace <= 0 || st.Sampling <= 0 || st.Composite <= 0 {
+		t.Errorf("phase timings missing: %+v", st)
+	}
+	// The VisIt-style sampler uses the same screen-space sampling grid as
+	// the DPP renderer, so images should be nearly identical.
+	maxDiff := float32(0)
+	for i := range ref.Color {
+		d := ref.Color[i] - img.Color[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDiff {
+			maxDiff = d
+		}
+	}
+	if maxDiff > 0.05 {
+		t.Errorf("visitvr differs from DPP-VR by %v", maxDiff)
+	}
+}
+
+func TestNeighborsSymmetric(t *testing.T) {
+	tm := tetScene(t, 6)
+	bk := NewBunyk(tm)
+	for tt := 0; tt < tm.NumTets(); tt++ {
+		for f := 0; f < 4; f++ {
+			nb := bk.neighbors[4*tt+f]
+			if nb < 0 {
+				continue
+			}
+			// The neighbor must reference tt back through some face.
+			found := false
+			for g := 0; g < 4; g++ {
+				if bk.neighbors[4*nb+int32(g)] == int32(tt) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency not symmetric: tet %d face %d -> %d", tt, f, nb)
+			}
+		}
+	}
+}
+
+func assertCoverageOverlap(t *testing.T, name string, a, b []float32, npix int, want float64) {
+	t.Helper()
+	both, either := 0, 0
+	for i := 0; i < npix; i++ {
+		ca := a[4*i+3] > 0.02
+		cb := b[4*i+3] > 0.02
+		if ca || cb {
+			either++
+		}
+		if ca && cb {
+			both++
+		}
+	}
+	if either == 0 {
+		t.Fatalf("%s: no coverage", name)
+	}
+	if overlap := float64(both) / float64(either); overlap < want {
+		t.Errorf("%s: coverage overlap %.2f < %.2f", name, overlap, want)
+	}
+}

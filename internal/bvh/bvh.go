@@ -1,0 +1,361 @@
+// Package bvh builds and traverses bounding volume hierarchies over
+// triangle meshes. The default builder is the linear BVH (morton-code
+// radix sort + top-down splits at the highest differing bit), the O(n)
+// structure behind the paper's ray-tracing performance model; a median
+// split and a binned-SAH builder are provided for the architecture-tuned
+// baselines and ablation benches.
+package bvh
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"insitu/internal/device"
+	"insitu/internal/dpp"
+	"insitu/internal/mesh"
+	"insitu/internal/vecmath"
+)
+
+// Node is one flat-array BVH node. Leaves have Count > 0 and reference
+// PrimIDs[Start : Start+Count]; inner nodes reference children by index.
+type Node struct {
+	Bounds       vecmath.AABB
+	Left, Right  int32
+	Start, Count int32
+}
+
+// BVH is a flattened hierarchy over a triangle mesh.
+type BVH struct {
+	Nodes   []Node
+	PrimIDs []int32
+	Mesh    *mesh.TriangleMesh
+	// BuildTime records wall-clock construction cost; the ray-tracing
+	// model's c0*O + c1 term is fitted against it.
+	BuildTime time.Duration
+	// MaxLeafSize used during the build.
+	MaxLeafSize int
+}
+
+// Builder selects the construction algorithm.
+type Builder int
+
+const (
+	// LBVH is the morton-sort linear BVH (O(n) build).
+	LBVH Builder = iota
+	// Median recursively splits at the median of the longest axis.
+	Median
+	// SAH is a binned surface-area-heuristic build (slowest, best trees).
+	SAH
+)
+
+func (b Builder) String() string {
+	switch b {
+	case LBVH:
+		return "lbvh"
+	case Median:
+		return "median"
+	case SAH:
+		return "sah"
+	}
+	return fmt.Sprintf("builder(%d)", int(b))
+}
+
+// Build constructs a BVH over the mesh with the given builder.
+func Build(d *device.Device, m *mesh.TriangleMesh, builder Builder) *BVH {
+	start := time.Now()
+	n := m.NumTriangles()
+	b := &BVH{Mesh: m, MaxLeafSize: 8}
+	if n == 0 {
+		b.BuildTime = time.Since(start)
+		return b
+	}
+
+	bounds := make([]vecmath.AABB, n)
+	centroids := make([]vecmath.Vec3, n)
+	dpp.For(d, n, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			bounds[t] = m.TriBounds(t)
+			centroids[t] = m.Centroid(t)
+		}
+	})
+	world := vecmath.EmptyAABB()
+	for t := 0; t < n; t++ {
+		world = world.Union(bounds[t])
+	}
+
+	ids := make([]int32, n)
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+
+	switch builder {
+	case LBVH:
+		codes := make([]uint64, n)
+		diag := world.Diagonal()
+		inv := vecmath.V(safeInv(diag.X), safeInv(diag.Y), safeInv(diag.Z))
+		dpp.For(d, n, func(lo, hi int) {
+			for t := lo; t < hi; t++ {
+				p := centroids[t].Sub(world.Min).Mul(inv)
+				codes[t] = Morton3(p.X, p.Y, p.Z)
+			}
+		})
+		dpp.SortPairs64(d, codes, ids)
+		b.PrimIDs = ids
+		b.buildMortonRange(codes, bounds, 0, n, 0)
+	case Median, SAH:
+		b.PrimIDs = ids
+		b.buildSpatialRange(bounds, centroids, 0, n, builder)
+	}
+	b.BuildTime = time.Since(start)
+	return b
+}
+
+func safeInv(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return 1 / v
+}
+
+// Morton3 interleaves 10 bits per normalized coordinate into a 30-bit
+// morton code.
+func Morton3(x, y, z float64) uint64 {
+	return expandBits(quantize10(x))<<2 | expandBits(quantize10(y))<<1 | expandBits(quantize10(z))
+}
+
+func quantize10(v float64) uint32 {
+	q := int(v * 1024)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1023 {
+		q = 1023
+	}
+	return uint32(q)
+}
+
+// expandBits spreads the low 10 bits of v so they occupy every third bit.
+func expandBits(v uint32) uint64 {
+	x := uint64(v) & 0x3ff
+	x = (x | x<<16) & 0x30000ff
+	x = (x | x<<8) & 0x300f00f
+	x = (x | x<<4) & 0x30c30c3
+	x = (x | x<<2) & 0x9249249
+	return x
+}
+
+// rangeBounds unions the primitive bounds of PrimIDs[start:end].
+func (b *BVH) rangeBounds(bounds []vecmath.AABB, start, end int) vecmath.AABB {
+	box := vecmath.EmptyAABB()
+	for i := start; i < end; i++ {
+		box = box.Union(bounds[b.PrimIDs[i]])
+	}
+	return box
+}
+
+// buildMortonRange recursively splits the sorted morton range at the
+// highest differing code bit, producing the LBVH topology. Returns the
+// node index.
+func (b *BVH) buildMortonRange(codes []uint64, bounds []vecmath.AABB, start, end, bit int) int32 {
+	idx := int32(len(b.Nodes))
+	b.Nodes = append(b.Nodes, Node{})
+	count := end - start
+	if count <= b.MaxLeafSize || bit >= 30 {
+		b.Nodes[idx] = Node{
+			Bounds: b.rangeBounds(bounds, start, end),
+			Start:  int32(start), Count: int32(count),
+		}
+		return idx
+	}
+	// Codes were sorted with PrimIDs as payload, so codes[i] corresponds to
+	// position i in PrimIDs.
+	mask := uint64(1) << uint(29-bit)
+	split := start
+	for split < end && codes[split]&mask == 0 {
+		split++
+	}
+	if split == start || split == end {
+		// All codes share this bit: descend without splitting.
+		b.Nodes = b.Nodes[:idx] // rebuild node at same position after recursion
+		return b.buildMortonRange(codes, bounds, start, end, bit+1)
+	}
+	left := b.buildMortonRange(codes, bounds, start, split, bit+1)
+	right := b.buildMortonRange(codes, bounds, split, end, bit+1)
+	b.Nodes[idx] = Node{
+		Bounds: b.Nodes[left].Bounds.Union(b.Nodes[right].Bounds),
+		Left:   left, Right: right,
+	}
+	return idx
+}
+
+// buildSpatialRange builds median or SAH splits over PrimIDs[start:end].
+func (b *BVH) buildSpatialRange(bounds []vecmath.AABB, centroids []vecmath.Vec3, start, end int, builder Builder) int32 {
+	idx := int32(len(b.Nodes))
+	b.Nodes = append(b.Nodes, Node{})
+	count := end - start
+	box := b.rangeBounds(bounds, start, end)
+	if count <= b.MaxLeafSize {
+		b.Nodes[idx] = Node{Bounds: box, Start: int32(start), Count: int32(count)}
+		return idx
+	}
+
+	cbox := vecmath.EmptyAABB()
+	for i := start; i < end; i++ {
+		cbox = cbox.ExpandPoint(centroids[b.PrimIDs[i]])
+	}
+	axis := longestAxis(cbox.Diagonal())
+	split := start + count/2
+
+	if builder == SAH {
+		if s, ok := b.sahSplit(bounds, centroids, cbox, start, end, axis); ok {
+			split = s
+		} else {
+			b.partitionMedian(centroids, start, end, axis, split)
+		}
+	} else {
+		b.partitionMedian(centroids, start, end, axis, split)
+	}
+	if split <= start || split >= end {
+		split = start + count/2
+	}
+
+	left := b.buildSpatialRange(bounds, centroids, start, split, builder)
+	right := b.buildSpatialRange(bounds, centroids, split, end, builder)
+	b.Nodes[idx] = Node{
+		Bounds: b.Nodes[left].Bounds.Union(b.Nodes[right].Bounds),
+		Left:   left, Right: right,
+	}
+	return idx
+}
+
+// partitionMedian nth-element partitions PrimIDs[start:end] around the kth
+// centroid along axis (quickselect).
+func (b *BVH) partitionMedian(centroids []vecmath.Vec3, start, end, axis, k int) {
+	ids := b.PrimIDs
+	key := func(i int) float64 { return axisValue(centroids[ids[i]], axis) }
+	lo, hi := start, end-1
+	for lo < hi {
+		pivot := key((lo + hi) / 2)
+		i, j := lo, hi
+		for i <= j {
+			for key(i) < pivot {
+				i++
+			}
+			for key(j) > pivot {
+				j--
+			}
+			if i <= j {
+				ids[i], ids[j] = ids[j], ids[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+}
+
+// sahSplit bins centroids along axis and picks the minimum-cost split.
+// Returns the partition point and whether a useful split was found.
+func (b *BVH) sahSplit(bounds []vecmath.AABB, centroids []vecmath.Vec3, cbox vecmath.AABB, start, end, axis int) (int, bool) {
+	const nbins = 8
+	lo := axisValue(cbox.Min, axis)
+	hi := axisValue(cbox.Max, axis)
+	if hi-lo < 1e-12 {
+		return 0, false
+	}
+	scale := nbins / (hi - lo)
+	type bin struct {
+		count int
+		box   vecmath.AABB
+	}
+	bins := [nbins]bin{}
+	for i := range bins {
+		bins[i].box = vecmath.EmptyAABB()
+	}
+	binOf := func(p int32) int {
+		k := int((axisValue(centroids[p], axis) - lo) * scale)
+		if k < 0 {
+			k = 0
+		}
+		if k >= nbins {
+			k = nbins - 1
+		}
+		return k
+	}
+	for i := start; i < end; i++ {
+		p := b.PrimIDs[i]
+		k := binOf(p)
+		bins[k].count++
+		bins[k].box = bins[k].box.Union(bounds[p])
+	}
+	// Sweep to find the cheapest split boundary.
+	var leftBox, rightBox [nbins]vecmath.AABB
+	var leftCount, rightCount [nbins]int
+	acc := vecmath.EmptyAABB()
+	cnt := 0
+	for i := 0; i < nbins; i++ {
+		acc = acc.Union(bins[i].box)
+		cnt += bins[i].count
+		leftBox[i], leftCount[i] = acc, cnt
+	}
+	acc = vecmath.EmptyAABB()
+	cnt = 0
+	for i := nbins - 1; i >= 0; i-- {
+		acc = acc.Union(bins[i].box)
+		cnt += bins[i].count
+		rightBox[i], rightCount[i] = acc, cnt
+	}
+	bestCost := math.Inf(1)
+	bestBin := -1
+	for i := 0; i < nbins-1; i++ {
+		if leftCount[i] == 0 || rightCount[i+1] == 0 {
+			continue
+		}
+		cost := leftBox[i].SurfaceArea()*float64(leftCount[i]) +
+			rightBox[i+1].SurfaceArea()*float64(rightCount[i+1])
+		if cost < bestCost {
+			bestCost = cost
+			bestBin = i
+		}
+	}
+	if bestBin < 0 {
+		return 0, false
+	}
+	// Partition PrimIDs by bin.
+	mid := start
+	for i := start; i < end; i++ {
+		if binOf(b.PrimIDs[i]) <= bestBin {
+			b.PrimIDs[mid], b.PrimIDs[i] = b.PrimIDs[i], b.PrimIDs[mid]
+			mid++
+		}
+	}
+	return mid, mid > start && mid < end
+}
+
+func axisValue(v vecmath.Vec3, axis int) float64 {
+	switch axis {
+	case 0:
+		return v.X
+	case 1:
+		return v.Y
+	default:
+		return v.Z
+	}
+}
+
+func longestAxis(d vecmath.Vec3) int {
+	if d.X >= d.Y && d.X >= d.Z {
+		return 0
+	}
+	if d.Y >= d.Z {
+		return 1
+	}
+	return 2
+}

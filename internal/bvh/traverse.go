@@ -1,0 +1,217 @@
+package bvh
+
+import (
+	"math"
+
+	"insitu/internal/vecmath"
+)
+
+// Hit describes the closest intersection found along a ray.
+type Hit struct {
+	Prim int32   // triangle index, -1 if none
+	T    float64 // distance along the (unit) ray direction
+	U, V float64 // barycentric coordinates at the hit
+}
+
+// IntersectTriangle is the Moller-Trumbore ray/triangle test. It returns
+// the hit distance and barycentric coordinates, or ok=false on a miss.
+// Back faces count as hits (scientific visualization shades two-sided).
+func IntersectTriangle(orig, dir, a, b, c vecmath.Vec3) (t, u, v float64, ok bool) {
+	const eps = 1e-12
+	e1 := b.Sub(a)
+	e2 := c.Sub(a)
+	p := dir.Cross(e2)
+	det := e1.Dot(p)
+	if det > -eps && det < eps {
+		return 0, 0, 0, false
+	}
+	inv := 1 / det
+	s := orig.Sub(a)
+	u = s.Dot(p) * inv
+	if u < 0 || u > 1 {
+		return 0, 0, 0, false
+	}
+	q := s.Cross(e1)
+	v = dir.Dot(q) * inv
+	if v < 0 || u+v > 1 {
+		return 0, 0, 0, false
+	}
+	t = e2.Dot(q) * inv
+	return t, u, v, true
+}
+
+// IntersectClosest finds the nearest triangle hit along the ray between
+// tmin and tmax, traversing children front to back. It returns a Hit with
+// Prim == -1 when nothing is hit, along with the number of node and
+// triangle tests performed (the workload counters behind the model's
+// AP*log2(O) term).
+func (b *BVH) IntersectClosest(orig, dir vecmath.Vec3, tmin, tmax float64) (Hit, int, int) {
+	hit := Hit{Prim: -1, T: math.Inf(1)}
+	if len(b.Nodes) == 0 {
+		return hit, 0, 0
+	}
+	inv := vecmath.V(1/dir.X, 1/dir.Y, 1/dir.Z)
+	m := b.Mesh
+	nodeTests, triTests := 0, 0
+	best := tmax
+
+	var stack [64]int32
+	sp := 0
+	stack[sp] = 0
+	sp++
+	for sp > 0 {
+		sp--
+		ni := stack[sp]
+		node := &b.Nodes[ni]
+		nodeTests++
+		if _, _, ok := node.Bounds.HitRay(orig, inv, tmin, best); !ok {
+			continue
+		}
+		if node.Count > 0 {
+			for i := node.Start; i < node.Start+node.Count; i++ {
+				prim := b.PrimIDs[i]
+				triTests++
+				va, vb, vc := m.TriVerts(int(prim))
+				if t, u, v, ok := IntersectTriangle(orig, dir, va, vb, vc); ok && t > tmin && t < best {
+					best = t
+					hit = Hit{Prim: prim, T: t, U: u, V: v}
+				}
+			}
+			continue
+		}
+		// Push the farther child first so the nearer pops first.
+		l, r := node.Left, node.Right
+		lt, _, lok := b.Nodes[l].Bounds.HitRay(orig, inv, tmin, best)
+		rt, _, rok := b.Nodes[r].Bounds.HitRay(orig, inv, tmin, best)
+		switch {
+		case lok && rok:
+			if lt > rt {
+				l, r = r, l
+			}
+			stack[sp] = r
+			sp++
+			stack[sp] = l
+			sp++
+		case lok:
+			stack[sp] = l
+			sp++
+		case rok:
+			stack[sp] = r
+			sp++
+		}
+		nodeTests += 2
+	}
+	return hit, nodeTests, triTests
+}
+
+// IntersectAny reports whether any triangle is hit in (tmin, tmax), the
+// early-out query used for shadow and ambient-occlusion rays.
+func (b *BVH) IntersectAny(orig, dir vecmath.Vec3, tmin, tmax float64) bool {
+	if len(b.Nodes) == 0 {
+		return false
+	}
+	inv := vecmath.V(1/dir.X, 1/dir.Y, 1/dir.Z)
+	m := b.Mesh
+	var stack [64]int32
+	sp := 0
+	stack[sp] = 0
+	sp++
+	for sp > 0 {
+		sp--
+		node := &b.Nodes[stack[sp]]
+		if _, _, ok := node.Bounds.HitRay(orig, inv, tmin, tmax); !ok {
+			continue
+		}
+		if node.Count > 0 {
+			for i := node.Start; i < node.Start+node.Count; i++ {
+				prim := b.PrimIDs[i]
+				va, vb, vc := m.TriVerts(int(prim))
+				if t, _, _, ok := IntersectTriangle(orig, dir, va, vb, vc); ok && t > tmin && t < tmax {
+					return true
+				}
+			}
+			continue
+		}
+		stack[sp] = node.Left
+		sp++
+		stack[sp] = node.Right
+		sp++
+	}
+	return false
+}
+
+// IntersectClosestPacket traces a bundle of coherent rays through the tree
+// together, amortizing node tests across the packet: a node is descended
+// if any ray's interval hits it. This is the vector-unit ("ISPC") backend
+// of the tracer; with VectorWidth 1 it degenerates to per-ray traversal.
+func (b *BVH) IntersectClosestPacket(orig, dir []vecmath.Vec3, tmin float64, hits []Hit) {
+	n := len(orig)
+	for i := range hits {
+		hits[i] = Hit{Prim: -1, T: math.Inf(1)}
+	}
+	if len(b.Nodes) == 0 || n == 0 {
+		return
+	}
+	inv := make([]vecmath.Vec3, n)
+	best := make([]float64, n)
+	for i := 0; i < n; i++ {
+		inv[i] = vecmath.V(1/dir[i].X, 1/dir[i].Y, 1/dir[i].Z)
+		best[i] = math.Inf(1)
+	}
+	m := b.Mesh
+	var stack [64]int32
+	sp := 0
+	stack[sp] = 0
+	sp++
+	for sp > 0 {
+		sp--
+		node := &b.Nodes[stack[sp]]
+		any := false
+		for i := 0; i < n; i++ {
+			if _, _, ok := node.Bounds.HitRay(orig[i], inv[i], tmin, best[i]); ok {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		if node.Count > 0 {
+			for pi := node.Start; pi < node.Start+node.Count; pi++ {
+				prim := b.PrimIDs[pi]
+				va, vb, vc := m.TriVerts(int(prim))
+				for i := 0; i < n; i++ {
+					if t, u, v, ok := IntersectTriangle(orig[i], dir[i], va, vb, vc); ok && t > tmin && t < best[i] {
+						best[i] = t
+						hits[i] = Hit{Prim: prim, T: t, U: u, V: v}
+					}
+				}
+			}
+			continue
+		}
+		stack[sp] = node.Left
+		sp++
+		stack[sp] = node.Right
+		sp++
+	}
+}
+
+// Depth returns the maximum leaf depth, a tree-quality diagnostic.
+func (b *BVH) Depth() int {
+	if len(b.Nodes) == 0 {
+		return 0
+	}
+	var walk func(n int32) int
+	walk = func(n int32) int {
+		node := &b.Nodes[n]
+		if node.Count > 0 {
+			return 1
+		}
+		l, r := walk(node.Left), walk(node.Right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(0)
+}

@@ -1,0 +1,249 @@
+// Package comm provides the distributed-memory substrate: an in-process
+// message-passing world that stands in for MPI. Each task is a goroutine;
+// point-to-point messages copy their payload (network semantics) through
+// buffered channels, and the collectives the renderers and compositors
+// need (barrier, reductions, gather, broadcast) are built on top. Byte
+// counters expose communication volume to the study.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// message is one point-to-point payload. Data is always a private copy.
+type message struct {
+	tag  int
+	data []float32
+}
+
+// World owns the channels connecting size tasks.
+type World struct {
+	size  int
+	links [][]chan message // links[from][to]
+	bytes atomic.Int64
+	msgs  atomic.Int64
+}
+
+// NewWorld creates a world of n tasks.
+func NewWorld(n int) *World {
+	if n < 1 {
+		n = 1
+	}
+	w := &World{size: n, links: make([][]chan message, n)}
+	for from := 0; from < n; from++ {
+		w.links[from] = make([]chan message, n)
+		for to := 0; to < n; to++ {
+			// Deep buffering lets symmetric exchange patterns (binary
+			// swap) post sends before the matching receives.
+			w.links[from][to] = make(chan message, 64)
+		}
+	}
+	return w
+}
+
+// Size returns the task count.
+func (w *World) Size() int { return w.size }
+
+// BytesSent returns the total payload bytes sent so far.
+func (w *World) BytesSent() int64 { return w.bytes.Load() }
+
+// MessagesSent returns the total message count so far.
+func (w *World) MessagesSent() int64 { return w.msgs.Load() }
+
+// Run executes f once per rank, each on its own goroutine, and waits for
+// all of them. Panics inside a task are recovered and reported as that
+// task's error; the first non-nil error is returned.
+func (w *World) Run(f func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("comm: task %d panicked: %v", rank, p)
+				}
+			}()
+			errs[rank] = f(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("comm: task %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// RunCollect is Run but also collects one result value per rank.
+func RunCollect[T any](w *World, f func(c *Comm) (T, error)) ([]T, error) {
+	results := make([]T, w.size)
+	err := w.Run(func(c *Comm) error {
+		v, err := f(c)
+		results[c.Rank()] = v
+		return err
+	})
+	return results, err
+}
+
+// Comm is one task's endpoint in the world.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this task's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Send delivers a copy of data to the destination rank. Messages between a
+// fixed (from, to) pair arrive in send order.
+func (c *Comm) Send(to, tag int, data []float32) {
+	if to < 0 || to >= c.world.size {
+		panic(fmt.Sprintf("comm: send to invalid rank %d", to))
+	}
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	c.world.bytes.Add(int64(4 * len(data)))
+	c.world.msgs.Add(1)
+	c.world.links[c.rank][to] <- message{tag: tag, data: cp}
+}
+
+// Recv blocks for the next message from a rank and checks its tag. A tag
+// mismatch indicates a protocol bug and panics (surfaced by Run as an
+// error).
+func (c *Comm) Recv(from, tag int) []float32 {
+	if from < 0 || from >= c.world.size {
+		panic(fmt.Sprintf("comm: recv from invalid rank %d", from))
+	}
+	m := <-c.world.links[from][c.rank]
+	if m.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag))
+	}
+	return m.data
+}
+
+// Internal collective tags live in a reserved negative range.
+const (
+	tagBarrier = -1
+	tagReduce  = -2
+	tagBcast   = -3
+	tagGather  = -4
+)
+
+// Barrier blocks until every task has entered it.
+func (c *Comm) Barrier() {
+	// Central coordinator: everyone checks in with rank 0, rank 0 releases.
+	if c.rank == 0 {
+		for r := 1; r < c.Size(); r++ {
+			c.Recv(r, tagBarrier)
+		}
+		for r := 1; r < c.Size(); r++ {
+			c.Send(r, tagBarrier, nil)
+		}
+		return
+	}
+	c.Send(0, tagBarrier, nil)
+	c.Recv(0, tagBarrier)
+}
+
+// AllReduce combines one float64 from every task with op and returns the
+// result on every task.
+func (c *Comm) AllReduce(v float64, op func(a, b float64) float64) float64 {
+	// Reduce to 0 with float64 precision carried in two float32 words.
+	hi, lo := splitFloat64(v)
+	buf := []float32{hi, lo}
+	if c.rank == 0 {
+		acc := v
+		for r := 1; r < c.Size(); r++ {
+			m := c.Recv(r, tagReduce)
+			acc = op(acc, joinFloat64(m[0], m[1]))
+		}
+		h, l := splitFloat64(acc)
+		out := []float32{h, l}
+		for r := 1; r < c.Size(); r++ {
+			c.Send(r, tagBcast, out)
+		}
+		return acc
+	}
+	c.Send(0, tagReduce, buf)
+	m := c.Recv(0, tagBcast)
+	return joinFloat64(m[0], m[1])
+}
+
+// AllReduceMax returns the maximum of v across tasks.
+func (c *Comm) AllReduceMax(v float64) float64 {
+	return c.AllReduce(v, func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllReduceMin returns the minimum of v across tasks.
+func (c *Comm) AllReduceMin(v float64) float64 {
+	return c.AllReduce(v, func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	})
+}
+
+// AllReduceSum returns the sum of v across tasks.
+func (c *Comm) AllReduceSum(v float64) float64 {
+	return c.AllReduce(v, func(a, b float64) float64 { return a + b })
+}
+
+// Gather collects each task's slice at the root (others get nil).
+func (c *Comm) Gather(root int, data []float32) [][]float32 {
+	if c.rank != root {
+		c.Send(root, tagGather, data)
+		return nil
+	}
+	out := make([][]float32, c.Size())
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	out[root] = cp
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		out[r] = c.Recv(r, tagGather)
+	}
+	return out
+}
+
+// Bcast sends root's slice to every task and returns it (a copy).
+func (c *Comm) Bcast(root int, data []float32) []float32 {
+	if c.rank == root {
+		for r := 0; r < c.Size(); r++ {
+			if r != root {
+				c.Send(r, tagBcast, data)
+			}
+		}
+		cp := make([]float32, len(data))
+		copy(cp, data)
+		return cp
+	}
+	return c.Recv(root, tagBcast)
+}
+
+// splitFloat64 encodes a float64 into two float32 words losslessly enough
+// for reductions (value + residual).
+func splitFloat64(v float64) (float32, float32) {
+	hi := float32(v)
+	lo := float32(v - float64(hi))
+	return hi, lo
+}
+
+func joinFloat64(hi, lo float32) float64 {
+	return float64(hi) + float64(lo)
+}

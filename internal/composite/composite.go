@@ -1,0 +1,304 @@
+// Package composite implements sort-last parallel image compositing, the
+// IceT analogue: radix-k partition exchange (with binary swap and direct
+// send as special factorizations), a z-test operator for opaque surface
+// renders, and a visibility-ordered blend operator for volume renders.
+package composite
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"insitu/internal/comm"
+	"insitu/internal/framebuffer"
+)
+
+// Op selects the per-pixel merge operator.
+type Op int
+
+const (
+	// DepthOp keeps the nearer fragment (opaque geometry). Commutative,
+	// so no ordering information is required.
+	DepthOp Op = iota
+	// BlendOp composites with the over operator in visibility order
+	// (transparent volumes). Requires a per-task ordering.
+	BlendOp
+)
+
+// Stats describes one compositing operation.
+type Stats struct {
+	Elapsed time.Duration
+	Rounds  int
+}
+
+// Compositor merges the per-task sub-images of one frame into a complete
+// image delivered at rank 0 (other ranks return nil).
+type Compositor struct {
+	// Factors is the radix-k factorization of the task count per round.
+	// nil means "factor automatically into the smallest primes", which
+	// yields binary swap on power-of-two counts.
+	Factors []int
+}
+
+// BinarySwap returns a compositor using radix-2 rounds.
+func BinarySwap() *Compositor { return &Compositor{} }
+
+// DirectSend returns a compositor using one round of task-count radix,
+// which is exactly the direct-send partition exchange.
+func DirectSend(tasks int) *Compositor { return &Compositor{Factors: []int{tasks}} }
+
+// RadixK returns a compositor with explicit round factors; the product
+// must equal the task count.
+func RadixK(factors ...int) *Compositor { return &Compositor{Factors: factors} }
+
+// pixelsPerWord is the float32 payload per pixel: RGBA + depth.
+const pixelsPerWord = 5
+
+// Composite merges img across the world. order gives the visibility
+// permutation for BlendOp: order[i] is the rank whose block is i-th
+// closest to the camera; it may be nil for DepthOp. The composited image
+// is returned at rank 0.
+func (k *Compositor) Composite(c *comm.Comm, img *framebuffer.Image, op Op, order []int) (*framebuffer.Image, *Stats, error) {
+	start := time.Now()
+	n := c.Size()
+	stats := &Stats{}
+	if op == BlendOp && order == nil {
+		return nil, nil, fmt.Errorf("composite: BlendOp requires a visibility order")
+	}
+	if op == BlendOp && len(order) != n {
+		return nil, nil, fmt.Errorf("composite: order has %d entries for %d tasks", len(order), n)
+	}
+	// My position in the visibility order (front = 0).
+	pos := c.Rank()
+	if op == BlendOp {
+		pos = -1
+		for i, r := range order {
+			if r == c.Rank() {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			return nil, nil, fmt.Errorf("composite: rank %d missing from order %v", c.Rank(), order)
+		}
+	}
+
+	factors := k.Factors
+	if factors == nil {
+		factors = primeFactors(n)
+	}
+	if product(factors) != n {
+		return nil, nil, fmt.Errorf("composite: factors %v do not multiply to %d tasks", factors, n)
+	}
+
+	// The exchange pattern runs over VIRTUAL ids. For the ordered blend
+	// operator, virtual id = visibility position, so every exchange group
+	// is contiguous in visibility order and pairwise merges stay
+	// associative across rounds (IceT's rank reordering). For the
+	// commutative depth operator, virtual id = rank.
+	virt := c.Rank()
+	toActual := func(v int) int { return v }
+	if op == BlendOp {
+		virt = pos
+		toActual = func(v int) int { return order[v] }
+	}
+
+	npix := img.W * img.H
+	lo, hi := 0, npix
+	cur := img.Clone()
+
+	// Each round splits the owned range into f parts and exchanges them
+	// within a group of f tasks.
+	stride := 1
+	for _, f := range factors {
+		if f < 2 {
+			stride *= f
+			continue
+		}
+		stats.Rounds++
+		me := (virt / stride) % f
+		groupBase := virt - me*stride
+
+		// Split [lo, hi) into f contiguous parts.
+		parts := splitRange(lo, hi, f)
+
+		// Send part j to group member j; keep part me.
+		for j := 0; j < f; j++ {
+			if j == me {
+				continue
+			}
+			peer := toActual(groupBase + j*stride)
+			c.Send(peer, tagFor(stride, j), encode(cur, parts[j][0], parts[j][1], virt))
+		}
+		// Receive every other member's fragment of my part and merge.
+		myLo, myHi := parts[me][0], parts[me][1]
+		frags := make([]fragment, 0, f)
+		frags = append(frags, fragment{pos: virt, img: cur.SubRange(myLo, myHi)})
+		for j := 0; j < f; j++ {
+			if j == me {
+				continue
+			}
+			peer := toActual(groupBase + j*stride)
+			data := c.Recv(peer, tagFor(stride, me))
+			frag, fragPos, err := decode(data, myHi-myLo)
+			if err != nil {
+				return nil, nil, err
+			}
+			frags = append(frags, fragment{pos: fragPos, img: frag})
+		}
+		merged, err := mergeFragments(frags, op)
+		if err != nil {
+			return nil, nil, err
+		}
+		cur.WriteRange(myLo, merged)
+		lo, hi = myLo, myHi
+		stride *= f
+	}
+
+	// Gather the owned ranges at rank 0.
+	final := gatherRanges(c, cur, lo, hi, npix)
+	stats.Elapsed = time.Since(start)
+	if c.Rank() != 0 {
+		return nil, stats, nil
+	}
+	return final, stats, nil
+}
+
+// fragment pairs a strip with its owner's visibility position.
+type fragment struct {
+	pos int
+	img *framebuffer.Image
+}
+
+// mergeFragments folds fragments with the selected operator. For BlendOp
+// the fragments are sorted front to back and folded with the under
+// operator; for DepthOp order is irrelevant.
+func mergeFragments(frags []fragment, op Op) (*framebuffer.Image, error) {
+	if op == BlendOp {
+		sort.Slice(frags, func(i, j int) bool { return frags[i].pos < frags[j].pos })
+	}
+	acc := frags[0].img
+	for _, f := range frags[1:] {
+		var err error
+		if op == DepthOp {
+			err = acc.DepthCompositeFrom(f.img)
+		} else {
+			err = acc.BlendUnder(f.img)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}
+
+// gatherRanges collects every task's owned [lo,hi) range at rank 0 and
+// assembles the full image.
+func gatherRanges(c *comm.Comm, cur *framebuffer.Image, lo, hi, npix int) *framebuffer.Image {
+	header := []float32{float32(lo), float32(hi)}
+	strip := cur.SubRange(lo, hi)
+	payload := append(header, encodeStrip(strip)...)
+	parts := c.Gather(0, payload)
+	if c.Rank() != 0 {
+		return nil
+	}
+	out := framebuffer.NewImage(cur.W, cur.H)
+	for _, p := range parts {
+		plo := int(p[0])
+		phi := int(p[1])
+		strip := decodeStrip(p[2:], phi-plo)
+		out.WriteRange(plo, strip)
+	}
+	return out
+}
+
+// encode packs a pixel range plus the sender's visibility position.
+func encode(img *framebuffer.Image, lo, hi, pos int) []float32 {
+	strip := img.SubRange(lo, hi)
+	out := make([]float32, 0, 1+pixelsPerWord*(hi-lo))
+	out = append(out, float32(pos))
+	return append(out, encodeStrip(strip)...)
+}
+
+func decode(data []float32, n int) (*framebuffer.Image, int, error) {
+	if len(data) != 1+pixelsPerWord*n {
+		return nil, 0, fmt.Errorf("composite: fragment has %d words, want %d", len(data), 1+pixelsPerWord*n)
+	}
+	pos := int(data[0])
+	return decodeStrip(data[1:], n), pos, nil
+}
+
+func encodeStrip(strip *framebuffer.Image) []float32 {
+	n := strip.W * strip.H
+	out := make([]float32, pixelsPerWord*n)
+	copy(out[:4*n], strip.Color)
+	copy(out[4*n:], strip.Depth)
+	return out
+}
+
+func decodeStrip(data []float32, n int) *framebuffer.Image {
+	strip := &framebuffer.Image{W: n, H: 1, Color: make([]float32, 4*n), Depth: make([]float32, n)}
+	copy(strip.Color, data[:4*n])
+	copy(strip.Depth, data[4*n:])
+	return strip
+}
+
+// splitRange divides [lo, hi) into k near-equal contiguous parts.
+func splitRange(lo, hi, k int) [][2]int {
+	n := hi - lo
+	parts := make([][2]int, k)
+	for j := 0; j < k; j++ {
+		parts[j] = [2]int{lo + j*n/k, lo + (j+1)*n/k}
+	}
+	return parts
+}
+
+// tagFor derives a distinct message tag per (round stride, destination
+// slot) pair so rounds cannot cross-talk.
+func tagFor(stride, slot int) int { return 1000 + stride*64 + slot }
+
+// primeFactors factors n into ascending primes (binary swap on powers of
+// two). n = 1 yields an empty factorization.
+func primeFactors(n int) []int {
+	var f []int
+	for p := 2; p*p <= n; p++ {
+		for n%p == 0 {
+			f = append(f, p)
+			n /= p
+		}
+	}
+	if n > 1 {
+		f = append(f, n)
+	}
+	return f
+}
+
+func product(f []int) int {
+	p := 1
+	for _, v := range f {
+		p *= v
+	}
+	return p
+}
+
+// VisibilityOrder sorts ranks front to back by their blocks' camera-space
+// distance; blockDepth[r] is the distance of rank r's block centroid from
+// the camera. Used to drive BlendOp compositing of distributed volumes.
+func VisibilityOrder(blockDepth []float64) []int {
+	order := make([]int, len(blockDepth))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		da, db := blockDepth[order[a]], blockDepth[order[b]]
+		if math.IsNaN(da) {
+			return false
+		}
+		if math.IsNaN(db) {
+			return true
+		}
+		return da < db
+	})
+	return order
+}

@@ -1,0 +1,279 @@
+// Package conduit provides the hierarchical in-core data description the
+// in situ interface uses to pass meshes and actions between a simulation
+// and the visualization pipeline, modeled on LLNL's Conduit: a JSON-like
+// tree with ordered children, typed leaves, and zero-copy "external"
+// array references so simulation state is described rather than copied.
+package conduit
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Node is one tree node: an interior object with ordered children, or a
+// leaf holding a value.
+type Node struct {
+	children map[string]*Node
+	keys     []string
+	value    any
+	hasValue bool
+	external bool
+}
+
+// NewNode returns an empty node.
+func NewNode() *Node { return &Node{} }
+
+// Fetch returns the node at a "/"-separated path, creating intermediate
+// nodes as needed (Conduit's operator[] semantics).
+func (n *Node) Fetch(path string) *Node {
+	cur := n
+	for _, part := range splitPath(path) {
+		if cur.children == nil {
+			cur.children = map[string]*Node{}
+		}
+		next, ok := cur.children[part]
+		if !ok {
+			next = NewNode()
+			cur.children[part] = next
+			cur.keys = append(cur.keys, part)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Get returns the node at path without creating anything.
+func (n *Node) Get(path string) (*Node, bool) {
+	cur := n
+	for _, part := range splitPath(path) {
+		next, ok := cur.children[part]
+		if !ok {
+			return nil, false
+		}
+		cur = next
+	}
+	return cur, true
+}
+
+// Has reports whether a path exists.
+func (n *Node) Has(path string) bool {
+	_, ok := n.Get(path)
+	return ok
+}
+
+// Set stores a value at path. Slices are deep-copied, matching Conduit's
+// owning set; use SetExternal for zero-copy.
+func (n *Node) Set(path string, v any) *Node {
+	leaf := n.Fetch(path)
+	switch s := v.(type) {
+	case []float64:
+		cp := make([]float64, len(s))
+		copy(cp, s)
+		v = cp
+	case []int32:
+		cp := make([]int32, len(s))
+		copy(cp, s)
+		v = cp
+	case []float32:
+		cp := make([]float32, len(s))
+		copy(cp, s)
+		v = cp
+	}
+	leaf.value = v
+	leaf.hasValue = true
+	leaf.external = false
+	return leaf
+}
+
+// SetExternal stores a reference to v at path without copying. The caller
+// retains ownership; this is the zero-copy path simulations use to
+// publish their state arrays.
+func (n *Node) SetExternal(path string, v any) *Node {
+	leaf := n.Fetch(path)
+	leaf.value = v
+	leaf.hasValue = true
+	leaf.external = true
+	return leaf
+}
+
+// External reports whether the node holds a zero-copy reference.
+func (n *Node) External() bool { return n.external }
+
+// IsLeaf reports whether the node holds a value.
+func (n *Node) IsLeaf() bool { return n.hasValue }
+
+// Value returns the raw stored value.
+func (n *Node) Value() any { return n.value }
+
+// Children returns the child names in insertion order.
+func (n *Node) Children() []string { return append([]string(nil), n.keys...) }
+
+// Child returns a named child, or nil.
+func (n *Node) Child(name string) *Node { return n.children[name] }
+
+// Append adds the next list element (children named "0", "1", ...),
+// Conduit's list semantics used for action sequences.
+func (n *Node) Append() *Node {
+	return n.Fetch(strconv.Itoa(len(n.keys)))
+}
+
+// List returns the children in insertion order.
+func (n *Node) List() []*Node {
+	out := make([]*Node, 0, len(n.keys))
+	for _, k := range n.keys {
+		out = append(out, n.children[k])
+	}
+	return out
+}
+
+// typed accessors ------------------------------------------------------
+
+// String returns the value at path as a string.
+func (n *Node) String(path string) (string, error) {
+	leaf, ok := n.Get(path)
+	if !ok || !leaf.hasValue {
+		return "", fmt.Errorf("conduit: no value at %q", path)
+	}
+	s, ok := leaf.value.(string)
+	if !ok {
+		return "", fmt.Errorf("conduit: %q holds %T, not string", path, leaf.value)
+	}
+	return s, nil
+}
+
+// StringOr returns the string at path or a default.
+func (n *Node) StringOr(path, def string) string {
+	if s, err := n.String(path); err == nil {
+		return s
+	}
+	return def
+}
+
+// Int returns the value at path as an int (accepting common int widths).
+func (n *Node) Int(path string) (int, error) {
+	leaf, ok := n.Get(path)
+	if !ok || !leaf.hasValue {
+		return 0, fmt.Errorf("conduit: no value at %q", path)
+	}
+	switch v := leaf.value.(type) {
+	case int:
+		return v, nil
+	case int32:
+		return int(v), nil
+	case int64:
+		return int(v), nil
+	case float64:
+		return int(v), nil
+	}
+	return 0, fmt.Errorf("conduit: %q holds %T, not int", path, leaf.value)
+}
+
+// IntOr returns the int at path or a default.
+func (n *Node) IntOr(path string, def int) int {
+	if v, err := n.Int(path); err == nil {
+		return v
+	}
+	return def
+}
+
+// Float returns the value at path as a float64.
+func (n *Node) Float(path string) (float64, error) {
+	leaf, ok := n.Get(path)
+	if !ok || !leaf.hasValue {
+		return 0, fmt.Errorf("conduit: no value at %q", path)
+	}
+	switch v := leaf.value.(type) {
+	case float64:
+		return v, nil
+	case float32:
+		return float64(v), nil
+	case int:
+		return float64(v), nil
+	}
+	return 0, fmt.Errorf("conduit: %q holds %T, not float", path, leaf.value)
+}
+
+// FloatOr returns the float at path or a default.
+func (n *Node) FloatOr(path string, def float64) float64 {
+	if v, err := n.Float(path); err == nil {
+		return v
+	}
+	return def
+}
+
+// Float64Slice returns the []float64 at path (shared, not copied).
+func (n *Node) Float64Slice(path string) ([]float64, error) {
+	leaf, ok := n.Get(path)
+	if !ok || !leaf.hasValue {
+		return nil, fmt.Errorf("conduit: no value at %q", path)
+	}
+	s, ok := leaf.value.([]float64)
+	if !ok {
+		return nil, fmt.Errorf("conduit: %q holds %T, not []float64", path, leaf.value)
+	}
+	return s, nil
+}
+
+// Int32Slice returns the []int32 at path (shared, not copied).
+func (n *Node) Int32Slice(path string) ([]int32, error) {
+	leaf, ok := n.Get(path)
+	if !ok || !leaf.hasValue {
+		return nil, fmt.Errorf("conduit: no value at %q", path)
+	}
+	s, ok := leaf.value.([]int32)
+	if !ok {
+		return nil, fmt.Errorf("conduit: %q holds %T, not []int32", path, leaf.value)
+	}
+	return s, nil
+}
+
+// Dump renders the tree as an indented, deterministic debug string.
+func (n *Node) Dump() string {
+	var sb strings.Builder
+	n.dump(&sb, 0)
+	return sb.String()
+}
+
+func (n *Node) dump(sb *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	if n.hasValue {
+		switch v := n.value.(type) {
+		case []float64:
+			fmt.Fprintf(sb, "float64[%d]", len(v))
+		case []int32:
+			fmt.Fprintf(sb, "int32[%d]", len(v))
+		case []float32:
+			fmt.Fprintf(sb, "float32[%d]", len(v))
+		default:
+			fmt.Fprintf(sb, "%v", v)
+		}
+		if n.external {
+			sb.WriteString(" (external)")
+		}
+		sb.WriteByte('\n')
+		return
+	}
+	sb.WriteByte('\n')
+	keys := append([]string(nil), n.keys...)
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(sb, "%s%s: ", indent, k)
+		n.children[k].dump(sb, depth+1)
+	}
+}
+
+func splitPath(path string) []string {
+	if path == "" {
+		return nil
+	}
+	parts := strings.Split(path, "/")
+	out := parts[:0]
+	for _, p := range parts {
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

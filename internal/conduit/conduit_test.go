@@ -1,0 +1,143 @@
+package conduit
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetFetchRoundTrip(t *testing.T) {
+	n := NewNode()
+	n.Set("state/time", 1.5)
+	n.Set("state/cycle", 7)
+	n.Set("coords/type", "uniform")
+	if v, err := n.Float("state/time"); err != nil || v != 1.5 {
+		t.Errorf("time = %v, %v", v, err)
+	}
+	if v, err := n.Int("state/cycle"); err != nil || v != 7 {
+		t.Errorf("cycle = %v, %v", v, err)
+	}
+	if v, err := n.String("coords/type"); err != nil || v != "uniform" {
+		t.Errorf("type = %v, %v", v, err)
+	}
+}
+
+func TestPathsWithExtraSlashes(t *testing.T) {
+	n := NewNode()
+	n.Set("a//b/", 3)
+	if v, err := n.Int("a/b"); err != nil || v != 3 {
+		t.Errorf("got %v, %v", v, err)
+	}
+}
+
+func TestSetCopiesSlices(t *testing.T) {
+	n := NewNode()
+	src := []float64{1, 2, 3}
+	n.Set("vals", src)
+	src[0] = 99
+	got, err := n.Float64Slice("vals")
+	if err != nil || got[0] != 1 {
+		t.Errorf("Set should copy: got %v, %v", got, err)
+	}
+	if n.Fetch("vals").External() {
+		t.Error("Set should not be external")
+	}
+}
+
+func TestSetExternalSharesSlices(t *testing.T) {
+	n := NewNode()
+	src := []float64{1, 2, 3}
+	n.SetExternal("vals", src)
+	src[0] = 99
+	got, err := n.Float64Slice("vals")
+	if err != nil || got[0] != 99 {
+		t.Errorf("SetExternal should share: got %v, %v", got, err)
+	}
+	if !n.Fetch("vals").External() {
+		t.Error("SetExternal should be external")
+	}
+}
+
+func TestTypeMismatchErrors(t *testing.T) {
+	n := NewNode()
+	n.Set("s", "hello")
+	if _, err := n.Int("s"); err == nil {
+		t.Error("expected int error")
+	}
+	if _, err := n.Float64Slice("s"); err == nil {
+		t.Error("expected slice error")
+	}
+	if _, err := n.String("missing/path"); err == nil {
+		t.Error("expected missing-path error")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	n := NewNode()
+	if n.StringOr("x", "d") != "d" || n.IntOr("x", 4) != 4 || n.FloatOr("x", 2.5) != 2.5 {
+		t.Error("defaults not honored")
+	}
+}
+
+func TestChildrenOrder(t *testing.T) {
+	n := NewNode()
+	n.Set("b", 1)
+	n.Set("a", 2)
+	n.Set("c", 3)
+	got := n.Children()
+	if len(got) != 3 || got[0] != "b" || got[1] != "a" || got[2] != "c" {
+		t.Errorf("children = %v (insertion order expected)", got)
+	}
+}
+
+func TestAppendList(t *testing.T) {
+	actions := NewNode()
+	a := actions.Append()
+	a.Set("action", "add_plot")
+	b := actions.Append()
+	b.Set("action", "save_image")
+	list := actions.List()
+	if len(list) != 2 {
+		t.Fatalf("list length %d", len(list))
+	}
+	if v, _ := list[0].String("action"); v != "add_plot" {
+		t.Errorf("first action %q", v)
+	}
+	if v, _ := list[1].String("action"); v != "save_image" {
+		t.Errorf("second action %q", v)
+	}
+}
+
+func TestHasAndGet(t *testing.T) {
+	n := NewNode()
+	n.Set("a/b/c", 1)
+	if !n.Has("a/b") || !n.Has("a/b/c") || n.Has("a/x") {
+		t.Error("Has misbehaves")
+	}
+	if _, ok := n.Get("nope"); ok {
+		t.Error("Get should miss")
+	}
+}
+
+func TestDump(t *testing.T) {
+	n := NewNode()
+	n.Set("state/cycle", 3)
+	n.SetExternal("fields/v/values", make([]float64, 10))
+	d := n.Dump()
+	if !strings.Contains(d, "cycle") || !strings.Contains(d, "float64[10] (external)") {
+		t.Errorf("dump = %q", d)
+	}
+}
+
+func TestArbitraryPathsRoundTrip(t *testing.T) {
+	f := func(a, b uint8, v int64) bool {
+		n := NewNode()
+		path := "p" + string(rune('a'+a%26)) + "/" + "q" + string(rune('a'+b%26))
+		n.Set(path, int(v))
+		got, err := n.Int(path)
+		return err == nil && got == int(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

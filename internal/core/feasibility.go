@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// BudgetPoint is one point on the images-per-budget curve (Figure 14).
+type BudgetPoint struct {
+	ImageSize int // square image side in pixels
+	Images    float64
+	PerImage  float64 // predicted seconds per image
+}
+
+// ImagesInBudget answers the paper's headline feasibility question for one
+// model: how many images of each size fit in a fixed time budget? The
+// acceleration-structure build is paid once and amortized, matching the
+// image-database use case; compositing is included when Tasks > 1.
+func (set *ModelSet) ImagesInBudget(arch string, r Renderer, mp Mapping, n, tasks int, budgetSeconds float64, sizes []int) ([]BudgetPoint, error) {
+	m, ok := set.Models[Key(arch, r)]
+	if !ok {
+		return nil, fmt.Errorf("core: no model for %s", Key(arch, r))
+	}
+	out := make([]BudgetPoint, 0, len(sizes))
+	for _, size := range sizes {
+		cfg := Config{N: n, Tasks: tasks, Width: size, Height: size, Renderer: r}
+		in := mp.Map(cfg)
+		per := m.Predict(in)
+		if tasks > 1 && set.Compositing != nil {
+			per += set.Compositing.Predict(in)
+		}
+		budget := budgetSeconds - m.PredictBuild(in)
+		images := 0.0
+		if per > 0 && budget > 0 {
+			images = budget / per
+		}
+		out = append(out, BudgetPoint{ImageSize: size, Images: images, PerImage: per})
+	}
+	return out, nil
+}
+
+// RatioCell is one cell of the ray-tracing vs rasterization map
+// (Figure 15): the ratio of predicted rasterization throughput to
+// ray-tracing throughput for a configuration. Values above 1 mean
+// rasterization renders more images in the same time; below 1 means ray
+// tracing wins.
+type RatioCell struct {
+	ImageSize int
+	N         int
+	Ratio     float64
+}
+
+// CompareRTvsRaster evaluates the ratio grid over image sizes and data
+// sizes for a fixed task count and number of renderings (the BVH build is
+// amortized over the renderings, as in the paper's 100-image scenario).
+func (set *ModelSet) CompareRTvsRaster(arch string, mp Mapping, tasks, renderings int, imageSizes, dataSizes []int) ([]RatioCell, error) {
+	rt, ok := set.Models[Key(arch, RayTrace)]
+	if !ok {
+		return nil, fmt.Errorf("core: no ray tracing model for %s", arch)
+	}
+	rast, ok := set.Models[Key(arch, Raster)]
+	if !ok {
+		return nil, fmt.Errorf("core: no rasterization model for %s", arch)
+	}
+	if renderings < 1 {
+		renderings = 1
+	}
+	var out []RatioCell
+	for _, n := range dataSizes {
+		for _, size := range imageSizes {
+			rtIn := mp.Map(Config{N: n, Tasks: tasks, Width: size, Height: size, Renderer: RayTrace})
+			raIn := mp.Map(Config{N: n, Tasks: tasks, Width: size, Height: size, Renderer: Raster})
+			rtTime := rt.Predict(rtIn) + rt.PredictBuild(rtIn)/float64(renderings)
+			raTime := rast.Predict(raIn)
+			ratio := math.Inf(1)
+			if raTime > 0 {
+				ratio = rtTime / raTime
+			}
+			out = append(out, RatioCell{ImageSize: size, N: n, Ratio: ratio})
+		}
+	}
+	return out, nil
+}
+
+// MaxDataSizeInBudget inverts the volume model: the largest per-task N^3
+// whose predicted render time still fits the per-image budget — an
+// example of the "immediately rule out alternatives" use the paper
+// motivates.
+func (set *ModelSet) MaxDataSizeInBudget(arch string, mp Mapping, tasks, imageSize int, perImageBudget float64) (int, error) {
+	m, ok := set.Models[Key(arch, Volume)]
+	if !ok {
+		return 0, fmt.Errorf("core: no volume model for %s", arch)
+	}
+	best := 0
+	for n := 8; n <= 4096; n *= 2 {
+		in := mp.Map(Config{N: n, Tasks: tasks, Width: imageSize, Height: imageSize, Renderer: Volume})
+		if m.Predict(in) <= perImageBudget {
+			best = n
+		} else {
+			break
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,286 @@
+// Package core implements the paper's primary contribution (Chapter V):
+// statistical performance models, based on algorithmic complexity, that
+// predict the run-time cost of in situ rendering. It defines the model
+// forms for ray tracing, rasterization, structured volume rendering, and
+// image compositing; fits per-architecture coefficients from study
+// samples by multiple linear regression; evaluates the fits with R²,
+// residual deviation, and k-fold cross validation; maps user-facing
+// rendering configurations to model inputs (§5.8); and answers the in
+// situ viability questions (§5.9).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"insitu/internal/stats"
+)
+
+// Renderer names the modeled rendering techniques.
+type Renderer string
+
+const (
+	// RayTrace is modeled as T = (c0*O + c1) + (c2*AP*log2(O) + c3*AP + c4).
+	RayTrace Renderer = "raytracer"
+	// Raster is modeled as T = c0*O + c1*(VO*PPT) + c2.
+	Raster Renderer = "rasterizer"
+	// Volume is modeled as T = c0*(AP*CS) + c1*(AP*SPR) + c2.
+	Volume Renderer = "volume"
+	// Compositing is modeled as T = c0*avg(AP) + c1*Pixels + c2.
+	Compositing Renderer = "compositing"
+)
+
+// Inputs are the model input variables of §5.3.
+type Inputs struct {
+	O      float64 // objects (triangles or cells)
+	AP     float64 // active pixels on this task
+	VO     float64 // visible objects (rasterization)
+	PPT    float64 // pixels considered per visible triangle
+	SPR    float64 // samples per ray (volume rendering)
+	CS     float64 // cells spanned (volume rendering)
+	Pixels float64 // full image resolution (compositing)
+	AvgAP  float64 // average active pixels over tasks (compositing)
+	Tasks  int
+}
+
+// Sample is one measured study observation.
+type Sample struct {
+	Arch     string
+	Renderer Renderer
+	In       Inputs
+	// BuildTime is acceleration-structure construction (ray tracing).
+	BuildTime float64 // seconds
+	// RenderTime is the local rendering time of the slowest task.
+	RenderTime float64 // seconds
+	// CompositeTime is the parallel compositing time (0 for 1 task).
+	CompositeTime float64 // seconds
+}
+
+// Term vectors: each model is linear in these complexity-derived terms.
+
+// RTBuildTerms: c0*O + c1.
+func RTBuildTerms(in Inputs) []float64 { return []float64{in.O, 1} }
+
+// RTTraceTerms: c2*(AP*log2(O)) + c3*AP + c4.
+func RTTraceTerms(in Inputs) []float64 {
+	logO := 0.0
+	if in.O > 1 {
+		logO = math.Log2(in.O)
+	}
+	return []float64{in.AP * logO, in.AP, 1}
+}
+
+// RastTerms: c0*O + c1*(VO*PPT) + c2.
+func RastTerms(in Inputs) []float64 { return []float64{in.O, in.VO * in.PPT, 1} }
+
+// VRTerms: c0*(AP*CS) + c1*(AP*SPR) + c2.
+func VRTerms(in Inputs) []float64 { return []float64{in.AP * in.CS, in.AP * in.SPR, 1} }
+
+// CompTerms: c0*avg(AP) + c1*Pixels + c2.
+func CompTerms(in Inputs) []float64 { return []float64{in.AvgAP, in.Pixels, 1} }
+
+// RenderTerms dispatches to the per-renderer term vector.
+func RenderTerms(r Renderer, in Inputs) ([]float64, error) {
+	switch r {
+	case RayTrace:
+		return RTTraceTerms(in), nil
+	case Raster:
+		return RastTerms(in), nil
+	case Volume:
+		return VRTerms(in), nil
+	case Compositing:
+		return CompTerms(in), nil
+	}
+	return nil, fmt.Errorf("core: unknown renderer %q", r)
+}
+
+// Model is one fitted architecture+renderer performance model.
+type Model struct {
+	Arch     string
+	Renderer Renderer
+	Fit      *stats.Fit
+	// BuildFit is the separate c0*O + c1 acceleration-structure model
+	// (ray tracing only), kept apart so repeated renderings amortize it.
+	BuildFit *stats.Fit
+}
+
+// Predict returns the predicted per-image local render time in seconds.
+func (m *Model) Predict(in Inputs) float64 {
+	terms, err := RenderTerms(m.Renderer, in)
+	if err != nil {
+		return math.NaN()
+	}
+	return m.Fit.Predict(terms)
+}
+
+// PredictBuild returns the predicted acceleration build time (0 for
+// renderers without one).
+func (m *Model) PredictBuild(in Inputs) float64 {
+	if m.BuildFit == nil {
+		return 0
+	}
+	return m.BuildFit.Predict(RTBuildTerms(in))
+}
+
+// Coefficients returns the c_i in the paper's Table 17 layout: ray
+// tracing lists build (c0, c1) then trace (c2, c3, c4); the others list
+// their three coefficients.
+func (m *Model) Coefficients() []float64 {
+	if m.BuildFit != nil {
+		return append(append([]float64(nil), m.BuildFit.Coef...), m.Fit.Coef...)
+	}
+	return append([]float64(nil), m.Fit.Coef...)
+}
+
+// Key identifies a model by architecture and renderer.
+func Key(arch string, r Renderer) string { return arch + "/" + string(r) }
+
+// ModelSet holds every fitted model from a study plus the shared
+// compositing model.
+type ModelSet struct {
+	Models      map[string]*Model
+	Compositing *Model
+}
+
+// FitModels groups samples by (arch, renderer) and fits each model, plus
+// the compositing model over all multi-task samples.
+func FitModels(samples []Sample) (*ModelSet, error) {
+	groups := map[string][]Sample{}
+	for _, s := range samples {
+		k := Key(s.Arch, s.Renderer)
+		groups[k] = append(groups[k], s)
+	}
+	set := &ModelSet{Models: map[string]*Model{}}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g := groups[k]
+		m, err := fitGroup(g)
+		if err != nil {
+			return nil, fmt.Errorf("core: fitting %s: %w", k, err)
+		}
+		set.Models[k] = m
+	}
+	comp, err := FitCompositing(samples)
+	if err == nil {
+		set.Compositing = comp
+	}
+	return set, nil
+}
+
+// fitGroup fits one (arch, renderer) group.
+func fitGroup(g []Sample) (*Model, error) {
+	if len(g) < 4 {
+		return nil, fmt.Errorf("only %d samples", len(g))
+	}
+	r := g[0].Renderer
+	X := make([][]float64, len(g))
+	y := make([]float64, len(g))
+	for i, s := range g {
+		terms, err := RenderTerms(r, s.In)
+		if err != nil {
+			return nil, err
+		}
+		X[i] = terms
+		y[i] = s.RenderTime
+	}
+	fit, err := stats.Regress(X, y)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Arch: g[0].Arch, Renderer: r, Fit: fit}
+	if r == RayTrace {
+		bX := make([][]float64, len(g))
+		bY := make([]float64, len(g))
+		for i, s := range g {
+			bX[i] = RTBuildTerms(s.In)
+			bY[i] = s.BuildTime
+		}
+		bfit, err := stats.Regress(bX, bY)
+		if err != nil {
+			return nil, fmt.Errorf("build model: %w", err)
+		}
+		m.BuildFit = bfit
+	}
+	return m, nil
+}
+
+// FitCompositing fits T_comp = c0*avg(AP) + c1*Pixels + c2 over samples
+// from multi-task runs.
+func FitCompositing(samples []Sample) (*Model, error) {
+	var X [][]float64
+	var y []float64
+	for _, s := range samples {
+		if s.In.Tasks < 2 || s.CompositeTime <= 0 {
+			continue
+		}
+		X = append(X, CompTerms(s.In))
+		y = append(y, s.CompositeTime)
+	}
+	if len(X) < 4 {
+		return nil, fmt.Errorf("core: only %d compositing samples", len(X))
+	}
+	fit, err := stats.Regress(X, y)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Arch: "all", Renderer: Compositing, Fit: fit}, nil
+}
+
+// CrossValidate runs k-fold cross validation of one (arch, renderer)
+// group's render-time model, the paper's Figure 11 / Table 13 procedure.
+func CrossValidate(samples []Sample, arch string, r Renderer, k int) (*stats.CVResult, error) {
+	var X [][]float64
+	var y []float64
+	for _, s := range samples {
+		if s.Arch != arch || s.Renderer != r {
+			continue
+		}
+		terms, err := RenderTerms(r, s.In)
+		if err != nil {
+			return nil, err
+		}
+		X = append(X, terms)
+		y = append(y, s.RenderTime)
+	}
+	if len(X) == 0 {
+		return nil, fmt.Errorf("core: no samples for %s", Key(arch, r))
+	}
+	return stats.KFoldCV(k, X, y, 42)
+}
+
+// CrossValidateCompositing cross-validates the compositing model.
+func CrossValidateCompositing(samples []Sample, k int) (*stats.CVResult, error) {
+	var X [][]float64
+	var y []float64
+	for _, s := range samples {
+		if s.In.Tasks < 2 || s.CompositeTime <= 0 {
+			continue
+		}
+		X = append(X, CompTerms(s.In))
+		y = append(y, s.CompositeTime)
+	}
+	if len(X) == 0 {
+		return nil, fmt.Errorf("core: no compositing samples")
+	}
+	return stats.KFoldCV(k, X, y, 42)
+}
+
+// TotalModel (§5.6): T_total = max over tasks(T_local) + T_comp.
+// PredictTotal evaluates it for a uniform configuration where every task
+// sees the same inputs (the study's weak-scaled setup).
+func (set *ModelSet) PredictTotal(arch string, r Renderer, in Inputs) (float64, error) {
+	m, ok := set.Models[Key(arch, r)]
+	if !ok {
+		return 0, fmt.Errorf("core: no model for %s", Key(arch, r))
+	}
+	t := m.Predict(in)
+	if in.Tasks > 1 && set.Compositing != nil {
+		t += set.Compositing.Predict(in)
+	}
+	return t, nil
+}

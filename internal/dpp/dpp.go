@@ -1,0 +1,209 @@
+// Package dpp implements the data-parallel primitives the paper's
+// renderers are built from: map, gather, scatter, reduce, scan, stream
+// compaction, and key/value radix sort (Blelloch's vector model, the
+// vocabulary of EAVL and VTK-m). Every primitive executes on a
+// device.Device worker pool, so one algorithm runs unchanged on every
+// simulated architecture profile.
+package dpp
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"insitu/internal/device"
+)
+
+// chunkRanges splits n items into contiguous chunks compatible with the
+// device's grain, returning the chunk boundaries. At least one chunk is
+// returned for n > 0.
+func chunkRanges(d *device.Device, n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	workers := d.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	grain := d.Grain
+	if grain < 1 {
+		grain = 1
+	}
+	// Aim for a few chunks per worker so dynamic scheduling can balance
+	// irregular work, without dropping below the grain size.
+	chunk := (n + workers*4 - 1) / (workers * 4)
+	if chunk < grain {
+		chunk = grain
+	}
+	num := (n + chunk - 1) / chunk
+	bounds := make([]int, num+1)
+	for i := 0; i <= num; i++ {
+		b := i * chunk
+		if b > n {
+			b = n
+		}
+		bounds[i] = b
+	}
+	bounds[num] = n
+	return bounds
+}
+
+// For executes body over [0, n) in parallel chunks. body receives
+// half-open ranges and must be safe to run concurrently with itself on
+// disjoint ranges. Chunks are scheduled dynamically so irregular per-item
+// cost (long rays, dense cells) balances across workers.
+func For(d *device.Device, n int, body func(lo, hi int)) {
+	bounds := chunkRanges(d, n)
+	if bounds == nil {
+		return
+	}
+	numChunks := len(bounds) - 1
+	if d.Stats != nil {
+		d.Stats.AddLaunch()
+		d.Stats.AddItems(int64(n))
+	}
+	if numChunks == 1 || d.Workers <= 1 {
+		start := time.Now()
+		body(0, n)
+		if d.Stats != nil {
+			d.Stats.AddBusy(time.Since(start))
+		}
+		return
+	}
+	workers := d.Workers
+	if workers > numChunks {
+		workers = numChunks
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			start := time.Now()
+			for {
+				c := int(atomic.AddInt64(&next, 1)) - 1
+				if c >= numChunks {
+					break
+				}
+				body(bounds[c], bounds[c+1])
+			}
+			if d.Stats != nil {
+				d.Stats.AddBusy(time.Since(start))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEach executes f once per index in [0, n), in parallel.
+func ForEach(d *device.Device, n int, f func(i int)) {
+	For(d, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			f(i)
+		}
+	})
+}
+
+// Map applies f to every element of in, writing results to out.
+// len(out) must be at least len(in).
+func Map[T, U any](d *device.Device, in []T, out []U, f func(T) U) {
+	For(d, len(in), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f(in[i])
+		}
+	})
+}
+
+// Fill sets every element of out to v.
+func Fill[T any](d *device.Device, out []T, v T) {
+	For(d, len(out), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = v
+		}
+	})
+}
+
+// Gather copies in[idx[i]] into out[i] for every i. len(out) and len(idx)
+// must match; indices must be within in.
+func Gather[T any](d *device.Device, idx []int32, in, out []T) {
+	For(d, len(idx), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = in[idx[i]]
+		}
+	})
+}
+
+// Scatter copies in[i] into out[idx[i]] for every i. The caller must
+// guarantee indices are unique, otherwise the result is racy — the same
+// caution the paper attaches to the scatter primitive.
+func Scatter[T any](d *device.Device, idx []int32, in, out []T) {
+	For(d, len(idx), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[idx[i]] = in[i]
+		}
+	})
+}
+
+// Reduce combines all elements of in with an associative op starting from
+// the identity id. Chunk partials are combined in chunk order, so
+// floating-point results are deterministic for a fixed device geometry.
+func Reduce[T any](d *device.Device, in []T, id T, op func(a, b T) T) T {
+	bounds := chunkRanges(d, len(in))
+	if bounds == nil {
+		return id
+	}
+	numChunks := len(bounds) - 1
+	partials := make([]T, numChunks)
+	For(d, numChunks, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			acc := id
+			for i := bounds[c]; i < bounds[c+1]; i++ {
+				acc = op(acc, in[i])
+			}
+			partials[c] = acc
+		}
+	})
+	acc := id
+	for _, p := range partials {
+		acc = op(acc, p)
+	}
+	return acc
+}
+
+// MinMax returns the smallest and largest values of in. It panics on empty
+// input.
+func MinMax(d *device.Device, in []float64) (float64, float64) {
+	if len(in) == 0 {
+		panic("dpp: MinMax of empty slice")
+	}
+	lo, hi := in[0], in[0]
+	bounds := chunkRanges(d, len(in))
+	numChunks := len(bounds) - 1
+	los := make([]float64, numChunks)
+	his := make([]float64, numChunks)
+	For(d, numChunks, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			l, h := in[bounds[c]], in[bounds[c]]
+			for i := bounds[c] + 1; i < bounds[c+1]; i++ {
+				v := in[i]
+				if v < l {
+					l = v
+				}
+				if v > h {
+					h = v
+				}
+			}
+			los[c], his[c] = l, h
+		}
+	})
+	for c := 0; c < numChunks; c++ {
+		if los[c] < lo {
+			lo = los[c]
+		}
+		if his[c] > hi {
+			hi = his[c]
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,158 @@
+package dpp
+
+import "insitu/internal/device"
+
+// ScanExclusive writes the exclusive prefix combination of in into out and
+// returns the total. op must be associative and id its identity. in and out
+// may alias. The parallel scheme is the standard two-pass chunked scan:
+// per-chunk totals, a serial scan of the totals, then a per-chunk sweep.
+func ScanExclusive[T any](d *device.Device, in, out []T, id T, op func(a, b T) T) T {
+	n := len(in)
+	if n == 0 {
+		return id
+	}
+	bounds := chunkRanges(d, n)
+	numChunks := len(bounds) - 1
+	sums := make([]T, numChunks)
+	For(d, numChunks, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			acc := id
+			for i := bounds[c]; i < bounds[c+1]; i++ {
+				acc = op(acc, in[i])
+			}
+			sums[c] = acc
+		}
+	})
+	prefix := make([]T, numChunks)
+	running := id
+	for c := 0; c < numChunks; c++ {
+		prefix[c] = running
+		running = op(running, sums[c])
+	}
+	total := running
+	For(d, numChunks, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			acc := prefix[c]
+			for i := bounds[c]; i < bounds[c+1]; i++ {
+				v := in[i]
+				out[i] = acc
+				acc = op(acc, v)
+			}
+		}
+	})
+	return total
+}
+
+// ScanInclusive writes the inclusive prefix combination of in into out and
+// returns the total. in and out may alias.
+func ScanInclusive[T any](d *device.Device, in, out []T, id T, op func(a, b T) T) T {
+	n := len(in)
+	if n == 0 {
+		return id
+	}
+	bounds := chunkRanges(d, n)
+	numChunks := len(bounds) - 1
+	sums := make([]T, numChunks)
+	For(d, numChunks, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			acc := id
+			for i := bounds[c]; i < bounds[c+1]; i++ {
+				acc = op(acc, in[i])
+			}
+			sums[c] = acc
+		}
+	})
+	prefix := make([]T, numChunks)
+	running := id
+	for c := 0; c < numChunks; c++ {
+		prefix[c] = running
+		running = op(running, sums[c])
+	}
+	total := running
+	For(d, numChunks, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			acc := prefix[c]
+			for i := bounds[c]; i < bounds[c+1]; i++ {
+				acc = op(acc, in[i])
+				out[i] = acc
+			}
+		}
+	})
+	return total
+}
+
+// CountTrue returns the number of set flags.
+func CountTrue(d *device.Device, flags []bool) int {
+	bounds := chunkRanges(d, len(flags))
+	if bounds == nil {
+		return 0
+	}
+	numChunks := len(bounds) - 1
+	counts := make([]int, numChunks)
+	For(d, numChunks, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			k := 0
+			for i := bounds[c]; i < bounds[c+1]; i++ {
+				if flags[i] {
+					k++
+				}
+			}
+			counts[c] = k
+		}
+	})
+	total := 0
+	for _, k := range counts {
+		total += k
+	}
+	return total
+}
+
+// CompactIndices returns the indices of the set flags, in ascending order.
+// This is the reduce + exclusive scan + reverse-index sequence the paper's
+// stream compaction uses, fused into a two-pass emit.
+func CompactIndices(d *device.Device, flags []bool) []int32 {
+	bounds := chunkRanges(d, len(flags))
+	if bounds == nil {
+		return nil
+	}
+	numChunks := len(bounds) - 1
+	counts := make([]int, numChunks)
+	For(d, numChunks, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			k := 0
+			for i := bounds[c]; i < bounds[c+1]; i++ {
+				if flags[i] {
+					k++
+				}
+			}
+			counts[c] = k
+		}
+	})
+	offsets := make([]int, numChunks)
+	total := 0
+	for c := 0; c < numChunks; c++ {
+		offsets[c] = total
+		total += counts[c]
+	}
+	out := make([]int32, total)
+	For(d, numChunks, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			cursor := offsets[c]
+			for i := bounds[c]; i < bounds[c+1]; i++ {
+				if flags[i] {
+					out[cursor] = int32(i)
+					cursor++
+				}
+			}
+		}
+	})
+	return out
+}
+
+// Compact gathers the flagged elements of in into a new, smaller slice.
+func Compact[T any](d *device.Device, in []T, flags []bool) []T {
+	idx := CompactIndices(d, flags)
+	out := make([]T, len(idx))
+	Gather(d, idx, in, out)
+	return out
+}

@@ -1,0 +1,96 @@
+package dpp
+
+import "insitu/internal/device"
+
+// SortPairs64 sorts keys ascending, permuting vals identically, using a
+// parallel least-significant-digit radix sort (8-bit digits, 8 passes).
+// It is the primitive behind morton-code sorting for LBVH construction and
+// the GPU-style radix sort used in the HAVS comparison.
+func SortPairs64(d *device.Device, keys []uint64, vals []int32) {
+	n := len(keys)
+	if n != len(vals) {
+		panic("dpp: SortPairs64 length mismatch")
+	}
+	if n < 2 {
+		return
+	}
+	tmpK := make([]uint64, n)
+	tmpV := make([]int32, n)
+	srcK, srcV := keys, vals
+	dstK, dstV := tmpK, tmpV
+	const radix = 256
+	for pass := 0; pass < 8; pass++ {
+		shift := uint(pass * 8)
+		bounds := chunkRanges(d, n)
+		numChunks := len(bounds) - 1
+		hist := make([][]int32, numChunks)
+		For(d, numChunks, func(clo, chi int) {
+			for c := clo; c < chi; c++ {
+				h := make([]int32, radix)
+				for i := bounds[c]; i < bounds[c+1]; i++ {
+					h[(srcK[i]>>shift)&0xff]++
+				}
+				hist[c] = h
+			}
+		})
+		// Exclusive scan in bucket-major, chunk-minor order so each chunk
+		// scatters into a private, stable range.
+		var running int32
+		for b := 0; b < radix; b++ {
+			for c := 0; c < numChunks; c++ {
+				count := hist[c][b]
+				hist[c][b] = running
+				running += count
+			}
+		}
+		For(d, numChunks, func(clo, chi int) {
+			for c := clo; c < chi; c++ {
+				cursors := hist[c]
+				for i := bounds[c]; i < bounds[c+1]; i++ {
+					b := (srcK[i] >> shift) & 0xff
+					pos := cursors[b]
+					cursors[b] = pos + 1
+					dstK[pos] = srcK[i]
+					dstV[pos] = srcV[i]
+				}
+			}
+		})
+		srcK, dstK = dstK, srcK
+		srcV, dstV = dstV, srcV
+	}
+	// Eight passes is even, so the result is back in keys/vals.
+}
+
+// SortPairs32 sorts 32-bit keys ascending with an identically permuted
+// payload (4 radix passes).
+func SortPairs32(d *device.Device, keys []uint32, vals []int32) {
+	n := len(keys)
+	if n != len(vals) {
+		panic("dpp: SortPairs32 length mismatch")
+	}
+	if n < 2 {
+		return
+	}
+	wide := make([]uint64, n)
+	For(d, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			wide[i] = uint64(keys[i])
+		}
+	})
+	SortPairs64(d, wide, vals)
+	For(d, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			keys[i] = uint32(wide[i])
+		}
+	})
+}
+
+// IsSorted reports whether keys are in non-decreasing order.
+func IsSorted(keys []uint64) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] > keys[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,79 @@
+package framebuffer
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// PackedBuffer is a lock-free z-buffer for object-order rasterization.
+// Each pixel is one uint64: the high 32 bits hold the depth's IEEE bits
+// (monotone for non-negative floats), the low 32 bits hold RGBA8. An
+// atomic-min loop makes concurrent triangle writes race-free without
+// per-pixel locks — the data-parallel substitute for the GPU's ROP units.
+type PackedBuffer struct {
+	W, H  int
+	words []uint64
+}
+
+const clearWord = uint64(math.MaxUint64)
+
+// NewPackedBuffer allocates a cleared packed buffer.
+func NewPackedBuffer(w, h int) *PackedBuffer {
+	b := &PackedBuffer{W: w, H: h, words: make([]uint64, w*h)}
+	b.Clear()
+	return b
+}
+
+// Clear resets every pixel to "no fragment".
+func (b *PackedBuffer) Clear() {
+	for i := range b.words {
+		b.words[i] = clearWord
+	}
+}
+
+// Pack combines a non-negative depth and an RGBA8 color into one word.
+func Pack(depth float32, rgba uint32) uint64 {
+	return uint64(math.Float32bits(depth))<<32 | uint64(rgba)
+}
+
+// Unpack splits a packed word.
+func Unpack(w uint64) (depth float32, rgba uint32) {
+	return math.Float32frombits(uint32(w >> 32)), uint32(w)
+}
+
+// Write performs a depth-tested store at pixel index i. Smaller depth wins;
+// concurrent writers are safe.
+func (b *PackedBuffer) Write(i int, depth float32, rgba uint32) {
+	packed := Pack(depth, rgba)
+	addr := &b.words[i]
+	for {
+		cur := atomic.LoadUint64(addr)
+		if packed >= cur {
+			return
+		}
+		if atomic.CompareAndSwapUint64(addr, cur, packed) {
+			return
+		}
+	}
+}
+
+// RGBA8 packs float color components into the low-word format.
+func RGBA8(r, g, b, a float32) uint32 {
+	return uint32(clamp8(r)) | uint32(clamp8(g))<<8 | uint32(clamp8(b))<<16 | uint32(clamp8(a))<<24
+}
+
+// Resolve unpacks the buffer into a float image. Untouched pixels stay at
+// MaxDepth with zero color.
+func (b *PackedBuffer) Resolve(img *Image) {
+	for i, w := range b.words {
+		if w == clearWord {
+			continue
+		}
+		depth, rgba := Unpack(w)
+		img.Depth[i] = depth
+		img.Color[4*i+0] = float32(rgba&0xff) / 255
+		img.Color[4*i+1] = float32((rgba>>8)&0xff) / 255
+		img.Color[4*i+2] = float32((rgba>>16)&0xff) / 255
+		img.Color[4*i+3] = float32((rgba>>24)&0xff) / 255
+	}
+}

@@ -1,0 +1,82 @@
+package mesh
+
+import (
+	"insitu/internal/vecmath"
+)
+
+// ExternalFaces extracts the boundary surface of a structured grid as a
+// triangle mesh: each boundary quad becomes two triangles, so an N^3 grid
+// yields 12*N^2 triangles — the geometry workload the paper's modeling
+// study renders (its stand-in for slice and contour outputs). The named
+// vertex field supplies per-vertex scalars; outward axis normals are set.
+func (g *StructuredGrid) ExternalFaces(fieldName string) (*TriangleMesh, error) {
+	f, err := g.Field(fieldName)
+	if err != nil {
+		return nil, err
+	}
+	if f.Assoc != VertexAssoc {
+		return nil, errCellAssoc(fieldName)
+	}
+	vals := f.Values
+	out := &TriangleMesh{}
+
+	// emitQuad adds two triangles for the quad (p00, p10, p11, p01) given
+	// as point indices (i,j,k triples) with the face's outward normal.
+	emitQuad := func(idx [4][3]int, normal vecmath.Vec3) {
+		base := int32(len(out.X))
+		for _, id := range idx {
+			p := g.Point(id[0], id[1], id[2])
+			out.X = append(out.X, p.X)
+			out.Y = append(out.Y, p.Y)
+			out.Z = append(out.Z, p.Z)
+			out.NX = append(out.NX, normal.X)
+			out.NY = append(out.NY, normal.Y)
+			out.NZ = append(out.NZ, normal.Z)
+			out.Scalars = append(out.Scalars, vals[g.PointIndex(id[0], id[1], id[2])])
+		}
+		out.Conn = append(out.Conn, base, base+1, base+2, base, base+2, base+3)
+	}
+
+	nx, ny, nz := g.Nx, g.Ny, g.Nz
+	// -Z and +Z faces.
+	for _, face := range []struct {
+		k int
+		n vecmath.Vec3
+	}{{0, vecmath.V(0, 0, -1)}, {nz - 1, vecmath.V(0, 0, 1)}} {
+		for j := 0; j < ny-1; j++ {
+			for i := 0; i < nx-1; i++ {
+				emitQuad([4][3]int{
+					{i, j, face.k}, {i + 1, j, face.k}, {i + 1, j + 1, face.k}, {i, j + 1, face.k},
+				}, face.n)
+			}
+		}
+	}
+	// -Y and +Y faces.
+	for _, face := range []struct {
+		j int
+		n vecmath.Vec3
+	}{{0, vecmath.V(0, -1, 0)}, {ny - 1, vecmath.V(0, 1, 0)}} {
+		for k := 0; k < nz-1; k++ {
+			for i := 0; i < nx-1; i++ {
+				emitQuad([4][3]int{
+					{i, face.j, k}, {i + 1, face.j, k}, {i + 1, face.j, k + 1}, {i, face.j, k + 1},
+				}, face.n)
+			}
+		}
+	}
+	// -X and +X faces.
+	for _, face := range []struct {
+		i int
+		n vecmath.Vec3
+	}{{0, vecmath.V(-1, 0, 0)}, {nx - 1, vecmath.V(1, 0, 0)}} {
+		for k := 0; k < nz-1; k++ {
+			for j := 0; j < ny-1; j++ {
+				emitQuad([4][3]int{
+					{face.i, j, k}, {face.i, j + 1, k}, {face.i, j + 1, k + 1}, {face.i, j, k + 1},
+				}, face.n)
+			}
+		}
+	}
+	out.UpdateScalarRange()
+	return out, nil
+}

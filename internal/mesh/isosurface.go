@@ -1,0 +1,168 @@
+package mesh
+
+import (
+	"fmt"
+
+	"insitu/internal/device"
+	"insitu/internal/dpp"
+	"insitu/internal/vecmath"
+)
+
+func errCellAssoc(name string) error {
+	return fmt.Errorf("mesh: field %q must be vertex-associated", name)
+}
+
+// mtEdge identifies a tetrahedron edge by its two local corner indices.
+type mtEdge [2]uint8
+
+// mtCases lists, per marching-tetrahedra case, the triangles as triples of
+// tet edges the isosurface crosses (Bourke's tetrahedron polygonisation).
+// A corner's case bit is set when its value is below the isovalue.
+var mtCases = [16][][3]mtEdge{
+	0x0: nil,
+	0x1: {{{0, 1}, {0, 2}, {0, 3}}},
+	0x2: {{{1, 0}, {1, 3}, {1, 2}}},
+	0x3: {{{0, 3}, {0, 2}, {1, 3}}, {{1, 3}, {1, 2}, {0, 2}}},
+	0x4: {{{2, 0}, {2, 1}, {2, 3}}},
+	0x5: {{{0, 1}, {2, 3}, {0, 3}}, {{0, 1}, {1, 2}, {2, 3}}},
+	0x6: {{{0, 1}, {1, 3}, {2, 3}}, {{0, 1}, {2, 3}, {0, 2}}},
+	0x7: {{{3, 0}, {3, 2}, {3, 1}}},
+	0x8: {{{3, 0}, {3, 2}, {3, 1}}},
+	0x9: {{{0, 1}, {1, 3}, {2, 3}}, {{0, 1}, {2, 3}, {0, 2}}},
+	0xA: {{{0, 1}, {2, 3}, {0, 3}}, {{0, 1}, {1, 2}, {2, 3}}},
+	0xB: {{{2, 0}, {2, 1}, {2, 3}}},
+	0xC: {{{0, 3}, {0, 2}, {1, 3}}, {{1, 3}, {1, 2}, {0, 2}}},
+	0xD: {{{1, 0}, {1, 3}, {1, 2}}},
+	0xE: {{{0, 1}, {0, 2}, {0, 3}}},
+	0xF: nil,
+}
+
+// IsoOptions configures isosurface extraction.
+type IsoOptions struct {
+	// ColorField, when non-empty, names a second vertex field interpolated
+	// onto the surface for color mapping; otherwise the iso field is used
+	// (yielding the constant isovalue).
+	ColorField string
+}
+
+// Isosurface extracts the isovalue surface of a vertex field using
+// marching tetrahedra over the six-tet decomposition of each cell. The
+// extraction is the classic two-pass data-parallel pattern: a map counts
+// triangles per cell, an exclusive scan produces output offsets, and a
+// second map writes vertices, gradient normals, and scalars.
+func (g *StructuredGrid) Isosurface(d *device.Device, fieldName string, iso float64, opts IsoOptions) (*TriangleMesh, error) {
+	f, err := g.Field(fieldName)
+	if err != nil {
+		return nil, err
+	}
+	if f.Assoc != VertexAssoc {
+		return nil, errCellAssoc(fieldName)
+	}
+	colorVals := f.Values
+	if opts.ColorField != "" {
+		cf, err := g.Field(opts.ColorField)
+		if err != nil {
+			return nil, err
+		}
+		if cf.Assoc != VertexAssoc {
+			return nil, errCellAssoc(opts.ColorField)
+		}
+		colorVals = cf.Values
+	}
+
+	cx, cy, cz := g.CellDims()
+	ncells := cx * cy * cz
+	if ncells == 0 {
+		return &TriangleMesh{ScalarMin: 0, ScalarMax: 1}, nil
+	}
+	vals := f.Values
+
+	cellCase := func(cell int) (corners [8]int, codes [6]uint8, total int) {
+		ci := cell % cx
+		cj := (cell / cx) % cy
+		ck := cell / (cx * cy)
+		for c, off := range hexCorners {
+			corners[c] = g.PointIndex(ci+off[0], cj+off[1], ck+off[2])
+		}
+		for t, tet := range hexTets {
+			var code uint8
+			for b := 0; b < 4; b++ {
+				if vals[corners[tet[b]]] < iso {
+					code |= 1 << uint(b)
+				}
+			}
+			codes[t] = code
+			total += len(mtCases[code])
+		}
+		return corners, codes, total
+	}
+
+	// Pass 1: count triangles per cell.
+	counts := make([]int32, ncells)
+	dpp.For(d, ncells, func(lo, hi int) {
+		for cell := lo; cell < hi; cell++ {
+			_, _, total := cellCase(cell)
+			counts[cell] = int32(total)
+		}
+	})
+
+	// Exclusive scan for output offsets.
+	offsets := make([]int32, ncells)
+	total := dpp.ScanExclusive(d, counts, offsets, 0, func(a, b int32) int32 { return a + b })
+
+	nv := int(total) * 3
+	out := &TriangleMesh{
+		X: make([]float64, nv), Y: make([]float64, nv), Z: make([]float64, nv),
+		NX: make([]float64, nv), NY: make([]float64, nv), NZ: make([]float64, nv),
+		Conn:    make([]int32, nv),
+		Scalars: make([]float64, nv),
+	}
+	for i := 0; i < nv; i++ {
+		out.Conn[i] = int32(i)
+	}
+
+	// Pass 2: emit triangles at the scanned offsets.
+	dpp.For(d, ncells, func(lo, hi int) {
+		for cell := lo; cell < hi; cell++ {
+			corners, codes, total := cellCase(cell)
+			if total == 0 {
+				continue
+			}
+			ci := cell % cx
+			cj := (cell / cx) % cy
+			ck := cell / (cx * cy)
+			// Corner positions and gradients for interpolation.
+			var pos [8]vecmath.Vec3
+			var grad [8]vecmath.Vec3
+			for c, off := range hexCorners {
+				pi, pj, pk := ci+off[0], cj+off[1], ck+off[2]
+				pos[c] = g.Point(pi, pj, pk)
+				grad[c] = g.Gradient(vals, pi, pj, pk)
+			}
+			vcursor := int(offsets[cell]) * 3
+			for t, tet := range hexTets {
+				tris := mtCases[codes[t]]
+				for _, tri := range tris {
+					for _, edge := range tri {
+						la, lb := tet[edge[0]], tet[edge[1]]
+						va, vb := vals[corners[la]], vals[corners[lb]]
+						frac := 0.5
+						if vb != va {
+							frac = (iso - va) / (vb - va)
+						}
+						frac = vecmath.Clamp(frac, 0, 1)
+						p := pos[la].Lerp(pos[lb], frac)
+						n := grad[la].Lerp(grad[lb], frac).Normalize()
+						s := colorVals[corners[la]] + frac*(colorVals[corners[lb]]-colorVals[corners[la]])
+						out.X[vcursor], out.Y[vcursor], out.Z[vcursor] = p.X, p.Y, p.Z
+						out.NX[vcursor], out.NY[vcursor], out.NZ[vcursor] = n.X, n.Y, n.Z
+						out.Scalars[vcursor] = s
+						vcursor++
+					}
+				}
+			}
+		}
+	})
+	out.UpdateScalarRange()
+	return out, nil
+}

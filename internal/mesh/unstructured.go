@@ -1,0 +1,152 @@
+package mesh
+
+import (
+	"fmt"
+)
+
+// hexFaces lists the six quad faces of the canonical hexahedron in the
+// hexCorners ordering, wound outward.
+var hexFaces = [6][4]int{
+	{0, 3, 2, 1}, // -z
+	{4, 5, 6, 7}, // +z
+	{0, 1, 5, 4}, // -y
+	{3, 7, 6, 2}, // +y
+	{0, 4, 7, 3}, // -x
+	{1, 2, 6, 5}, // +x
+}
+
+// faceKey identifies a quad face independent of orientation.
+type faceKey [4]int32
+
+func makeFaceKey(a, b, c, d int32) faceKey {
+	k := faceKey{a, b, c, d}
+	// Insertion sort of four elements.
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0 && k[j-1] > k[j]; j-- {
+			k[j-1], k[j] = k[j], k[j-1]
+		}
+	}
+	return k
+}
+
+// ExternalFacesFromHexes extracts the boundary surface of an unstructured
+// hexahedral mesh: faces referenced by exactly one hexahedron become two
+// triangles each. scalars are per-vertex values carried onto the surface.
+// This is the Lagrangian-mesh path of the in situ pipeline (the proxy
+// hydrodynamics code publishes explicit coordinates and hex connectivity).
+func ExternalFacesFromHexes(x, y, z []float64, conn []int32, scalars []float64) (*TriangleMesh, error) {
+	if len(conn)%8 != 0 {
+		return nil, fmt.Errorf("mesh: hex connectivity length %d not divisible by 8", len(conn))
+	}
+	nverts := len(x)
+	if len(y) != nverts || len(z) != nverts || len(scalars) != nverts {
+		return nil, fmt.Errorf("mesh: coordinate/scalar arrays disagree on vertex count")
+	}
+	nhex := len(conn) / 8
+	type faceRef struct {
+		verts [4]int32
+		count int
+	}
+	faces := make(map[faceKey]*faceRef, nhex*3)
+	for h := 0; h < nhex; h++ {
+		hex := conn[8*h : 8*h+8]
+		for _, f := range hexFaces {
+			a, b, c, d := hex[f[0]], hex[f[1]], hex[f[2]], hex[f[3]]
+			key := makeFaceKey(a, b, c, d)
+			if ref, ok := faces[key]; ok {
+				ref.count++
+			} else {
+				faces[key] = &faceRef{verts: [4]int32{a, b, c, d}, count: 1}
+			}
+		}
+	}
+	out := &TriangleMesh{}
+	emit := func(a, b, c int32) {
+		base := int32(len(out.X))
+		for _, v := range [3]int32{a, b, c} {
+			out.X = append(out.X, x[v])
+			out.Y = append(out.Y, y[v])
+			out.Z = append(out.Z, z[v])
+			out.Scalars = append(out.Scalars, scalars[v])
+		}
+		out.Conn = append(out.Conn, base, base+1, base+2)
+	}
+	for _, ref := range faces {
+		if ref.count != 1 {
+			continue // interior face
+		}
+		emit(ref.verts[0], ref.verts[1], ref.verts[2])
+		emit(ref.verts[0], ref.verts[2], ref.verts[3])
+	}
+	out.EnsureNormals()
+	out.UpdateScalarRange()
+	return out, nil
+}
+
+// TetMeshFromHexes splits unstructured hexahedra into six tetrahedra each,
+// sharing the original vertex arrays (zero copy of coordinates).
+func TetMeshFromHexes(x, y, z []float64, conn []int32, scalars []float64) (*TetMesh, error) {
+	if len(conn)%8 != 0 {
+		return nil, fmt.Errorf("mesh: hex connectivity length %d not divisible by 8", len(conn))
+	}
+	nverts := len(x)
+	if len(y) != nverts || len(z) != nverts || len(scalars) != nverts {
+		return nil, fmt.Errorf("mesh: coordinate/scalar arrays disagree on vertex count")
+	}
+	nhex := len(conn) / 8
+	out := &TetMesh{X: x, Y: y, Z: z, Scalars: scalars, Conn: make([]int32, 0, nhex*24)}
+	for h := 0; h < nhex; h++ {
+		hex := conn[8*h : 8*h+8]
+		for _, tet := range hexTets {
+			out.Conn = append(out.Conn, hex[tet[0]], hex[tet[1]], hex[tet[2]], hex[tet[3]])
+		}
+	}
+	out.UpdateScalarRange()
+	return out, nil
+}
+
+// ElementToVertex averages an element-associated field onto vertices of an
+// unstructured hex mesh, the conversion the in situ pipeline applies when
+// a plot asks for a cell-centered quantity.
+func ElementToVertex(nverts int, conn []int32, elemVals []float64) ([]float64, error) {
+	if len(conn)%8 != 0 {
+		return nil, fmt.Errorf("mesh: hex connectivity length %d not divisible by 8", len(conn))
+	}
+	nhex := len(conn) / 8
+	if len(elemVals) != nhex {
+		return nil, fmt.Errorf("mesh: %d element values for %d hexes", len(elemVals), nhex)
+	}
+	sums := make([]float64, nverts)
+	counts := make([]float64, nverts)
+	for h := 0; h < nhex; h++ {
+		for c := 0; c < 8; c++ {
+			v := conn[8*h+c]
+			sums[v] += elemVals[h]
+			counts[v]++
+		}
+	}
+	for v := range sums {
+		if counts[v] > 0 {
+			sums[v] /= counts[v]
+		}
+	}
+	return sums, nil
+}
+
+// HexConnectivity builds the standard hex connectivity of a structured
+// grid (8 point ids per cell), used by proxies that publish their
+// structured block as an unstructured Lagrangian mesh.
+func (g *StructuredGrid) HexConnectivity() []int32 {
+	cx, cy, cz := g.CellDims()
+	conn := make([]int32, 0, cx*cy*cz*8)
+	for k := 0; k < cz; k++ {
+		for j := 0; j < cy; j++ {
+			for i := 0; i < cx; i++ {
+				for _, off := range hexCorners {
+					conn = append(conn, int32(g.PointIndex(i+off[0], j+off[1], k+off[2])))
+				}
+			}
+		}
+	}
+	return conn
+}

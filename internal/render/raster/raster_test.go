@@ -1,0 +1,184 @@
+package raster
+
+import (
+	"testing"
+
+	"insitu/internal/device"
+	"insitu/internal/mesh"
+	"insitu/internal/mesh/synthdata"
+	"insitu/internal/render"
+	"insitu/internal/render/raytrace"
+	"insitu/internal/vecmath"
+)
+
+func testScene(t *testing.T, n int) *mesh.TriangleMesh {
+	t.Helper()
+	ds, err := synthdata.ByName("nek")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := synthdata.Grid(ds.FieldName, ds.Func, n, n, n, synthdata.UnitBounds())
+	m, err := g.Isosurface(device.CPU(), ds.FieldName, ds.Isovalue, mesh.IsoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRenderBasics(t *testing.T) {
+	m := testScene(t, 14)
+	r := New(device.CPU(), m)
+	opts := Options{Width: 96, Height: 72, Camera: render.OrbitCamera(m.Bounds(), 30, 20, 1.0)}
+	img, stats, err := r.Render(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Objects != m.NumTriangles() {
+		t.Errorf("objects = %d", stats.Objects)
+	}
+	if stats.VisibleObjects == 0 || stats.VisibleObjects > stats.Objects {
+		t.Errorf("visible objects = %d of %d", stats.VisibleObjects, stats.Objects)
+	}
+	if stats.PPT() <= 0 {
+		t.Errorf("PPT = %v", stats.PPT())
+	}
+	if stats.ActivePixels == 0 || stats.ActivePixels != img.ActivePixels() {
+		t.Errorf("active pixels = %d (image %d)", stats.ActivePixels, img.ActivePixels())
+	}
+	for _, phase := range []string{"transform", "cull", "rasterize", "resolve"} {
+		if stats.Phases.Get(phase) <= 0 {
+			t.Errorf("phase %q missing", phase)
+		}
+	}
+}
+
+func TestDepthOrdering(t *testing.T) {
+	// Two parallel triangles; the nearer one must win the z-test.
+	m := &mesh.TriangleMesh{
+		X:       []float64{-1, 1, 0 /* near */, -1, 1, 0 /* far */},
+		Y:       []float64{-1, -1, 1, -1, -1, 1},
+		Z:       []float64{1, 1, 1, 0, 0, 0},
+		Conn:    []int32{0, 1, 2, 3, 4, 5},
+		Scalars: []float64{0, 0, 0, 1, 1, 1}, // near is "cold", far is "warm"
+	}
+	m.UpdateScalarRange()
+	r := New(device.Serial(), m)
+	cam := render.Camera{Position: vecmath.V(0, 0, 5), LookAt: vecmath.V(0, 0, 0.5)}
+	img, _, err := r.Render(Options{Width: 64, Height: 64, Camera: cam})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center pixel: the near (z=1) triangle is cold -> blue-dominant.
+	cr, _, cb, ca := img.At(32, 36)
+	if ca == 0 {
+		t.Fatal("center pixel empty")
+	}
+	if cb <= cr {
+		t.Errorf("near triangle should win: r=%v b=%v", cr, cb)
+	}
+}
+
+func TestCoverageMatchesRayTracer(t *testing.T) {
+	// Object-order and image-order renderers must agree on silhouette
+	// coverage to within a small tolerance.
+	m := testScene(t, 12)
+	cam := render.OrbitCamera(m.Bounds(), 30, 20, 1.0)
+	w, h := 96, 72
+	rastImg, _, err := New(device.CPU(), m).Render(Options{Width: w, Height: h, Camera: cam})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rtImg, _, err := raytrace.New(device.CPU(), m).Render(raytrace.Options{
+		Width: w, Height: h, Camera: cam, Workload: raytrace.Workload1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, either := 0, 0
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			_, _, _, ra := rastImg.At(x, y)
+			_, _, _, ta := rtImg.At(x, y)
+			r := ra > 0
+			tt := ta > 0
+			if r || tt {
+				either++
+			}
+			if r && tt {
+				both++
+			}
+		}
+	}
+	if either == 0 {
+		t.Fatal("no coverage at all")
+	}
+	overlap := float64(both) / float64(either)
+	if overlap < 0.9 {
+		t.Errorf("coverage overlap only %.2f", overlap)
+	}
+}
+
+func TestDeterministicImageAcrossDevices(t *testing.T) {
+	// The packed z-buffer resolves races by depth, and Gouraud colors are
+	// deterministic, so images must match bit-for-bit unless two fragments
+	// tie in depth. Use a scene without coplanar overlaps.
+	m := testScene(t, 10)
+	cam := render.OrbitCamera(m.Bounds(), 30, 20, 1.0)
+	imgs := make([][]float32, 0, 2)
+	for _, dev := range []*device.Device{device.Serial(), device.New("w4", 4)} {
+		img, _, err := New(dev, m).Render(Options{Width: 64, Height: 48, Camera: cam})
+		if err != nil {
+			t.Fatal(err)
+		}
+		imgs = append(imgs, img.Color)
+	}
+	diff := 0
+	for i := range imgs[0] {
+		if imgs[0][i] != imgs[1][i] {
+			diff++
+		}
+	}
+	if diff > len(imgs[0])/100 {
+		t.Errorf("%d of %d channels differ across devices", diff, len(imgs[0]))
+	}
+}
+
+func TestInvalidSize(t *testing.T) {
+	m := testScene(t, 8)
+	if _, _, err := New(device.CPU(), m).Render(Options{Width: -1, Height: 5}); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestEmptyMesh(t *testing.T) {
+	m := &mesh.TriangleMesh{}
+	cam := render.Camera{Position: vecmath.V(0, 0, 5)}
+	img, stats, err := New(device.CPU(), m).Render(Options{Width: 32, Height: 32, Camera: cam})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.VisibleObjects != 0 || img.ActivePixels() != 0 {
+		t.Error("empty mesh should render nothing")
+	}
+}
+
+func TestBehindCameraCulled(t *testing.T) {
+	// Geometry behind the camera must be culled, not smeared across the
+	// screen.
+	m := &mesh.TriangleMesh{
+		X:       []float64{-1, 1, 0},
+		Y:       []float64{-1, -1, 1},
+		Z:       []float64{10, 10, 10}, // behind a camera at z=5 looking at -z
+		Conn:    []int32{0, 1, 2},
+		Scalars: []float64{0, 0, 0},
+	}
+	m.UpdateScalarRange()
+	cam := render.Camera{Position: vecmath.V(0, 0, 5), LookAt: vecmath.V(0, 0, 0)}
+	img, stats, err := New(device.CPU(), m).Render(Options{Width: 32, Height: 32, Camera: cam})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.VisibleObjects != 0 || img.ActivePixels() != 0 {
+		t.Errorf("behind-camera triangle rendered: VO=%d AP=%d", stats.VisibleObjects, img.ActivePixels())
+	}
+}

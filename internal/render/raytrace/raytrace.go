@@ -1,0 +1,545 @@
+// Package raytrace implements the paper's data-parallel ray tracer
+// (Chapter II, Algorithm 1): breadth-first ray processing over
+// structure-of-arrays ray state, expressed with map / gather / scatter /
+// scan primitives. Primary rays are generated in morton order, traversal
+// uses an LBVH, and the full workload adds stream compaction, ambient
+// occlusion, shadows, optional specular reflection, and supersampled
+// anti-aliasing.
+package raytrace
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"insitu/internal/bvh"
+	"insitu/internal/device"
+	"insitu/internal/dpp"
+	"insitu/internal/framebuffer"
+	"insitu/internal/mesh"
+	"insitu/internal/render"
+	"insitu/internal/vecmath"
+)
+
+// Workload selects how much of the pipeline runs, matching the paper's
+// three study workloads.
+type Workload int
+
+const (
+	// Workload1 traces primary rays only (the Mrays/s benchmark).
+	Workload1 Workload = 1
+	// Workload2 adds Blinn-Phong shading (the rasterization-equivalent
+	// scientific visualization picture).
+	Workload2 Workload = 2
+	// Workload3 enables every feature: ambient occlusion, shadows,
+	// stream compaction, and anti-aliasing.
+	Workload3 Workload = 3
+)
+
+// Options configures one render.
+type Options struct {
+	Width, Height int
+	Camera        render.Camera
+	Workload      Workload
+	// AOSamples is the hemisphere sample count per hit (default 4).
+	AOSamples int
+	// AODistance caps occlusion rays; 0 means 5% of the scene diagonal.
+	AODistance float64
+	// Compaction compacts dead rays before secondary stages (Workload3).
+	Compaction bool
+	// Supersample traces 4 jittered rays per pixel and gathers an
+	// anti-aliased image (Workload3).
+	Supersample bool
+	// Reflections adds one specular bounce.
+	Reflections bool
+	// UsePackets traces coherent ray packets of the device's VectorWidth,
+	// the vector-unit ("ISPC") backend of the tracer.
+	UsePackets bool
+	// Light overrides the default headlight.
+	Light *render.Light
+	// ColorMap overrides the default cool-to-warm map.
+	ColorMap *framebuffer.ColorMap
+}
+
+// Stats reports per-phase timings and the measured model inputs.
+type Stats struct {
+	BVHBuild     time.Duration
+	Phases       render.Timings
+	Objects      int
+	PrimaryRays  int
+	TotalRays    int64
+	ActivePixels int
+	NodeTests    int64
+	TriTests     int64
+}
+
+// MRaysPerSec returns primary rays per second (in millions) using the
+// traversal phase only, the paper's Workload1 metric.
+func (s *Stats) MRaysPerSec() float64 {
+	d := s.Phases.Get("traversal").Seconds()
+	if d == 0 {
+		return 0
+	}
+	return float64(s.PrimaryRays) / d / 1e6
+}
+
+// Renderer owns the acceleration structure for a mesh. Building once and
+// rendering many times matches the model's separation of the c0*O + c1
+// build term from the per-frame terms.
+type Renderer struct {
+	Dev  *device.Device
+	Mesh *mesh.TriangleMesh
+	BVH  *bvh.BVH
+}
+
+// New builds a renderer with the default LBVH.
+func New(dev *device.Device, m *mesh.TriangleMesh) *Renderer {
+	return NewWithBuilder(dev, m, bvh.LBVH)
+}
+
+// NewWithBuilder builds a renderer with an explicit BVH builder.
+func NewWithBuilder(dev *device.Device, m *mesh.TriangleMesh, builder bvh.Builder) *Renderer {
+	m.EnsureNormals()
+	if m.ScalarMin == 0 && m.ScalarMax == 0 {
+		m.UpdateScalarRange()
+	}
+	return &Renderer{Dev: dev, Mesh: m, BVH: bvh.Build(dev, m, builder)}
+}
+
+// raysSoA is the structure-of-arrays ray state the pipeline stages share.
+type raysSoA struct {
+	ox, oy, oz []float64
+	dx, dy, dz []float64
+	hitT       []float64
+	hitU, hitV []float64
+	hitPrim    []int32
+}
+
+func newRays(n int) *raysSoA {
+	return &raysSoA{
+		ox: make([]float64, n), oy: make([]float64, n), oz: make([]float64, n),
+		dx: make([]float64, n), dy: make([]float64, n), dz: make([]float64, n),
+		hitT: make([]float64, n), hitU: make([]float64, n), hitV: make([]float64, n),
+		hitPrim: make([]int32, n),
+	}
+}
+
+func (r *raysSoA) orig(i int) vecmath.Vec3 { return vecmath.V(r.ox[i], r.oy[i], r.oz[i]) }
+func (r *raysSoA) dir(i int) vecmath.Vec3  { return vecmath.V(r.dx[i], r.dy[i], r.dz[i]) }
+
+// Render executes the configured workload and returns the image and stats.
+func (r *Renderer) Render(opts Options) (*framebuffer.Image, *Stats, error) {
+	if opts.Width <= 0 || opts.Height <= 0 {
+		return nil, nil, fmt.Errorf("raytrace: invalid image size %dx%d", opts.Width, opts.Height)
+	}
+	if opts.Workload == 0 {
+		opts.Workload = Workload2
+	}
+	if opts.AOSamples <= 0 {
+		opts.AOSamples = 4
+	}
+	diag := r.BVH.Mesh.Bounds().Diagonal().Length()
+	if opts.AODistance <= 0 {
+		opts.AODistance = 0.05 * diag
+		if opts.AODistance == 0 {
+			opts.AODistance = 1
+		}
+	}
+	cam := opts.Camera.Normalized()
+	light := render.HeadLight(cam)
+	if opts.Light != nil {
+		light = *opts.Light
+	}
+	cmap := opts.ColorMap
+	if cmap == nil {
+		cmap = framebuffer.CoolToWarm()
+	}
+
+	stats := &Stats{BVHBuild: r.BVH.BuildTime, Objects: r.Mesh.NumTriangles()}
+	img := framebuffer.NewImage(opts.Width, opts.Height)
+
+	spp := 1
+	if opts.Workload == Workload3 && opts.Supersample {
+		spp = 4
+	}
+
+	// Primary ray generation in morton order (a map over ray indices).
+	start := time.Now()
+	order := mortonPixelOrder(opts.Width, opts.Height)
+	numPixels := len(order)
+	n := numPixels * spp
+	rays := newRays(n)
+	jitter := [4][2]float64{{0.5, 0.5}, {0.25, 0.25}, {0.75, 0.25}, {0.5, 0.75}}
+	dpp.For(r.Dev, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := order[i/spp]
+			px := float64(int(p) % opts.Width)
+			py := float64(int(p) / opts.Width)
+			j := jitter[0]
+			if spp > 1 {
+				j = jitter[i%spp]
+			}
+			ray := cam.Ray(px, py, j[0], j[1], opts.Width, opts.Height)
+			rays.ox[i], rays.oy[i], rays.oz[i] = ray.Orig.X, ray.Orig.Y, ray.Orig.Z
+			rays.dx[i], rays.dy[i], rays.dz[i] = ray.Dir.X, ray.Dir.Y, ray.Dir.Z
+		}
+	})
+	stats.Phases.Add("raygen", time.Since(start))
+	stats.PrimaryRays = n
+	stats.TotalRays = int64(n)
+
+	// Traversal and intersection.
+	start = time.Now()
+	r.trace(rays, opts, stats)
+	stats.Phases.Add("traversal", time.Since(start))
+
+	if opts.Workload == Workload1 {
+		// Intersection-only picture: white where rays hit.
+		start = time.Now()
+		r.resolveHits(rays, order, spp, img)
+		stats.Phases.Add("accumulate", time.Since(start))
+		stats.ActivePixels = img.ActivePixels()
+		return img, stats, nil
+	}
+
+	// Live-ray index list, optionally stream compacted.
+	live := r.liveRays(rays, opts, stats)
+
+	occlusion := make([]float64, n)
+	dpp.Fill(r.Dev, occlusion, 1.0)
+	shadow := make([]float64, n)
+	dpp.Fill(r.Dev, shadow, 1.0)
+	reflect := make([]vecmath.Vec3, 0)
+
+	if opts.Workload == Workload3 {
+		start = time.Now()
+		r.ambientOcclusion(rays, live, opts, occlusion, stats)
+		stats.Phases.Add("ao", time.Since(start))
+
+		start = time.Now()
+		r.shadows(rays, live, light, shadow, stats)
+		stats.Phases.Add("shadow", time.Since(start))
+	}
+	if opts.Reflections {
+		start = time.Now()
+		reflect = r.reflections(rays, live, light, cmap, stats)
+		stats.Phases.Add("reflect", time.Since(start))
+	}
+
+	// Shading: Blinn-Phong over interpolated normals and color-mapped
+	// scalars, modulated by AO and shadow terms.
+	start = time.Now()
+	colors := make([]vecmath.Vec3, n)
+	norm := render.Normalizer{Min: r.Mesh.ScalarMin, Max: r.Mesh.ScalarMax}
+	m := r.Mesh
+	dpp.For(r.Dev, len(live), func(lo, hi int) {
+		for li := lo; li < hi; li++ {
+			i := int(live[li])
+			prim := rays.hitPrim[i]
+			pos := rays.orig(i).Add(rays.dir(i).Scale(rays.hitT[i]))
+			nrm, scalar := interpolateHit(m, prim, rays.hitU[i], rays.hitV[i])
+			base := cmap.Sample(norm.Normalize(scalar))
+			c := shade(base, pos, nrm, rays.dir(i), light)
+			c = c.Scale(occlusion[i] * shadow[i])
+			if len(reflect) > 0 {
+				c = c.Add(reflect[li].Scale(0.2))
+			}
+			colors[i] = c
+		}
+	})
+	stats.Phases.Add("shade", time.Since(start))
+
+	// Accumulate into the framebuffer; with supersampling this is the
+	// anti-aliasing gather over each pixel's samples.
+	start = time.Now()
+	dpp.For(r.Dev, numPixels, func(lo, hi int) {
+		for q := lo; q < hi; q++ {
+			var sum vecmath.Vec3
+			hits := 0
+			minT := math.Inf(1)
+			for s := 0; s < spp; s++ {
+				i := q*spp + s
+				if rays.hitPrim[i] >= 0 {
+					hits++
+					sum = sum.Add(colors[i])
+					if rays.hitT[i] < minT {
+						minT = rays.hitT[i]
+					}
+				}
+			}
+			if hits == 0 {
+				continue
+			}
+			inv := 1 / float64(spp)
+			alpha := float32(float64(hits) * inv)
+			p := int(order[q])
+			img.Set(p%opts.Width, p/opts.Width,
+				float32(sum.X*inv), float32(sum.Y*inv), float32(sum.Z*inv),
+				alpha, float32(minT))
+		}
+	})
+	stats.Phases.Add("accumulate", time.Since(start))
+	stats.ActivePixels = img.ActivePixels()
+	return img, stats, nil
+}
+
+// trace intersects every ray against the BVH, scalar or packetized.
+func (r *Renderer) trace(rays *raysSoA, opts Options, stats *Stats) {
+	n := len(rays.ox)
+	var nodeTests, triTests int64
+	width := r.Dev.VectorWidth
+	if !opts.UsePackets || width < 2 {
+		dpp.For(r.Dev, n, func(lo, hi int) {
+			var localNode, localTri int
+			for i := lo; i < hi; i++ {
+				hit, nt, tt := r.BVH.IntersectClosest(rays.orig(i), rays.dir(i), 1e-9, math.Inf(1))
+				localNode += nt
+				localTri += tt
+				rays.hitPrim[i] = hit.Prim
+				rays.hitT[i] = hit.T
+				rays.hitU[i] = hit.U
+				rays.hitV[i] = hit.V
+			}
+			atomic.AddInt64(&nodeTests, int64(localNode))
+			atomic.AddInt64(&triTests, int64(localTri))
+		})
+	} else {
+		dpp.For(r.Dev, n, func(lo, hi int) {
+			origs := make([]vecmath.Vec3, width)
+			dirs := make([]vecmath.Vec3, width)
+			hits := make([]bvh.Hit, width)
+			for base := lo; base < hi; base += width {
+				cnt := width
+				if base+cnt > hi {
+					cnt = hi - base
+				}
+				for k := 0; k < cnt; k++ {
+					origs[k] = rays.orig(base + k)
+					dirs[k] = rays.dir(base + k)
+				}
+				r.BVH.IntersectClosestPacket(origs[:cnt], dirs[:cnt], 1e-9, hits[:cnt])
+				for k := 0; k < cnt; k++ {
+					rays.hitPrim[base+k] = hits[k].Prim
+					rays.hitT[base+k] = hits[k].T
+					rays.hitU[base+k] = hits[k].U
+					rays.hitV[base+k] = hits[k].V
+				}
+			}
+		})
+	}
+	stats.NodeTests += nodeTests
+	stats.TriTests += triTests
+}
+
+// liveRays returns the indices of rays that hit geometry, optionally via
+// the stream-compaction primitive sequence.
+func (r *Renderer) liveRays(rays *raysSoA, opts Options, stats *Stats) []int32 {
+	start := time.Now()
+	n := len(rays.hitPrim)
+	flags := make([]bool, n)
+	dpp.For(r.Dev, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			flags[i] = rays.hitPrim[i] >= 0
+		}
+	})
+	live := dpp.CompactIndices(r.Dev, flags)
+	if opts.Workload == Workload3 && opts.Compaction {
+		stats.Phases.Add("compact", time.Since(start))
+	}
+	return live
+}
+
+// resolveHits paints the Workload1 hit-mask image.
+func (r *Renderer) resolveHits(rays *raysSoA, order []int32, spp int, img *framebuffer.Image) {
+	w := img.W
+	dpp.For(r.Dev, len(order), func(lo, hi int) {
+		for q := lo; q < hi; q++ {
+			i := q * spp
+			if rays.hitPrim[i] < 0 {
+				continue
+			}
+			p := int(order[q])
+			img.Set(p%w, p/w, 0.8, 0.8, 0.8, 1, float32(rays.hitT[i]))
+		}
+	})
+}
+
+// ambientOcclusion casts hemisphere rays around every live hit. Sample
+// directions come from a per-ray deterministic hash stream, so renders are
+// reproducible across devices and schedules.
+func (r *Renderer) ambientOcclusion(rays *raysSoA, live []int32, opts Options, occlusion []float64, stats *Stats) {
+	m := r.Mesh
+	samples := opts.AOSamples
+	var cast int64
+	dpp.For(r.Dev, len(live), func(lo, hi int) {
+		var localCast int64
+		for li := lo; li < hi; li++ {
+			i := int(live[li])
+			prim := rays.hitPrim[i]
+			nrm, _ := interpolateHit(m, prim, rays.hitU[i], rays.hitV[i])
+			view := rays.dir(i)
+			if nrm.Dot(view) > 0 {
+				nrm = nrm.Neg()
+			}
+			pos := rays.orig(i).Add(view.Scale(rays.hitT[i])).Add(nrm.Scale(1e-6 * opts.AODistance))
+			t1, t2 := tangentFrame(nrm)
+			seed := uint64(i)*0x9e3779b97f4a7c15 + 0x1234
+			blocked := 0
+			for s := 0; s < samples; s++ {
+				u1 := hashFloat(&seed)
+				u2 := hashFloat(&seed)
+				dir := cosineHemisphere(nrm, t1, t2, u1, u2)
+				localCast++
+				if r.BVH.IntersectAny(pos, dir, 1e-9, opts.AODistance) {
+					blocked++
+				}
+			}
+			occlusion[i] = 1 - float64(blocked)/float64(samples)
+		}
+		atomic.AddInt64(&cast, localCast)
+	})
+	stats.TotalRays += cast
+}
+
+// shadows tests visibility from every live hit to the light.
+func (r *Renderer) shadows(rays *raysSoA, live []int32, light render.Light, shadow []float64, stats *Stats) {
+	var cast int64
+	dpp.For(r.Dev, len(live), func(lo, hi int) {
+		var localCast int64
+		for li := lo; li < hi; li++ {
+			i := int(live[li])
+			pos := rays.orig(i).Add(rays.dir(i).Scale(rays.hitT[i]))
+			toLight := light.Position.Sub(pos)
+			dist := toLight.Length()
+			if dist == 0 {
+				continue
+			}
+			dir := toLight.Scale(1 / dist)
+			localCast++
+			if r.BVH.IntersectAny(pos.Add(dir.Scale(1e-6*dist)), dir, 1e-9, dist*(1-1e-6)) {
+				shadow[i] = 0.35
+			}
+		}
+		atomic.AddInt64(&cast, localCast)
+	})
+	stats.TotalRays += cast
+}
+
+// reflections traces one specular bounce for every live ray and returns
+// the bounce colors indexed like live.
+func (r *Renderer) reflections(rays *raysSoA, live []int32, light render.Light, cmap *framebuffer.ColorMap, stats *Stats) []vecmath.Vec3 {
+	m := r.Mesh
+	norm := render.Normalizer{Min: m.ScalarMin, Max: m.ScalarMax}
+	out := make([]vecmath.Vec3, len(live))
+	var cast int64
+	dpp.For(r.Dev, len(live), func(lo, hi int) {
+		var localCast int64
+		for li := lo; li < hi; li++ {
+			i := int(live[li])
+			nrm, _ := interpolateHit(m, rays.hitPrim[i], rays.hitU[i], rays.hitV[i])
+			view := rays.dir(i)
+			if nrm.Dot(view) > 0 {
+				nrm = nrm.Neg()
+			}
+			pos := rays.orig(i).Add(view.Scale(rays.hitT[i]))
+			dir := view.Reflect(nrm).Normalize()
+			localCast++
+			hit, _, _ := r.BVH.IntersectClosest(pos.Add(dir.Scale(1e-9)), dir, 1e-9, math.Inf(1))
+			if hit.Prim < 0 {
+				continue
+			}
+			bn, bs := interpolateHit(m, hit.Prim, hit.U, hit.V)
+			base := cmap.Sample(norm.Normalize(bs))
+			out[li] = shade(base, pos.Add(dir.Scale(hit.T)), bn, dir, light)
+		}
+		atomic.AddInt64(&cast, localCast)
+	})
+	stats.TotalRays += cast
+	return out
+}
+
+// interpolateHit returns the barycentric-interpolated normal and scalar of
+// a hit on triangle prim.
+func interpolateHit(m *mesh.TriangleMesh, prim int32, u, v float64) (vecmath.Vec3, float64) {
+	i0, i1, i2 := m.Conn[3*prim], m.Conn[3*prim+1], m.Conn[3*prim+2]
+	w := 1 - u - v
+	nrm := m.Normal(i0).Scale(w).Add(m.Normal(i1).Scale(u)).Add(m.Normal(i2).Scale(v)).Normalize()
+	s := m.Scalars[i0]*w + m.Scalars[i1]*u + m.Scalars[i2]*v
+	return nrm, s
+}
+
+// shade evaluates two-sided Blinn-Phong with linear light attenuation.
+func shade(base, pos, nrm, viewDir vecmath.Vec3, light render.Light) vecmath.Vec3 {
+	toLight := light.Position.Sub(pos)
+	dist := toLight.Length()
+	l := toLight.Normalize()
+	att := light.Intensity / (1 + 0.1*dist)
+	diffuse := math.Abs(nrm.Dot(l))
+	h := l.Sub(viewDir).Normalize()
+	spec := math.Pow(math.Abs(nrm.Dot(h)), 30) * 0.25
+	c := base.Scale(0.15 + 0.85*diffuse*att)
+	return c.Add(vecmath.V(spec, spec, spec).Scale(att))
+}
+
+// tangentFrame builds an orthonormal basis around unit n.
+func tangentFrame(n vecmath.Vec3) (vecmath.Vec3, vecmath.Vec3) {
+	a := vecmath.V(1, 0, 0)
+	if math.Abs(n.X) > 0.9 {
+		a = vecmath.V(0, 1, 0)
+	}
+	t1 := n.Cross(a).Normalize()
+	t2 := n.Cross(t1)
+	return t1, t2
+}
+
+// cosineHemisphere maps two uniforms to a cosine-weighted direction about n.
+func cosineHemisphere(n, t1, t2 vecmath.Vec3, u1, u2 float64) vecmath.Vec3 {
+	phi := 2 * math.Pi * u1
+	cosT := math.Sqrt(1 - u2)
+	sinT := math.Sqrt(u2)
+	return t1.Scale(math.Cos(phi) * sinT).
+		Add(t2.Scale(math.Sin(phi) * sinT)).
+		Add(n.Scale(cosT)).Normalize()
+}
+
+// hashFloat advances a splitmix-style stream and returns a float in [0,1).
+func hashFloat(seed *uint64) float64 {
+	*seed += 0x9e3779b97f4a7c15
+	z := *seed
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// mortonPixelOrder returns every pixel index of a w x h image in 2-D
+// morton (Z-curve) order, the coherence-friendly traversal the paper uses
+// to raise SIMD efficiency.
+func mortonPixelOrder(w, h int) []int32 {
+	side := 1
+	for side < w || side < h {
+		side <<= 1
+	}
+	order := make([]int32, 0, w*h)
+	total := side * side
+	for code := 0; code < total; code++ {
+		x := compact1by1(uint64(code))
+		y := compact1by1(uint64(code) >> 1)
+		if int(x) < w && int(y) < h {
+			order = append(order, int32(int(y)*w+int(x)))
+		}
+	}
+	return order
+}
+
+// compact1by1 extracts the even-position bits of v.
+func compact1by1(v uint64) uint32 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v>>4) & 0x00ff00ff00ff00ff
+	v = (v | v>>8) & 0x0000ffff0000ffff
+	v = (v | v>>16) & 0x00000000ffffffff
+	return uint32(v)
+}

@@ -1,0 +1,291 @@
+// Package volume implements the paper's two volume renderers: an
+// image-order ray caster for structured grids (the renderer modeled in
+// Chapter V as T = c0*(AP*CS) + c1*(AP*SPR) + c2) and the multi-pass
+// data-parallel sampler for unstructured tetrahedral meshes from
+// Chapter III (Algorithm 2).
+package volume
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"insitu/internal/device"
+	"insitu/internal/dpp"
+	"insitu/internal/framebuffer"
+	"insitu/internal/mesh"
+	"insitu/internal/render"
+	"insitu/internal/vecmath"
+)
+
+// StructuredOptions configures the structured-grid ray caster.
+type StructuredOptions struct {
+	Width, Height int
+	Camera        render.Camera
+	// Samples is the sample budget along a full diagonal crossing of the
+	// volume (the paper uses 1000 for 1024^2 images; default 200).
+	Samples int
+	// TF overrides the default transfer function.
+	TF *framebuffer.TransferFunction
+	// FieldRange fixes scalar normalization; zeros mean auto. Distributed
+	// renders must pass the global range so tasks color consistently.
+	FieldRange [2]float64
+}
+
+// StructuredStats reports the timings and measured model inputs.
+type StructuredStats struct {
+	Phases       render.Timings
+	ActivePixels int
+	// TotalSamples counts in-volume samples taken, so SPR() is the
+	// measured samples-per-ray model input.
+	TotalSamples int64
+	// CellsSpanned is the model's CS input: the cell count along the
+	// grid's largest axis.
+	CellsSpanned int
+	Objects      int // cells, the model's O for volume rendering
+}
+
+// SPR returns average samples per active ray.
+func (s *StructuredStats) SPR() float64 {
+	if s.ActivePixels == 0 {
+		return 0
+	}
+	return float64(s.TotalSamples) / float64(s.ActivePixels)
+}
+
+// StructuredRenderer ray-casts one structured grid.
+type StructuredRenderer struct {
+	Dev   *device.Device
+	Grid  *mesh.StructuredGrid
+	field *mesh.Field
+}
+
+// NewStructured prepares a renderer for the named vertex field.
+func NewStructured(dev *device.Device, g *mesh.StructuredGrid, fieldName string) (*StructuredRenderer, error) {
+	f, err := g.Field(fieldName)
+	if err != nil {
+		return nil, err
+	}
+	if f.Assoc != mesh.VertexAssoc {
+		return nil, fmt.Errorf("volume: field %q must be vertex-associated", fieldName)
+	}
+	return &StructuredRenderer{Dev: dev, Grid: g, field: f}, nil
+}
+
+// Render casts one ray per pixel, sampling the field with trilinear
+// interpolation and compositing front to back with early termination.
+func (r *StructuredRenderer) Render(opts StructuredOptions) (*framebuffer.Image, *StructuredStats, error) {
+	if opts.Width <= 0 || opts.Height <= 0 {
+		return nil, nil, fmt.Errorf("volume: invalid image size %dx%d", opts.Width, opts.Height)
+	}
+	if opts.Samples <= 0 {
+		opts.Samples = 200
+	}
+	tf := opts.TF
+	if tf == nil {
+		tf = framebuffer.DefaultTransferFunction()
+	}
+	cam := opts.Camera.Normalized()
+	g := r.Grid
+	cx, cy, cz := g.CellDims()
+	stats := &StructuredStats{
+		CellsSpanned: maxInt(cx, maxInt(cy, cz)),
+		Objects:      g.NumCells(),
+	}
+	img := framebuffer.NewImage(opts.Width, opts.Height)
+
+	lo, hi := opts.FieldRange[0], opts.FieldRange[1]
+	if lo == 0 && hi == 0 {
+		var err error
+		lo, hi, err = g.FieldRange(r.field.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	norm := render.Normalizer{Min: lo, Max: hi}
+
+	bounds := g.Bounds()
+	diag := bounds.Diagonal().Length()
+	if diag == 0 {
+		return img, stats, nil
+	}
+	step := diag / float64(opts.Samples)
+	// Opacity correction reference so pass/sample-count choices do not
+	// change the converged image brightness.
+	refStep := diag / 200
+
+	sampler, err := newGridSampler(g, r.field.Values)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	start := time.Now()
+	n := opts.Width * opts.Height
+	var totalSamples int64
+	dpp.For(r.Dev, n, func(plo, phi int) {
+		var localSamples int64
+		for p := plo; p < phi; p++ {
+			px := float64(p % opts.Width)
+			py := float64(p / opts.Width)
+			ray := cam.Ray(px, py, 0.5, 0.5, opts.Width, opts.Height)
+			t0, t1, ok := bounds.HitRay(ray.Orig, ray.InvDir(), 0, math.Inf(1))
+			if !ok {
+				continue
+			}
+			var cr, cg, cb, ca float64
+			firstT := float32(framebuffer.MaxDepth)
+			for t := t0 + step/2; t < t1; t += step {
+				pos := ray.At(t)
+				v, inside := sampler.sample(pos)
+				if !inside {
+					continue
+				}
+				localSamples++
+				sr, sg, sb, sa := tf.Sample(norm.Normalize(v))
+				if sa <= 0 {
+					continue
+				}
+				// Correct opacity for the step size, then front-to-back
+				// "under" accumulation in premultiplied space.
+				sa = 1 - math.Pow(1-sa, step/refStep)
+				w := (1 - ca) * sa
+				cr += w * sr
+				cg += w * sg
+				cb += w * sb
+				ca += w
+				if firstT == framebuffer.MaxDepth {
+					firstT = float32(t)
+				}
+				if ca >= 0.99 {
+					break
+				}
+			}
+			if ca > 0 {
+				img.Set(int(px), int(py), float32(cr), float32(cg), float32(cb), float32(ca), firstT)
+			}
+		}
+		atomic.AddInt64(&totalSamples, localSamples)
+	})
+	stats.Phases.Add("sampling", time.Since(start))
+	stats.TotalSamples = totalSamples
+	stats.ActivePixels = img.ActivePixels()
+	return img, stats, nil
+}
+
+// gridSampler performs trilinear interpolation on uniform or rectilinear
+// structured grids.
+type gridSampler struct {
+	g        *mesh.StructuredGrid
+	vals     []float64
+	uniform  bool
+	invSpace vecmath.Vec3
+}
+
+func newGridSampler(g *mesh.StructuredGrid, vals []float64) (*gridSampler, error) {
+	s := &gridSampler{g: g, vals: vals, uniform: g.XCoords == nil}
+	if g.Nx < 2 || g.Ny < 2 || g.Nz < 2 {
+		return nil, fmt.Errorf("volume: grid too small (%dx%dx%d)", g.Nx, g.Ny, g.Nz)
+	}
+	if s.uniform {
+		sp := g.Spacing
+		if sp.X <= 0 || sp.Y <= 0 || sp.Z <= 0 {
+			return nil, fmt.Errorf("volume: non-positive spacing %v", sp)
+		}
+		s.invSpace = vecmath.V(1/sp.X, 1/sp.Y, 1/sp.Z)
+	}
+	return s, nil
+}
+
+// locate returns the cell index and intra-cell fraction along one axis.
+func locateRect(coords []float64, v float64) (int, float64, bool) {
+	n := len(coords)
+	if v < coords[0] || v > coords[n-1] {
+		return 0, 0, false
+	}
+	// sort.SearchFloat64s returns the first index with coords[i] >= v.
+	i := sort.SearchFloat64s(coords, v)
+	if i > 0 {
+		i--
+	}
+	if i >= n-1 {
+		i = n - 2
+	}
+	span := coords[i+1] - coords[i]
+	f := 0.0
+	if span > 0 {
+		f = (v - coords[i]) / span
+	}
+	return i, f, true
+}
+
+// sample returns the trilinear field value at pos and whether pos is
+// inside the grid.
+func (s *gridSampler) sample(pos vecmath.Vec3) (float64, bool) {
+	g := s.g
+	var i, j, k int
+	var fx, fy, fz float64
+	if s.uniform {
+		rel := pos.Sub(g.Origin).Mul(s.invSpace)
+		if rel.X < 0 || rel.Y < 0 || rel.Z < 0 {
+			return 0, false
+		}
+		i, j, k = int(rel.X), int(rel.Y), int(rel.Z)
+		if i >= g.Nx-1 {
+			if rel.X > float64(g.Nx-1)+1e-9 {
+				return 0, false
+			}
+			i = g.Nx - 2
+		}
+		if j >= g.Ny-1 {
+			if rel.Y > float64(g.Ny-1)+1e-9 {
+				return 0, false
+			}
+			j = g.Ny - 2
+		}
+		if k >= g.Nz-1 {
+			if rel.Z > float64(g.Nz-1)+1e-9 {
+				return 0, false
+			}
+			k = g.Nz - 2
+		}
+		fx, fy, fz = rel.X-float64(i), rel.Y-float64(j), rel.Z-float64(k)
+	} else {
+		var ok bool
+		i, fx, ok = locateRect(g.XCoords, pos.X)
+		if !ok {
+			return 0, false
+		}
+		j, fy, ok = locateRect(g.YCoords, pos.Y)
+		if !ok {
+			return 0, false
+		}
+		k, fz, ok = locateRect(g.ZCoords, pos.Z)
+		if !ok {
+			return 0, false
+		}
+	}
+	v000 := s.vals[g.PointIndex(i, j, k)]
+	v100 := s.vals[g.PointIndex(i+1, j, k)]
+	v010 := s.vals[g.PointIndex(i, j+1, k)]
+	v110 := s.vals[g.PointIndex(i+1, j+1, k)]
+	v001 := s.vals[g.PointIndex(i, j, k+1)]
+	v101 := s.vals[g.PointIndex(i+1, j, k+1)]
+	v011 := s.vals[g.PointIndex(i, j+1, k+1)]
+	v111 := s.vals[g.PointIndex(i+1, j+1, k+1)]
+	c00 := v000 + fx*(v100-v000)
+	c10 := v010 + fx*(v110-v010)
+	c01 := v001 + fx*(v101-v001)
+	c11 := v011 + fx*(v111-v011)
+	c0 := c00 + fy*(c10-c00)
+	c1 := c01 + fy*(c11-c01)
+	return c0 + fz*(c1-c0), true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,431 @@
+package volume
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"insitu/internal/device"
+	"insitu/internal/dpp"
+	"insitu/internal/framebuffer"
+	"insitu/internal/mesh"
+	"insitu/internal/render"
+	"insitu/internal/vecmath"
+)
+
+// UnstructuredOptions configures the multi-pass tetrahedral sampler.
+type UnstructuredOptions struct {
+	Width, Height int
+	Camera        render.Camera
+	// SamplesZ is the number of samples in depth across the whole view
+	// (the paper's S; it uses 1000 at 1024^2, default here 200).
+	SamplesZ int
+	// Passes splits the sample buffer in depth to bound memory; each pass
+	// runs the four phases over its slab (default 1).
+	Passes int
+	// TF overrides the default transfer function.
+	TF *framebuffer.TransferFunction
+	// FieldRange fixes scalar normalization; zeros mean auto.
+	FieldRange [2]float64
+}
+
+// UnstructuredStats reports the per-phase timings of Algorithm 2 plus
+// workload measures.
+type UnstructuredStats struct {
+	Phases        render.Timings
+	ActivePixels  int
+	PassCount     int
+	TetsProcessed int64 // sum of active tets over passes (the paper's m)
+	TotalSamples  int64
+	Objects       int
+}
+
+// UnstructuredRenderer renders one tetrahedral mesh.
+type UnstructuredRenderer struct {
+	Dev  *device.Device
+	Mesh *mesh.TetMesh
+}
+
+// NewUnstructured prepares a renderer.
+func NewUnstructured(dev *device.Device, m *mesh.TetMesh) *UnstructuredRenderer {
+	if m.ScalarMin == 0 && m.ScalarMax == 0 {
+		m.UpdateScalarRange()
+	}
+	return &UnstructuredRenderer{Dev: dev, Mesh: m}
+}
+
+// sampleNaN is the empty-sample sentinel stored in the slab buffer.
+var sampleNaN = math.Float32bits(float32(math.NaN()))
+
+// screenTet is one tetrahedron in screen space with per-corner scalars.
+type screenTet struct {
+	x, y, z [4]float64
+	s       [4]float64
+}
+
+// Render executes Algorithm 2: an initialization map computes each tet's
+// depth-pass range; every pass then runs Pass Selection (threshold,
+// reduce, scan, reverse-index, gather), Screen Space Transformation (map),
+// Sampling (map over active tets into the slab's sample buffer), and
+// Compositing (map over pixels), with early ray termination between
+// passes.
+func (r *UnstructuredRenderer) Render(opts UnstructuredOptions) (*framebuffer.Image, *UnstructuredStats, error) {
+	if opts.Width <= 0 || opts.Height <= 0 {
+		return nil, nil, fmt.Errorf("volume: invalid image size %dx%d", opts.Width, opts.Height)
+	}
+	if opts.SamplesZ <= 0 {
+		opts.SamplesZ = 200
+	}
+	if opts.Passes <= 0 {
+		opts.Passes = 1
+	}
+	if opts.Passes > opts.SamplesZ {
+		opts.Passes = opts.SamplesZ
+	}
+	tf := opts.TF
+	if tf == nil {
+		tf = framebuffer.DefaultTransferFunction()
+	}
+	m := r.Mesh
+	cam := opts.Camera.Normalized()
+	stats := &UnstructuredStats{PassCount: opts.Passes, Objects: m.NumTets()}
+	img := framebuffer.NewImage(opts.Width, opts.Height)
+	ntets := m.NumTets()
+	if ntets == 0 {
+		return img, stats, nil
+	}
+
+	lo, hi := opts.FieldRange[0], opts.FieldRange[1]
+	if lo == 0 && hi == 0 {
+		lo, hi = m.ScalarMin, m.ScalarMax
+	}
+	norm := render.Normalizer{Min: lo, Max: hi}
+
+	matrix := cam.Matrix(opts.Width, opts.Height)
+	view := vecmath.LookAt(cam.Position, cam.LookAt, cam.Up)
+	w, h := opts.Width, opts.Height
+	npix := w * h
+
+	// Project all vertices once; tets index the projected coordinates.
+	// Screen x/y come from the perspective transform; depth is the LINEAR
+	// view-space distance normalized to the data's own depth extent — the
+	// paper's setup of near/far planes "as close as possible without
+	// clipping away data", which keeps the S depth samples inside the
+	// volume instead of wasted on empty NDC range.
+	nverts := m.NumVertices()
+	sx := make([]float64, nverts)
+	sy := make([]float64, nverts)
+	sz := make([]float64, nverts)
+	behind := make([]bool, nverts)
+	startInit := time.Now()
+	dpp.For(r.Dev, nverts, func(vlo, vhi int) {
+		for v := vlo; v < vhi; v++ {
+			p, pw := matrix.TransformPoint(m.Vertex(int32(v)))
+			vp, _ := view.TransformPoint(m.Vertex(int32(v)))
+			if pw <= 0 || vp.Z >= 0 {
+				behind[v] = true
+				continue
+			}
+			sx[v], sy[v], sz[v] = p.X, p.Y, -vp.Z
+		}
+	})
+	// Normalize depths to [0,1] over the visible vertices.
+	dlo, dhi := math.Inf(1), math.Inf(-1)
+	for v := 0; v < nverts; v++ {
+		if behind[v] {
+			continue
+		}
+		dlo = math.Min(dlo, sz[v])
+		dhi = math.Max(dhi, sz[v])
+	}
+	if !(dhi > dlo) {
+		return img, stats, nil
+	}
+	invDepth := 1 / (dhi - dlo)
+	dpp.For(r.Dev, nverts, func(vlo, vhi int) {
+		for v := vlo; v < vhi; v++ {
+			if !behind[v] {
+				sz[v] = (sz[v] - dlo) * invDepth
+			}
+		}
+	})
+
+	// Initialization: min/max NDC depth per tet, converted to pass range.
+	minZ := make([]float64, ntets)
+	maxZ := make([]float64, ntets)
+	valid := make([]bool, ntets)
+	dpp.For(r.Dev, ntets, func(tlo, thi int) {
+		for t := tlo; t < thi; t++ {
+			zlo, zhi := math.Inf(1), math.Inf(-1)
+			xlo, xhi := math.Inf(1), math.Inf(-1)
+			ylo, yhi := math.Inf(1), math.Inf(-1)
+			ok := true
+			for c := 0; c < 4; c++ {
+				v := m.Conn[4*t+c]
+				if behind[v] {
+					ok = false
+					break
+				}
+				zlo = math.Min(zlo, sz[v])
+				zhi = math.Max(zhi, sz[v])
+				xlo = math.Min(xlo, sx[v])
+				xhi = math.Max(xhi, sx[v])
+				ylo = math.Min(ylo, sy[v])
+				yhi = math.Max(yhi, sy[v])
+			}
+			if !ok || zhi < 0 || zlo > 1 || xhi < 0 || xlo >= float64(w) || yhi < 0 || ylo >= float64(h) {
+				valid[t] = false
+				continue
+			}
+			valid[t] = true
+			minZ[t] = zlo
+			maxZ[t] = zhi
+		}
+	})
+	stats.Phases.Add("init", time.Since(startInit))
+
+	// The slab sample buffer holds float32 bits and is written atomically:
+	// neighboring tets may both own a boundary sample.
+	slabSamples := (opts.SamplesZ + opts.Passes - 1) / opts.Passes
+	samples := make([]uint32, npix*slabSamples)
+
+	// Accumulated premultiplied color per pixel across passes.
+	accum := make([]float64, 4*npix)
+	firstZ := make([]float64, npix)
+	for i := range firstZ {
+		firstZ[i] = math.Inf(1)
+	}
+
+	dz := 1.0 / float64(opts.SamplesZ)
+	var totalSamples int64
+
+	for pass := 0; pass < opts.Passes; pass++ {
+		s0 := pass * slabSamples
+		s1 := minInt(s0+slabSamples, opts.SamplesZ)
+		if s0 >= s1 {
+			break
+		}
+		zPassLo := float64(s0) * dz
+		zPassHi := float64(s1) * dz
+
+		// Pass Selection: threshold map + compaction (reduce/scan/gather).
+		start := time.Now()
+		flags := make([]bool, ntets)
+		dpp.For(r.Dev, ntets, func(tlo, thi int) {
+			for t := tlo; t < thi; t++ {
+				flags[t] = valid[t] && maxZ[t] >= zPassLo && minZ[t] < zPassHi
+			}
+		})
+		active := dpp.CompactIndices(r.Dev, flags)
+		stats.TetsProcessed += int64(len(active))
+		stats.Phases.Add("passselect", time.Since(start))
+
+		// Screen Space Transformation: gather active tets' projected
+		// vertices into a compact working set.
+		start = time.Now()
+		work := make([]screenTet, len(active))
+		dpp.For(r.Dev, len(active), func(alo, ahi int) {
+			for a := alo; a < ahi; a++ {
+				t := int(active[a])
+				var st screenTet
+				for c := 0; c < 4; c++ {
+					v := m.Conn[4*t+c]
+					st.x[c], st.y[c], st.z[c] = sx[v], sy[v], sz[v]
+					st.s[c] = m.Scalars[v]
+				}
+				work[a] = st
+			}
+		})
+		stats.Phases.Add("screenspace", time.Since(start))
+
+		// Sampling: for every active tet, test every (pixel, depth sample)
+		// in its screen bounding box with barycentric coordinates.
+		start = time.Now()
+		resetSamples(r.Dev, samples)
+		var passSamples int64
+		dpp.For(r.Dev, len(active), func(alo, ahi int) {
+			var local int64
+			for a := alo; a < ahi; a++ {
+				local += sampleTet(&work[a], samples, accum, w, h, s0, s1, slabSamples, dz)
+			}
+			atomic.AddInt64(&passSamples, local)
+		})
+		totalSamples += passSamples
+		stats.Phases.Add("sampling", time.Since(start))
+
+		// Compositing: fold the slab's samples into the per-pixel
+		// accumulators front to back.
+		start = time.Now()
+		refStep := 1.0 / 200
+		dpp.For(r.Dev, npix, func(plo, phi int) {
+			for p := plo; p < phi; p++ {
+				a := accum[4*p+3]
+				if a >= 0.99 {
+					continue
+				}
+				cr, cg, cb := accum[4*p], accum[4*p+1], accum[4*p+2]
+				for s := s0; s < s1; s++ {
+					bits := samples[p*slabSamples+(s-s0)]
+					if bits == sampleNaN {
+						continue
+					}
+					v := float64(math.Float32frombits(bits))
+					sr, sg, sb, sa := tf.Sample(norm.Normalize(v))
+					if sa <= 0 {
+						continue
+					}
+					sa = 1 - math.Pow(1-sa, dz/refStep)
+					wgt := (1 - a) * sa
+					cr += wgt * sr
+					cg += wgt * sg
+					cb += wgt * sb
+					a += wgt
+					z := float64(s) * dz
+					if z < firstZ[p] {
+						firstZ[p] = z
+					}
+					if a >= 0.99 {
+						break
+					}
+				}
+				accum[4*p], accum[4*p+1], accum[4*p+2], accum[4*p+3] = cr, cg, cb, a
+			}
+		})
+		stats.Phases.Add("composite", time.Since(start))
+	}
+
+	for p := 0; p < npix; p++ {
+		if accum[4*p+3] > 0 {
+			img.Set(p%w, p/w,
+				float32(accum[4*p]), float32(accum[4*p+1]), float32(accum[4*p+2]), float32(accum[4*p+3]),
+				float32(firstZ[p]))
+		}
+	}
+	stats.TotalSamples = totalSamples
+	stats.ActivePixels = img.ActivePixels()
+	return img, stats, nil
+}
+
+// resetSamples refills the slab buffer with the empty sentinel.
+func resetSamples(d *device.Device, samples []uint32) {
+	dpp.For(d, len(samples), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			samples[i] = sampleNaN
+		}
+	})
+}
+
+// sampleTet rasterizes one screen-space tetrahedron into the slab buffer,
+// returning the number of samples written. Samples are stored with atomic
+// writes because tets sharing a face may both own a boundary sample.
+func sampleTet(st *screenTet, samples []uint32, accum []float64, w, h, s0, s1, slabSamples int, dz float64) int64 {
+	minX := int(math.Floor(min4(st.x)))
+	maxX := int(math.Ceil(max4(st.x)))
+	minY := int(math.Floor(min4(st.y)))
+	maxY := int(math.Ceil(max4(st.y)))
+	if minX < 0 {
+		minX = 0
+	}
+	if minY < 0 {
+		minY = 0
+	}
+	if maxX > w-1 {
+		maxX = w - 1
+	}
+	if maxY > h-1 {
+		maxY = h - 1
+	}
+	zlo := math.Max(min4(st.z), float64(s0)*dz)
+	zhi := math.Min(max4(st.z), float64(s1)*dz)
+	slo := int(math.Ceil(zlo / dz))
+	shi := int(math.Floor(zhi / dz))
+	if slo < s0 {
+		slo = s0
+	}
+	if shi >= s1 {
+		shi = s1 - 1
+	}
+	if minX > maxX || minY > maxY || slo > shi {
+		return 0
+	}
+
+	// Invert the barycentric system once per tet: p = v0 + M*(b1,b2,b3).
+	var mmat [9]float64
+	mmat[0] = st.x[1] - st.x[0]
+	mmat[1] = st.x[2] - st.x[0]
+	mmat[2] = st.x[3] - st.x[0]
+	mmat[3] = st.y[1] - st.y[0]
+	mmat[4] = st.y[2] - st.y[0]
+	mmat[5] = st.y[3] - st.y[0]
+	mmat[6] = st.z[1] - st.z[0]
+	mmat[7] = st.z[2] - st.z[0]
+	mmat[8] = st.z[3] - st.z[0]
+	inv, ok := invert3(mmat)
+	if !ok {
+		return 0
+	}
+
+	var written int64
+	for py := minY; py <= maxY; py++ {
+		fy := float64(py) + 0.5
+		for px := minX; px <= maxX; px++ {
+			p := py*w + px
+			// Early ray termination: skip already-opaque pixels.
+			if accum[4*p+3] >= 0.99 {
+				continue
+			}
+			fx := float64(px) + 0.5
+			for s := slo; s <= shi; s++ {
+				fz := float64(s) * dz
+				rx := fx - st.x[0]
+				ry := fy - st.y[0]
+				rz := fz - st.z[0]
+				b1 := inv[0]*rx + inv[1]*ry + inv[2]*rz
+				b2 := inv[3]*rx + inv[4]*ry + inv[5]*rz
+				b3 := inv[6]*rx + inv[7]*ry + inv[8]*rz
+				b0 := 1 - b1 - b2 - b3
+				const eps = -1e-9
+				if b0 < eps || b1 < eps || b2 < eps || b3 < eps {
+					continue
+				}
+				val := b0*st.s[0] + b1*st.s[1] + b2*st.s[2] + b3*st.s[3]
+				atomic.StoreUint32(&samples[p*slabSamples+(s-s0)], math.Float32bits(float32(val)))
+				written++
+			}
+		}
+	}
+	return written
+}
+
+// invert3 inverts a row-major 3x3 matrix.
+func invert3(m [9]float64) ([9]float64, bool) {
+	a, b, c := m[0], m[1], m[2]
+	d, e, f := m[3], m[4], m[5]
+	g, h, i := m[6], m[7], m[8]
+	det := a*(e*i-f*h) - b*(d*i-f*g) + c*(d*h-e*g)
+	if math.Abs(det) < 1e-18 {
+		return m, false
+	}
+	inv := 1 / det
+	return [9]float64{
+		(e*i - f*h) * inv, (c*h - b*i) * inv, (b*f - c*e) * inv,
+		(f*g - d*i) * inv, (a*i - c*g) * inv, (c*d - a*f) * inv,
+		(d*h - e*g) * inv, (b*g - a*h) * inv, (a*e - b*d) * inv,
+	}, true
+}
+
+func min4(v [4]float64) float64 {
+	return math.Min(math.Min(v[0], v[1]), math.Min(v[2], v[3]))
+}
+
+func max4(v [4]float64) float64 {
+	return math.Max(math.Max(v[0], v[1]), math.Max(v[2], v[3]))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

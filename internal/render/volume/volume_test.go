@@ -1,0 +1,294 @@
+package volume
+
+import (
+	"math"
+	"testing"
+
+	"insitu/internal/device"
+	"insitu/internal/mesh"
+	"insitu/internal/mesh/synthdata"
+	"insitu/internal/render"
+	"insitu/internal/vecmath"
+)
+
+func plumeGrid(n int) *mesh.StructuredGrid {
+	ds, _ := synthdata.ByName("nek")
+	return synthdata.Grid(ds.FieldName, ds.Func, n, n, n, synthdata.UnitBounds())
+}
+
+func TestStructuredRenderBasics(t *testing.T) {
+	g := plumeGrid(20)
+	r, err := NewStructured(device.CPU(), g, "temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := StructuredOptions{
+		Width: 80, Height: 60,
+		Camera:  render.OrbitCamera(g.Bounds(), 30, 20, 1.0),
+		Samples: 120,
+	}
+	img, stats, err := r.Render(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ActivePixels == 0 {
+		t.Fatal("no active pixels")
+	}
+	if stats.SPR() <= 1 {
+		t.Errorf("SPR = %v", stats.SPR())
+	}
+	if stats.CellsSpanned != 19 {
+		t.Errorf("CS = %d", stats.CellsSpanned)
+	}
+	if stats.Objects != g.NumCells() {
+		t.Errorf("objects = %d", stats.Objects)
+	}
+	// Alpha values are valid.
+	for i := 3; i < len(img.Color); i += 4 {
+		a := img.Color[i]
+		if a < 0 || a > 1.0001 || math.IsNaN(float64(a)) {
+			t.Fatalf("alpha[%d] = %v", i/4, a)
+		}
+	}
+}
+
+func TestStructuredDeterministicAcrossDevices(t *testing.T) {
+	g := plumeGrid(14)
+	opts := StructuredOptions{
+		Width: 48, Height: 36,
+		Camera:  render.OrbitCamera(g.Bounds(), 30, 20, 1.0),
+		Samples: 80,
+	}
+	var ref []float32
+	for _, dev := range []*device.Device{device.Serial(), device.New("w4", 4)} {
+		r, err := NewStructured(dev, g, "temperature")
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, _, err := r.Render(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = img.Color
+			continue
+		}
+		for i := range ref {
+			if ref[i] != img.Color[i] {
+				t.Fatalf("channel %d differs across devices", i)
+			}
+		}
+	}
+}
+
+func TestStructuredSampleCountInvariance(t *testing.T) {
+	// Opacity correction should keep brightness stable when the sample
+	// budget changes.
+	g := plumeGrid(16)
+	r, err := NewStructured(device.CPU(), g, "temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := render.OrbitCamera(g.Bounds(), 30, 20, 1.0)
+	mean := func(samples int) float64 {
+		img, _, err := r.Render(StructuredOptions{Width: 48, Height: 36, Camera: cam, Samples: samples})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := 3; i < len(img.Color); i += 4 {
+			sum += float64(img.Color[i])
+		}
+		return sum
+	}
+	a100 := mean(100)
+	a400 := mean(400)
+	if a100 == 0 {
+		t.Fatal("no opacity at all")
+	}
+	ratio := a400 / a100
+	if ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("alpha not sample-count invariant: ratio %v", ratio)
+	}
+}
+
+func TestRectilinearMatchesUniform(t *testing.T) {
+	// A rectilinear grid with uniform coordinates must sample identically
+	// to the equivalent uniform grid.
+	n := 12
+	uni := plumeGrid(n)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i) / float64(n-1)
+	}
+	rect := mesh.NewRectilinearGrid(xs, xs, xs)
+	f, _ := uni.Field("temperature")
+	if err := rect.AddField("temperature", mesh.VertexAssoc, f.Values); err != nil {
+		t.Fatal(err)
+	}
+	opts := StructuredOptions{
+		Width: 32, Height: 24,
+		Camera:  render.OrbitCamera(uni.Bounds(), 30, 20, 1.0),
+		Samples: 60,
+	}
+	r1, err := NewStructured(device.Serial(), uni, "temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewStructured(device.Serial(), rect, "temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	img1, _, err := r1.Render(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img2, _, err := r2.Render(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img1.Color {
+		d := float64(img1.Color[i] - img2.Color[i])
+		if math.Abs(d) > 1e-4 {
+			t.Fatalf("rectilinear differs from uniform at channel %d: %v vs %v", i, img1.Color[i], img2.Color[i])
+		}
+	}
+}
+
+func TestUnstructuredRenderBasics(t *testing.T) {
+	g := plumeGrid(10)
+	tm, err := g.Tetrahedralize("temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewUnstructured(device.CPU(), tm)
+	opts := UnstructuredOptions{
+		Width: 64, Height: 48,
+		Camera:   render.OrbitCamera(g.Bounds(), 30, 20, 1.0),
+		SamplesZ: 80,
+	}
+	img, stats, err := r.Render(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ActivePixels == 0 {
+		t.Fatal("no active pixels")
+	}
+	if stats.TotalSamples == 0 || stats.TetsProcessed == 0 {
+		t.Errorf("samples=%d tets=%d", stats.TotalSamples, stats.TetsProcessed)
+	}
+	for _, phase := range []string{"init", "passselect", "screenspace", "sampling", "composite"} {
+		if stats.Phases.Get(phase) <= 0 {
+			t.Errorf("phase %q missing", phase)
+		}
+	}
+	_ = img
+}
+
+func TestUnstructuredMultiPassMatchesSinglePass(t *testing.T) {
+	g := plumeGrid(8)
+	tm, err := g.Tetrahedralize("temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := render.OrbitCamera(g.Bounds(), 30, 20, 1.0)
+	imgs := make([][]float32, 0, 3)
+	var processed []int64
+	for _, passes := range []int{1, 2, 4} {
+		r := NewUnstructured(device.Serial(), tm)
+		img, stats, err := r.Render(UnstructuredOptions{
+			Width: 48, Height: 36, Camera: cam, SamplesZ: 64, Passes: passes,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.PassCount != passes {
+			t.Errorf("pass count = %d", stats.PassCount)
+		}
+		imgs = append(imgs, img.Color)
+		processed = append(processed, stats.TetsProcessed)
+	}
+	for p := 1; p < len(imgs); p++ {
+		for i := range imgs[0] {
+			d := math.Abs(float64(imgs[0][i] - imgs[p][i]))
+			if d > 1e-4 {
+				t.Fatalf("pass variant %d differs at channel %d by %v", p, i, d)
+			}
+		}
+	}
+	// More passes re-select tets, so the summed active count grows.
+	if processed[2] < processed[0] {
+		t.Errorf("4-pass processed %d < 1-pass %d", processed[2], processed[0])
+	}
+}
+
+func TestUnstructuredMatchesStructuredCoverage(t *testing.T) {
+	// Rendering the same field as a structured grid and as its
+	// tetrahedralization must light up nearly the same pixels.
+	g := plumeGrid(12)
+	cam := render.OrbitCamera(g.Bounds(), 30, 20, 1.0)
+	w, h := 48, 36
+	rs, err := NewStructured(device.CPU(), g, "temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgS, _, err := rs.Render(StructuredOptions{Width: w, Height: h, Camera: cam, Samples: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := g.Tetrahedralize("temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgU, _, err := NewUnstructured(device.CPU(), tm).Render(UnstructuredOptions{
+		Width: w, Height: h, Camera: cam, SamplesZ: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, either := 0, 0
+	for i := 0; i < w*h; i++ {
+		s := imgS.Color[4*i+3] > 0.02
+		u := imgU.Color[4*i+3] > 0.02
+		if s || u {
+			either++
+		}
+		if s && u {
+			both++
+		}
+	}
+	if either == 0 {
+		t.Fatal("no coverage")
+	}
+	if overlap := float64(both) / float64(either); overlap < 0.75 {
+		t.Errorf("structured/unstructured coverage overlap %.2f", overlap)
+	}
+}
+
+func TestStructuredInvalidInputs(t *testing.T) {
+	g := plumeGrid(8)
+	if _, err := NewStructured(device.CPU(), g, "missing"); err == nil {
+		t.Error("expected missing-field error")
+	}
+	r, err := NewStructured(device.CPU(), g, "temperature")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Render(StructuredOptions{Width: 0, Height: 4}); err == nil {
+		t.Error("expected invalid-size error")
+	}
+}
+
+func TestUnstructuredEmptyMesh(t *testing.T) {
+	r := NewUnstructured(device.CPU(), &mesh.TetMesh{})
+	img, stats, err := r.Render(UnstructuredOptions{
+		Width: 16, Height: 16,
+		Camera: render.Camera{Position: vecmath.V(0, 0, 5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ActivePixels != 0 || img.ActivePixels() != 0 {
+		t.Error("empty mesh should render nothing")
+	}
+}

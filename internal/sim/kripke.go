@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"math"
+	"sync"
+
+	"insitu/internal/conduit"
+	"insitu/internal/vecmath"
+)
+
+// kripke is the deterministic discrete-ordinates transport proxy on a
+// uniform grid: eight octant directions sweep angular flux through an
+// absorbing medium with a rotating beam source; the published scalar flux
+// is the direction-weighted sum. The Kripke analogue.
+type kripke struct {
+	n      int
+	rank   int
+	bounds vecmath.AABB
+	origin vecmath.Vec3
+	h      float64
+	sigma  []float64 // absorption cross-section per node
+	phi    []float64 // scalar flux (published)
+	psi    [][]float64
+	cycle  int
+	time   float64
+}
+
+// octants are the eight diagonal sweep directions.
+var octants = [8][3]int{
+	{1, 1, 1}, {-1, 1, 1}, {1, -1, 1}, {-1, -1, 1},
+	{1, 1, -1}, {-1, 1, -1}, {1, -1, -1}, {-1, -1, -1},
+}
+
+func newKripke(n int, bounds vecmath.AABB, rank int) *kripke {
+	s := &kripke{n: n, rank: rank, bounds: bounds, origin: bounds.Min}
+	s.h = (bounds.Max.X - bounds.Min.X) / float64(n-1)
+	np := n * n * n
+	s.sigma = make([]float64, np)
+	s.phi = make([]float64, np)
+	s.psi = make([][]float64, len(octants))
+	for d := range s.psi {
+		s.psi[d] = make([]float64, np)
+	}
+	// Heterogeneous absorber: a dense slab plus lattice pins, the classic
+	// transport benchmark geometry.
+	idx := 0
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				p := s.point(i, j, k)
+				sig := 0.4
+				if p.Y > 0.45 && p.Y < 0.55 {
+					sig = 4.0 // slab
+				}
+				// Pin lattice in x/z.
+				fx := p.X*8 - math.Floor(p.X*8)
+				fz := p.Z*8 - math.Floor(p.Z*8)
+				if (fx-0.5)*(fx-0.5)+(fz-0.5)*(fz-0.5) < 0.04 {
+					sig += 2.5
+				}
+				s.sigma[idx] = sig
+				idx++
+			}
+		}
+	}
+	return s
+}
+
+func (s *kripke) point(i, j, k int) vecmath.Vec3 {
+	return vecmath.V(
+		s.origin.X+s.h*float64(i),
+		s.origin.Y+s.h*float64(j),
+		s.origin.Z+s.h*float64(k),
+	)
+}
+
+func (s *kripke) Name() string         { return "kripke" }
+func (s *kripke) Cycle() int           { return s.cycle }
+func (s *kripke) Time() float64        { return s.time }
+func (s *kripke) PrimaryField() string { return "phi" }
+
+func (s *kripke) idx(i, j, k int) int { return (k*s.n+j)*s.n + i }
+
+// Step performs one source iteration: a sweep per octant (octants run
+// concurrently; each sweep is sequential in its direction, the defining
+// dependency structure of Sn transport).
+func (s *kripke) Step() {
+	n := s.n
+	// The beam source rotates so the field evolves between cycles.
+	angle := float64(s.cycle) * 0.15
+	src := vecmath.V(0.5+0.3*math.Cos(angle), 0.2, 0.5+0.3*math.Sin(angle))
+
+	var wg sync.WaitGroup
+	wg.Add(len(octants))
+	for d := range octants {
+		go func(d int) {
+			defer wg.Done()
+			oct := octants[d]
+			psi := s.psi[d]
+			i0, i1, di := sweepRange(n, oct[0])
+			j0, j1, dj := sweepRange(n, oct[1])
+			k0, k1, dk := sweepRange(n, oct[2])
+			c := 1 / s.h
+			for k := k0; k != k1; k += dk {
+				for j := j0; j != j1; j += dj {
+					for i := i0; i != i1; i += di {
+						id := s.idx(i, j, k)
+						p := s.point(i, j, k)
+						q := 12 * math.Exp(-p.Sub(src).Length2()/0.004)
+						var inX, inY, inZ float64
+						if i-di >= 0 && i-di < n {
+							inX = psi[s.idx(i-di, j, k)]
+						}
+						if j-dj >= 0 && j-dj < n {
+							inY = psi[s.idx(i, j-dj, k)]
+						}
+						if k-dk >= 0 && k-dk < n {
+							inZ = psi[s.idx(i, j, k-dk)]
+						}
+						psi[id] = (q + c*(inX+inY+inZ)) / (s.sigma[id] + 3*c)
+					}
+				}
+			}
+		}(d)
+	}
+	wg.Wait()
+
+	// Scalar flux: equal-weight quadrature over octants.
+	w := 1.0 / float64(len(octants))
+	for i := range s.phi {
+		var sum float64
+		for d := range s.psi {
+			sum += s.psi[d][i]
+		}
+		s.phi[i] = sum * w
+	}
+	s.cycle++
+	s.time += 1
+}
+
+// Publish describes the uniform block and the scalar flux, zero-copy.
+func (s *kripke) Publish(node *conduit.Node) {
+	publishState(node, s.Name(), s.cycle, s.time, s.rank)
+	node.Set("coords/type", "uniform")
+	node.Set("coords/dims/i", s.n)
+	node.Set("coords/dims/j", s.n)
+	node.Set("coords/dims/k", s.n)
+	node.Set("coords/origin/x", s.origin.X)
+	node.Set("coords/origin/y", s.origin.Y)
+	node.Set("coords/origin/z", s.origin.Z)
+	node.Set("coords/spacing/dx", s.h)
+	node.Set("coords/spacing/dy", s.h)
+	node.Set("coords/spacing/dz", s.h)
+	node.Set("topology/type", "structured")
+	node.Set("fields/phi/association", "vertex")
+	node.Set("fields/phi/type", "scalar")
+	node.SetExternal("fields/phi/values", s.phi)
+	node.Set("fields/sigma/association", "vertex")
+	node.Set("fields/sigma/type", "scalar")
+	node.SetExternal("fields/sigma/values", s.sigma)
+}
+
+func sweepRange(n, dir int) (int, int, int) {
+	if dir > 0 {
+		return 0, n, 1
+	}
+	return n - 1, -1, -1
+}

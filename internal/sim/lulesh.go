@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"math"
+
+	"insitu/internal/conduit"
+	"insitu/internal/mesh"
+	"insitu/internal/vecmath"
+)
+
+// lulesh is the Lagrangian shock-hydrodynamics proxy: an unstructured hex
+// mesh whose nodes move with the flow of a point-energy (Sedov-style)
+// blast. Cell energy drives pressure, pressure gradients accelerate
+// nodes, and the mesh deforms — publishing explicit coordinates, hex
+// connectivity, an element-centered energy field, and a node-centered
+// pressure field. The LULESH analogue.
+type lulesh struct {
+	n          int // nodes per axis
+	rank       int
+	bounds     vecmath.AABB
+	x, y, z    []float64 // node coordinates (move every cycle)
+	vx, vy, vz []float64
+	conn       []int32   // hex connectivity
+	e          []float64 // element energy
+	p          []float64 // node pressure (derived each cycle)
+	scratch    []float64
+	cycle      int
+	time       float64
+	dt         float64
+}
+
+func newLulesh(n int, bounds vecmath.AABB, rank int) *lulesh {
+	g := mesh.NewUniformGrid(n, n, n, bounds)
+	np := g.NumPoints()
+	s := &lulesh{n: n, rank: rank, bounds: bounds, dt: 2e-4}
+	s.x = make([]float64, np)
+	s.y = make([]float64, np)
+	s.z = make([]float64, np)
+	s.vx = make([]float64, np)
+	s.vy = make([]float64, np)
+	s.vz = make([]float64, np)
+	s.p = make([]float64, np)
+	idx := 0
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				pt := g.Point(i, j, k)
+				s.x[idx], s.y[idx], s.z[idx] = pt.X, pt.Y, pt.Z
+				idx++
+			}
+		}
+	}
+	s.conn = g.HexConnectivity()
+	nhex := len(s.conn) / 8
+	s.e = make([]float64, nhex)
+	s.scratch = make([]float64, nhex)
+	// Sedov deposit: energy in the cells nearest the global blast origin.
+	origin := vecmath.V(0.5, 0.5, 0.5)
+	for h := 0; h < nhex; h++ {
+		c := s.cellCenter(h)
+		d2 := c.Sub(origin).Length2()
+		s.e[h] = 0.02 + 30*math.Exp(-d2/0.002)
+	}
+	return s
+}
+
+func (s *lulesh) cellCenter(h int) vecmath.Vec3 {
+	var cx, cy, cz float64
+	for c := 0; c < 8; c++ {
+		v := s.conn[8*h+c]
+		cx += s.x[v]
+		cy += s.y[v]
+		cz += s.z[v]
+	}
+	return vecmath.V(cx/8, cy/8, cz/8)
+}
+
+func (s *lulesh) Name() string         { return "lulesh" }
+func (s *lulesh) Cycle() int           { return s.cycle }
+func (s *lulesh) Time() float64        { return s.time }
+func (s *lulesh) PrimaryField() string { return "p" }
+
+// cellIdx flattens structured cell coordinates; the proxy retains the
+// block's logical structure even though it publishes unstructured hexes.
+func (s *lulesh) cellIdx(i, j, k int) int {
+	c := s.n - 1
+	return (k*c+j)*c + i
+}
+
+// Step advances one Lagrangian cycle.
+func (s *lulesh) Step() {
+	const gamma = 1.4
+	c := s.n - 1
+	nhex := len(s.e)
+
+	// Nodal forces from cell pressure: each cell pushes its corners away
+	// from its center in proportion to pressure (a simplified hourglass-
+	// free expansion force).
+	for h := 0; h < nhex; h++ {
+		press := (gamma - 1) * s.e[h]
+		center := s.cellCenter(h)
+		for cnr := 0; cnr < 8; cnr++ {
+			v := s.conn[8*h+cnr]
+			dir := vecmath.V(s.x[v], s.y[v], s.z[v]).Sub(center)
+			l := dir.Length()
+			if l < 1e-12 {
+				continue
+			}
+			f := press / l
+			s.vx[v] += s.dt * f * dir.X / l
+			s.vy[v] += s.dt * f * dir.Y / l
+			s.vz[v] += s.dt * f * dir.Z / l
+		}
+	}
+	// Integrate node positions with drag; clamp to 2x the block bounds so
+	// degenerate blow-ups cannot escape to infinity.
+	for v := range s.x {
+		s.vx[v] *= 0.995
+		s.vy[v] *= 0.995
+		s.vz[v] *= 0.995
+		s.x[v] += s.dt * s.vx[v]
+		s.y[v] += s.dt * s.vy[v]
+		s.z[v] += s.dt * s.vz[v]
+	}
+
+	// Energy diffusion over the structured 6-neighborhood plus decay as
+	// the blast does work on the mesh.
+	for k := 0; k < c; k++ {
+		for j := 0; j < c; j++ {
+			for i := 0; i < c; i++ {
+				id := s.cellIdx(i, j, k)
+				sum, cnt := 0.0, 0.0
+				for _, d := range [6][3]int{{1, 0, 0}, {-1, 0, 0}, {0, 1, 0}, {0, -1, 0}, {0, 0, 1}, {0, 0, -1}} {
+					ni, nj, nk := i+d[0], j+d[1], k+d[2]
+					if ni < 0 || nj < 0 || nk < 0 || ni >= c || nj >= c || nk >= c {
+						continue
+					}
+					sum += s.e[s.cellIdx(ni, nj, nk)]
+					cnt++
+				}
+				avg := s.e[id]
+				if cnt > 0 {
+					avg = sum / cnt
+				}
+				s.scratch[id] = 0.995 * (0.9*s.e[id] + 0.1*avg)
+			}
+		}
+	}
+	copy(s.e, s.scratch)
+
+	// Node pressure for plotting: element pressure averaged to nodes.
+	const gammaM1 = gamma - 1
+	for v := range s.p {
+		s.p[v] = 0
+	}
+	counts := make([]float64, len(s.p))
+	for h := 0; h < nhex; h++ {
+		press := gammaM1 * s.e[h]
+		for cnr := 0; cnr < 8; cnr++ {
+			v := s.conn[8*h+cnr]
+			s.p[v] += press
+			counts[v]++
+		}
+	}
+	for v := range s.p {
+		if counts[v] > 0 {
+			s.p[v] /= counts[v]
+		}
+	}
+	s.cycle++
+	s.time += s.dt
+}
+
+// Publish describes the deforming hex mesh, zero-copy: the coordinate and
+// field arrays are referenced, not duplicated, so each cycle's Publish is
+// cheap (the paper's R11).
+func (s *lulesh) Publish(node *conduit.Node) {
+	publishState(node, s.Name(), s.cycle, s.time, s.rank)
+	node.Set("coords/type", "explicit")
+	node.SetExternal("coords/x", s.x)
+	node.SetExternal("coords/y", s.y)
+	node.SetExternal("coords/z", s.z)
+	node.Set("topology/type", "unstructured")
+	node.Set("topology/elements/shape", "hexs")
+	node.SetExternal("topology/elements/connectivity", s.conn)
+	node.Set("fields/e/association", "element")
+	node.Set("fields/e/type", "scalar")
+	node.SetExternal("fields/e/values", s.e)
+	node.Set("fields/p/association", "vertex")
+	node.Set("fields/p/type", "scalar")
+	node.SetExternal("fields/p/values", s.p)
+}

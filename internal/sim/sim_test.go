@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"insitu/internal/conduit"
+)
+
+func TestUnknownProxyRejected(t *testing.T) {
+	if _, err := New("nope", 8, 1, 0); err == nil {
+		t.Error("expected error for unknown proxy")
+	}
+	if _, err := New("kripke", 2, 1, 0); err == nil {
+		t.Error("expected error for tiny block")
+	}
+	if _, err := New("kripke", 8, 2, 5); err == nil {
+		t.Error("expected error for bad rank")
+	}
+}
+
+func TestAllProxiesStepAndStayFinite(t *testing.T) {
+	for _, name := range Names() {
+		s, err := New(name, 10, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != name {
+			t.Errorf("name = %q", s.Name())
+		}
+		for cyc := 0; cyc < 5; cyc++ {
+			s.Step()
+		}
+		if s.Cycle() != 5 {
+			t.Errorf("%s: cycle = %d", name, s.Cycle())
+		}
+		if s.Time() <= 0 {
+			t.Errorf("%s: time = %v", name, s.Time())
+		}
+		node := conduit.NewNode()
+		s.Publish(node)
+		field := "fields/" + s.PrimaryField() + "/values"
+		vals, err := node.Float64Slice(field)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		varied := false
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: value %d not finite: %v", name, i, v)
+			}
+			if i > 0 && v != vals[0] {
+				varied = true
+			}
+		}
+		if !varied {
+			t.Errorf("%s: primary field is constant after 5 cycles", name)
+		}
+	}
+}
+
+func TestFieldsEvolve(t *testing.T) {
+	for _, name := range Names() {
+		s, err := New(name, 10, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := conduit.NewNode()
+		s.Publish(node)
+		before, err := node.Float64Slice("fields/" + s.PrimaryField() + "/values")
+		if err != nil {
+			t.Fatal(err)
+		}
+		snapshot := append([]float64(nil), before...)
+		for i := 0; i < 3; i++ {
+			s.Step()
+		}
+		diff := 0.0
+		for i := range snapshot {
+			diff += math.Abs(before[i] - snapshot[i])
+		}
+		if diff == 0 {
+			t.Errorf("%s: field did not evolve (zero-copy publish should expose changes)", name)
+		}
+	}
+}
+
+func TestPublishIsZeroCopy(t *testing.T) {
+	s, err := New("kripke", 8, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := conduit.NewNode()
+	s.Publish(node)
+	leaf, ok := node.Get("fields/phi/values")
+	if !ok || !leaf.External() {
+		t.Error("primary field should be published external (zero-copy)")
+	}
+}
+
+func TestStatePublished(t *testing.T) {
+	for _, name := range Names() {
+		s, err := New(name, 8, 4, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Step()
+		node := conduit.NewNode()
+		s.Publish(node)
+		if v, err := node.Int("state/cycle"); err != nil || v != 1 {
+			t.Errorf("%s: cycle = %v, %v", name, v, err)
+		}
+		if v, err := node.Int("state/domain"); err != nil || v != 2 {
+			t.Errorf("%s: domain = %v, %v", name, v, err)
+		}
+		if v, err := node.String("state/name"); err != nil || v != name {
+			t.Errorf("%s: name = %v, %v", name, v, err)
+		}
+	}
+}
+
+func TestBlocksAreDisjoint(t *testing.T) {
+	// With 2 tasks, the blocks must not overlap in space.
+	a, err := New("cloverleaf", 8, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("cloverleaf", 8, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, nb := conduit.NewNode(), conduit.NewNode()
+	a.Publish(na)
+	b.Publish(nb)
+	xa, _ := na.Float64Slice("coords/x")
+	xb, _ := nb.Float64Slice("coords/x")
+	if xa[len(xa)-1] > xb[0]+1e-12 && xb[len(xb)-1] > xa[0]+1e-12 {
+		// Overlapping x-ranges are fine if split along another axis; check
+		// that at least one axis separates them.
+		ya, _ := na.Float64Slice("coords/y")
+		yb, _ := nb.Float64Slice("coords/y")
+		za, _ := na.Float64Slice("coords/z")
+		zb, _ := nb.Float64Slice("coords/z")
+		sep := xa[len(xa)-1] <= xb[0]+1e-12 || xb[len(xb)-1] <= xa[0]+1e-12 ||
+			ya[len(ya)-1] <= yb[0]+1e-12 || yb[len(yb)-1] <= ya[0]+1e-12 ||
+			za[len(za)-1] <= zb[0]+1e-12 || zb[len(zb)-1] <= za[0]+1e-12
+		if !sep {
+			t.Error("blocks of ranks 0 and 1 overlap")
+		}
+	}
+}
+
+func TestLuleshMeshDeforms(t *testing.T) {
+	s, err := New("lulesh", 8, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := conduit.NewNode()
+	s.Publish(node)
+	xs, _ := node.Float64Slice("coords/x")
+	x0 := append([]float64(nil), xs...)
+	for i := 0; i < 10; i++ {
+		s.Step()
+	}
+	moved := 0.0
+	for i := range xs {
+		moved += math.Abs(xs[i] - x0[i])
+	}
+	if moved == 0 {
+		t.Error("Lagrangian mesh did not move")
+	}
+	for i := range xs {
+		if math.IsNaN(xs[i]) {
+			t.Fatal("node position went NaN")
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Package stats supplies the statistical machinery of the modeling
+// methodology (paper §5.3): multiple linear regression by ordinary least
+// squares, the R-squared / residual standard deviation diagnostics, the
+// Pearson correlation screen, k-fold cross validation, accuracy
+// percentile summaries, and Latin-hypercube-style stratified sampling for
+// the study design.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Fit is a fitted linear model y ~ X*coef (no implicit intercept: include
+// a ones column in X for one).
+type Fit struct {
+	Coef       []float64
+	R2         float64
+	AdjR2      float64
+	ResidualSD float64
+	N          int // observations
+	P          int // parameters
+}
+
+// Regress fits y ~ X by ordinary least squares via the normal equations
+// with partial-pivot Gaussian elimination.
+func Regress(X [][]float64, y []float64) (*Fit, error) {
+	n := len(X)
+	if n == 0 || n != len(y) {
+		return nil, fmt.Errorf("stats: %d rows vs %d responses", n, len(y))
+	}
+	p := len(X[0])
+	if p == 0 {
+		return nil, fmt.Errorf("stats: zero predictors")
+	}
+	for i, row := range X {
+		if len(row) != p {
+			return nil, fmt.Errorf("stats: row %d has %d columns, want %d", i, len(row), p)
+		}
+	}
+	// Normal equations: (X'X) b = X'y.
+	xtx := make([][]float64, p)
+	xty := make([]float64, p)
+	for i := 0; i < p; i++ {
+		xtx[i] = make([]float64, p)
+	}
+	for r, row := range X {
+		for i := 0; i < p; i++ {
+			xty[i] += row[i] * y[r]
+			for j := i; j < p; j++ {
+				xtx[i][j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < i; j++ {
+			xtx[i][j] = xtx[j][i]
+		}
+	}
+	coef, err := solve(xtx, xty)
+	if err != nil {
+		return nil, err
+	}
+
+	// Diagnostics.
+	var ybar float64
+	for _, v := range y {
+		ybar += v
+	}
+	ybar /= float64(n)
+	var ssTot, ssRes float64
+	for r, row := range X {
+		pred := dot(row, coef)
+		d := y[r] - pred
+		ssRes += d * d
+		t := y[r] - ybar
+		ssTot += t * t
+	}
+	fit := &Fit{Coef: coef, N: n, P: p}
+	if ssTot > 0 {
+		fit.R2 = 1 - ssRes/ssTot
+	} else {
+		fit.R2 = 1
+	}
+	if n > p {
+		fit.ResidualSD = math.Sqrt(ssRes / float64(n-p))
+		denom := float64(n - p)
+		fit.AdjR2 = 1 - (1-fit.R2)*float64(n-1)/denom
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fitted model on one predictor row.
+func (f *Fit) Predict(x []float64) float64 { return dot(x, f.Coef) }
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("stats: singular system (column %d); predictors may be collinear", col)
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] * inv
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m[i][n] / m[i][i]
+	}
+	return out, nil
+}
+
+// Pearson returns the linear correlation coefficient of x and y.
+func Pearson(x, y []float64) float64 {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return 0
+	}
+	var mx, my float64
+	for i := range x {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// CVResult holds cross-validation predictions aligned with the input rows.
+type CVResult struct {
+	Predicted []float64
+	Actual    []float64
+}
+
+// KFoldCV runs k-fold cross validation: rows are shuffled with the seed,
+// split into k folds, and each fold is predicted by a model fitted to the
+// other folds (the paper uses k = 3).
+func KFoldCV(k int, X [][]float64, y []float64, seed int64) (*CVResult, error) {
+	n := len(X)
+	if k < 2 || n < k {
+		return nil, fmt.Errorf("stats: cannot %d-fold %d rows", k, n)
+	}
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	res := &CVResult{Predicted: make([]float64, n), Actual: make([]float64, n)}
+	for fold := 0; fold < k; fold++ {
+		var trainX [][]float64
+		var trainY []float64
+		var test []int
+		for pos, row := range idx {
+			if pos%k == fold {
+				test = append(test, row)
+			} else {
+				trainX = append(trainX, X[row])
+				trainY = append(trainY, y[row])
+			}
+		}
+		fit, err := Regress(trainX, trainY)
+		if err != nil {
+			return nil, fmt.Errorf("stats: fold %d: %w", fold, err)
+		}
+		for _, row := range test {
+			res.Predicted[row] = fit.Predict(X[row])
+			res.Actual[row] = y[row]
+		}
+	}
+	return res, nil
+}
+
+// ErrorPct returns the paper's signed relative error percentage,
+// 100*(actual-predicted)/actual, per row.
+func (r *CVResult) ErrorPct() []float64 {
+	out := make([]float64, len(r.Actual))
+	for i := range out {
+		if r.Actual[i] != 0 {
+			out[i] = 100 * (r.Actual[i] - r.Predicted[i]) / r.Actual[i]
+		}
+	}
+	return out
+}
+
+// WithinPct returns the fraction of rows whose absolute relative error is
+// at most p percent.
+func (r *CVResult) WithinPct(p float64) float64 {
+	if len(r.Actual) == 0 {
+		return 0
+	}
+	count := 0
+	for _, e := range r.ErrorPct() {
+		if math.Abs(e) <= p {
+			count++
+		}
+	}
+	return float64(count) / float64(len(r.Actual))
+}
+
+// MeanAbsPct returns the mean absolute relative error percentage.
+func (r *CVResult) MeanAbsPct() float64 {
+	if len(r.Actual) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range r.ErrorPct() {
+		sum += math.Abs(e)
+	}
+	return sum / float64(len(r.Actual))
+}
+
+// LatinHypercube returns n stratified samples in [0,1)^dims: each
+// dimension is split into n strata with one sample per stratum, randomly
+// paired across dimensions (the paper's image/data size sampling).
+func LatinHypercube(n, dims int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, dims)
+	}
+	for d := 0; d < dims; d++ {
+		perm := rng.Perm(n)
+		for i := 0; i < n; i++ {
+			out[i][d] = (float64(perm[i]) + rng.Float64()) / float64(n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRegressRecoversPlantedCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	want := []float64{2.5, -1.25, 7}
+	n := 200
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x1, x2 := rng.Float64()*10, rng.Float64()*5
+		X[i] = []float64{x1, x2, 1}
+		y[i] = want[0]*x1 + want[1]*x2 + want[2]
+	}
+	fit, err := Regress(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(fit.Coef[i]-want[i]) > 1e-9 {
+			t.Errorf("coef[%d] = %v want %v", i, fit.Coef[i], want[i])
+		}
+	}
+	if fit.R2 < 1-1e-12 {
+		t.Errorf("R2 = %v for exact linear data", fit.R2)
+	}
+	if fit.ResidualSD > 1e-9 {
+		t.Errorf("residual SD = %v", fit.ResidualSD)
+	}
+}
+
+func TestRegressWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 500
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 100
+		X[i] = []float64{x, 1}
+		y[i] = 3*x + 5 + rng.NormFloat64()*2
+	}
+	fit, err := Regress(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Coef[0]-3) > 0.05 || math.Abs(fit.Coef[1]-5) > 1 {
+		t.Errorf("coef = %v", fit.Coef)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+	if fit.ResidualSD < 1 || fit.ResidualSD > 3 {
+		t.Errorf("residual SD = %v, want ~2", fit.ResidualSD)
+	}
+}
+
+func TestRegressSingularDetected(t *testing.T) {
+	// Perfectly collinear predictors.
+	X := [][]float64{{1, 2, 1}, {2, 4, 1}, {3, 6, 1}, {4, 8, 1}}
+	y := []float64{1, 2, 3, 4}
+	if _, err := Regress(X, y); err == nil {
+		t.Error("expected singular-system error")
+	}
+}
+
+func TestRegressShapeErrors(t *testing.T) {
+	if _, err := Regress(nil, nil); err == nil {
+		t.Error("expected empty error")
+	}
+	if _, err := Regress([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Error("expected mismatch error")
+	}
+	if _, err := Regress([][]float64{{1, 2}, {1}}, []float64{1, 2}); err == nil {
+		t.Error("expected ragged error")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yPos := []float64{2, 4, 6, 8, 10}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(x, yPos); math.Abs(r-1) > 1e-12 {
+		t.Errorf("r = %v", r)
+	}
+	if r := Pearson(x, yNeg); math.Abs(r+1) > 1e-12 {
+		t.Errorf("r = %v", r)
+	}
+	if r := Pearson(x, []float64{3, 3, 3, 3, 3}); r != 0 {
+		t.Errorf("constant y should give 0, got %v", r)
+	}
+}
+
+func TestKFoldCVPredictsLinearData(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 90
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 10
+		X[i] = []float64{x, 1}
+		y[i] = 4*x + 1 + rng.NormFloat64()*0.01
+	}
+	res, err := KFoldCV(3, X, y, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Predicted) != n {
+		t.Fatalf("predictions = %d", len(res.Predicted))
+	}
+	if res.MeanAbsPct() > 1 {
+		t.Errorf("mean abs error = %v%%", res.MeanAbsPct())
+	}
+	if res.WithinPct(5) < 0.99 {
+		t.Errorf("within 5%% = %v", res.WithinPct(5))
+	}
+	// Every row was predicted by a model that never saw it; with near-exact
+	// data predictions still track actuals.
+	for i := range res.Actual {
+		if res.Actual[i] != y[i] {
+			t.Fatalf("actuals misaligned at %d", i)
+		}
+	}
+}
+
+func TestKFoldCVErrors(t *testing.T) {
+	if _, err := KFoldCV(5, [][]float64{{1}}, []float64{1}, 0); err == nil {
+		t.Error("expected too-few-rows error")
+	}
+}
+
+func TestErrorPctSign(t *testing.T) {
+	r := &CVResult{Predicted: []float64{8, 12}, Actual: []float64{10, 10}}
+	e := r.ErrorPct()
+	if math.Abs(e[0]-20) > 1e-12 || math.Abs(e[1]+20) > 1e-12 {
+		t.Errorf("errors = %v (want +20, -20)", e)
+	}
+	if w := r.WithinPct(25); w != 1 {
+		t.Errorf("within 25 = %v", w)
+	}
+	if w := r.WithinPct(10); w != 0 {
+		t.Errorf("within 10 = %v", w)
+	}
+}
+
+func TestLatinHypercubeStratification(t *testing.T) {
+	n := 16
+	pts := LatinHypercube(n, 2, 99)
+	if len(pts) != n {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Each dimension must have exactly one point per stratum.
+	for d := 0; d < 2; d++ {
+		seen := make([]bool, n)
+		for _, p := range pts {
+			if p[d] < 0 || p[d] >= 1 {
+				t.Fatalf("sample out of range: %v", p[d])
+			}
+			k := int(p[d] * float64(n))
+			if seen[k] {
+				t.Fatalf("dimension %d stratum %d hit twice", d, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestLatinHypercubeDeterministic(t *testing.T) {
+	a := LatinHypercube(8, 3, 5)
+	b := LatinHypercube(8, 3, 5)
+	for i := range a {
+		for d := range a[i] {
+			if a[i][d] != b[i][d] {
+				t.Fatal("LHS not deterministic for fixed seed")
+			}
+		}
+	}
+}

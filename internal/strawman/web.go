@@ -1,0 +1,73 @@
+package strawman
+
+import (
+	"bytes"
+	"net"
+	"net/http"
+	"sync"
+
+	"insitu/internal/framebuffer"
+)
+
+// ImageServer streams the most recent in situ image to a web browser,
+// the paper's R8 delivery requirement: results are consumable both as
+// files on disk and live over HTTP.
+type ImageServer struct {
+	mu     sync.Mutex
+	latest []byte
+	ln     net.Listener
+	srv    *http.Server
+}
+
+const indexPage = `<!doctype html>
+<html><head><title>strawman in situ</title>
+<meta http-equiv="refresh" content="1"></head>
+<body style="background:#222;color:#eee;font-family:monospace">
+<h3>strawman in situ stream</h3>
+<img src="/image.png" alt="waiting for first image...">
+</body></html>`
+
+// StartImageServer listens on addr and serves the stream.
+func StartImageServer(addr string) (*ImageServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &ImageServer{ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		_, _ = w.Write([]byte(indexPage))
+	})
+	mux.HandleFunc("/image.png", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		data := s.latest
+		s.mu.Unlock()
+		if data == nil {
+			http.Error(w, "no image yet", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "image/png")
+		_, _ = w.Write(data)
+	})
+	s.srv = &http.Server{Handler: mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *ImageServer) Addr() string { return s.ln.Addr().String() }
+
+// Update replaces the streamed image.
+func (s *ImageServer) Update(img *framebuffer.Image) {
+	var buf bytes.Buffer
+	if err := img.EncodePNG(&buf); err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.latest = buf.Bytes()
+	s.mu.Unlock()
+}
+
+// Close stops the server.
+func (s *ImageServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,427 @@
+// Package study is the experiment harness of §5.4: it generates the
+// rendering study plan (architectures x renderers x simulations x task
+// counts x Latin-hypercube-sampled data/image sizes), runs each
+// configuration on a simulated MPI world with per-phase instrumentation,
+// and reduces the measurements to model-fitting samples using the paper's
+// discipline — render several frames, discard the first, keep the slowest
+// task's average.
+package study
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"time"
+
+	"insitu/internal/comm"
+	"insitu/internal/composite"
+	"insitu/internal/conduit"
+	"insitu/internal/core"
+	"insitu/internal/device"
+	"insitu/internal/framebuffer"
+	"insitu/internal/mesh"
+	"insitu/internal/render"
+	"insitu/internal/render/raster"
+	"insitu/internal/render/raytrace"
+	"insitu/internal/render/volume"
+	"insitu/internal/sim"
+	"insitu/internal/stats"
+	"insitu/internal/strawman"
+)
+
+// Config is one study test configuration.
+type Config struct {
+	Arch      string
+	Renderer  core.Renderer
+	Sim       string
+	Tasks     int
+	ImageSize int // square images
+	N         int // grid points per axis per task
+	Frames    int // rendered frames; the first is discarded
+	Cycles    int // simulation cycles before rendering
+}
+
+// Row couples a configuration with its measured sample.
+type Row struct {
+	Config Config
+	Sample core.Sample
+}
+
+// Plan generates the study configurations. short shrinks the plan for
+// quick runs while preserving its structure.
+func Plan(short bool) []Config {
+	archs := []string{"serial", "cpu"}
+	taskCounts := []int{1, 2, 4}
+	pairs := 5
+	nLo, nHi := 12, 36
+	imgLo, imgHi := 80, 384
+	frames := 4
+	if short {
+		taskCounts = []int{1, 2}
+		pairs = 3
+		nLo, nHi = 10, 26
+		imgLo, imgHi = 64, 224
+		frames = 3
+	}
+	// Renderer/simulation combinations that make sense (the structured
+	// volume renderer cannot consume the Lagrangian proxy's unstructured
+	// mesh, mirroring the paper's "not all combinations made sense").
+	type combo struct {
+		r core.Renderer
+		s string
+	}
+	combos := []combo{
+		{core.RayTrace, "cloverleaf"}, {core.RayTrace, "kripke"}, {core.RayTrace, "lulesh"},
+		{core.Raster, "cloverleaf"}, {core.Raster, "kripke"}, {core.Raster, "lulesh"},
+		{core.Volume, "cloverleaf"}, {core.Volume, "kripke"},
+	}
+	lhs := stats.LatinHypercube(pairs, 2, 20160101)
+	var plan []Config
+	for _, arch := range archs {
+		for _, cb := range combos {
+			for _, tasks := range taskCounts {
+				for _, u := range lhs {
+					n := nLo + int(u[0]*float64(nHi-nLo))
+					img := imgLo + int(u[1]*float64(imgHi-imgLo))
+					plan = append(plan, Config{
+						Arch: arch, Renderer: cb.r, Sim: cb.s,
+						Tasks: tasks, ImageSize: img, N: n,
+						Frames: frames, Cycles: 1,
+					})
+				}
+			}
+		}
+	}
+	return plan
+}
+
+// Run executes every configuration, logging progress to w (nil for
+// silent), and returns the measured rows.
+func Run(plan []Config, w io.Writer) ([]Row, error) {
+	rows := make([]Row, 0, len(plan))
+	for i, cfg := range plan {
+		row, err := RunConfig(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("study: config %d (%+v): %w", i, cfg, err)
+		}
+		rows = append(rows, row)
+		if w != nil {
+			fmt.Fprintf(w, "[%3d/%3d] %-7s %-10s %-10s tasks=%d n=%d img=%d render=%.4fs\n",
+				i+1, len(plan), cfg.Arch, cfg.Renderer, cfg.Sim,
+				cfg.Tasks, cfg.N, cfg.ImageSize, row.Sample.RenderTime)
+		}
+	}
+	return rows, nil
+}
+
+// Samples extracts the model-fitting samples.
+func Samples(rows []Row) []core.Sample {
+	out := make([]core.Sample, len(rows))
+	for i, r := range rows {
+		out[i] = r.Sample
+	}
+	return out
+}
+
+// RunConfig measures one configuration on a fresh world.
+func RunConfig(cfg Config) (Row, error) {
+	if cfg.Frames < 2 {
+		cfg.Frames = 2
+	}
+	if cfg.Cycles < 1 {
+		cfg.Cycles = 1
+	}
+	world := comm.NewWorld(cfg.Tasks)
+	samples, err := comm.RunCollect(world, func(c *comm.Comm) (core.Sample, error) {
+		return runTask(cfg, c)
+	})
+	if err != nil {
+		return Row{}, err
+	}
+	return Row{Config: cfg, Sample: samples[0]}, nil
+}
+
+// runTask is one task's share of a configuration; all returned samples
+// agree because the measurements are reduced across the world.
+func runTask(cfg Config, c *comm.Comm) (core.Sample, error) {
+	dev, err := device.Profile(cfg.Arch)
+	if err != nil {
+		return core.Sample{}, err
+	}
+	sm, err := sim.New(cfg.Sim, cfg.N, cfg.Tasks, c.Rank())
+	if err != nil {
+		return core.Sample{}, err
+	}
+	for i := 0; i < cfg.Cycles; i++ {
+		sm.Step()
+	}
+	node := conduit.NewNode()
+	sm.Publish(node)
+	pm, err := strawman.ParseMesh(node)
+	if err != nil {
+		return core.Sample{}, err
+	}
+	vals, err := pm.FieldValues(sm.PrimaryField())
+	if err != nil {
+		return core.Sample{}, err
+	}
+
+	// Globally consistent camera and scalar range.
+	lb := pm.LocalBounds()
+	gb := lb
+	flo, fhi := fieldRange(vals)
+	if cfg.Tasks > 1 {
+		gb.Min.X = c.AllReduceMin(lb.Min.X)
+		gb.Min.Y = c.AllReduceMin(lb.Min.Y)
+		gb.Min.Z = c.AllReduceMin(lb.Min.Z)
+		gb.Max.X = c.AllReduceMax(lb.Max.X)
+		gb.Max.Y = c.AllReduceMax(lb.Max.Y)
+		gb.Max.Z = c.AllReduceMax(lb.Max.Z)
+		flo = c.AllReduceMin(flo)
+		fhi = c.AllReduceMax(fhi)
+	}
+	cam := render.OrbitCamera(gb, 30, 20, 1.0)
+
+	sample := core.Sample{
+		Arch:     cfg.Arch,
+		Renderer: cfg.Renderer,
+		In:       Inputs0(cfg), // pixels/tasks prefilled
+	}
+
+	var renderFrame func() (time.Duration, *framebuffer.Image, error)
+	op := composite.DepthOp
+
+	switch cfg.Renderer {
+	case core.RayTrace, core.Raster:
+		tri, err := pm.Surface(sm.PrimaryField(), vals)
+		if err != nil {
+			return core.Sample{}, err
+		}
+		tri.ScalarMin, tri.ScalarMax = flo, fhi
+		if cfg.Renderer == core.RayTrace {
+			raytrace.New(dev, tri) // warm-up build (cold-cache effects)
+			rdr := raytrace.New(dev, tri)
+			sample.BuildTime = rdr.BVH.BuildTime.Seconds()
+			opts := raytrace.Options{
+				Width: cfg.ImageSize, Height: cfg.ImageSize,
+				Camera: cam, Workload: raytrace.Workload2,
+			}
+			renderFrame = func() (time.Duration, *framebuffer.Image, error) {
+				start := time.Now()
+				img, st, err := rdr.Render(opts)
+				if err != nil {
+					return 0, nil, err
+				}
+				sample.In.O = float64(st.Objects)
+				sample.In.AP = float64(st.ActivePixels)
+				return time.Since(start), img, nil
+			}
+		} else {
+			rdr := raster.New(dev, tri)
+			opts := raster.Options{Width: cfg.ImageSize, Height: cfg.ImageSize, Camera: cam}
+			renderFrame = func() (time.Duration, *framebuffer.Image, error) {
+				start := time.Now()
+				img, st, err := rdr.Render(opts)
+				if err != nil {
+					return 0, nil, err
+				}
+				sample.In.O = float64(st.Objects)
+				sample.In.AP = float64(st.ActivePixels)
+				sample.In.VO = float64(st.VisibleObjects)
+				sample.In.PPT = st.PPT()
+				return time.Since(start), img, nil
+			}
+		}
+	case core.Volume:
+		op = composite.BlendOp
+		if pm.Grid == nil {
+			return core.Sample{}, fmt.Errorf("volume renderer needs a structured block (sim %q)", cfg.Sim)
+		}
+		fieldName := sm.PrimaryField()
+		if _, ok := pm.Grid.Fields[fieldName]; !ok {
+			if err := pm.Grid.AddField(fieldName, mesh.VertexAssoc, vals); err != nil {
+				return core.Sample{}, err
+			}
+		}
+		vr, err := volume.NewStructured(dev, pm.Grid, fieldName)
+		if err != nil {
+			return core.Sample{}, err
+		}
+		opts := volume.StructuredOptions{
+			Width: cfg.ImageSize, Height: cfg.ImageSize,
+			Camera: cam, FieldRange: [2]float64{flo, fhi},
+		}
+		renderFrame = func() (time.Duration, *framebuffer.Image, error) {
+			start := time.Now()
+			img, st, err := vr.Render(opts)
+			if err != nil {
+				return 0, nil, err
+			}
+			sample.In.O = float64(st.Objects)
+			sample.In.AP = float64(st.ActivePixels)
+			sample.In.SPR = st.SPR()
+			sample.In.CS = float64(st.CellsSpanned)
+			return time.Since(start), img, nil
+		}
+	default:
+		return core.Sample{}, fmt.Errorf("unknown renderer %q", cfg.Renderer)
+	}
+
+	// Visibility order for volume compositing.
+	var order []int
+	if op == composite.BlendOp && cfg.Tasks > 1 {
+		depth := lb.Center().Sub(cam.Position).Length()
+		parts := c.Gather(0, []float32{float32(depth)})
+		orderF := make([]float32, cfg.Tasks)
+		if c.Rank() == 0 {
+			depths := make([]float64, cfg.Tasks)
+			for r, p := range parts {
+				depths[r] = float64(p[0])
+			}
+			for i, r := range composite.VisibilityOrder(depths) {
+				orderF[i] = float32(r)
+			}
+		}
+		orderF = c.Bcast(0, orderF)
+		order = make([]int, len(orderF))
+		for i, f := range orderF {
+			order[i] = int(f)
+		}
+	}
+
+	// Warm-up frame: discarded, as in the paper, and used to calibrate
+	// how many measured frames are needed for a stable mean (fast renders
+	// repeat more to beat scheduler noise).
+	oneFrame := func() (float64, float64, error) {
+		var elapsed time.Duration
+		var img *framebuffer.Image
+		var err error
+		if cfg.Tasks > 1 {
+			// Tasks render in turn so each measurement sees dedicated
+			// hardware, matching the paper's one-task-per-node setup (this
+			// sandbox shares two cores among all simulated tasks).
+			for r := 0; r < c.Size(); r++ {
+				if c.Rank() == r {
+					elapsed, img, err = renderFrame()
+				}
+				c.Barrier()
+			}
+		} else {
+			elapsed, img, err = renderFrame()
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		var compElapsed time.Duration
+		if cfg.Tasks > 1 {
+			_, st, err := composite.BinarySwap().Composite(c, img, op, order)
+			if err != nil {
+				return 0, 0, err
+			}
+			compElapsed = st.Elapsed
+		}
+		rt := elapsed.Seconds()
+		ct := compElapsed.Seconds()
+		if cfg.Tasks > 1 {
+			// Rendering is only as fast as the slowest task.
+			rt = c.AllReduceMax(rt)
+			ct = c.AllReduceMax(ct)
+		}
+		return rt, ct, nil
+	}
+	warm, _, err := oneFrame()
+	if err != nil {
+		return core.Sample{}, err
+	}
+	kept := cfg.Frames - 1
+	if target := int(math.Ceil(0.1 / math.Max(warm, 1e-4))); target > kept {
+		kept = target
+	}
+	if kept > 16 {
+		kept = 16
+	}
+	var renderSum, compSum float64
+	for frame := 0; frame < kept; frame++ {
+		rt, ct, err := oneFrame()
+		if err != nil {
+			return core.Sample{}, err
+		}
+		renderSum += rt
+		compSum += ct
+	}
+	sample.RenderTime = renderSum / float64(kept)
+	sample.CompositeTime = compSum / float64(kept)
+
+	// Average active pixels across tasks feeds the compositing model.
+	if cfg.Tasks > 1 {
+		sample.In.AvgAP = c.AllReduceSum(sample.In.AP) / float64(cfg.Tasks)
+		// The model's AP is the slowest task's; reduce for consistency.
+		sample.In.AP = c.AllReduceMax(sample.In.AP)
+		sample.In.O = c.AllReduceMax(sample.In.O)
+		if cfg.Renderer == core.Raster {
+			sample.In.VO = c.AllReduceMax(sample.In.VO)
+			sample.In.PPT = c.AllReduceMax(sample.In.PPT)
+		}
+		if cfg.Renderer == core.Volume {
+			sample.In.SPR = c.AllReduceMax(sample.In.SPR)
+		}
+		sample.BuildTime = c.AllReduceMax(sample.BuildTime)
+	} else {
+		sample.In.AvgAP = sample.In.AP
+	}
+	return sample, nil
+}
+
+// Inputs0 prefills the configuration-known inputs.
+func Inputs0(cfg Config) core.Inputs {
+	return core.Inputs{
+		Pixels: float64(cfg.ImageSize * cfg.ImageSize),
+		Tasks:  cfg.Tasks,
+	}
+}
+
+func fieldRange(vals []float64) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if !(hi >= lo) {
+		return 0, 1
+	}
+	return lo, hi
+}
+
+// WriteCSV dumps rows for offline analysis.
+func WriteCSV(w io.Writer, rows []Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"arch", "renderer", "sim", "tasks", "n", "image",
+		"objects", "active_pixels", "visible_objects", "ppt", "spr", "cs",
+		"avg_ap", "build_s", "render_s", "composite_s",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for _, r := range rows {
+		rec := []string{
+			r.Config.Arch, string(r.Config.Renderer), r.Config.Sim,
+			strconv.Itoa(r.Config.Tasks), strconv.Itoa(r.Config.N), strconv.Itoa(r.Config.ImageSize),
+			f(r.Sample.In.O), f(r.Sample.In.AP), f(r.Sample.In.VO), f(r.Sample.In.PPT),
+			f(r.Sample.In.SPR), f(r.Sample.In.CS), f(r.Sample.In.AvgAP),
+			f(r.Sample.BuildTime), f(r.Sample.RenderTime), f(r.Sample.CompositeTime),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

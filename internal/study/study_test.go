@@ -1,0 +1,153 @@
+package study
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"insitu/internal/core"
+)
+
+func tinyPlan() []Config {
+	return []Config{
+		{Arch: "cpu", Renderer: core.RayTrace, Sim: "kripke", Tasks: 1, ImageSize: 64, N: 10, Frames: 2},
+		{Arch: "cpu", Renderer: core.RayTrace, Sim: "lulesh", Tasks: 2, ImageSize: 64, N: 10, Frames: 2},
+		{Arch: "cpu", Renderer: core.Raster, Sim: "cloverleaf", Tasks: 2, ImageSize: 64, N: 10, Frames: 2},
+		{Arch: "cpu", Renderer: core.Volume, Sim: "cloverleaf", Tasks: 2, ImageSize: 48, N: 10, Frames: 2},
+		{Arch: "cpu", Renderer: core.Volume, Sim: "kripke", Tasks: 1, ImageSize: 48, N: 10, Frames: 2},
+	}
+}
+
+func TestRunTinyPlanProducesSamples(t *testing.T) {
+	var log bytes.Buffer
+	rows, err := Run(tinyPlan(), &log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		s := r.Sample
+		if s.RenderTime <= 0 {
+			t.Errorf("row %d: render time %v", i, s.RenderTime)
+		}
+		if s.In.O <= 0 || s.In.AP <= 0 {
+			t.Errorf("row %d: inputs O=%v AP=%v", i, s.In.O, s.In.AP)
+		}
+		if s.In.Pixels != float64(r.Config.ImageSize*r.Config.ImageSize) {
+			t.Errorf("row %d: pixels %v", i, s.In.Pixels)
+		}
+		if r.Config.Tasks > 1 && s.CompositeTime <= 0 {
+			t.Errorf("row %d: multi-task run has no compositing time", i)
+		}
+		if r.Config.Tasks == 1 && s.CompositeTime != 0 {
+			t.Errorf("row %d: single-task run has compositing time", i)
+		}
+		if s.Renderer == core.RayTrace && s.BuildTime <= 0 {
+			t.Errorf("row %d: no BVH build time", i)
+		}
+		if s.Renderer == core.Raster && (s.In.VO <= 0 || s.In.PPT <= 0) {
+			t.Errorf("row %d: raster inputs VO=%v PPT=%v", i, s.In.VO, s.In.PPT)
+		}
+		if s.Renderer == core.Volume && (s.In.SPR <= 0 || s.In.CS <= 0) {
+			t.Errorf("row %d: volume inputs SPR=%v CS=%v", i, s.In.SPR, s.In.CS)
+		}
+	}
+	if !strings.Contains(log.String(), "raytracer") {
+		t.Error("progress log empty")
+	}
+}
+
+func TestVolumeOnUnstructuredRejected(t *testing.T) {
+	_, err := RunConfig(Config{
+		Arch: "cpu", Renderer: core.Volume, Sim: "lulesh",
+		Tasks: 1, ImageSize: 32, N: 8, Frames: 2,
+	})
+	if err == nil {
+		t.Error("expected error for volume rendering the Lagrangian proxy")
+	}
+}
+
+func TestPlanShapes(t *testing.T) {
+	full := Plan(false)
+	short := Plan(true)
+	if len(short) >= len(full) {
+		t.Errorf("short plan (%d) should be smaller than full (%d)", len(short), len(full))
+	}
+	// Structured volume + lulesh must not appear.
+	for _, cfg := range full {
+		if cfg.Renderer == core.Volume && cfg.Sim == "lulesh" {
+			t.Error("plan contains invalid volume+lulesh combination")
+		}
+		if cfg.N < 8 || cfg.ImageSize < 32 {
+			t.Errorf("degenerate config %+v", cfg)
+		}
+	}
+	// Both architectures present.
+	archs := map[string]bool{}
+	for _, cfg := range full {
+		archs[cfg.Arch] = true
+	}
+	if !archs["serial"] || !archs["cpu"] {
+		t.Errorf("plan architectures = %v", archs)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	rows, err := Run(tinyPlan()[:2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "arch,renderer") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestSamplesFeedModelFitting(t *testing.T) {
+	// A slightly larger plan so every model group has enough rows; this is
+	// the end-to-end integration of harness -> models.
+	plan := []Config{}
+	for _, n := range []int{8, 10, 12, 14, 16} {
+		for _, img := range []int{40, 64, 88} {
+			plan = append(plan,
+				Config{Arch: "cpu", Renderer: core.RayTrace, Sim: "kripke", Tasks: 1, ImageSize: img, N: n, Frames: 2},
+				Config{Arch: "cpu", Renderer: core.Raster, Sim: "kripke", Tasks: 1, ImageSize: img, N: n, Frames: 2},
+				Config{Arch: "cpu", Renderer: core.Volume, Sim: "kripke", Tasks: 1, ImageSize: img, N: n, Frames: 2},
+			)
+		}
+	}
+	rows, err := Run(plan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := core.FitModels(Samples(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, m := range set.Models {
+		// The rasterizer's CPU fit is legitimately the weakest (the paper's
+		// Table 12 reports R² = 0.67 for CPU rasterization vs > 0.94 for
+		// everything else); at this test's tiny sizes scheduler noise
+		// dominates it, so only the other models are held to a floor.
+		if m.Renderer != core.Raster && m.Fit.R2 < 0.3 {
+			t.Errorf("%s: R2 = %v (model explains almost nothing)", k, m.Fit.R2)
+		}
+		if math.IsNaN(m.Fit.R2) {
+			t.Errorf("%s: R2 is NaN", k)
+		}
+		pred := m.Predict(rows[0].Sample.In)
+		if pred < 0 && pred < -0.01 {
+			t.Errorf("%s: strongly negative prediction %v", k, pred)
+		}
+	}
+}
