@@ -1,0 +1,32 @@
+# Tier-1 verify is `go build ./... && go test ./...`; `make ci` mirrors it.
+
+GO ?= go
+
+.PHONY: all build test vet fmt bench ci clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails if any file needs reformatting (CI-friendly gofmt check).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# bench runs the table/figure benchmarks at the repo root plus the advisor
+# throughput benchmark.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	$(GO) test -run '^$$' -bench BenchmarkAdvisorPredict ./internal/advisor/
+
+ci: build vet fmt test
+
+clean:
+	$(GO) clean ./...
+	rm -rf repro_out

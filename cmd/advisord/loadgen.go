@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"insitu/internal/advisor"
+)
+
+// runLoadgen benchmarks sustained QPS against an advisord. With no target
+// URL it spins up an in-process server over the given registry, so a
+// single command measures what this machine can serve.
+func runLoadgen(target, regPath string, bootstrap bool, cacheSize int, duration time.Duration, concurrency int) error {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	// Per-request timeout so a stalled target cannot wedge a worker past
+	// the deadline.
+	client := &http.Client{Timeout: 10 * time.Second}
+	if target == "" {
+		reg, err := openRegistry(regPath, bootstrap, cacheSize)
+		if err != nil {
+			return err
+		}
+		ts := httptest.NewServer(newServer(advisor.New(reg)).handler())
+		defer ts.Close()
+		target = ts.URL
+		client = ts.Client()
+		client.Timeout = 10 * time.Second
+		log.Printf("loadgen: in-process server at %s", target)
+	}
+
+	// Ask the target what models it serves so the mix always hits live
+	// (arch, renderer) pairs.
+	pairs, err := targetModels(client, target)
+	if err != nil {
+		return err
+	}
+
+	// The request mix: mostly single predictions (the interactive hot
+	// path), some feasibility curves, an occasional batch.
+	type shot struct {
+		path string
+		body []byte
+	}
+	mustJSON := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	var shots []shot
+	for i := 0; i < 64; i++ {
+		arch := pairs[i%len(pairs)].arch
+		r := pairs[i%len(pairs)].renderer
+		req := advisor.PredictRequest{
+			Arch: arch, Renderer: r,
+			N: 16 + 4*(i%8), Tasks: 1 << (i % 3), Width: 128 + 64*(i%6),
+		}
+		shots = append(shots, shot{"/v1/predict", mustJSON(req)})
+		if i%8 == 0 {
+			shots = append(shots, shot{"/v1/feasibility", mustJSON(advisor.FeasibilityRequest{
+				Arch: arch, Renderer: r, N: 32, Tasks: 4,
+				BudgetSeconds: 60, Sizes: []int{256, 512, 1024, 2048},
+			})})
+		}
+		if i%16 == 0 {
+			batch := []advisor.PredictRequest{req, req, req, req}
+			shots = append(shots, shot{"/v1/predict", mustJSON(batch)})
+		}
+	}
+
+	var (
+		requests atomic.Uint64
+		failures atomic.Uint64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []time.Duration
+	)
+	deadline := time.Now().Add(duration)
+	log.Printf("loadgen: %d clients for %s against %s", concurrency, duration, target)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 4096)
+			for i := w; time.Now().Before(deadline); i++ {
+				sh := shots[i%len(shots)]
+				start := time.Now()
+				resp, err := client.Post(target+sh.path, "application/json", bytes.NewReader(sh.body))
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					failures.Add(1)
+					continue
+				}
+				local = append(local, time.Since(start))
+				requests.Add(1)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	n := requests.Load()
+	fmt.Printf("\nloadgen results\n")
+	fmt.Printf("  requests:    %d ok, %d failed\n", n, failures.Load())
+	fmt.Printf("  sustained:   %.0f req/s over %s with %d clients\n",
+		float64(n)/duration.Seconds(), duration, concurrency)
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		pct := func(p float64) time.Duration {
+			idx := int(p * float64(len(lats)-1))
+			return lats[idx]
+		}
+		fmt.Printf("  latency:     avg %s  p50 %s  p95 %s  p99 %s  max %s\n",
+			sum/time.Duration(len(lats)), pct(0.50), pct(0.95), pct(0.99), lats[len(lats)-1])
+	}
+	if failures.Load() > 0 {
+		return fmt.Errorf("loadgen: %d requests failed", failures.Load())
+	}
+	return nil
+}
+
+// modelPair is one live (arch, renderer) combination on the target.
+type modelPair struct {
+	arch, renderer string
+}
+
+// targetModels lists the target's registered models via /v1/models.
+func targetModels(client *http.Client, target string) ([]modelPair, error) {
+	resp, err := client.Get(target + "/v1/models")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: %s from %s/v1/models", resp.Status, target)
+	}
+	var body modelsBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding models: %w", err)
+	}
+	pairs := make([]modelPair, 0, len(body.Models))
+	for _, m := range body.Models {
+		pairs = append(pairs, modelPair{arch: m.Arch, renderer: m.Renderer})
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("loadgen: target serves no models")
+	}
+	return pairs, nil
+}

@@ -1,0 +1,139 @@
+// Command advisord serves in situ feasibility answers over HTTP. It loads
+// a registry snapshot — fitted performance models published by the study
+// pipeline (repro export, or study.ExportModels) — and answers the
+// paper's viability questions for many concurrent clients:
+//
+//	GET  /healthz           liveness, model count, registry generation
+//	GET  /v1/models         registered models with fit diagnostics
+//	POST /v1/predict        cost one configuration (or a JSON array: batch)
+//	POST /v1/feasibility    images-per-budget curve ("X1 images in X2 s?")
+//	POST /v1/max_triangles  largest geometry fitting a frame budget
+//	GET  /v1/metrics        per-operation latency + prediction cache stats
+//	POST /v1/reload         hot-reload the registry file
+//
+// Usage:
+//
+//	advisord -registry repro_out/models.json [-addr :8080]
+//	advisord -bootstrap [-registry models.json]   # measure-fit-serve
+//	advisord -loadgen [-target URL] [-duration 10s] [-concurrency 8]
+//
+// With -bootstrap and no existing registry file, advisord runs a short
+// measurement study on this machine, fits the models, writes the snapshot,
+// and serves it — a single-command path from nothing to a live advisor.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"insitu/internal/advisor"
+	"insitu/internal/registry"
+	"insitu/internal/study"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		regPath     = flag.String("registry", "", "registry snapshot JSON (from 'repro export')")
+		cacheSize   = flag.Int("cache", 4096, "prediction LRU cache entries (0 disables)")
+		bootstrap   = flag.Bool("bootstrap", false, "if the registry file is missing, run a short study and fit one")
+		loadgen     = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		target      = flag.String("target", "", "loadgen: base URL of a running advisord (default: self-contained in-process server)")
+		duration    = flag.Duration("duration", 10*time.Second, "loadgen: how long to sustain load")
+		concurrency = flag.Int("concurrency", 8, "loadgen: concurrent clients")
+	)
+	flag.Parse()
+
+	if *loadgen {
+		if err := runLoadgen(*target, *regPath, *bootstrap, *cacheSize, *duration, *concurrency); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	reg, err := openRegistry(*regPath, *bootstrap, *cacheSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	log.Printf("registry: %d models (source %q, archs %v)", len(snap.Models), snap.Source, reg.Archs())
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(log.Printf, newServer(advisor.New(reg)).handler()),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Serve until interrupted, then drain in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("advisord listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutting down...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	log.Printf("bye")
+}
+
+// openRegistry loads the snapshot file, bootstrapping one from a short
+// on-machine study when asked and the file is absent.
+func openRegistry(path string, bootstrap bool, cacheSize int) (*registry.Registry, error) {
+	reg := registry.New(cacheSize)
+	if path != "" {
+		err := reg.LoadFile(path)
+		if err == nil {
+			return reg, nil
+		}
+		if !bootstrap || !os.IsNotExist(err) {
+			return nil, fmt.Errorf("advisord: loading registry: %w", err)
+		}
+	}
+	if !bootstrap {
+		return nil, fmt.Errorf("advisord: -registry is required (or pass -bootstrap)")
+	}
+	log.Printf("bootstrapping: running a short measurement study...")
+	plan := study.Plan(true)
+	rows, err := study.Run(plan, os.Stderr)
+	if err != nil {
+		return nil, fmt.Errorf("advisord: bootstrap study: %w", err)
+	}
+	snap, err := study.FitSnapshot(rows, "advisord-bootstrap")
+	if err != nil {
+		return nil, fmt.Errorf("advisord: bootstrap fit: %w", err)
+	}
+	if path != "" {
+		if err := snap.WriteFile(path); err != nil {
+			return nil, err
+		}
+		log.Printf("bootstrap registry written to %s", path)
+		if err := reg.LoadFile(path); err != nil {
+			return nil, err
+		}
+		return reg, nil
+	}
+	if err := reg.Load(snap); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}

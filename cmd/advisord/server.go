@@ -1,0 +1,260 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"insitu/internal/advisor"
+	"insitu/internal/registry"
+)
+
+// maxBodyBytes bounds request bodies; the largest legitimate payload is a
+// few thousand batched predictions.
+const maxBodyBytes = 4 << 20
+
+// server wires the advisor engine to HTTP.
+type server struct {
+	engine *advisor.Engine
+	start  time.Time
+}
+
+func newServer(e *advisor.Engine) *server {
+	return &server{engine: e, start: time.Now()}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("POST /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/feasibility", s.handleFeasibility)
+	mux.HandleFunc("POST /v1/max_triangles", s.handleMaxTriangles)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// errStatus maps engine errors to HTTP statuses: unknown models are 404,
+// everything else the client sent is 400.
+func errStatus(err error) int {
+	if errors.Is(err, registry.ErrNoModel) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}
+
+// bodyErrStatus distinguishes an oversized body (413) from malformed
+// JSON (400).
+func bodyErrStatus(err error) int {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		writeJSON(w, bodyErrStatus(err), errorBody{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// healthzBody is the liveness document.
+type healthzBody struct {
+	Status        string `json:"status"`
+	Models        int    `json:"models"`
+	Generation    uint64 `json:"generation"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	LastReload    int64  `json:"last_reload_unix,omitempty"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	reg := s.engine.Registry()
+	body := healthzBody{
+		Status:        "ok",
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+	}
+	if lr := reg.LastReload(); !lr.IsZero() {
+		body.LastReload = lr.Unix()
+	}
+	// One consistent view: generation and model count from the same load.
+	v, err := reg.View()
+	if err != nil {
+		body.Status = "empty"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	body.Generation = v.Generation()
+	body.Models = len(v.Snapshot().Models)
+	writeJSON(w, http.StatusOK, body)
+}
+
+// modelsBody lists the registry contents.
+type modelsBody struct {
+	Generation  uint64              `json:"generation"`
+	Source      string              `json:"source"`
+	CreatedUnix int64               `json:"created_unix"`
+	Mapping     registry.MappingDoc `json:"mapping"`
+	Archs       []string            `json:"archs"`
+	Models      []registry.ModelDoc `json:"models"`
+	Compositing *registry.ModelDoc  `json:"compositing,omitempty"`
+}
+
+func (s *server) handleModels(w http.ResponseWriter, r *http.Request) {
+	v, err := s.engine.Registry().View()
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no registry loaded"})
+		return
+	}
+	snap := v.Snapshot()
+	archs := make([]string, 0, 2)
+	seen := map[string]bool{}
+	for _, d := range snap.Models {
+		if !seen[d.Arch] {
+			seen[d.Arch] = true
+			archs = append(archs, d.Arch)
+		}
+	}
+	sort.Strings(archs)
+	writeJSON(w, http.StatusOK, modelsBody{
+		Generation:  v.Generation(),
+		Source:      snap.Source,
+		CreatedUnix: snap.CreatedUnix,
+		Mapping:     snap.Mapping,
+		Archs:       archs,
+		Models:      snap.Models,
+		Compositing: snap.Compositing,
+	})
+}
+
+// handlePredict accepts one request object or a JSON array of them; a
+// batch answers with positionally aligned items so one bad element does
+// not fail the rest.
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, bodyErrStatus(err), errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var reqs []advisor.PredictRequest
+		if err := json.Unmarshal(body, &reqs); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad batch body: " + err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, s.engine.PredictBatch(reqs))
+		return
+	}
+	var req advisor.PredictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	resp, err := s.engine.Predict(req)
+	if err != nil {
+		writeJSON(w, errStatus(err), errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleFeasibility(w http.ResponseWriter, r *http.Request) {
+	var req advisor.FeasibilityRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.engine.Feasibility(req)
+	if err != nil {
+		writeJSON(w, errStatus(err), errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleMaxTriangles(w http.ResponseWriter, r *http.Request) {
+	var req advisor.MaxTrianglesRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	resp, err := s.engine.MaxTriangles(req)
+	if err != nil {
+		writeJSON(w, errStatus(err), errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// metricsBody reports per-operation latency and cache effectiveness.
+type metricsBody struct {
+	UptimeSeconds int64             `json:"uptime_seconds"`
+	Ops           []advisor.OpStats `json:"ops"`
+	Cache         cacheBody         `json:"cache"`
+}
+
+type cacheBody struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Size   int    `json:"size"`
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	hits, misses, size := s.engine.Registry().CacheStats()
+	writeJSON(w, http.StatusOK, metricsBody{
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Ops:           s.engine.Metrics(),
+		Cache:         cacheBody{Hits: hits, Misses: misses, Size: size},
+	})
+}
+
+// handleReload hot-reloads the registry file; on failure the previous
+// models keep serving and the error is reported.
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	reg := s.engine.Registry()
+	if err := reg.Reload(); err != nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		return
+	}
+	v, err := reg.View()
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthzBody{
+		Status:        "ok",
+		Models:        len(v.Snapshot().Models),
+		Generation:    v.Generation(),
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		LastReload:    reg.LastReload().Unix(),
+	})
+}
+
+// logRequests is minimal access logging middleware.
+func logRequests(logf func(format string, args ...any), next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		logf("%s %s %s", r.Method, r.URL.Path, time.Since(start))
+	})
+}

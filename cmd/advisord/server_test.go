@@ -1,0 +1,320 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"insitu/internal/advisor"
+	"insitu/internal/core"
+	"insitu/internal/registry"
+	"insitu/internal/study"
+)
+
+// studyRegistry runs a small real measurement study, exports the fitted
+// models through the study pipeline, and returns the snapshot path plus
+// the directly fitted set for comparison. Shared across tests because the
+// study is the slow part.
+var studyOnce struct {
+	sync.Once
+	dir  string
+	rows []study.Row
+	err  error
+}
+
+func studyRegistry(t *testing.T) (string, *core.ModelSet, core.Mapping) {
+	t.Helper()
+	studyOnce.Do(func() {
+		var plan []study.Config
+		for _, n := range []int{8, 10, 12} {
+			for _, img := range []int{40, 56} {
+				plan = append(plan,
+					study.Config{Arch: "serial", Renderer: core.RayTrace, Sim: "kripke", Tasks: 1, ImageSize: img, N: n, Frames: 2},
+					study.Config{Arch: "serial", Renderer: core.Volume, Sim: "kripke", Tasks: 1, ImageSize: img, N: n, Frames: 2},
+				)
+			}
+		}
+		studyOnce.dir, studyOnce.err = os.MkdirTemp("", "advisord-test-")
+		if studyOnce.err != nil {
+			return
+		}
+		studyOnce.rows, studyOnce.err = study.Run(plan, nil)
+	})
+	if studyOnce.err != nil {
+		t.Fatal(studyOnce.err)
+	}
+	path := filepath.Join(studyOnce.dir, t.Name()+"-models.json")
+	if _, err := study.ExportModels(studyOnce.rows, "study-test", path); err != nil {
+		t.Fatal(err)
+	}
+	samples := study.Samples(studyOnce.rows)
+	set, err := core.FitModels(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, set, core.CalibrateMapping(samples)
+}
+
+// testServer serves the exported registry over httptest.
+func testServer(t *testing.T) (*httptest.Server, string, *core.ModelSet, core.Mapping) {
+	t.Helper()
+	path, set, mp := studyRegistry(t)
+	reg := registry.New(1024)
+	if err := reg.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(advisor.New(reg)).handler())
+	t.Cleanup(ts.Close)
+	return ts, path, set, mp
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, req, resp any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if resp != nil {
+		if err := json.NewDecoder(r.Body).Decode(resp); err != nil {
+			t.Fatalf("%s: decoding %T: %v", path, resp, err)
+		}
+	}
+	return r.StatusCode
+}
+
+// TestFeasibilityServedFromExportedRegistry is the subsystem's acceptance
+// test: advisord answers /v1/feasibility from a registry JSON exported by
+// the study pipeline, and the numbers match core.ModelSet.ImagesInBudget
+// on the in-memory fit exactly.
+func TestFeasibilityServedFromExportedRegistry(t *testing.T) {
+	ts, _, set, mp := testServer(t)
+	sizes := []int{64, 128, 256, 512}
+	req := advisor.FeasibilityRequest{
+		Arch: "serial", Renderer: "raytracer", N: 16, Tasks: 1,
+		BudgetSeconds: 10, Sizes: sizes, Images: 100,
+	}
+	var resp advisor.FeasibilityResponse
+	if code := postJSON(t, ts, "/v1/feasibility", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	want, err := set.ImagesInBudget("serial", core.RayTrace, mp, 16, 1, 10, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Points) != len(want) {
+		t.Fatalf("points = %d", len(resp.Points))
+	}
+	for i, pt := range resp.Points {
+		if pt.ImageSize != want[i].ImageSize {
+			t.Errorf("point %d: size %d want %d", i, pt.ImageSize, want[i].ImageSize)
+		}
+		if pt.Images != want[i].Images {
+			t.Errorf("size %d: images %v, in-memory fit says %v", pt.ImageSize, pt.Images, want[i].Images)
+		}
+		if pt.PerImageSeconds != want[i].PerImage {
+			t.Errorf("size %d: per-image %v, in-memory fit says %v", pt.ImageSize, pt.PerImageSeconds, want[i].PerImage)
+		}
+		if pt.Feasible == nil {
+			t.Errorf("size %d: feasible missing", pt.ImageSize)
+		}
+	}
+}
+
+func TestPredictEndpointSingleAndBatch(t *testing.T) {
+	ts, _, set, mp := testServer(t)
+	req := advisor.PredictRequest{Arch: "serial", Renderer: "volume", N: 12, Tasks: 1, Width: 128}
+	var resp advisor.PredictResponse
+	if code := postJSON(t, ts, "/v1/predict", req, &resp); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	in := mp.Map(core.Config{N: 12, Tasks: 1, Width: 128, Height: 128, Renderer: core.Volume})
+	if want := set.Models[core.Key("serial", core.Volume)].Predict(in); resp.RenderSeconds != want {
+		t.Errorf("render = %v want %v", resp.RenderSeconds, want)
+	}
+
+	// Batch: an array body answers positionally, isolating bad elements.
+	batch := []advisor.PredictRequest{req, {Arch: "nope", Renderer: "volume", N: 12, Width: 128}}
+	var items []advisor.BatchItem
+	if code := postJSON(t, ts, "/v1/predict", batch, &items); code != http.StatusOK {
+		t.Fatalf("batch status %d", code)
+	}
+	if len(items) != 2 || items[0].Response == nil || items[1].Error == "" {
+		t.Fatalf("batch items: %+v", items)
+	}
+	if items[0].Response.RenderSeconds != resp.RenderSeconds {
+		t.Error("batch and single disagree")
+	}
+
+	// Unknown models are 404, malformed bodies 400.
+	if code := postJSON(t, ts, "/v1/predict", advisor.PredictRequest{Arch: "gpu", Renderer: "volume", N: 12, Width: 64}, nil); code != http.StatusNotFound {
+		t.Errorf("unknown model status %d", code)
+	}
+	r, err := ts.Client().Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader([]byte("{oops")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status %d", r.StatusCode)
+	}
+
+	// Oversized bodies are a size problem (413), not a syntax problem.
+	huge := bytes.Repeat([]byte(" "), 5<<20)
+	r, err = ts.Client().Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body status %d", r.StatusCode)
+	}
+}
+
+func TestModelsHealthzMetricsEndpoints(t *testing.T) {
+	ts, _, set, _ := testServer(t)
+
+	var models modelsBody
+	r, err := ts.Client().Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(models.Models) != len(set.Models) || models.Source != "study-test" {
+		t.Errorf("models: %d source %q", len(models.Models), models.Source)
+	}
+	if len(models.Archs) != 1 || models.Archs[0] != "serial" {
+		t.Errorf("archs = %v", models.Archs)
+	}
+	for _, m := range models.Models {
+		if m.Fit.N == 0 || len(m.Fit.Coef) == 0 {
+			t.Errorf("model %s/%s missing diagnostics", m.Arch, m.Renderer)
+		}
+	}
+
+	var hz healthzBody
+	r, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if hz.Status != "ok" || hz.Models != len(set.Models) || hz.Generation != 1 {
+		t.Errorf("healthz: %+v", hz)
+	}
+
+	// Metrics reflect traffic served so far.
+	postJSON(t, ts, "/v1/predict", advisor.PredictRequest{Arch: "serial", Renderer: "volume", N: 12, Width: 64}, nil)
+	var mb metricsBody
+	r, err = ts.Client().Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&mb); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	found := false
+	for _, op := range mb.Ops {
+		if op.Op == advisor.OpPredict && op.Count >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("metrics missing predict traffic: %+v", mb.Ops)
+	}
+}
+
+func TestReloadEndpointHotSwapsModels(t *testing.T) {
+	ts, path, _, _ := testServer(t)
+
+	// Republish the registry (same content) and reload: generation bumps.
+	snap, err := registry.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Source = "republished"
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	var hz healthzBody
+	if code := postJSON(t, ts, "/v1/reload", struct{}{}, &hz); code != http.StatusOK {
+		t.Fatalf("reload status %d", code)
+	}
+	if hz.Generation != 2 {
+		t.Errorf("generation after reload = %d", hz.Generation)
+	}
+	var models modelsBody
+	r, err := ts.Client().Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if models.Source != "republished" {
+		t.Errorf("source after reload = %q", models.Source)
+	}
+
+	// A corrupt file fails the reload but the old models keep serving.
+	if err := os.WriteFile(path, []byte("{bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := postJSON(t, ts, "/v1/reload", struct{}{}, nil); code != http.StatusConflict {
+		t.Errorf("corrupt reload status %d", code)
+	}
+	if code := postJSON(t, ts, "/v1/predict", advisor.PredictRequest{Arch: "serial", Renderer: "volume", N: 12, Width: 64}, nil); code != http.StatusOK {
+		t.Errorf("serving broke after failed reload: %d", code)
+	}
+}
+
+func TestMaxTrianglesEndpoint(t *testing.T) {
+	ts, _, _, _ := testServer(t)
+	var resp advisor.MaxTrianglesResponse
+	code := postJSON(t, ts, "/v1/max_triangles", advisor.MaxTrianglesRequest{
+		Arch: "serial", Renderer: "raytracer", Tasks: 1, ImageSize: 256,
+		PerImageBudgetSeconds: 1, Renderings: 100,
+	}, &resp)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if resp.N <= 0 || resp.Triangles != 12*float64(resp.N)*float64(resp.N) {
+		t.Errorf("response: %+v", resp)
+	}
+}
+
+func TestEmptyRegistryAnswers503(t *testing.T) {
+	ts := httptest.NewServer(newServer(advisor.New(registry.New(16))).handler())
+	defer ts.Close()
+	r, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz status %d", r.StatusCode)
+	}
+	r, err = ts.Client().Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("models status %d", r.StatusCode)
+	}
+}

@@ -19,11 +19,21 @@
 //     complexity-derived linear models, OLS fitting, cross validation,
 //     the configuration-to-inputs mapping, and the feasibility analyses;
 //   - the measurement harness in internal/study and comparator renderers
-//     in internal/baseline.
+//     in internal/baseline;
+//   - the online advisor subsystem: internal/registry (versioned JSON
+//     snapshots of fitted model sets, a concurrent in-memory registry
+//     with hot reload, and an LRU prediction cache) and internal/advisor
+//     (the batch-capable prediction engine answering predict,
+//     images-in-budget, and max-triangles queries with per-request
+//     metrics).
 //
 // Entry points: cmd/repro regenerates every table and figure of the
-// paper's evaluation; cmd/insitu runs a proxy simulation with in situ
+// paper's evaluation, and its export experiment publishes the fitted
+// models as a registry snapshot; cmd/advisord serves feasibility answers
+// from such a snapshot over HTTP (with a load-generator mode for
+// benchmarking); cmd/insitu runs a proxy simulation with in situ
 // rendering; cmd/render renders a synthetic dataset; the examples/
-// directory holds four runnable walkthroughs. bench_test.go in this
-// directory carries one benchmark per reproduced table and figure.
+// directory holds runnable walkthroughs, including examples/advisor for
+// the measure -> export -> serve path. bench_test.go in this directory
+// carries one benchmark per reproduced table and figure.
 package insitu

@@ -1,0 +1,165 @@
+// Advisor walks the full serving path of the feasibility-advisor
+// subsystem: measure a small study on this machine, export the fitted
+// models as a registry snapshot (the same JSON "repro export" writes),
+// load it back the way advisord does, and answer the paper's viability
+// questions through the advisor engine — including a hot reload after the
+// models are refreshed.
+//
+// Run with -serve to also start the HTTP API and query it over loopback.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+
+	"insitu/internal/advisor"
+	"insitu/internal/core"
+	"insitu/internal/registry"
+	"insitu/internal/study"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "log study progress")
+	flag.Parse()
+
+	// 1. Measure: a small single-architecture corpus (the feed advisord
+	// normally gets from "repro export").
+	var plan []study.Config
+	for _, n := range []int{10, 14, 18, 22} {
+		for _, img := range []int{64, 128, 192} {
+			for _, r := range []core.Renderer{core.RayTrace, core.Raster, core.Volume} {
+				plan = append(plan, study.Config{
+					Arch: "cpu", Renderer: r, Sim: "kripke",
+					Tasks: 1, ImageSize: img, N: n, Frames: 2,
+				})
+			}
+		}
+	}
+	// io.Writer, not *os.File: a typed-nil file would defeat study.Run's
+	// w != nil silent-mode check.
+	var logW io.Writer
+	if *verbose {
+		logW = os.Stdout
+	}
+	fmt.Printf("measuring %d configurations...\n", len(plan))
+	rows, err := study.Run(plan, logW)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Export: fit + calibrate + publish the versioned snapshot.
+	dir, err := os.MkdirTemp("", "advisor-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "models.json")
+	snap, err := study.ExportModels(rows, "example", path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported %d models to %s\n", len(snap.Models), path)
+	for _, m := range snap.Models {
+		fmt.Printf("  %-20s R2=%.3f residual=%.2gs n=%d\n",
+			m.Arch+"/"+m.Renderer, m.Fit.R2, m.Fit.ResidualSD, m.Fit.N)
+	}
+
+	// 3. Serve: load the snapshot into a registry and ask the engine the
+	// questions advisord exposes over HTTP.
+	reg := registry.New(1024)
+	if err := reg.LoadFile(path); err != nil {
+		log.Fatal(err)
+	}
+	eng := advisor.New(reg)
+
+	fmt.Println("\ncan I render 100 images in 60 s? (N=32 per task)")
+	resp, err := eng.Feasibility(advisor.FeasibilityRequest{
+		Arch: "cpu", Renderer: "raytracer", N: 32, Tasks: 1,
+		BudgetSeconds: 60, Sizes: []int{256, 512, 1024, 2048}, Images: 100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, pt := range resp.Points {
+		verdict := "no"
+		if *pt.Feasible {
+			verdict = "yes"
+		}
+		fmt.Printf("  %5d px: %8.0f images fit (%.4fs/image) -> %s\n",
+			pt.ImageSize, pt.Images, pt.PerImageSeconds, verdict)
+	}
+
+	fmt.Println("\nlargest geometry inside a 30 fps budget at 1024px:")
+	mt, err := eng.MaxTriangles(advisor.MaxTrianglesRequest{
+		Arch: "cpu", Renderer: "raytracer", Tasks: 1, ImageSize: 1024,
+		PerImageBudgetSeconds: 1.0 / 30, Renderings: 100,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  N=%d per task (~%.0f triangles), predicted %.4fs/image\n",
+		mt.N, mt.Triangles, mt.PerImageSeconds)
+
+	// 4. Hot reload: republish and swap without dropping the engine.
+	snap.Source = "example-refreshed"
+	if err := snap.WriteFile(path); err != nil {
+		log.Fatal(err)
+	}
+	if err := reg.Reload(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nhot reload: generation %d now serves source %q\n",
+		reg.Generation(), reg.Snapshot().Source)
+
+	// 5. The same questions over HTTP, exactly as advisord serves them.
+	queryOverHTTP(eng)
+}
+
+// queryOverHTTP starts the advisord handler on a loopback listener and
+// issues one feasibility request against it.
+func queryOverHTTP(eng *advisor.Engine) {
+	// The example reuses the engine directly; advisord's HTTP layer is a
+	// thin JSON shell over it, so a plain handler suffices here.
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/feasibility", func(w http.ResponseWriter, r *http.Request) {
+		var req advisor.FeasibilityRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := eng.Feasibility(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp)
+	})
+	srv := http.Server{Handler: mux}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	body, _ := json.Marshal(advisor.FeasibilityRequest{
+		Arch: "cpu", Renderer: "volume", N: 24, Tasks: 1,
+		BudgetSeconds: 10, Sizes: []int{256, 1024},
+	})
+	resp, err := http.Post("http://"+ln.Addr().String()+"/v1/feasibility", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	fmt.Printf("\nHTTP /v1/feasibility says:\n%s", out)
+}

@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 
@@ -31,7 +32,9 @@ func main() {
 			}
 		}
 	}
-	var logW *os.File
+	// io.Writer, not *os.File: a typed-nil file would defeat study.Run's
+	// w != nil silent-mode check.
+	var logW io.Writer
 	if *verbose {
 		logW = os.Stdout
 	}

@@ -1,0 +1,111 @@
+package core
+
+import "testing"
+
+// TestImagesInBudgetEdgeCases pins the boundary behavior the advisor
+// service depends on: hopeless budgets answer zero images (not negative,
+// not NaN), a missing compositing model degrades to local-only cost, and
+// an empty size list is a valid question with an empty answer.
+func TestImagesInBudgetEdgeCases(t *testing.T) {
+	samples := syntheticSamples("cpu", 60, 41)
+	set, err := FitModels(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := CalibrateMapping(samples)
+
+	t.Run("zero budget", func(t *testing.T) {
+		pts, err := set.ImagesInBudget("cpu", Volume, mp, 64, 4, 0, []int{256, 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Images != 0 {
+				t.Errorf("size %d: %v images from a zero budget", p.ImageSize, p.Images)
+			}
+			if p.PerImage <= 0 {
+				t.Errorf("size %d: per-image %v should still be predicted", p.ImageSize, p.PerImage)
+			}
+		}
+	})
+
+	t.Run("negative budget", func(t *testing.T) {
+		pts, err := set.ImagesInBudget("cpu", RayTrace, mp, 64, 4, -30, []int{512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pts[0].Images != 0 {
+			t.Errorf("images = %v from a negative budget", pts[0].Images)
+		}
+	})
+
+	t.Run("budget consumed by build", func(t *testing.T) {
+		// Ray tracing charges the BVH build against the budget; a budget
+		// below the build cost leaves no time for images.
+		in := mp.Map(Config{N: 64, Tasks: 4, Width: 512, Height: 512, Renderer: RayTrace})
+		build := set.Models[Key("cpu", RayTrace)].PredictBuild(in)
+		if build <= 0 {
+			t.Skip("synthetic build model predicts nothing to amortize")
+		}
+		pts, err := set.ImagesInBudget("cpu", RayTrace, mp, 64, 4, build/2, []int{512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pts[0].Images != 0 {
+			t.Errorf("images = %v with the budget consumed by the build", pts[0].Images)
+		}
+	})
+
+	t.Run("missing compositing model", func(t *testing.T) {
+		// A set fitted from single-task samples has no compositing model;
+		// multi-task questions still answer with local cost only.
+		var single []Sample
+		for _, s := range samples {
+			if s.In.Tasks == 1 {
+				single = append(single, s)
+			}
+		}
+		noComp, err := FitModels(single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if noComp.Compositing != nil {
+			t.Fatal("single-task corpus still produced a compositing model")
+		}
+		pts, err := noComp.ImagesInBudget("cpu", Volume, mp, 64, 4, 60, []int{512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := mp.Map(Config{N: 64, Tasks: 4, Width: 512, Height: 512, Renderer: Volume})
+		want := noComp.Models[Key("cpu", Volume)].Predict(in)
+		if pts[0].PerImage != want {
+			t.Errorf("per-image %v, want local-only %v", pts[0].PerImage, want)
+		}
+		if pts[0].Images <= 0 {
+			t.Errorf("images = %v", pts[0].Images)
+		}
+	})
+
+	t.Run("empty sizes", func(t *testing.T) {
+		pts, err := set.ImagesInBudget("cpu", Raster, mp, 64, 2, 60, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != 0 {
+			t.Errorf("points = %d from an empty size list", len(pts))
+		}
+		pts, err = set.ImagesInBudget("cpu", Raster, mp, 64, 2, 60, []int{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pts) != 0 {
+			t.Errorf("points = %d from an empty size slice", len(pts))
+		}
+	})
+
+	t.Run("unknown model", func(t *testing.T) {
+		if _, err := set.ImagesInBudget("gpu", Volume, mp, 64, 2, 60, []int{256}); err == nil {
+			t.Error("unknown architecture accepted")
+		}
+	})
+}

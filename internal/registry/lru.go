@@ -1,0 +1,74 @@
+package registry
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a small mutex-guarded LRU cache of predictions. Prediction is
+// cheap (a dot product) but advisord answers the same handful of
+// configurations at high QPS, and the cache also absorbs the map lookup
+// and lock traffic of the model set itself.
+type lru struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	items map[predKey]*list.Element
+}
+
+type lruEntry struct {
+	key predKey
+	val PredictResult
+}
+
+// newLRU returns a cache holding up to cap entries; cap <= 0 disables
+// caching (every Get misses, Add is a no-op).
+func newLRU(cap int) *lru {
+	return &lru{cap: cap, ll: list.New(), items: map[predKey]*list.Element{}}
+}
+
+func (c *lru) Get(k predKey) (PredictResult, bool) {
+	if c.cap <= 0 {
+		return PredictResult{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return PredictResult{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+func (c *lru) Add(k predKey, v PredictResult) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = v
+		return
+	}
+	c.items[k] = c.ll.PushFront(&lruEntry{key: k, val: v})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lru) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = map[predKey]*list.Element{}
+}
+
+func (c *lru) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,37 @@
+package study
+
+import (
+	"insitu/internal/core"
+	"insitu/internal/registry"
+)
+
+// FitSnapshot reduces measured rows to a publishable registry snapshot:
+// it fits the per-architecture performance models and the compositing
+// model, calibrates the configuration mapping from the same corpus, and
+// packages everything with fit diagnostics. This is the bridge from the
+// one-shot measurement pipeline to the online advisor service.
+func FitSnapshot(rows []Row, source string) (*registry.Snapshot, error) {
+	samples := Samples(rows)
+	set, err := core.FitModels(samples)
+	if err != nil {
+		return nil, err
+	}
+	snap := registry.FromModelSet(set, core.CalibrateMapping(samples), source)
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
+
+// ExportModels fits and writes the snapshot to path atomically, returning
+// the snapshot for inspection.
+func ExportModels(rows []Row, source, path string) (*registry.Snapshot, error) {
+	snap, err := FitSnapshot(rows, source)
+	if err != nil {
+		return nil, err
+	}
+	if err := snap.WriteFile(path); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}
