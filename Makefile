@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet fmt bench ci clean
+.PHONY: all build test race vet fmt bench ci clean
 
 all: ci
 
@@ -11,6 +11,11 @@ build:
 
 test:
 	$(GO) test ./...
+
+# race exercises the concurrent paths (parallel study runner, registry
+# hot reload, advisord observation ingestion) under the race detector.
+race:
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
@@ -25,7 +30,7 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 	$(GO) test -run '^$$' -bench BenchmarkAdvisorPredict ./internal/advisor/
 
-ci: build vet fmt test
+ci: build vet fmt test race
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,8 @@
 //	POST /v1/predict        cost one configuration (or a JSON array: batch)
 //	POST /v1/feasibility    images-per-budget curve ("X1 images in X2 s?")
 //	POST /v1/max_triangles  largest geometry fitting a frame budget
+//	POST /v1/observations   ingest measured samples; background refit +
+//	                        atomic hot-reload (continuous calibration)
 //	GET  /v1/metrics        per-operation latency + prediction cache stats
 //	POST /v1/reload         hot-reload the registry file
 //
@@ -20,6 +22,13 @@
 // With -bootstrap and no existing registry file, advisord runs a short
 // measurement study on this machine, fits the models, writes the snapshot,
 // and serves it — a single-command path from nothing to a live advisor.
+//
+// Unless -calibrate=false, POST /v1/observations accepts measured samples
+// (e.g. streamed from a parallel study run); a background worker refits
+// the models over the accumulated corpus, merges groups that cannot be
+// refitted yet from the serving snapshot, publishes the result atomically
+// (generation bump, visible in /v1/models and /v1/metrics), and rewrites
+// the -registry file so the new models survive a restart.
 package main
 
 import (
@@ -45,6 +54,8 @@ func main() {
 		regPath     = flag.String("registry", "", "registry snapshot JSON (from 'repro export')")
 		cacheSize   = flag.Int("cache", 4096, "prediction LRU cache entries (0 disables)")
 		bootstrap   = flag.Bool("bootstrap", false, "if the registry file is missing, run a short study and fit one")
+		calibrate   = flag.Bool("calibrate", true, "accept POST /v1/observations and continuously refit the served models")
+		refitEvery  = flag.Int("refit-every", 1, "observed samples between refits (raise to debounce refit + snapshot-rewrite cost under sustained ingestion)")
 		loadgen     = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target      = flag.String("target", "", "loadgen: base URL of a running advisord (default: self-contained in-process server)")
 		duration    = flag.Duration("duration", 10*time.Second, "loadgen: how long to sustain load")
@@ -66,9 +77,18 @@ func main() {
 	snap := reg.Snapshot()
 	log.Printf("registry: %d models (source %q, archs %v)", len(snap.Models), snap.Source, reg.Archs())
 
+	engine := advisor.New(reg)
+	web := newServer(engine)
+	if *calibrate {
+		engine.SetObserver(newCalibrator(reg, *regPath, *refitEvery))
+		web.startCalibration(64, log.Printf)
+		defer web.stopCalibration()
+		log.Printf("continuous calibration enabled (POST /v1/observations)")
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(log.Printf, newServer(advisor.New(reg)).handler()),
+		Handler:           logRequests(log.Printf, web.handler()),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 
@@ -94,6 +114,45 @@ func main() {
 		}
 	}
 	log.Printf("bye")
+}
+
+// newCalibrator builds the continuous-calibration loop around the serving
+// registry: observed samples refit against the retained corpus every
+// refitEvery samples, thin groups carry over from the currently served
+// snapshot, publishes hot-reload the registry in place and (best effort)
+// persist to the registry file so the refined models survive a restart.
+func newCalibrator(reg *registry.Registry, regPath string, refitEvery int) *study.Calibrator {
+	return &study.Calibrator{
+		Source:     "advisord-observations",
+		RefitEvery: refitEvery,
+		// A sliding window bounds per-refit cost and process memory over
+		// an arbitrarily long ingestion stream; 4096 samples is several
+		// times the full study plan.
+		MaxCorpus: 4096,
+		Base: func() (*registry.Snapshot, uint64) {
+			v, err := reg.View()
+			if err != nil {
+				return nil, reg.Generation()
+			}
+			return v.Snapshot(), v.Generation()
+		},
+		Publish: func(s *registry.Snapshot, baseGen uint64) error {
+			// Conditional on the generation the merge read: a concurrent
+			// POST /v1/reload must not be silently overwritten (the
+			// calibrator re-merges and retries on ErrStale).
+			if err := reg.PublishIf(s, baseGen); err != nil {
+				return err
+			}
+			if regPath != "" {
+				if err := s.WriteFile(regPath); err != nil {
+					// The models are already serving; a persist failure
+					// must not unpublish them.
+					log.Printf("calibrate: persisting %s: %v", regPath, err)
+				}
+			}
+			return nil
+		},
+	}
 }
 
 // openRegistry loads the snapshot file, bootstrapping one from a short

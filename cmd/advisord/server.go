@@ -7,9 +7,11 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"sync"
 	"time"
 
 	"insitu/internal/advisor"
+	"insitu/internal/core"
 	"insitu/internal/registry"
 )
 
@@ -21,10 +23,76 @@ const maxBodyBytes = 4 << 20
 type server struct {
 	engine *advisor.Engine
 	start  time.Time
+
+	// Observation ingestion: validated sample batches queue here and a
+	// background worker refits off the request path. Nil until
+	// startCalibration. obsMu orders handler enqueues against
+	// stopCalibration's close so a request that outlives the server's
+	// drain window cannot send on a closed channel.
+	obsMu     sync.RWMutex
+	obsCh     chan []core.Sample
+	obsClosed bool
+	obsWG     sync.WaitGroup
+	obsLogf   func(format string, args ...any)
 }
 
 func newServer(e *advisor.Engine) *server {
 	return &server{engine: e, start: time.Now()}
+}
+
+// startCalibration opens the observation queue and starts the background
+// refit worker. The engine must already have an observer configured.
+func (s *server) startCalibration(queue int, logf func(format string, args ...any)) {
+	if queue < 1 {
+		queue = 1
+	}
+	s.obsCh = make(chan []core.Sample, queue)
+	s.obsLogf = logf
+	s.obsWG.Add(1)
+	go func() {
+		defer s.obsWG.Done()
+		for batch := range s.obsCh {
+			resp, err := s.engine.Observe(batch)
+			if err != nil {
+				s.obsLogf("observe: %d samples rejected: %v", len(batch), err)
+				continue
+			}
+			if resp.Published {
+				s.obsLogf("observe: corpus %d, published generation %d", resp.CorpusSize, resp.Generation)
+			}
+		}
+	}()
+}
+
+// stopCalibration drains the queue and stops the worker. Batches already
+// accepted are refitted; late handlers answer 503.
+func (s *server) stopCalibration() {
+	s.obsMu.Lock()
+	if s.obsCh == nil || s.obsClosed {
+		s.obsMu.Unlock()
+		return
+	}
+	s.obsClosed = true
+	close(s.obsCh)
+	s.obsMu.Unlock()
+	s.obsWG.Wait()
+}
+
+// enqueueObservations hands a validated batch to the background worker.
+// ok=false means ingestion is disabled or stopped; full=true means the
+// queue had no room.
+func (s *server) enqueueObservations(samples []core.Sample) (ok, full bool) {
+	s.obsMu.RLock()
+	defer s.obsMu.RUnlock()
+	if s.obsCh == nil || s.obsClosed {
+		return false, false
+	}
+	select {
+	case s.obsCh <- samples:
+		return true, false
+	default:
+		return false, true
+	}
 }
 
 // handler builds the route table.
@@ -35,17 +103,29 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/predict", s.handlePredict)
 	mux.HandleFunc("POST /v1/feasibility", s.handleFeasibility)
 	mux.HandleFunc("POST /v1/max_triangles", s.handleMaxTriangles)
+	mux.HandleFunc("POST /v1/observations", s.handleObservations)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	return mux
 }
 
+// writeJSON encodes into a buffer first so an encoding failure (which
+// should be impossible now that responses sanitize non-finite floats, but
+// defense in depth) surfaces as a clean 500 instead of a truncated 200.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		body, _ := json.Marshal(errorBody{Error: "response not encodable: " + err.Error()})
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write(body)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(buf.Bytes())
 }
 
 type errorBody struct {
@@ -206,9 +286,74 @@ func (s *server) handleMaxTriangles(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// observationsAccepted is the 202 body for a queued observation batch:
+// the refit happens in the background, so the generation reported here is
+// the one serving at accept time — poll /v1/models (or /healthz) for the
+// bump.
+type observationsAccepted struct {
+	Accepted   int    `json:"accepted"`
+	Queued     bool   `json:"queued"`
+	Generation uint64 `json:"generation"`
+}
+
+// handleObservations ingests measured samples for continuous calibration.
+// The body is one observation object or a JSON array of them; validation
+// is synchronous (a malformed batch is rejected whole with a 400), the
+// refit and hot-reload are not.
+func (s *server) handleObservations(w http.ResponseWriter, r *http.Request) {
+	if s.obsCh == nil {
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorBody{Error: "observation ingestion disabled (start advisord with -calibrate)"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		writeJSON(w, bodyErrStatus(err), errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	var obs []advisor.Observation
+	trimmed := bytes.TrimLeft(body, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		err = json.Unmarshal(body, &obs)
+	} else {
+		var one advisor.Observation
+		if err = json.Unmarshal(body, &one); err == nil {
+			obs = []advisor.Observation{one}
+		}
+	}
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	samples, err := advisor.SamplesFromObservations(obs)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	// Read the generation before enqueueing: with a fast refit cadence
+	// the worker can publish before this handler resumes, and reporting
+	// the post-refit generation as the accept-time one would make a
+	// client polling for "generation > accepted" wait forever.
+	gen := s.engine.Registry().Generation()
+	ok, full := s.enqueueObservations(samples)
+	switch {
+	case ok:
+		writeJSON(w, http.StatusAccepted, observationsAccepted{
+			Accepted:   len(samples),
+			Queued:     true,
+			Generation: gen,
+		})
+	case full:
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "calibration queue full, retry later"})
+	default:
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "observation ingestion stopped"})
+	}
+}
+
 // metricsBody reports per-operation latency and cache effectiveness.
 type metricsBody struct {
 	UptimeSeconds int64             `json:"uptime_seconds"`
+	Generation    uint64            `json:"generation"`
 	Ops           []advisor.OpStats `json:"ops"`
 	Cache         cacheBody         `json:"cache"`
 }
@@ -223,6 +368,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	hits, misses, size := s.engine.Registry().CacheStats()
 	writeJSON(w, http.StatusOK, metricsBody{
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Generation:    s.engine.Registry().Generation(),
 		Ops:           s.engine.Metrics(),
 		Cache:         cacheBody{Hits: hits, Misses: misses, Size: size},
 	})

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"insitu/internal/advisor"
 	"insitu/internal/core"
@@ -316,5 +317,177 @@ func TestEmptyRegistryAnswers503(t *testing.T) {
 	r.Body.Close()
 	if r.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("models status %d", r.StatusCode)
+	}
+}
+
+// TestObservationsRoundTripRefitsServedModels is the continuous-
+// calibration acceptance test: posting measured samples to
+// POST /v1/observations must bump the served model generation and change
+// subsequent /v1/predict answers — no restart, no explicit reload.
+func TestObservationsRoundTripRefitsServedModels(t *testing.T) {
+	path, _, _ := studyRegistry(t)
+	reg := registry.New(1024)
+	if err := reg.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	engine := advisor.New(reg)
+	engine.SetObserver(&study.Calibrator{
+		Source:     "test-observations",
+		RefitEvery: 1,
+		Base: func() (*registry.Snapshot, uint64) {
+			return reg.Snapshot(), reg.Generation()
+		},
+		Publish: func(s *registry.Snapshot, baseGen uint64) error {
+			return reg.PublishIf(s, baseGen)
+		},
+	})
+	srv := newServer(engine)
+	srv.startCalibration(16, t.Logf)
+	t.Cleanup(srv.stopCalibration)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	predictReq := advisor.PredictRequest{Arch: "serial", Renderer: "volume", N: 12, Tasks: 1, Width: 128}
+	var before advisor.PredictResponse
+	if code := postJSON(t, ts, "/v1/predict", predictReq, &before); code != http.StatusOK {
+		t.Fatalf("baseline predict status %d", code)
+	}
+
+	// Plant a dramatically slower volume model for the served arch: the
+	// refit over these samples must change the served answer by orders of
+	// magnitude.
+	var obs []advisor.Observation
+	for i := 0; i < 8; i++ {
+		ap := float64(4000 + 1000*i)
+		cs := float64(10 + 2*i)
+		spr := float64(80 + 15*i)
+		obs = append(obs, advisor.Observation{
+			Arch: "serial", Renderer: "volume",
+			Inputs:        core.Inputs{O: cs * cs * cs, AP: ap, SPR: spr, CS: cs, Pixels: 4 * ap, AvgAP: ap, Tasks: 1},
+			RenderSeconds: 1e-4*ap*cs + 1e-5*ap*spr + 0.5,
+		})
+	}
+	var accepted struct {
+		Accepted   int    `json:"accepted"`
+		Queued     bool   `json:"queued"`
+		Generation uint64 `json:"generation"`
+	}
+	if code := postJSON(t, ts, "/v1/observations", obs, &accepted); code != http.StatusAccepted {
+		t.Fatalf("observations status %d", code)
+	}
+	if accepted.Accepted != len(obs) || !accepted.Queued {
+		t.Fatalf("accepted body: %+v", accepted)
+	}
+
+	// The refit runs in the background; wait for the generation bump.
+	deadline := time.Now().Add(10 * time.Second)
+	var gen uint64
+	for time.Now().Before(deadline) {
+		var hz healthzBody
+		r, err := ts.Client().Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&hz); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		gen = hz.Generation
+		if gen > accepted.Generation {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if gen <= accepted.Generation {
+		t.Fatalf("generation never bumped past %d", accepted.Generation)
+	}
+
+	// The served answer changed, by roughly the planted slowdown.
+	var after advisor.PredictResponse
+	if code := postJSON(t, ts, "/v1/predict", predictReq, &after); code != http.StatusOK {
+		t.Fatalf("post-refit predict status %d", code)
+	}
+	if after.RenderSeconds <= 10*before.RenderSeconds {
+		t.Errorf("render prediction %v -> %v: refit did not take effect", before.RenderSeconds, after.RenderSeconds)
+	}
+
+	// The generation is visible in /v1/metrics and /v1/models too, and
+	// the other models survived the merge.
+	var mb metricsBody
+	r, err := ts.Client().Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&mb); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if mb.Generation != gen {
+		t.Errorf("metrics generation %d, want %d", mb.Generation, gen)
+	}
+	var models modelsBody
+	r, err = ts.Client().Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(r.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if models.Generation != gen || models.Source != "test-observations" {
+		t.Errorf("models: generation %d source %q", models.Generation, models.Source)
+	}
+	if len(models.Models) < 2 {
+		t.Errorf("merge dropped models: %d served", len(models.Models))
+	}
+	if code := postJSON(t, ts, "/v1/predict",
+		advisor.PredictRequest{Arch: "serial", Renderer: "raytracer", N: 12, Tasks: 1, Width: 128}, nil); code != http.StatusOK {
+		t.Errorf("carried-over raytracer model gone: %d", code)
+	}
+}
+
+// TestObservationsValidationAndDisabled: malformed batches are rejected
+// whole with a 400, and a server without calibration answers 503.
+func TestObservationsValidationAndDisabled(t *testing.T) {
+	path, _, _ := studyRegistry(t)
+	reg := registry.New(16)
+	if err := reg.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	engine := advisor.New(reg)
+	engine.SetObserver(&study.Calibrator{
+		Source:  "x",
+		Publish: func(s *registry.Snapshot, _ uint64) error { return reg.Publish(s) },
+	})
+	srv := newServer(engine)
+	srv.startCalibration(4, t.Logf)
+	t.Cleanup(srv.stopCalibration)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+
+	bad := []advisor.Observation{{Arch: "serial", Renderer: "volume", RenderSeconds: -1}}
+	if code := postJSON(t, ts, "/v1/observations", bad, nil); code != http.StatusBadRequest {
+		t.Errorf("invalid observation status %d", code)
+	}
+	// A single (non-array) observation object is accepted too.
+	one := advisor.Observation{
+		Arch: "serial", Renderer: "volume",
+		Inputs:        core.Inputs{O: 1000, AP: 5000, SPR: 100, CS: 10, Pixels: 20000, AvgAP: 5000, Tasks: 1},
+		RenderSeconds: 0.01,
+	}
+	if code := postJSON(t, ts, "/v1/observations", one, nil); code != http.StatusAccepted {
+		t.Errorf("single observation status %d", code)
+	}
+
+	// Calibration disabled: the endpoint explains itself with a 503.
+	plain := httptest.NewServer(newServer(advisor.New(reg)).handler())
+	defer plain.Close()
+	r, err := plain.Client().Post(plain.URL+"/v1/observations", "application/json", bytes.NewReader([]byte("[]")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("disabled observations status %d", r.StatusCode)
 	}
 }

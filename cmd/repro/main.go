@@ -23,24 +23,34 @@ type experiment struct {
 	name string
 	desc string
 	run  func(*env) error
+	// standalone experiments measure their own corpus (or otherwise do
+	// not belong in a tables-and-figures sweep) and are excluded from
+	// "all"; they run only when named explicitly.
+	standalone bool
 }
 
 // env carries shared state: flags plus the lazily built study corpus.
 type env struct {
-	short  bool
-	outDir string
-	corpus *corpusCache
+	short    bool
+	outDir   string
+	parallel int
+	corpus   *corpusCache
 }
 
 var experiments []experiment
 
 func register(name, desc string, run func(*env) error) {
-	experiments = append(experiments, experiment{name, desc, run})
+	experiments = append(experiments, experiment{name: name, desc: desc, run: run})
+}
+
+func registerStandalone(name, desc string, run func(*env) error) {
+	experiments = append(experiments, experiment{name: name, desc: desc, run: run, standalone: true})
 }
 
 func main() {
 	short := flag.Bool("short", false, "run reduced-size experiments")
 	out := flag.String("out", "repro_out", "output directory for images and CSVs")
+	parallel := flag.Int("parallel", 1, "concurrent study configurations (1 reproduces the paper's serial measurement discipline)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -51,7 +61,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	e := &env{short: *short, outDir: *out, corpus: &corpusCache{}}
+	e := &env{short: *short, outDir: *out, parallel: *parallel, corpus: &corpusCache{}}
 
 	sort.Slice(experiments, func(i, j int) bool { return experiments[i].name < experiments[j].name })
 	if args[0] == "list" {
@@ -64,7 +74,12 @@ func main() {
 	for _, a := range args {
 		if a == "all" {
 			for _, ex := range experiments {
-				want[ex.name] = true
+				// Standalone experiments (calibrate) measure their own
+				// corpus; including them in "all" would re-run the whole
+				// study on top of the shared corpus.
+				if !ex.standalone {
+					want[ex.name] = true
+				}
 			}
 			continue
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -22,8 +23,11 @@ type corpusCache struct {
 func (c *corpusCache) get(e *env) ([]study.Row, error) {
 	c.once.Do(func() {
 		plan := study.Plan(e.short)
-		fmt.Printf("running the model study (%d configurations)...\n", len(plan))
-		c.rows, c.err = study.Run(plan, os.Stdout)
+		fmt.Printf("running the model study (%d configurations, %d worker(s))...\n", len(plan), max(e.parallel, 1))
+		c.rows, c.err = study.RunContext(context.Background(), plan, study.Options{
+			Workers:  e.parallel,
+			Progress: study.LogProgress(os.Stdout),
+		})
 		if c.err == nil {
 			path := filepath.Join(e.outDir, "study_corpus.csv")
 			if f, err := os.Create(path); err == nil {
@@ -396,7 +400,11 @@ func fig15Compare(e *env) error {
 		for _, size := range imageSizes {
 			for _, c := range cells {
 				if c.N == n && c.ImageSize == size {
-					row += cell(fmt.Sprintf("%.2f", c.Ratio))
+					if !c.Finite {
+						row += cell("n/a")
+					} else {
+						row += cell(fmt.Sprintf("%.2f", c.Ratio))
+					}
 				}
 			}
 		}
@@ -406,6 +414,9 @@ func fig15Compare(e *env) error {
 	rtWins, rastWins := 0, 0
 	extreme := 0.0
 	for _, c := range cells {
+		if !c.Finite {
+			continue
+		}
 		if c.Ratio < 1 {
 			rtWins++
 			extreme = math.Max(extreme, 1/c.Ratio)

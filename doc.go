@@ -18,22 +18,35 @@
 //   - the modeling methodology in internal/core and internal/stats:
 //     complexity-derived linear models, OLS fitting, cross validation,
 //     the configuration-to-inputs mapping, and the feasibility analyses;
-//   - the measurement harness in internal/study and comparator renderers
-//     in internal/baseline;
+//   - the measurement harness in internal/study — a worker-pool runner
+//     (study.RunContext: configurable parallelism, context cancellation,
+//     deterministic plan-index ordering, streaming progress callbacks,
+//     plan sharding for multi-process runs) plus the continuous
+//     calibrator (study.Calibrator: measured samples stream in, the
+//     models refit incrementally over the growing corpus, and each refit
+//     publishes a new registry generation) — and comparator renderers in
+//     internal/baseline;
 //   - the online advisor subsystem: internal/registry (versioned JSON
 //     snapshots of fitted model sets, a concurrent in-memory registry
-//     with hot reload, and an LRU prediction cache) and internal/advisor
-//     (the batch-capable prediction engine answering predict,
-//     images-in-budget, and max-triangles queries with per-request
-//     metrics).
+//     with hot reload and in-place Publish, and an LRU prediction cache)
+//     and internal/advisor (the batch-capable prediction engine answering
+//     predict, images-in-budget, and max-triangles queries with
+//     per-request metrics, ingesting posted observations for continuous
+//     calibration, and sanitizing non-finite predictions at the API
+//     boundary so responses always serialize).
 //
 // Entry points: cmd/repro regenerates every table and figure of the
-// paper's evaluation, and its export experiment publishes the fitted
-// models as a registry snapshot; cmd/advisord serves feasibility answers
-// from such a snapshot over HTTP (with a load-generator mode for
-// benchmarking); cmd/insitu runs a proxy simulation with in situ
-// rendering; cmd/render renders a synthetic dataset; the examples/
-// directory holds runnable walkthroughs, including examples/advisor for
-// the measure -> export -> serve path. bench_test.go in this directory
-// carries one benchmark per reproduced table and figure.
+// paper's evaluation (with -parallel N measuring the study on N
+// workers), its export experiment publishes the fitted models as a
+// registry snapshot, and its calibrate experiment runs the live
+// measure -> refit -> publish loop; cmd/advisord serves feasibility
+// answers from such a snapshot over HTTP, accepts measured samples on
+// POST /v1/observations for background refit and atomic hot reload (and
+// has a load-generator mode for benchmarking); cmd/insitu runs a proxy
+// simulation with in situ rendering; cmd/render renders a synthetic
+// dataset; the examples/ directory holds runnable walkthroughs,
+// including examples/advisor for the measure -> export -> serve path and
+// examples/calibrate for the continuous-calibration loop. bench_test.go
+// in this directory carries one benchmark per reproduced table and
+// figure.
 package insitu

@@ -78,6 +78,10 @@ func main() {
 	}
 	fmt.Println("\npredicted raytrace/raster time ratio (<1 means ray tracing wins):")
 	for _, c := range cells {
+		if !c.Finite {
+			fmt.Printf("  N=%-4d img=%-5d ratio=n/a (degenerate fit)\n", c.N, c.ImageSize)
+			continue
+		}
 		fmt.Printf("  N=%-4d img=%-5d ratio=%.2f\n", c.N, c.ImageSize, c.Ratio)
 	}
 }

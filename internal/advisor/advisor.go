@@ -28,9 +28,24 @@ const (
 	OpPredict      Op = "predict"
 	OpFeasibility  Op = "feasibility"
 	OpMaxTriangles Op = "max_triangles"
+	OpObserve      Op = "observe"
 )
 
-var ops = []Op{OpPredict, OpFeasibility, OpMaxTriangles}
+var ops = []Op{OpPredict, OpFeasibility, OpMaxTriangles, OpObserve}
+
+// cleanFloat zeroes non-finite values and raises the response's flag.
+// Degenerate fits can predict NaN, and inverse queries can divide by a
+// non-positive prediction into ±Inf; encoding/json rejects both, which
+// would turn an otherwise well-formed answer into an opaque serialization
+// failure at the API boundary. Flagged zeros keep the response honest and
+// encodable.
+func cleanFloat(v float64, flagged *bool) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		*flagged = true
+		return 0
+	}
+	return v
+}
 
 // opMetrics accumulates one operation's counters with atomics so the hot
 // path never takes a lock.
@@ -65,10 +80,19 @@ type OpStats struct {
 	MaxMicros float64 `json:"max_micros"`
 }
 
+// Observer ingests measured samples and may publish a refitted model
+// snapshot into the serving path (study.Calibrator is the canonical
+// implementation). It reports the accumulated corpus size, whether a new
+// generation was published, and — when not — a human-readable reason.
+type Observer interface {
+	Observe(samples []core.Sample) (corpus int, published bool, reason string, err error)
+}
+
 // Engine answers prediction and feasibility queries over a registry.
 type Engine struct {
-	reg     *registry.Registry
-	metrics map[Op]*opMetrics
+	reg      *registry.Registry
+	metrics  map[Op]*opMetrics
+	observer Observer
 }
 
 // New returns an engine over the registry.
@@ -82,6 +106,10 @@ func New(reg *registry.Registry) *Engine {
 
 // Registry exposes the engine's backing registry.
 func (e *Engine) Registry() *registry.Registry { return e.reg }
+
+// SetObserver enables observation ingestion through the given observer.
+// Call before serving; it is not synchronized against in-flight requests.
+func (e *Engine) SetObserver(o Observer) { e.observer = o }
 
 // Metrics snapshots every operation's counters in a stable order.
 func (e *Engine) Metrics() []OpStats {
@@ -164,6 +192,10 @@ type PredictResponse struct {
 	// ImagesPerSecond is the reciprocal throughput (0 when the prediction
 	// is non-positive).
 	ImagesPerSecond float64 `json:"images_per_second"`
+	// NonFinite reports that one or more predicted values were NaN or
+	// infinite (a degenerate fit) and have been zeroed so the response
+	// stays JSON-encodable. Treat the numbers as unreliable.
+	NonFinite bool `json:"non_finite,omitempty"`
 }
 
 // Predict costs one configuration.
@@ -189,16 +221,16 @@ func (e *Engine) predict(req PredictRequest) (PredictResponse, error) {
 	if err != nil {
 		return PredictResponse{}, err
 	}
-	resp := PredictResponse{
-		Arch: req.Arch, Renderer: req.Renderer, Inputs: in,
-		RenderSeconds:    res.RenderSeconds,
-		BuildSeconds:     res.BuildSeconds,
-		CompositeSeconds: res.CompositeSeconds,
-	}
-	resp.PerImageSeconds = res.RenderSeconds + res.CompositeSeconds +
-		res.BuildSeconds/float64(req.Renderings)
+	resp := PredictResponse{Arch: req.Arch, Renderer: req.Renderer, Inputs: in}
+	resp.RenderSeconds = cleanFloat(res.RenderSeconds, &resp.NonFinite)
+	resp.BuildSeconds = cleanFloat(res.BuildSeconds, &resp.NonFinite)
+	resp.CompositeSeconds = cleanFloat(res.CompositeSeconds, &resp.NonFinite)
+	resp.PerImageSeconds = cleanFloat(res.RenderSeconds+res.CompositeSeconds+
+		res.BuildSeconds/float64(req.Renderings), &resp.NonFinite)
 	if resp.PerImageSeconds > 0 {
-		resp.ImagesPerSecond = 1 / resp.PerImageSeconds
+		// A subnormal per-image time overflows the reciprocal to +Inf, so
+		// this derived value needs cleaning too.
+		resp.ImagesPerSecond = cleanFloat(1/resp.PerImageSeconds, &resp.NonFinite)
 	}
 	return resp, nil
 }
@@ -251,6 +283,8 @@ type FeasibilityPoint struct {
 	// Feasible reports whether the requested image count fits (only
 	// populated when the request named one).
 	Feasible *bool `json:"feasible,omitempty"`
+	// NonFinite flags zeroed NaN/Inf predictions at this point.
+	NonFinite bool `json:"non_finite,omitempty"`
 }
 
 // FeasibilityResponse is the images-per-budget curve.
@@ -308,13 +342,15 @@ func (e *Engine) feasibility(req FeasibilityRequest) (FeasibilityResponse, error
 		if err != nil {
 			return FeasibilityResponse{}, err
 		}
-		per := res.RenderSeconds + res.CompositeSeconds
-		budget := req.BudgetSeconds - res.BuildSeconds
+		pt := FeasibilityPoint{ImageSize: size}
+		per := cleanFloat(res.RenderSeconds+res.CompositeSeconds, &pt.NonFinite)
+		budget := cleanFloat(req.BudgetSeconds-res.BuildSeconds, &pt.NonFinite)
 		images := 0.0
 		if per > 0 && budget > 0 {
 			images = budget / per
 		}
-		pt := FeasibilityPoint{ImageSize: size, Images: images, PerImageSeconds: per}
+		pt.Images = cleanFloat(images, &pt.NonFinite)
+		pt.PerImageSeconds = per
 		if req.Images > 0 {
 			ok := images >= req.Images
 			pt.Feasible = &ok
@@ -352,6 +388,8 @@ type MaxTrianglesResponse struct {
 	TotalTriangles float64 `json:"total_triangles"`
 	// PerImageSeconds is the predicted cost at N.
 	PerImageSeconds float64 `json:"per_image_seconds"`
+	// NonFinite flags zeroed NaN/Inf predictions (degenerate fit).
+	NonFinite bool `json:"non_finite,omitempty"`
 }
 
 // maxTrianglesCeiling bounds the inversion search; 12*N^2 at the ceiling
@@ -446,6 +484,134 @@ func (e *Engine) maxTriangles(req MaxTrianglesRequest) (MaxTrianglesResponse, er
 	resp.N = lo
 	resp.Triangles = 12 * float64(lo) * float64(lo)
 	resp.TotalTriangles = resp.Triangles * float64(req.Tasks)
-	resp.PerImageSeconds = c
+	resp.PerImageSeconds = cleanFloat(c, &resp.NonFinite)
 	return resp, nil
+}
+
+// Observation is one measured sample posted back into the serving path —
+// the continuous-calibration input. Inputs follow §5.3; times are in
+// seconds.
+type Observation struct {
+	Arch             string      `json:"arch"`
+	Renderer         string      `json:"renderer"`
+	Inputs           core.Inputs `json:"inputs"`
+	BuildSeconds     float64     `json:"build_seconds,omitempty"`
+	RenderSeconds    float64     `json:"render_seconds"`
+	CompositeSeconds float64     `json:"composite_seconds,omitempty"`
+}
+
+// validate rejects observations that would poison a refit: unknown
+// renderers, non-positive render times, and any non-finite number (the
+// inbound mirror of the non-finite sanitization on responses).
+func (o *Observation) validate() error {
+	if o.Arch == "" {
+		return fmt.Errorf("advisor: observation missing arch")
+	}
+	switch core.Renderer(o.Renderer) {
+	case core.RayTrace, core.Raster, core.Volume:
+	default:
+		// Deliberately excludes "compositing": it is fitted across archs
+		// from the multi-task samples' CompositeSeconds, not posted as a
+		// pseudo-renderer of its own.
+		return fmt.Errorf("advisor: observation renderer %q (want raytracer, rasterizer, or volume)", o.Renderer)
+	}
+	// Field names match the JSON tags so a rejection names the exact key
+	// to fix. Negative inputs are as poisonous to a refit as non-finite
+	// ones: OLS happily fits garbage coefficients over them.
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"inputs.o", o.Inputs.O}, {"inputs.ap", o.Inputs.AP},
+		{"inputs.vo", o.Inputs.VO}, {"inputs.ppt", o.Inputs.PPT},
+		{"inputs.spr", o.Inputs.SPR}, {"inputs.cs", o.Inputs.CS},
+		{"inputs.pixels", o.Inputs.Pixels}, {"inputs.avg_ap", o.Inputs.AvgAP},
+		{"build_seconds", o.BuildSeconds}, {"render_seconds", o.RenderSeconds},
+		{"composite_seconds", o.CompositeSeconds},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("advisor: observation %s is not finite", f.name)
+		}
+		if f.v < 0 {
+			return fmt.Errorf("advisor: observation %s must be non-negative, got %v", f.name, f.v)
+		}
+	}
+	if o.RenderSeconds <= 0 {
+		return fmt.Errorf("advisor: observation render_seconds must be positive, got %v", o.RenderSeconds)
+	}
+	if o.Inputs.Tasks < 0 {
+		return fmt.Errorf("advisor: observation inputs.tasks must be non-negative, got %d", o.Inputs.Tasks)
+	}
+	return nil
+}
+
+// SamplesFromObservations validates a batch and converts it to fitting
+// samples. One bad element fails the batch: a refit corpus is shared
+// state, so partial ingestion of a malformed payload is worse than a
+// clean rejection.
+func SamplesFromObservations(obs []Observation) ([]core.Sample, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("advisor: empty observation batch")
+	}
+	out := make([]core.Sample, len(obs))
+	for i := range obs {
+		o := &obs[i]
+		if err := o.validate(); err != nil {
+			return nil, fmt.Errorf("observation %d: %w", i, err)
+		}
+		in := o.Inputs
+		if in.Tasks < 1 {
+			in.Tasks = 1
+		}
+		out[i] = core.Sample{
+			Arch:          o.Arch,
+			Renderer:      core.Renderer(o.Renderer),
+			In:            in,
+			BuildTime:     o.BuildSeconds,
+			RenderTime:    o.RenderSeconds,
+			CompositeTime: o.CompositeSeconds,
+		}
+	}
+	return out, nil
+}
+
+// ObserveResponse reports the outcome of an ingestion batch.
+type ObserveResponse struct {
+	Accepted   int    `json:"accepted"`
+	CorpusSize int    `json:"corpus_size"`
+	Published  bool   `json:"published"`
+	Generation uint64 `json:"generation"`
+	// Pending explains why no new generation was published (refit cadence
+	// not reached, or the corpus cannot fit a model yet).
+	Pending string `json:"pending,omitempty"`
+}
+
+// Observe feeds validated samples to the configured observer; when the
+// observer refits and publishes, the registry generation in the response
+// reflects the new models.
+func (e *Engine) Observe(samples []core.Sample) (ObserveResponse, error) {
+	start := time.Now()
+	resp, err := e.doObserve(samples)
+	e.metrics[OpObserve].observe(start, err)
+	return resp, err
+}
+
+func (e *Engine) doObserve(samples []core.Sample) (ObserveResponse, error) {
+	if e.observer == nil {
+		return ObserveResponse{}, fmt.Errorf("advisor: observation ingestion is not enabled")
+	}
+	if len(samples) == 0 {
+		return ObserveResponse{}, fmt.Errorf("advisor: empty sample batch")
+	}
+	corpus, published, reason, err := e.observer.Observe(samples)
+	if err != nil {
+		return ObserveResponse{}, err
+	}
+	return ObserveResponse{
+		Accepted:   len(samples),
+		CorpusSize: corpus,
+		Published:  published,
+		Generation: e.reg.Generation(),
+		Pending:    reason,
+	}, nil
 }

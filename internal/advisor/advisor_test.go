@@ -1,6 +1,7 @@
 package advisor
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"strings"
@@ -321,5 +322,194 @@ func TestMetricsCountersAndErrors(t *testing.T) {
 	}
 	if s := byOp[OpMaxTriangles]; s.Count != 0 {
 		t.Errorf("max_triangles stats: %+v", s)
+	}
+}
+
+// degenerateEngine serves a registry whose raytracer fit predicts NaN
+// (a NaN coefficient — the worst case a pathological corpus can produce).
+func degenerateEngine(t *testing.T) *Engine {
+	t.Helper()
+	samples := syntheticSamples([]string{"cpu"}, 40, 7)
+	set, err := core.FitModels(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set.Models[core.Key("cpu", core.RayTrace)].Fit.Coef[0] = math.NaN()
+	reg := registry.New(0)
+	if err := reg.Load(registry.FromModelSet(set, core.CalibrateMapping(samples), "degenerate")); err != nil {
+		t.Fatal(err)
+	}
+	return New(reg)
+}
+
+// TestNonFinitePredictionsAreSanitized: degenerate fits must never leak
+// NaN or Inf into a response — encoding/json rejects them, which used to
+// turn the whole advisord answer into an opaque 500. Sanitized responses
+// carry flagged zeros and marshal cleanly.
+func TestNonFinitePredictionsAreSanitized(t *testing.T) {
+	e := degenerateEngine(t)
+
+	resp, err := e.Predict(PredictRequest{Arch: "cpu", Renderer: "raytracer", N: 64, Tasks: 2, Width: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.NonFinite {
+		t.Error("NaN prediction not flagged")
+	}
+	for name, v := range map[string]float64{
+		"render": resp.RenderSeconds, "build": resp.BuildSeconds,
+		"composite": resp.CompositeSeconds, "per_image": resp.PerImageSeconds,
+		"images_per_second": resp.ImagesPerSecond,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Errorf("%s = %v leaked through sanitization", name, v)
+		}
+	}
+	if _, err := json.Marshal(resp); err != nil {
+		t.Errorf("sanitized predict response does not marshal: %v", err)
+	}
+
+	fresp, err := e.Feasibility(FeasibilityRequest{
+		Arch: "cpu", Renderer: "raytracer", N: 64, Tasks: 2,
+		BudgetSeconds: 60, Sizes: []int{256, 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range fresp.Points {
+		if !pt.NonFinite {
+			t.Errorf("size %d: NaN curve point not flagged", pt.ImageSize)
+		}
+		if math.IsNaN(pt.Images) || math.IsInf(pt.Images, 0) ||
+			math.IsNaN(pt.PerImageSeconds) || math.IsInf(pt.PerImageSeconds, 0) {
+			t.Errorf("size %d: non-finite point %+v", pt.ImageSize, pt)
+		}
+	}
+	if _, err := json.Marshal(fresp); err != nil {
+		t.Errorf("sanitized feasibility response does not marshal: %v", err)
+	}
+
+	mresp, err := e.MaxTriangles(MaxTrianglesRequest{
+		Arch: "cpu", Renderer: "raytracer", Tasks: 1, ImageSize: 256, PerImageBudgetSeconds: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := json.Marshal(mresp); err != nil {
+		t.Errorf("max_triangles response does not marshal: %v", err)
+	}
+
+	// A healthy engine never sets the flag.
+	healthy, _, _ := testEngine(t, []string{"cpu"}, 0)
+	hresp, err := healthy.Predict(PredictRequest{Arch: "cpu", Renderer: "raytracer", N: 64, Tasks: 2, Width: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hresp.NonFinite {
+		t.Error("healthy prediction flagged as non-finite")
+	}
+}
+
+// fakeObserver records the samples it is handed.
+type fakeObserver struct {
+	batches [][]core.Sample
+	corpus  int
+	publish bool
+	reason  string
+	err     error
+}
+
+func (f *fakeObserver) Observe(samples []core.Sample) (int, bool, string, error) {
+	f.batches = append(f.batches, samples)
+	f.corpus += len(samples)
+	return f.corpus, f.publish, f.reason, f.err
+}
+
+func TestObservationValidation(t *testing.T) {
+	good := Observation{
+		Arch: "cpu", Renderer: "volume",
+		Inputs:        core.Inputs{O: 1000, AP: 5000, SPR: 100, CS: 10, Pixels: 10000, AvgAP: 5000, Tasks: 2},
+		RenderSeconds: 0.01, CompositeSeconds: 0.001,
+	}
+	if _, err := SamplesFromObservations([]Observation{good}); err != nil {
+		t.Fatalf("valid observation rejected: %v", err)
+	}
+	bad := []struct {
+		name   string
+		mutate func(*Observation)
+	}{
+		{"missing arch", func(o *Observation) { o.Arch = "" }},
+		{"unknown renderer", func(o *Observation) { o.Renderer = "splatter" }},
+		{"compositing pseudo-renderer", func(o *Observation) { o.Renderer = "compositing" }},
+		{"zero render time", func(o *Observation) { o.RenderSeconds = 0 }},
+		{"negative render time", func(o *Observation) { o.RenderSeconds = -1 }},
+		{"NaN render time", func(o *Observation) { o.RenderSeconds = math.NaN() }},
+		{"Inf input", func(o *Observation) { o.Inputs.AP = math.Inf(1) }},
+		{"negative composite", func(o *Observation) { o.CompositeSeconds = -0.1 }},
+	}
+	for _, tc := range bad {
+		o := good
+		tc.mutate(&o)
+		if _, err := SamplesFromObservations([]Observation{o}); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+		// One bad element fails the whole batch.
+		if _, err := SamplesFromObservations([]Observation{good, o}); err == nil {
+			t.Errorf("%s: bad element hid inside a batch", tc.name)
+		}
+	}
+	if _, err := SamplesFromObservations(nil); err == nil {
+		t.Error("empty batch accepted")
+	}
+	// Tasks default to 1.
+	o := good
+	o.Inputs.Tasks = 0
+	samples, err := SamplesFromObservations([]Observation{o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if samples[0].In.Tasks != 1 {
+		t.Errorf("tasks = %d, want defaulted 1", samples[0].In.Tasks)
+	}
+}
+
+func TestEngineObserve(t *testing.T) {
+	e, _, _ := testEngine(t, []string{"cpu"}, 0)
+
+	// Without an observer the operation is disabled.
+	if _, err := e.Observe([]core.Sample{{Arch: "cpu", Renderer: core.Volume, RenderTime: 0.01}}); err == nil {
+		t.Error("observe without an observer accepted")
+	}
+
+	obs := &fakeObserver{publish: true}
+	e.SetObserver(obs)
+	samples, err := SamplesFromObservations([]Observation{{
+		Arch: "cpu", Renderer: "volume",
+		Inputs:        core.Inputs{O: 1000, AP: 5000, SPR: 100, CS: 10, Pixels: 10000, AvgAP: 5000, Tasks: 1},
+		RenderSeconds: 0.01,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := e.Observe(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Accepted != 1 || resp.CorpusSize != 1 || !resp.Published || resp.Generation != 1 {
+		t.Errorf("response: %+v", resp)
+	}
+	if len(obs.batches) != 1 || len(obs.batches[0]) != 1 {
+		t.Errorf("observer saw %v", obs.batches)
+	}
+
+	// The observe op shows up in metrics.
+	found := false
+	for _, s := range e.Metrics() {
+		if s.Op == OpObserve && s.Count == 2 && s.Errors == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("observe metrics missing: %+v", e.Metrics())
 	}
 }

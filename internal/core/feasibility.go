@@ -48,6 +48,11 @@ type RatioCell struct {
 	ImageSize int
 	N         int
 	Ratio     float64
+	// Finite reports whether Ratio is a real number. Degenerate fits can
+	// predict non-positive or NaN times; rather than emit ±Inf/NaN —
+	// which encoding/json rejects, turning a whole response into an
+	// opaque failure — the ratio is zeroed and flagged.
+	Finite bool
 }
 
 // CompareRTvsRaster evaluates the ratio grid over image sizes and data
@@ -72,20 +77,26 @@ func (set *ModelSet) CompareRTvsRaster(arch string, mp Mapping, tasks, rendering
 			raIn := mp.Map(Config{N: n, Tasks: tasks, Width: size, Height: size, Renderer: Raster})
 			rtTime := rt.Predict(rtIn) + rt.PredictBuild(rtIn)/float64(renderings)
 			raTime := rast.Predict(raIn)
-			ratio := math.Inf(1)
+			cell := RatioCell{ImageSize: size, N: n}
 			if raTime > 0 {
-				ratio = rtTime / raTime
+				cell.Ratio = rtTime / raTime
 			}
-			out = append(out, RatioCell{ImageSize: size, N: n, Ratio: ratio})
+			cell.Finite = !math.IsNaN(cell.Ratio) && !math.IsInf(cell.Ratio, 0) && raTime > 0
+			if !cell.Finite {
+				cell.Ratio = 0
+			}
+			out = append(out, cell)
 		}
 	}
 	return out, nil
 }
 
 // MaxDataSizeInBudget inverts the volume model: the largest per-task N^3
-// whose predicted render time still fits the per-image budget — an
+// whose predicted per-image time still fits the per-image budget — an
 // example of the "immediately rule out alternatives" use the paper
-// motivates.
+// motivates. Like ImagesInBudget, multi-task configurations charge the
+// parallel compositing cost on every image, so the answer is consistent
+// with the images-per-budget curve at the same configuration.
 func (set *ModelSet) MaxDataSizeInBudget(arch string, mp Mapping, tasks, imageSize int, perImageBudget float64) (int, error) {
 	m, ok := set.Models[Key(arch, Volume)]
 	if !ok {
@@ -94,7 +105,11 @@ func (set *ModelSet) MaxDataSizeInBudget(arch string, mp Mapping, tasks, imageSi
 	best := 0
 	for n := 8; n <= 4096; n *= 2 {
 		in := mp.Map(Config{N: n, Tasks: tasks, Width: imageSize, Height: imageSize, Renderer: Volume})
-		if m.Predict(in) <= perImageBudget {
+		per := m.Predict(in)
+		if tasks > 1 && set.Compositing != nil {
+			per += set.Compositing.Predict(in)
+		}
+		if per <= perImageBudget {
 			best = n
 		} else {
 			break

@@ -1,6 +1,11 @@
 package core
 
-import "testing"
+import (
+	"math"
+	"testing"
+
+	"insitu/internal/stats"
+)
 
 // TestImagesInBudgetEdgeCases pins the boundary behavior the advisor
 // service depends on: hopeless budgets answer zero images (not negative,
@@ -108,4 +113,150 @@ func TestImagesInBudgetEdgeCases(t *testing.T) {
 			t.Error("unknown architecture accepted")
 		}
 	})
+}
+
+// TestMaxDataSizeInBudgetChargesCompositing is the regression test for
+// the multi-task inversion ignoring compositing: the per-image cost it
+// inverts must be render + composite, exactly what ImagesInBudget charges
+// for the same configuration. The old code used the render-only cost and
+// so overestimated the largest feasible N.
+func TestMaxDataSizeInBudgetChargesCompositing(t *testing.T) {
+	samples := syntheticSamples("cpu", 60, 41)
+	set, err := FitModels(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Compositing == nil {
+		t.Fatal("synthetic corpus produced no compositing model")
+	}
+	mp := CalibrateMapping(samples)
+	const tasks, img = 8, 1024
+	m := set.Models[Key("cpu", Volume)]
+
+	// Choose a budget that sits between the composite-inclusive and the
+	// render-only cost at some ladder step, so the two formulations give
+	// different answers and the bug is observable.
+	for n := 8; n <= 2048; n *= 2 {
+		in := mp.Map(Config{N: n, Tasks: tasks, Width: img, Height: img, Renderer: Volume})
+		renderOnly := m.Predict(in)
+		full := renderOnly + set.Compositing.Predict(in)
+		if full <= renderOnly {
+			t.Fatalf("compositing adds nothing at n=%d (full=%v renderOnly=%v)", n, full, renderOnly)
+		}
+		budget := (renderOnly + full) / 2 // fits render-only, not the full cost
+		got, err := set.MaxDataSizeInBudget("cpu", mp, tasks, img, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got >= n {
+			t.Fatalf("n=%d budget=%v: MaxDataSizeInBudget=%d ignores compositing (render-only fits, full does not)",
+				n, budget, got)
+		}
+		// Consistency with ImagesInBudget at the reported best size: at
+		// least one image of the budget must fit per budget-second.
+		if got > 0 {
+			gin := mp.Map(Config{N: got, Tasks: tasks, Width: img, Height: img, Renderer: Volume})
+			per := m.Predict(gin) + set.Compositing.Predict(gin)
+			if per > budget {
+				t.Fatalf("reported best N=%d still exceeds the budget: per=%v budget=%v", got, per, budget)
+			}
+		}
+		return // one ladder step is enough
+	}
+}
+
+// TestMaxDataSizeInBudgetSingleTaskUnchanged pins the single-task path:
+// no compositing model is consulted, so the answer equals the render-only
+// inversion.
+func TestMaxDataSizeInBudgetSingleTaskUnchanged(t *testing.T) {
+	samples := syntheticSamples("cpu", 60, 41)
+	set, err := FitModels(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp := CalibrateMapping(samples)
+	m := set.Models[Key("cpu", Volume)]
+	in := mp.Map(Config{N: 64, Tasks: 1, Width: 512, Height: 512, Renderer: Volume})
+	budget := m.Predict(in) * 1.01
+	got, err := set.MaxDataSizeInBudget("cpu", mp, 1, 512, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 64 {
+		t.Errorf("single-task best = %d, want >= 64 (budget covers N=64)", got)
+	}
+}
+
+// TestCompareRTvsRasterFlagsNonFinite: a rasterization fit that predicts
+// non-positive time must yield a flagged zero ratio, not ±Inf/NaN — the
+// values encoding/json rejects.
+func TestCompareRTvsRasterFlagsNonFinite(t *testing.T) {
+	set := &ModelSet{Models: map[string]*Model{
+		Key("cpu", RayTrace): {
+			Arch: "cpu", Renderer: RayTrace,
+			Fit:      &stats.Fit{Coef: []float64{1e-9, 1e-8, 1e-4}},
+			BuildFit: &stats.Fit{Coef: []float64{1e-8, 1e-4}},
+		},
+		Key("cpu", Raster): {
+			Arch: "cpu", Renderer: Raster,
+			// All-zero coefficients: the degenerate fit predicts 0 s.
+			Fit: &stats.Fit{Coef: []float64{0, 0, 0}},
+		},
+	}}
+	cells, err := set.CompareRTvsRaster("cpu", DefaultMapping(), 4, 100, []int{512}, []int{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	c := cells[0]
+	if c.Finite {
+		t.Errorf("zero raster prediction produced a finite ratio %v", c.Ratio)
+	}
+	if c.Ratio != 0 || math.IsNaN(c.Ratio) || math.IsInf(c.Ratio, 0) {
+		t.Errorf("sanitized ratio = %v, want 0", c.Ratio)
+	}
+
+	// A healthy pair is finite and flagged as such.
+	set.Models[Key("cpu", Raster)].Fit = &stats.Fit{Coef: []float64{1e-8, 1e-9, 1e-4}}
+	cells, err = set.CompareRTvsRaster("cpu", DefaultMapping(), 4, 100, []int{512}, []int{100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cells[0].Finite || cells[0].Ratio <= 0 {
+		t.Errorf("healthy models: cell = %+v", cells[0])
+	}
+}
+
+// TestFitAvailableSkipsThinGroups: the incremental-refit fitter keeps the
+// fittable groups and reports the thin ones instead of failing the corpus.
+func TestFitAvailableSkipsThinGroups(t *testing.T) {
+	samples := syntheticSamples("cpu", 30, 7)
+	// One lonely sample for a group that cannot possibly fit.
+	lone := samples[0]
+	lone.Arch = "gpu"
+	samples = append(samples, lone)
+
+	set, skipped, err := FitAvailable(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := set.Models[Key("cpu", RayTrace)]; !ok {
+		t.Error("healthy cpu/raytracer group missing")
+	}
+	if _, ok := set.Models[Key("gpu", lone.Renderer)]; ok {
+		t.Error("one-sample group was fitted")
+	}
+	if reason, ok := skipped[Key("gpu", lone.Renderer)]; !ok || reason == "" {
+		t.Errorf("thin group not reported: %v", skipped)
+	}
+	if set.Compositing == nil {
+		t.Error("compositing model missing despite multi-task samples")
+	}
+
+	// An all-thin corpus is an error.
+	if _, _, err := FitAvailable(samples[:1]); err == nil {
+		t.Error("unfittable corpus accepted")
+	}
 }

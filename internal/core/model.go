@@ -31,17 +31,19 @@ const (
 	Compositing Renderer = "compositing"
 )
 
-// Inputs are the model input variables of §5.3.
+// Inputs are the model input variables of §5.3. The JSON tags define the
+// wire form every advisor endpoint uses (predict responses, posted
+// observations), matching the snake_case of the rest of the HTTP API.
 type Inputs struct {
-	O      float64 // objects (triangles or cells)
-	AP     float64 // active pixels on this task
-	VO     float64 // visible objects (rasterization)
-	PPT    float64 // pixels considered per visible triangle
-	SPR    float64 // samples per ray (volume rendering)
-	CS     float64 // cells spanned (volume rendering)
-	Pixels float64 // full image resolution (compositing)
-	AvgAP  float64 // average active pixels over tasks (compositing)
-	Tasks  int
+	O      float64 `json:"o"`      // objects (triangles or cells)
+	AP     float64 `json:"ap"`     // active pixels on this task
+	VO     float64 `json:"vo"`     // visible objects (rasterization)
+	PPT    float64 `json:"ppt"`    // pixels considered per visible triangle
+	SPR    float64 `json:"spr"`    // samples per ray (volume rendering)
+	CS     float64 `json:"cs"`     // cells spanned (volume rendering)
+	Pixels float64 `json:"pixels"` // full image resolution (compositing)
+	AvgAP  float64 `json:"avg_ap"` // average active pixels over tasks (compositing)
+	Tasks  int     `json:"tasks"`
 }
 
 // Sample is one measured study observation.
@@ -170,6 +172,44 @@ func FitModels(samples []Sample) (*ModelSet, error) {
 		set.Compositing = comp
 	}
 	return set, nil
+}
+
+// FitAvailable is the incremental-refit variant of FitModels: it fits
+// every (arch, renderer) group that has accumulated enough samples and
+// skips the rest, instead of failing the whole corpus on its thinnest
+// group. The skipped map records why each group was left out so a
+// continuous-calibration caller can report progress. An error is
+// returned only when no group at all can be fitted.
+func FitAvailable(samples []Sample) (*ModelSet, map[string]string, error) {
+	groups := map[string][]Sample{}
+	for _, s := range samples {
+		k := Key(s.Arch, s.Renderer)
+		groups[k] = append(groups[k], s)
+	}
+	set := &ModelSet{Models: map[string]*Model{}}
+	skipped := map[string]string{}
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m, err := fitGroup(groups[k])
+		if err != nil {
+			skipped[k] = err.Error()
+			continue
+		}
+		set.Models[k] = m
+	}
+	if len(set.Models) == 0 {
+		return nil, skipped, fmt.Errorf("core: no fittable model group among %d samples", len(samples))
+	}
+	if comp, err := FitCompositing(samples); err == nil {
+		set.Compositing = comp
+	} else {
+		skipped[Key("all", Compositing)] = err.Error()
+	}
+	return set, skipped, nil
 }
 
 // fitGroup fits one (arch, renderer) group.

@@ -361,6 +361,55 @@ func (r *Registry) load(s *Snapshot, path string) error {
 	return nil
 }
 
+// ErrStale reports a conditional publish whose base generation no longer
+// matches the registry — another load or publish won the race. Callers
+// re-derive their snapshot from the current state and retry.
+var ErrStale = errors.New("registry: stale base generation")
+
+// Publish installs an in-memory snapshot while preserving the remembered
+// Reload path — the continuous-calibration path: a refitted snapshot
+// replaces the serving models atomically (generation bump, cache purge)
+// without disconnecting the registry from the file a later explicit
+// reload should re-read. Like Load, a failed Publish leaves the current
+// models serving.
+func (r *Registry) Publish(s *Snapshot) error {
+	return r.publish(s, nil)
+}
+
+// PublishIf is Publish conditioned on the registry still being at
+// baseGen, the generation the caller derived its snapshot from. It fails
+// with ErrStale when a concurrent load or reload has moved the registry
+// on — essential for read-merge-publish updates (study.Calibrator),
+// which would otherwise silently drop models installed by the concurrent
+// load.
+func (r *Registry) PublishIf(s *Snapshot, baseGen uint64) error {
+	return r.publish(s, &baseGen)
+}
+
+// publish installs a snapshot keeping r.path untouched; expect, when
+// non-nil, is the required current generation.
+func (r *Registry) publish(s *Snapshot, expect *uint64) error {
+	set, err := s.ModelSet()
+	if err != nil {
+		return err
+	}
+	mp := s.CalibratedMapping()
+	r.mu.Lock()
+	if expect != nil && r.generation != *expect {
+		gen := r.generation
+		r.mu.Unlock()
+		return fmt.Errorf("%w: registry at generation %d, snapshot derived from %d", ErrStale, gen, *expect)
+	}
+	r.snap = s
+	r.set = set
+	r.mapping = mp
+	r.generation++
+	r.mu.Unlock()
+	r.cache.Purge()
+	r.lastReload.Store(time.Now().UnixNano())
+	return nil
+}
+
 // Reload re-reads the last loaded file — the hot-reload path a running
 // advisord uses when the study pipeline publishes fresh models. A failed
 // reload leaves the current models serving.

@@ -432,3 +432,86 @@ func TestLRUEviction(t *testing.T) {
 		t.Error("disabled cache cached")
 	}
 }
+
+// TestPublishPreservesReloadPath: Publish hot-swaps an in-memory snapshot
+// (generation bump, cache purge) like Load, but keeps the remembered file
+// path so a later Reload still re-reads the published registry file —
+// the contract the continuous-calibration path depends on.
+func TestPublishPreservesReloadPath(t *testing.T) {
+	set, mp, _ := fittedSet(t, 51)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "models.json")
+	if err := FromModelSet(set, mp, "on-disk").WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	reg := New(64)
+	if err := reg.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	gen := reg.Generation()
+
+	// Publish a refitted in-memory snapshot.
+	refit := FromModelSet(set, mp, "refit")
+	if err := reg.Publish(refit); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Generation() != gen+1 {
+		t.Errorf("generation %d, want %d", reg.Generation(), gen+1)
+	}
+	if got := reg.Snapshot().Source; got != "refit" {
+		t.Errorf("serving source %q", got)
+	}
+
+	// Reload still works and re-reads the file (Load would have severed it).
+	if err := reg.Reload(); err != nil {
+		t.Fatalf("reload after publish: %v", err)
+	}
+	if got := reg.Snapshot().Source; got != "on-disk" {
+		t.Errorf("source after reload = %q, want on-disk", got)
+	}
+
+	// Publish on a never-file-backed registry keeps working too.
+	mem := New(64)
+	if err := mem.Load(FromModelSet(set, mp, "mem")); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Publish(refit); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Reload(); err == nil {
+		t.Error("reload on a memory-only registry should still fail")
+	}
+}
+
+// TestPublishIfRejectsStaleGeneration: a conditional publish derived from
+// an outdated generation must fail with ErrStale and leave the registry
+// untouched, so read-merge-publish updaters cannot clobber a concurrent
+// load.
+func TestPublishIfRejectsStaleGeneration(t *testing.T) {
+	set, mp, _ := fittedSet(t, 53)
+	reg := New(16)
+	if err := reg.Load(FromModelSet(set, mp, "first")); err != nil {
+		t.Fatal(err)
+	}
+	gen := reg.Generation()
+	if err := reg.Load(FromModelSet(set, mp, "second")); err != nil {
+		t.Fatal(err)
+	}
+	err := reg.PublishIf(FromModelSet(set, mp, "stale-refit"), gen)
+	if !errors.Is(err, ErrStale) {
+		t.Fatalf("err = %v, want ErrStale", err)
+	}
+	if got := reg.Snapshot().Source; got != "second" {
+		t.Errorf("stale publish replaced serving snapshot: %q", got)
+	}
+	if reg.Generation() != gen+1 {
+		t.Errorf("generation moved to %d on a failed publish", reg.Generation())
+	}
+	// The current generation succeeds.
+	if err := reg.PublishIf(FromModelSet(set, mp, "fresh-refit"), gen+1); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Source; got != "fresh-refit" {
+		t.Errorf("serving %q", got)
+	}
+}

@@ -8,6 +8,7 @@
 package study
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -83,8 +84,8 @@ func Plan(short bool) []Config {
 		for _, cb := range combos {
 			for _, tasks := range taskCounts {
 				for _, u := range lhs {
-					n := nLo + int(u[0]*float64(nHi-nLo))
-					img := imgLo + int(u[1]*float64(imgHi-imgLo))
+					n := lhsScale(u[0], nLo, nHi)
+					img := lhsScale(u[1], imgLo, imgHi)
 					plan = append(plan, Config{
 						Arch: arch, Renderer: cb.r, Sim: cb.s,
 						Tasks: tasks, ImageSize: img, N: n,
@@ -97,23 +98,32 @@ func Plan(short bool) []Config {
 	return plan
 }
 
-// Run executes every configuration, logging progress to w (nil for
-// silent), and returns the measured rows.
-func Run(plan []Config, w io.Writer) ([]Row, error) {
-	rows := make([]Row, 0, len(plan))
-	for i, cfg := range plan {
-		row, err := RunConfig(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("study: config %d (%+v): %w", i, cfg, err)
-		}
-		rows = append(rows, row)
-		if w != nil {
-			fmt.Fprintf(w, "[%3d/%3d] %-7s %-10s %-10s tasks=%d n=%d img=%d render=%.4fs\n",
-				i+1, len(plan), cfg.Arch, cfg.Renderer, cfg.Sim,
-				cfg.Tasks, cfg.N, cfg.ImageSize, row.Sample.RenderTime)
-		}
+// lhsScale maps a unit sample u in [0,1) to an integer spanning the
+// closed range [lo, hi]: the unit interval is split into hi-lo+1 equal
+// cells so every value — both bounds included — is reachable with equal
+// probability. The previous lo+int(u*(hi-lo)) form could never produce
+// hi, silently truncating the sampled design space.
+func lhsScale(u float64, lo, hi int) int {
+	if hi <= lo {
+		return lo
 	}
-	return rows, nil
+	v := lo + int(u*float64(hi-lo+1))
+	if v > hi {
+		v = hi // u is < 1, but guard the exact-boundary float case
+	}
+	return v
+}
+
+// Run executes every configuration sequentially, logging progress to w
+// (nil for silent), and returns the measured rows. It is the
+// single-worker form of RunContext, kept for callers that want the
+// paper's serial measurement discipline.
+func Run(plan []Config, w io.Writer) ([]Row, error) {
+	opts := Options{Workers: 1}
+	if w != nil {
+		opts.Progress = LogProgress(w)
+	}
+	return RunContext(context.Background(), plan, opts)
 }
 
 // Samples extracts the model-fitting samples.

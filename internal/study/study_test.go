@@ -70,6 +70,86 @@ func TestVolumeOnUnstructuredRejected(t *testing.T) {
 	}
 }
 
+// TestLHSScaleSpansInclusiveRange is the regression test for the
+// truncation-biased sample mapping: lo+int(u*(hi-lo)) could never reach
+// hi, so the documented upper bounds nHi/imgHi were unreachable. The
+// corrected mapping must span [lo, hi] inclusively, hit both endpoints,
+// stay monotone in u, and give every value equal mass.
+func TestLHSScaleSpansInclusiveRange(t *testing.T) {
+	const lo, hi = 12, 36
+	counts := map[int]int{}
+	const steps = 100000
+	prev := lo
+	for i := 0; i < steps; i++ {
+		u := float64(i) / steps // uniform grid over [0, 1)
+		v := lhsScale(u, lo, hi)
+		if v < lo || v > hi {
+			t.Fatalf("u=%v: %d outside [%d, %d]", u, v, lo, hi)
+		}
+		if v < prev {
+			t.Fatalf("u=%v: mapping not monotone (%d after %d)", u, v, prev)
+		}
+		prev = v
+		counts[v]++
+	}
+	if counts[lo] == 0 {
+		t.Errorf("lower bound %d never sampled", lo)
+	}
+	if counts[hi] == 0 {
+		t.Errorf("upper bound %d never sampled (the original bug)", hi)
+	}
+	want := steps / (hi - lo + 1)
+	for v := lo; v <= hi; v++ {
+		if c := counts[v]; c < want*9/10 || c > want*11/10 {
+			t.Errorf("value %d drawn %d times, want ~%d (uniformity)", v, c, want)
+		}
+	}
+	// Degenerate range collapses to lo.
+	if got := lhsScale(0.99, 7, 7); got != 7 {
+		t.Errorf("lhsScale on empty range = %d", got)
+	}
+	// Exact-1.0 input (not produced by LatinHypercube, but guard it).
+	if got := lhsScale(1.0, lo, hi); got != hi {
+		t.Errorf("lhsScale(1.0) = %d, want %d", got, hi)
+	}
+}
+
+// TestPlanReachesUpperBounds: with enough Latin-hypercube pairs the plan's
+// sampled sizes must cover the top cell of the design space, not stop one
+// stratum short of it.
+func TestPlanReachesUpperBounds(t *testing.T) {
+	const nLo, nHi = 12, 36
+	const imgLo, imgHi = 80, 384
+	maxN, maxImg := 0, 0
+	minN, minImg := 1<<30, 1<<30
+	for _, cfg := range Plan(false) {
+		if cfg.N > maxN {
+			maxN = cfg.N
+		}
+		if cfg.ImageSize > maxImg {
+			maxImg = cfg.ImageSize
+		}
+		if cfg.N < minN {
+			minN = cfg.N
+		}
+		if cfg.ImageSize < minImg {
+			minImg = cfg.ImageSize
+		}
+		if cfg.N < nLo || cfg.N > nHi || cfg.ImageSize < imgLo || cfg.ImageSize > imgHi {
+			t.Fatalf("config outside the documented bounds: %+v", cfg)
+		}
+	}
+	// With 5 strata, the top stratum covers the top fifth of each range;
+	// its sample must land there (the old mapping could only reach the
+	// value one full stratum below hi at best).
+	if topN := nHi - (nHi-nLo+1)/5; maxN < topN {
+		t.Errorf("max sampled N = %d, top stratum starts at %d", maxN, topN)
+	}
+	if topImg := imgHi - (imgHi-imgLo+1)/5; maxImg < topImg {
+		t.Errorf("max sampled image = %d, top stratum starts at %d", maxImg, topImg)
+	}
+}
+
 func TestPlanShapes(t *testing.T) {
 	full := Plan(false)
 	short := Plan(true)
