@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench ci clean
+.PHONY: all build test race vet fmt bench cover ci clean
 
 all: ci
 
@@ -24,11 +24,22 @@ vet:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# bench runs the table/figure benchmarks at the repo root plus the advisor
-# throughput benchmark.
+# bench runs the table/figure benchmarks at the repo root, the advisor
+# throughput benchmark, the scenario dispatch benchmark, and the
+# small-plan study benchmark (one tiny configuration per registered
+# backend through the full measurement path).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 	$(GO) test -run '^$$' -bench BenchmarkAdvisorPredict ./internal/advisor/
+	$(GO) test -run '^$$' -bench BenchmarkScenarioDispatch -benchtime 1x ./internal/scenario/
+	$(GO) test -run '^$$' -bench 'BenchmarkStudySmallPlan|BenchmarkPlanGeneration' -benchtime 1x ./internal/study/
+
+# cover runs the test suite with coverage and prints a per-function
+# summary plus the total. The profile lands in cover.out for
+# `go tool cover -html=cover.out`.
+cover:
+	$(GO) test -short -coverprofile=cover.out ./...
+	@$(GO) tool cover -func=cover.out | tail -1
 
 ci: build vet fmt test race
 

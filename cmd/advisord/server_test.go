@@ -7,6 +7,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"insitu/internal/advisor"
 	"insitu/internal/core"
 	"insitu/internal/registry"
+	"insitu/internal/scenario"
 	"insitu/internal/study"
 )
 
@@ -37,6 +39,9 @@ func studyRegistry(t *testing.T) (string, *core.ModelSet, core.Mapping) {
 				plan = append(plan,
 					study.Config{Arch: "serial", Renderer: core.RayTrace, Sim: "kripke", Tasks: 1, ImageSize: img, N: n, Frames: 2},
 					study.Config{Arch: "serial", Renderer: core.Volume, Sim: "kripke", Tasks: 1, ImageSize: img, N: n, Frames: 2},
+					// The backend registered through the scenario seam rides
+					// the same study plan as the built-ins.
+					study.Config{Arch: "serial", Renderer: scenario.VolumeUnstructured, Sim: "kripke", Tasks: 1, ImageSize: img, N: n, Frames: 2},
 				)
 			}
 		}
@@ -489,5 +494,94 @@ func TestObservationsValidationAndDisabled(t *testing.T) {
 	r.Body.Close()
 	if r.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("disabled observations status %d", r.StatusCode)
+	}
+}
+
+// TestUnstructuredVolumeServedEndToEnd is the scenario seam's acceptance
+// test: the volume-unstructured backend — registered only through the
+// scenario registry, never special-cased in study, repro, or advisor
+// code — flows plan -> measurement -> fit -> registry snapshot ->
+// /v1/predict, and the served numbers match the in-memory fit exactly.
+func TestUnstructuredVolumeServedEndToEnd(t *testing.T) {
+	ts, _, set, mp := testServer(t)
+	m, ok := set.Models[core.Key("serial", scenario.VolumeUnstructured)]
+	if !ok {
+		t.Fatalf("no fitted model for %s; corpus groups: %d", scenario.VolumeUnstructured, len(set.Models))
+	}
+	req := advisor.PredictRequest{
+		Arch: "serial", Renderer: string(scenario.VolumeUnstructured),
+		N: 12, Tasks: 1, Width: 96,
+	}
+	var resp advisor.PredictResponse
+	if code := postJSON(t, ts, "/v1/predict", req, &resp); code != http.StatusOK {
+		t.Fatalf("predict status %d", code)
+	}
+	in := mp.Map(core.Config{N: 12, Tasks: 1, Width: 96, Height: 96, Renderer: scenario.VolumeUnstructured})
+	if want := m.Predict(in); resp.RenderSeconds != want {
+		t.Errorf("served render_seconds %v, in-memory fit predicts %v", resp.RenderSeconds, want)
+	}
+	if resp.PerImageSeconds <= 0 {
+		t.Errorf("per_image_seconds = %v, want positive", resp.PerImageSeconds)
+	}
+	// The snapshot served by /v1/models names the backend too.
+	var models modelsBody
+	r, err := ts.Client().Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if err := json.NewDecoder(r.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range models.Models {
+		if d.Renderer == string(scenario.VolumeUnstructured) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("/v1/models does not list the volume-unstructured model")
+	}
+}
+
+// TestPredictRejectsUnregisteredRenderer: a renderer with no registered
+// model spec answers a clear 400 naming the registered alternatives; a
+// registered spec with no fitted model in the snapshot answers 404.
+func TestPredictRejectsUnregisteredRenderer(t *testing.T) {
+	ts, _, _, _ := testServer(t)
+	var eb errorBody
+	code := postJSON(t, ts, "/v1/predict",
+		advisor.PredictRequest{Arch: "serial", Renderer: "teapot", N: 12, Tasks: 1, Width: 64}, &eb)
+	if code != http.StatusBadRequest {
+		t.Errorf("unregistered renderer status %d, want 400", code)
+	}
+	if !strings.Contains(eb.Error, "teapot") || !strings.Contains(eb.Error, string(core.RayTrace)) {
+		t.Errorf("error does not name the bad renderer and the registered ones: %q", eb.Error)
+	}
+	// rasterizer has a registered spec but no model in this snapshot.
+	code = postJSON(t, ts, "/v1/predict",
+		advisor.PredictRequest{Arch: "serial", Renderer: string(core.Raster), N: 12, Tasks: 1, Width: 64}, &eb)
+	if code != http.StatusNotFound {
+		t.Errorf("model-less renderer status %d, want 404", code)
+	}
+	// The compositing pseudo-renderer has a spec but is never served
+	// per-architecture: 400, not a misleading "no model" 404.
+	code = postJSON(t, ts, "/v1/predict",
+		advisor.PredictRequest{Arch: "serial", Renderer: string(core.Compositing), N: 12, Tasks: 1, Width: 64}, &eb)
+	if code != http.StatusBadRequest {
+		t.Errorf("compositing predict status %d, want 400", code)
+	}
+	// Feasibility applies the same validation as predict.
+	code = postJSON(t, ts, "/v1/feasibility", advisor.FeasibilityRequest{
+		Arch: "serial", Renderer: "teapot", N: 12, BudgetSeconds: 10, Sizes: []int{64},
+	}, &eb)
+	if code != http.StatusBadRequest || !strings.Contains(eb.Error, "teapot") {
+		t.Errorf("feasibility unknown renderer: status %d, error %q", code, eb.Error)
+	}
+	// Observations for unregistered renderers are rejected up front too.
+	if _, err := advisor.SamplesFromObservations([]advisor.Observation{
+		{Arch: "serial", Renderer: "teapot", RenderSeconds: 0.1},
+	}); err == nil || !strings.Contains(err.Error(), "teapot") {
+		t.Errorf("unregistered observation renderer not rejected clearly: %v", err)
 	}
 }

@@ -9,14 +9,14 @@ import (
 
 	"insitu/internal/comm"
 	"insitu/internal/conduit"
+	"insitu/internal/core"
 	"insitu/internal/device"
 	"insitu/internal/framebuffer"
 	"insitu/internal/mesh"
 	"insitu/internal/mesh/synthdata"
 	"insitu/internal/render"
-	"insitu/internal/render/raster"
 	"insitu/internal/render/raytrace"
-	"insitu/internal/render/volume"
+	"insitu/internal/scenario"
 	"insitu/internal/sim"
 	"insitu/internal/strawman"
 )
@@ -191,22 +191,30 @@ func figureImages(e *env) error {
 		}
 	}
 
-	// Figure 3: volume renderings, zoomed in and out.
+	// Figure 3: volume renderings, zoomed in and out, through the same
+	// scenario backend the study measures.
+	volBackend, err := scenario.Lookup(core.Volume)
+	if err != nil {
+		return err
+	}
 	for _, name := range []string{"enzo", "nek"} {
 		d, err := synthdata.ByName(name)
 		if err != nil {
 			return err
 		}
 		vg := synthdata.Grid(d.FieldName, d.Func, 32, 32, 32, synthdata.UnitBounds())
-		vr, err := volume.NewStructured(device.CPU(), vg, d.FieldName)
-		if err != nil {
-			return err
-		}
 		for view, zoom := range map[string]float64{"far": 0.8, "close": 1.9} {
-			img, _, err := vr.Render(volume.StructuredOptions{
-				Width: size, Height: size,
-				Camera: render.OrbitCamera(vg.Bounds(), 30, 20, zoom),
-			})
+			sc, err := scenario.SceneFromGrid(device.CPU(), vg, d.FieldName,
+				render.OrbitCamera(vg.Bounds(), 30, 20, zoom), size, size)
+			if err != nil {
+				return err
+			}
+			runner, err := volBackend.Prepare(sc)
+			if err != nil {
+				return err
+			}
+			var in core.Inputs
+			_, img, err := runner.RenderFrame(&in)
 			if err != nil {
 				return err
 			}
@@ -254,10 +262,17 @@ func figureImages(e *env) error {
 		}
 	}
 
-	// A rasterized still for completeness.
-	img, _, err := raster.New(device.CPU(), iso).Render(raster.Options{
-		Width: size, Height: size, Camera: cam,
-	})
+	// A rasterized still for completeness, through the raster backend.
+	rastBackend, err := scenario.Lookup(core.Raster)
+	if err != nil {
+		return err
+	}
+	runner, err := rastBackend.Prepare(scenario.SceneFromSurface(device.CPU(), iso, cam, size, size))
+	if err != nil {
+		return err
+	}
+	var in core.Inputs
+	_, img, err := runner.RenderFrame(&in)
 	if err != nil {
 		return err
 	}

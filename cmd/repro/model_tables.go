@@ -10,8 +10,31 @@ import (
 	"sync"
 
 	"insitu/internal/core"
+	"insitu/internal/scenario"
 	"insitu/internal/study"
 )
+
+// corpusGroups lists the architectures and renderers present in a
+// measured corpus, each sorted — the dynamic axis the model tables
+// iterate instead of a hardcoded renderer list, so newly registered
+// scenario backends appear in every table automatically.
+func corpusGroups(samples []core.Sample) (archs []string, renderers []core.Renderer) {
+	seenA := map[string]bool{}
+	seenR := map[core.Renderer]bool{}
+	for _, s := range samples {
+		if !seenA[s.Arch] {
+			seenA[s.Arch] = true
+			archs = append(archs, s.Arch)
+		}
+		if !seenR[s.Renderer] {
+			seenR[s.Renderer] = true
+			renderers = append(renderers, s.Renderer)
+		}
+	}
+	sort.Strings(archs)
+	sort.Slice(renderers, func(i, j int) bool { return renderers[i] < renderers[j] })
+	return archs, renderers
+}
 
 // corpusCache lazily runs the model study once per repro invocation.
 type corpusCache struct {
@@ -59,14 +82,16 @@ func table12R2(e *env) error {
 	if err != nil {
 		return err
 	}
-	set, err := core.FitModels(study.Samples(rows))
+	samples := study.Samples(rows)
+	set, err := core.FitModels(samples)
 	if err != nil {
 		return err
 	}
-	printHeader("renderer", "serial", "cpu")
-	for _, r := range []core.Renderer{core.RayTrace, core.Volume, core.Raster} {
+	archs, renderers := corpusGroups(samples)
+	printHeader(append([]string{"renderer"}, archs...)...)
+	for _, r := range renderers {
 		row := cell(string(r))
-		for _, arch := range []string{"serial", "cpu"} {
+		for _, arch := range archs {
 			m, ok := set.Models[core.Key(arch, r)]
 			if !ok {
 				row += cell("n/a")
@@ -85,9 +110,10 @@ func table13CV(e *env) error {
 		return err
 	}
 	samples := study.Samples(rows)
+	archs, renderers := corpusGroups(samples)
 	printHeader("arch", "renderer", "<=50%", "<=25%", "<=10%", "<=5%", "avg %")
-	for _, arch := range []string{"serial", "cpu"} {
-		for _, r := range []core.Renderer{core.RayTrace, core.Volume, core.Raster} {
+	for _, arch := range archs {
+		for _, r := range renderers {
 			cv, err := core.CrossValidate(samples, arch, r, 3)
 			if err != nil {
 				return err
@@ -116,8 +142,9 @@ func fig11Errors(e *env) error {
 	}
 	defer f.Close()
 	fmt.Fprintln(f, "arch,renderer,predicted_s,error_pct")
-	for _, arch := range []string{"serial", "cpu"} {
-		for _, r := range []core.Renderer{core.RayTrace, core.Volume, core.Raster} {
+	archs, renderers := corpusGroups(samples)
+	for _, arch := range archs {
+		for _, r := range renderers {
 			cv, err := core.CrossValidate(samples, arch, r, 3)
 			if err != nil {
 				return err
@@ -224,7 +251,7 @@ func table15HeldOut(e *env) error {
 		trainN, bigN, bigTasks, imgTrain = 6, 16, 4, 96
 	}
 	printHeader("renderer", "actual", "predicted", "diff %", "samples")
-	for _, r := range []core.Renderer{core.RayTrace, core.Volume, core.Raster} {
+	for _, r := range scenario.Names() {
 		simName := "cloverleaf"
 		// Small calibration corpus.
 		var train []study.Config
@@ -358,14 +385,19 @@ func fig14Budget(e *env) error {
 	sizes := []int{256, 512, 768, 1024, 1536, 2048, 3072, 4096}
 	n, tasks := 32, 32
 	fmt.Printf("images renderable in 60 s (N=%d per task, %d tasks):\n\n", n, tasks)
+	archs, renderers := corpusGroups(samples)
 	printHeader(append([]string{"arch/renderer"}, intsToStrings(sizes)...)...)
-	for _, arch := range []string{"serial", "cpu"} {
-		for _, r := range []core.Renderer{core.RayTrace, core.Raster, core.Volume} {
+	for _, arch := range archs {
+		for _, r := range renderers {
 			pts, err := set.ImagesInBudget(arch, r, mp, n, tasks, 60, sizes)
 			if err != nil {
 				return err
 			}
-			row := cell(arch + "/" + string(r)[:4])
+			label := string(r)
+			if len(label) > 10 {
+				label = label[:10]
+			}
+			row := cell(arch + "/" + label)
 			for _, p := range pts {
 				row += cell(fmt.Sprintf("%.0f", p.Images))
 			}

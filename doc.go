@@ -18,6 +18,17 @@
 //   - the modeling methodology in internal/core and internal/stats:
 //     complexity-derived linear models, OLS fitting, cross validation,
 //     the configuration-to-inputs mapping, and the feasibility analyses;
+//   - the scenario layer in internal/scenario — the single measurement
+//     path shared by the study, the repro tables, and the in situ
+//     pipeline: a Scene describes a renderable block (parsed simulation
+//     data or prebuilt geometry, camera, device, scalar range) and
+//     self-registered Backends turn scenes into frame renderers that
+//     fill the model inputs of §5.3. Each backend declares its linear
+//     model form (core.RendererSpec), its compositing operator, and its
+//     data-shape constraints; registering one makes it sampled by the
+//     study plan, fittable, snapshot-servable, and advisord-predictable
+//     with no further changes (the tetrahedral volume-unstructured
+//     backend is integrated exactly this way);
 //   - the measurement harness in internal/study — a worker-pool runner
 //     (study.RunContext: configurable parallelism, context cancellation,
 //     deterministic plan-index ordering, streaming progress callbacks,

@@ -33,6 +33,20 @@ const (
 
 var ops = []Op{OpPredict, OpFeasibility, OpMaxTriangles, OpObserve}
 
+// checkRenderer validates a request's renderer name against the model
+// spec registry: unknown names and the compositing pseudo-renderer
+// (fitted across architectures, never served per-arch) are rejected
+// with the registered alternatives named, so a typo answers a clear 400
+// instead of a misleading "no model" 404.
+func checkRenderer(name string) error {
+	r := core.Renderer(name)
+	if _, ok := core.LookupRenderer(r); !ok || r == core.Compositing {
+		return fmt.Errorf("advisor: unknown renderer %q (registered: %v)",
+			name, core.ModeledRenderers())
+	}
+	return nil
+}
+
 // cleanFloat zeroes non-finite values and raises the response's flag.
 // Degenerate fits can predict NaN, and inverse queries can divide by a
 // non-positive prediction into ±Inf; encoding/json rejects both, which
@@ -148,6 +162,9 @@ func (r *PredictRequest) normalize() error {
 	}
 	if r.Renderer == "" {
 		return fmt.Errorf("advisor: missing renderer")
+	}
+	if err := checkRenderer(r.Renderer); err != nil {
+		return err
 	}
 	if r.N <= 0 {
 		return fmt.Errorf("advisor: n must be positive, got %d", r.N)
@@ -312,6 +329,9 @@ func (e *Engine) feasibility(req FeasibilityRequest) (FeasibilityResponse, error
 	if req.Arch == "" || req.Renderer == "" {
 		return FeasibilityResponse{}, fmt.Errorf("advisor: missing arch or renderer")
 	}
+	if err := checkRenderer(req.Renderer); err != nil {
+		return FeasibilityResponse{}, err
+	}
 	if req.N <= 0 {
 		return FeasibilityResponse{}, fmt.Errorf("advisor: n must be positive, got %d", req.N)
 	}
@@ -409,8 +429,9 @@ func (e *Engine) MaxTriangles(req MaxTrianglesRequest) (MaxTrianglesResponse, er
 
 func (e *Engine) maxTriangles(req MaxTrianglesRequest) (MaxTrianglesResponse, error) {
 	r := core.Renderer(req.Renderer)
-	if r != core.RayTrace && r != core.Raster {
-		return MaxTrianglesResponse{}, fmt.Errorf("advisor: max_triangles needs a surface renderer, got %q", req.Renderer)
+	spec, ok := core.LookupRenderer(r)
+	if !ok || !spec.Surface {
+		return MaxTrianglesResponse{}, fmt.Errorf("advisor: max_triangles needs a registered surface renderer, got %q", req.Renderer)
 	}
 	if req.ImageSize <= 0 {
 		return MaxTrianglesResponse{}, fmt.Errorf("advisor: image size must be positive, got %d", req.ImageSize)
@@ -482,7 +503,11 @@ func (e *Engine) maxTriangles(req MaxTrianglesRequest) (MaxTrianglesResponse, er
 		}
 	}
 	resp.N = lo
-	resp.Triangles = 12 * float64(lo) * float64(lo)
+	objects := spec.Objects
+	if objects == nil {
+		objects = func(n float64) float64 { return 12 * n * n }
+	}
+	resp.Triangles = objects(float64(lo))
 	resp.TotalTriangles = resp.Triangles * float64(req.Tasks)
 	resp.PerImageSeconds = cleanFloat(c, &resp.NonFinite)
 	return resp, nil
@@ -507,13 +532,14 @@ func (o *Observation) validate() error {
 	if o.Arch == "" {
 		return fmt.Errorf("advisor: observation missing arch")
 	}
-	switch core.Renderer(o.Renderer) {
-	case core.RayTrace, core.Raster, core.Volume:
-	default:
-		// Deliberately excludes "compositing": it is fitted across archs
-		// from the multi-task samples' CompositeSeconds, not posted as a
-		// pseudo-renderer of its own.
-		return fmt.Errorf("advisor: observation renderer %q (want raytracer, rasterizer, or volume)", o.Renderer)
+	// Any renderer with a registered model spec is observable — except
+	// "compositing", which is fitted across archs from the multi-task
+	// samples' CompositeSeconds, not posted as a pseudo-renderer of its
+	// own. Validating against the spec registry (not a hardcoded list)
+	// means observations for newly registered scenario backends flow into
+	// refits without advisor changes.
+	if err := checkRenderer(o.Renderer); err != nil {
+		return err
 	}
 	// Field names match the JSON tags so a rejection names the exact key
 	// to fix. Negative inputs are as poisonous to a refit as non-finite

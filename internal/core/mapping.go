@@ -62,15 +62,19 @@ func CalibrateMapping(samples []Sample) Mapping {
 // Map converts a configuration to model inputs using the paper's
 // formulas:
 //
-//	O  = 12*N^2 (external-face surfaces) or N^3 (volumes)
+//	O  = 12*N^2 (external-face surfaces) or N^3 (volumes),
+//	     unless the renderer's registered spec overrides Objects
 //	AP = fill * Pixels / Tasks^(1/3)
-//	VO = min(AP, O)
+//	VO = min(AP, O)            (surface techniques)
 //	VO*PPT = 4*AP  =>  PPT = 4*AP/VO
-//	SPR = SPRBase / Tasks^(1/3)
+//	SPR = SPRBase / Tasks^(1/3) (volume techniques)
 //	CS  = N
 //
-// All coefficients are positive, so conservative (over-) estimates of the
-// inputs yield conservative time predictions.
+// The surface-vs-volume branch follows the renderer's registered spec;
+// an unregistered renderer maps as a surface technique (the prediction
+// itself will fail at model lookup with a clear error). All coefficients
+// are positive, so conservative (over-) estimates of the inputs yield
+// conservative time predictions.
 func (mp Mapping) Map(cfg Config) Inputs {
 	tasks := maxInt(cfg.Tasks, 1)
 	scale := math.Cbrt(float64(tasks))
@@ -83,12 +87,20 @@ func (mp Mapping) Map(cfg Config) Inputs {
 	}
 	in.AP = mp.FillFraction * pixels / scale
 	in.AvgAP = in.AP
-	if cfg.Renderer == Volume {
+	spec, known := LookupRenderer(cfg.Renderer)
+	surface := !known || spec.Surface
+	if surface {
+		in.O = 12 * n * n
+	} else {
 		in.O = n * n * n
+	}
+	if known && spec.Objects != nil {
+		in.O = spec.Objects(n)
+	}
+	if !surface {
 		in.SPR = mp.SPRBase / scale
 		return in
 	}
-	in.O = 12 * n * n
 	in.VO = math.Min(in.AP, in.O)
 	if in.VO > 0 {
 		in.PPT = 4 * in.AP / in.VO

@@ -82,19 +82,13 @@ func VRTerms(in Inputs) []float64 { return []float64{in.AP * in.CS, in.AP * in.S
 // CompTerms: c0*avg(AP) + c1*Pixels + c2.
 func CompTerms(in Inputs) []float64 { return []float64{in.AvgAP, in.Pixels, 1} }
 
-// RenderTerms dispatches to the per-renderer term vector.
+// RenderTerms dispatches to the registered renderer's term vector.
 func RenderTerms(r Renderer, in Inputs) ([]float64, error) {
-	switch r {
-	case RayTrace:
-		return RTTraceTerms(in), nil
-	case Raster:
-		return RastTerms(in), nil
-	case Volume:
-		return VRTerms(in), nil
-	case Compositing:
-		return CompTerms(in), nil
+	spec, ok := LookupRenderer(r)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown renderer %q (registered: %v)", r, Renderers())
 	}
-	return nil, fmt.Errorf("core: unknown renderer %q", r)
+	return spec.Terms(in), nil
 }
 
 // Model is one fitted architecture+renderer performance model.
@@ -233,7 +227,7 @@ func fitGroup(g []Sample) (*Model, error) {
 		return nil, err
 	}
 	m := &Model{Arch: g[0].Arch, Renderer: r, Fit: fit}
-	if r == RayTrace {
+	if spec, ok := LookupRenderer(r); ok && spec.HasBuild {
 		bX := make([][]float64, len(g))
 		bY := make([]float64, len(g))
 		for i, s := range g {

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// RendererSpec describes one modeled rendering technique: the linear
+// model form its measurements fit and the configuration-mapping facts the
+// advisor needs to answer questions about it. Registering a spec is what
+// makes a renderer name meaningful to the modeling layer — fitting,
+// snapshot validation, prediction, and observation ingestion all consult
+// the spec registry instead of a hardcoded renderer list, so a new
+// scenario backend becomes fittable and servable by registering its spec
+// once.
+type RendererSpec struct {
+	// Name is the renderer's wire name (model keys, snapshots, HTTP).
+	Name Renderer
+	// Terms maps model inputs to the linear term vector, intercept
+	// included; its length fixes the coefficient arity snapshots are
+	// validated against.
+	Terms func(Inputs) []float64
+	// HasBuild marks techniques with a separate one-time
+	// acceleration-structure model (RTBuildTerms), fitted apart so
+	// repeated renderings amortize it.
+	HasBuild bool
+	// Surface marks external-face surface techniques: they take the
+	// surface branch of Mapping.Map and are eligible for the
+	// max-triangles inversion.
+	Surface bool
+	// Objects maps the per-task data size N to the modeled object count
+	// (the O input of §5.8). Nil uses the default for the technique
+	// family: 12*N^2 for surfaces, N^3 for volumes.
+	Objects func(n float64) float64
+}
+
+var (
+	rendererMu    sync.RWMutex
+	rendererSpecs = map[Renderer]RendererSpec{}
+)
+
+// RegisterRenderer adds a renderer spec to the registry. Registering a
+// name twice is an error: two specs with different term forms would make
+// fitted coefficients ambiguous.
+func RegisterRenderer(spec RendererSpec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("core: renderer spec has no name")
+	}
+	if spec.Terms == nil {
+		return fmt.Errorf("core: renderer %q has no term function", spec.Name)
+	}
+	rendererMu.Lock()
+	defer rendererMu.Unlock()
+	if _, dup := rendererSpecs[spec.Name]; dup {
+		return fmt.Errorf("core: renderer %q already registered", spec.Name)
+	}
+	rendererSpecs[spec.Name] = spec
+	return nil
+}
+
+// MustRegisterRenderer is RegisterRenderer for init-time registration.
+func MustRegisterRenderer(spec RendererSpec) {
+	if err := RegisterRenderer(spec); err != nil {
+		panic(err)
+	}
+}
+
+// LookupRenderer returns a registered spec.
+func LookupRenderer(r Renderer) (RendererSpec, bool) {
+	rendererMu.RLock()
+	defer rendererMu.RUnlock()
+	spec, ok := rendererSpecs[r]
+	return spec, ok
+}
+
+// Renderers returns every registered renderer name, sorted, including
+// the compositing pseudo-renderer.
+func Renderers() []Renderer {
+	rendererMu.RLock()
+	defer rendererMu.RUnlock()
+	out := make([]Renderer, 0, len(rendererSpecs))
+	for r := range rendererSpecs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ModeledRenderers returns the renderers whose local render time is
+// modeled per architecture — every registered spec except compositing,
+// which is fitted across architectures from multi-task composite times.
+func ModeledRenderers() []Renderer {
+	all := Renderers()
+	out := all[:0]
+	for _, r := range all {
+		if r != Compositing {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// The paper's four model forms (Chapter V) register at init so the core
+// package is usable standalone; scenario backends register any further
+// specs alongside their rendering code.
+func init() {
+	MustRegisterRenderer(RendererSpec{
+		Name: RayTrace, Terms: RTTraceTerms, HasBuild: true, Surface: true,
+	})
+	MustRegisterRenderer(RendererSpec{
+		Name: Raster, Terms: RastTerms, Surface: true,
+	})
+	MustRegisterRenderer(RendererSpec{
+		Name: Volume, Terms: VRTerms,
+	})
+	MustRegisterRenderer(RendererSpec{
+		Name: Compositing, Terms: CompTerms,
+	})
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRendererRegistryErrorPaths(t *testing.T) {
+	// The paper's four model forms are registered at init.
+	for _, r := range []Renderer{RayTrace, Raster, Volume, Compositing} {
+		if _, ok := LookupRenderer(r); !ok {
+			t.Errorf("builtin renderer %q not registered", r)
+		}
+	}
+	// Duplicate registration is ambiguous and must fail.
+	err := RegisterRenderer(RendererSpec{Name: RayTrace, Terms: RTTraceTerms})
+	if err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate registration: %v", err)
+	}
+	if err := RegisterRenderer(RendererSpec{Terms: RTTraceTerms}); err == nil {
+		t.Error("nameless spec accepted")
+	}
+	if err := RegisterRenderer(RendererSpec{Name: "terms-less"}); err == nil {
+		t.Error("spec without terms accepted")
+	}
+	// Unknown renderers fail term dispatch with the alternatives named.
+	if _, err := RenderTerms("teapot", Inputs{}); err == nil ||
+		!strings.Contains(err.Error(), "teapot") || !strings.Contains(err.Error(), string(RayTrace)) {
+		t.Errorf("unknown renderer terms error: %v", err)
+	}
+}
+
+func TestModeledRenderersExcludesCompositing(t *testing.T) {
+	for _, r := range ModeledRenderers() {
+		if r == Compositing {
+			t.Error("compositing listed as a modeled renderer")
+		}
+	}
+	found := false
+	for _, r := range Renderers() {
+		if r == Compositing {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("compositing missing from the full registry listing")
+	}
+}
+
+// TestMapUsesSpecObjects: a spec's Objects override feeds Map's O input,
+// and non-surface specs take the volume mapping branch.
+func TestMapUsesSpecObjects(t *testing.T) {
+	spec := RendererSpec{
+		Name:    "map-test-volume",
+		Terms:   VRTerms,
+		Objects: func(n float64) float64 { return 6 * n * n * n },
+	}
+	if err := RegisterRenderer(spec); err != nil {
+		t.Fatal(err)
+	}
+	mp := DefaultMapping()
+	in := mp.Map(Config{N: 10, Tasks: 1, Width: 100, Height: 100, Renderer: "map-test-volume"})
+	if in.O != 6000 {
+		t.Errorf("O = %v, want 6000 from the spec's Objects", in.O)
+	}
+	if in.SPR <= 0 {
+		t.Errorf("non-surface spec should map SPR, got %v", in.SPR)
+	}
+	if in.VO != 0 || in.PPT != 0 {
+		t.Errorf("non-surface spec mapped surface inputs: VO=%v PPT=%v", in.VO, in.PPT)
+	}
+	// Surface mapping unchanged for the builtins.
+	sIn := mp.Map(Config{N: 10, Tasks: 1, Width: 100, Height: 100, Renderer: RayTrace})
+	if sIn.O != 1200 {
+		t.Errorf("surface O = %v, want 1200", sIn.O)
+	}
+	if sIn.VO <= 0 || sIn.PPT <= 0 {
+		t.Errorf("surface inputs missing: VO=%v PPT=%v", sIn.VO, sIn.PPT)
+	}
+}

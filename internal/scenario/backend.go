@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"insitu/internal/composite"
+	"insitu/internal/core"
+	"insitu/internal/framebuffer"
+)
+
+// FrameRunner renders frames of one prepared scene. A runner is bound to
+// a single task's scene and is not safe for concurrent use; the harness
+// that measures it owns the call discipline (warm-up frame, kept-frame
+// averaging).
+type FrameRunner interface {
+	// RenderFrame renders one frame, filling in the per-frame workload
+	// inputs the backend's model terms consume (O, AP, and the technique's
+	// specific measures). Prefilled configuration inputs (Pixels, Tasks)
+	// are left untouched.
+	RenderFrame(in *core.Inputs) (time.Duration, *framebuffer.Image, error)
+	// BuildSeconds is the one-time acceleration-structure construction
+	// cost (0 for techniques without one).
+	BuildSeconds() float64
+}
+
+// Backend is one pluggable rendering technique: it declares its model
+// form (how frame stats map to core.Inputs terms), its compositing
+// needs, and its data-shape constraints, and prepares frame runners from
+// scenes. Backends self-register in their init functions.
+type Backend interface {
+	// Name is the renderer name used in study configs, model keys,
+	// registry snapshots, and the HTTP API.
+	Name() core.Renderer
+	// Model is the renderer spec fitted over this backend's measurements.
+	// Register installs it into the core spec registry.
+	Model() core.RendererSpec
+	// CompositeOp is the sort-last compositing operator the backend's
+	// images need (depth for surfaces, visibility-ordered blend for
+	// volumes).
+	CompositeOp() composite.Op
+	// NeedsStructured reports that the backend can only consume
+	// structured blocks (mirroring the paper's "not all combinations made
+	// sense": the structured volume renderer cannot eat the Lagrangian
+	// proxy's unstructured mesh).
+	NeedsStructured() bool
+	// Prepare builds a frame runner for the scene, performing any
+	// one-time setup (geometry extraction, acceleration structures).
+	Prepare(sc *Scene) (FrameRunner, error)
+}
+
+var (
+	backendMu sync.RWMutex
+	backends  = map[core.Renderer]Backend{}
+)
+
+// Register installs a backend and its model spec. Duplicate names are an
+// error: two backends answering to one renderer name would make
+// measurements ambiguous. When a spec for the backend's name is already
+// registered in core (the paper's built-in model forms register at core
+// init), the backend's declared spec must agree with it — term arity and
+// the build/surface flags — so the two can never drift apart silently.
+func Register(b Backend) error {
+	name := b.Name()
+	if name == "" {
+		return fmt.Errorf("scenario: backend has no name")
+	}
+	if name == core.Compositing {
+		return fmt.Errorf("scenario: %q is the compositing pseudo-renderer, not a backend name", name)
+	}
+	spec := b.Model()
+	if spec.Name != name {
+		return fmt.Errorf("scenario: backend %q declares a model spec named %q", name, spec.Name)
+	}
+	if spec.Terms == nil {
+		return fmt.Errorf("scenario: backend %q declares a model spec without terms", name)
+	}
+	backendMu.Lock()
+	defer backendMu.Unlock()
+	if _, dup := backends[name]; dup {
+		return fmt.Errorf("scenario: backend %q already registered", name)
+	}
+	if existing, ok := core.LookupRenderer(name); ok {
+		if len(existing.Terms(core.Inputs{})) != len(spec.Terms(core.Inputs{})) ||
+			existing.HasBuild != spec.HasBuild || existing.Surface != spec.Surface {
+			return fmt.Errorf("scenario: backend %q declares a model spec inconsistent with the registered %q spec", name, name)
+		}
+	} else if err := core.RegisterRenderer(spec); err != nil {
+		return fmt.Errorf("scenario: registering %q model spec: %w", name, err)
+	}
+	backends[name] = b
+	return nil
+}
+
+// MustRegister is Register for init-time self-registration.
+func MustRegister(b Backend) {
+	if err := Register(b); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the backend for a renderer name, with an error that
+// names the alternatives — the message a study config or an HTTP request
+// with a typo'd renderer ultimately surfaces.
+func Lookup(name core.Renderer) (Backend, error) {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	b, ok := backends[name]
+	if !ok {
+		return nil, fmt.Errorf("scenario: unknown renderer %q (registered: %v)", name, namesLocked())
+	}
+	return b, nil
+}
+
+// Names returns the registered backend names, sorted for deterministic
+// plan generation.
+func Names() []core.Renderer {
+	backendMu.RLock()
+	defer backendMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []core.Renderer {
+	out := make([]core.Renderer, 0, len(backends))
+	for name := range backends {
+		out = append(out, name)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,243 @@
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"insitu/internal/composite"
+	"insitu/internal/core"
+	"insitu/internal/framebuffer"
+	"insitu/internal/mesh"
+	"insitu/internal/render/raster"
+	"insitu/internal/render/raytrace"
+	"insitu/internal/render/volume"
+)
+
+// VolumeUnstructured names the tetrahedral volume backend — the first
+// technique added through the scenario seam rather than wired by hand
+// through study, repro, and advisor. Its model is c0*O + c1*(AP*SPR) +
+// c2 over tetrahedra.
+const VolumeUnstructured core.Renderer = "volume-unstructured"
+
+func init() {
+	MustRegister(raytraceBackend{})
+	MustRegister(rasterBackend{})
+	MustRegister(volumeBackend{})
+	MustRegister(volumeUnstructuredBackend{})
+}
+
+// coreSpec returns the core-registered model spec of a built-in
+// renderer, keeping core's init the single source of truth for the
+// paper's model forms (Register verifies a backend's declared spec
+// against the registered one, so the two can never drift).
+func coreSpec(r core.Renderer) core.RendererSpec {
+	spec, ok := core.LookupRenderer(r)
+	if !ok {
+		panic(fmt.Sprintf("scenario: core model spec for %q missing", r))
+	}
+	return spec
+}
+
+// --- ray tracing ---
+
+type raytraceBackend struct{}
+
+func (raytraceBackend) Name() core.Renderer { return core.RayTrace }
+
+func (raytraceBackend) Model() core.RendererSpec { return coreSpec(core.RayTrace) }
+
+func (raytraceBackend) CompositeOp() composite.Op { return composite.DepthOp }
+func (raytraceBackend) NeedsStructured() bool     { return false }
+
+func (raytraceBackend) Prepare(sc *Scene) (FrameRunner, error) {
+	tri, err := sc.SurfaceMesh()
+	if err != nil {
+		return nil, err
+	}
+	raytrace.New(sc.Dev, tri) // warm-up build (cold-cache effects)
+	rdr := raytrace.New(sc.Dev, tri)
+	return &raytraceRunner{
+		rdr: rdr,
+		opts: raytrace.Options{
+			Width: sc.Width, Height: sc.Height,
+			Camera: sc.Camera, Workload: raytrace.Workload2,
+		},
+	}, nil
+}
+
+type raytraceRunner struct {
+	rdr  *raytrace.Renderer
+	opts raytrace.Options
+}
+
+func (r *raytraceRunner) BuildSeconds() float64 { return r.rdr.BVH.BuildTime.Seconds() }
+
+func (r *raytraceRunner) RenderFrame(in *core.Inputs) (time.Duration, *framebuffer.Image, error) {
+	start := time.Now()
+	img, st, err := r.rdr.Render(r.opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	in.O = float64(st.Objects)
+	in.AP = float64(st.ActivePixels)
+	return time.Since(start), img, nil
+}
+
+// --- rasterization ---
+
+type rasterBackend struct{}
+
+func (rasterBackend) Name() core.Renderer { return core.Raster }
+
+func (rasterBackend) Model() core.RendererSpec { return coreSpec(core.Raster) }
+
+func (rasterBackend) CompositeOp() composite.Op { return composite.DepthOp }
+func (rasterBackend) NeedsStructured() bool     { return false }
+
+func (rasterBackend) Prepare(sc *Scene) (FrameRunner, error) {
+	tri, err := sc.SurfaceMesh()
+	if err != nil {
+		return nil, err
+	}
+	return &rasterRunner{
+		rdr:  raster.New(sc.Dev, tri),
+		opts: raster.Options{Width: sc.Width, Height: sc.Height, Camera: sc.Camera},
+	}, nil
+}
+
+type rasterRunner struct {
+	rdr  *raster.Renderer
+	opts raster.Options
+}
+
+func (r *rasterRunner) BuildSeconds() float64 { return 0 }
+
+func (r *rasterRunner) RenderFrame(in *core.Inputs) (time.Duration, *framebuffer.Image, error) {
+	start := time.Now()
+	img, st, err := r.rdr.Render(r.opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	in.O = float64(st.Objects)
+	in.AP = float64(st.ActivePixels)
+	in.VO = float64(st.VisibleObjects)
+	in.PPT = st.PPT()
+	return time.Since(start), img, nil
+}
+
+// --- structured volume rendering ---
+
+type volumeBackend struct{}
+
+func (volumeBackend) Name() core.Renderer { return core.Volume }
+
+func (volumeBackend) Model() core.RendererSpec { return coreSpec(core.Volume) }
+
+func (volumeBackend) CompositeOp() composite.Op { return composite.BlendOp }
+func (volumeBackend) NeedsStructured() bool     { return true }
+
+func (volumeBackend) Prepare(sc *Scene) (FrameRunner, error) {
+	g := sc.Grid()
+	if g == nil {
+		return nil, fmt.Errorf("scenario: %q needs a structured block", core.Volume)
+	}
+	if _, ok := g.Fields[sc.FieldName]; !ok {
+		if err := g.AddField(sc.FieldName, mesh.VertexAssoc, sc.Values); err != nil {
+			return nil, err
+		}
+	}
+	vr, err := volume.NewStructured(sc.Dev, g, sc.FieldName)
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := sc.FieldRange()
+	return &volumeRunner{
+		rdr: vr,
+		opts: volume.StructuredOptions{
+			Width: sc.Width, Height: sc.Height,
+			Camera: sc.Camera, FieldRange: [2]float64{lo, hi},
+		},
+	}, nil
+}
+
+type volumeRunner struct {
+	rdr  *volume.StructuredRenderer
+	opts volume.StructuredOptions
+}
+
+func (r *volumeRunner) BuildSeconds() float64 { return 0 }
+
+func (r *volumeRunner) RenderFrame(in *core.Inputs) (time.Duration, *framebuffer.Image, error) {
+	start := time.Now()
+	img, st, err := r.rdr.Render(r.opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	in.O = float64(st.Objects)
+	in.AP = float64(st.ActivePixels)
+	in.SPR = st.SPR()
+	in.CS = float64(st.CellsSpanned)
+	return time.Since(start), img, nil
+}
+
+// --- unstructured (tetrahedral) volume rendering ---
+
+type volumeUnstructuredBackend struct{}
+
+func (volumeUnstructuredBackend) Name() core.Renderer { return VolumeUnstructured }
+
+// uvrTerms is the unstructured volume model: T = c0*O + c1*(AP*SPR) + c2,
+// linear in the tet count (every tet is projected and pass-selected) and
+// in the samples taken along active rays.
+func uvrTerms(in core.Inputs) []float64 { return []float64{in.O, in.AP * in.SPR, 1} }
+
+func (volumeUnstructuredBackend) Model() core.RendererSpec {
+	return core.RendererSpec{
+		Name:  VolumeUnstructured,
+		Terms: uvrTerms,
+		// Six tetrahedra per hex cell of an N^3 block.
+		Objects: func(n float64) float64 { return 6 * n * n * n },
+	}
+}
+
+func (volumeUnstructuredBackend) CompositeOp() composite.Op { return composite.BlendOp }
+func (volumeUnstructuredBackend) NeedsStructured() bool     { return false }
+
+func (volumeUnstructuredBackend) Prepare(sc *Scene) (FrameRunner, error) {
+	tm, err := sc.TetMesh()
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := sc.FieldRange()
+	return &volumeUnstructuredRunner{
+		rdr: volume.NewUnstructured(sc.Dev, tm),
+		opts: volume.UnstructuredOptions{
+			Width: sc.Width, Height: sc.Height,
+			Camera: sc.Camera, FieldRange: [2]float64{lo, hi},
+			SamplesZ: sc.SamplesZ,
+		},
+	}, nil
+}
+
+type volumeUnstructuredRunner struct {
+	rdr  *volume.UnstructuredRenderer
+	opts volume.UnstructuredOptions
+}
+
+func (r *volumeUnstructuredRunner) BuildSeconds() float64 { return 0 }
+
+func (r *volumeUnstructuredRunner) RenderFrame(in *core.Inputs) (time.Duration, *framebuffer.Image, error) {
+	start := time.Now()
+	img, st, err := r.rdr.Render(r.opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	in.O = float64(st.Objects)
+	in.AP = float64(st.ActivePixels)
+	if st.ActivePixels > 0 {
+		in.SPR = float64(st.TotalSamples) / float64(st.ActivePixels)
+	} else {
+		in.SPR = 0
+	}
+	return time.Since(start), img, nil
+}

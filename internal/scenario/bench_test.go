@@ -1,0 +1,40 @@
+package scenario
+
+import (
+	"testing"
+
+	"insitu/internal/core"
+)
+
+// BenchmarkScenarioDispatch measures the cost of the pluggable seam
+// itself — registry lookup, scene preparation, one frame — at a tiny
+// image size, so regressions in the dispatch path (as opposed to the
+// renderers behind it) show up in isolation.
+func BenchmarkScenarioDispatch(b *testing.B) {
+	for _, name := range Names() {
+		backend, err := Lookup(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sc := simScene(b, "kripke", 8, 32)
+		if backend.NeedsStructured() && !sc.Structured() {
+			continue
+		}
+		b.Run(string(name), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				bk, err := Lookup(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runner, err := bk.Prepare(sc)
+				if err != nil {
+					b.Fatal(err)
+				}
+				var in core.Inputs
+				if _, _, err := runner.RenderFrame(&in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,216 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"insitu/internal/composite"
+	"insitu/internal/conduit"
+	"insitu/internal/core"
+	"insitu/internal/device"
+	"insitu/internal/render"
+	"insitu/internal/sim"
+)
+
+// simScene builds a one-task scene from a stepped proxy, the same way
+// the study harness does.
+func simScene(t testing.TB, proxy string, n, size int) *Scene {
+	t.Helper()
+	sm, err := sim.New(proxy, n, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.Step()
+	node := conduit.NewNode()
+	sm.Publish(node)
+	pm, err := ParseMesh(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := pm.FieldValues(sm.PrimaryField())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cam := render.OrbitCamera(pm.LocalBounds(), 30, 20, 1.0)
+	return NewScene(device.CPU(), pm, sm.PrimaryField(), vals, cam, size, size)
+}
+
+// TestEveryBackendRendersItsCompatibleProxies drives each registered
+// backend over every proxy it declares itself compatible with: Prepare
+// succeeds, a frame comes back non-empty, and the model inputs its term
+// vector consumes are filled.
+func TestEveryBackendRendersItsCompatibleProxies(t *testing.T) {
+	for _, name := range Names() {
+		b, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, proxy := range sim.Names() {
+			if b.NeedsStructured() && !sim.Structured(proxy) {
+				continue
+			}
+			t.Run(string(name)+"/"+proxy, func(t *testing.T) {
+				sc := simScene(t, proxy, 8, 48)
+				runner, err := b.Prepare(sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var in core.Inputs
+				elapsed, img, err := runner.RenderFrame(&in)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if elapsed <= 0 {
+					t.Error("no elapsed time measured")
+				}
+				if img == nil || img.ActivePixels() == 0 {
+					t.Error("empty image")
+				}
+				if in.O <= 0 || in.AP <= 0 {
+					t.Errorf("inputs not filled: O=%v AP=%v", in.O, in.AP)
+				}
+				// The backend's own term vector must be computable and
+				// non-degenerate over what it filled.
+				terms := b.Model().Terms(in)
+				if len(terms) < 2 {
+					t.Fatalf("term vector too short: %v", terms)
+				}
+				for i, v := range terms {
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Errorf("term %d is %v", i, v)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestStructuredOnlyBackendRejectsUnstructuredScene mirrors the paper's
+// "not all combinations made sense": the structured volume backend must
+// refuse the Lagrangian proxy's explicit hex mesh, while the
+// unstructured volume backend consumes it.
+func TestStructuredOnlyBackendRejectsUnstructuredScene(t *testing.T) {
+	sc := simScene(t, "lulesh", 8, 48)
+	vb, err := Lookup(core.Volume)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vb.Prepare(sc); err == nil {
+		t.Error("structured volume backend accepted an unstructured block")
+	}
+	ub, err := Lookup(VolumeUnstructured)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner, err := ub.Prepare(sc)
+	if err != nil {
+		t.Fatalf("unstructured volume backend rejected lulesh: %v", err)
+	}
+	var in core.Inputs
+	if _, img, err := runner.RenderFrame(&in); err != nil || img.ActivePixels() == 0 {
+		t.Fatalf("unstructured volume frame: err=%v", err)
+	}
+	if in.SPR <= 0 {
+		t.Errorf("SPR not filled: %v", in.SPR)
+	}
+}
+
+// TestLookupUnknownRendererNamesAlternatives: the error a typo'd study
+// config or HTTP request ultimately surfaces must name what exists.
+func TestLookupUnknownRendererNamesAlternatives(t *testing.T) {
+	_, err := Lookup("teapot")
+	if err == nil {
+		t.Fatal("lookup of unknown renderer succeeded")
+	}
+	if !strings.Contains(err.Error(), "teapot") || !strings.Contains(err.Error(), string(core.RayTrace)) {
+		t.Errorf("error does not name the unknown renderer and the registered ones: %v", err)
+	}
+}
+
+// badBackend is a minimal backend for registration error-path tests.
+type badBackend struct{ name core.Renderer }
+
+func (b badBackend) Name() core.Renderer { return b.name }
+func (b badBackend) Model() core.RendererSpec {
+	return core.RendererSpec{Name: b.name, Terms: func(core.Inputs) []float64 { return []float64{1} }}
+}
+func (badBackend) CompositeOp() composite.Op           { return composite.DepthOp }
+func (badBackend) NeedsStructured() bool               { return false }
+func (badBackend) Prepare(*Scene) (FrameRunner, error) { return nil, nil }
+
+func TestRegisterErrorPaths(t *testing.T) {
+	if err := Register(badBackend{name: core.RayTrace}); err == nil {
+		t.Error("duplicate registration accepted")
+	} else if !strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate registration error unclear: %v", err)
+	}
+	if err := Register(badBackend{name: ""}); err == nil {
+		t.Error("nameless backend accepted")
+	}
+	if err := Register(badBackend{name: core.Compositing}); err == nil {
+		t.Error("compositing pseudo-renderer accepted as a backend name")
+	}
+	// A backend whose declared model spec disagrees with the spec already
+	// registered in core must be rejected: silently keeping the old spec
+	// would let the two drift apart.
+	if err := core.RegisterRenderer(core.RendererSpec{
+		Name:  "drift-test",
+		Terms: func(core.Inputs) []float64 { return []float64{1, 2} },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(badBackend{name: "drift-test"}); err == nil {
+		t.Error("backend with inconsistent model spec accepted")
+	} else if !strings.Contains(err.Error(), "inconsistent") {
+		t.Errorf("inconsistent-spec error unclear: %v", err)
+	}
+}
+
+// TestFieldRangeSkipsNonFinite is the regression test for the scalar
+// range poisoning bug: one Inf or NaN sample must not blow up the global
+// range every AP-derived model term depends on.
+func TestFieldRangeSkipsNonFinite(t *testing.T) {
+	lo, hi := FieldRange([]float64{1, 2, math.Inf(1), 3, math.NaN(), math.Inf(-1), 0.5})
+	if lo != 0.5 || hi != 3 {
+		t.Errorf("range = [%v, %v], want [0.5, 3]", lo, hi)
+	}
+	// All-non-finite and empty fields fall back to the unit range.
+	if lo, hi := FieldRange([]float64{math.NaN(), math.Inf(1)}); lo != 0 || hi != 1 {
+		t.Errorf("all-non-finite range = [%v, %v], want [0, 1]", lo, hi)
+	}
+	if lo, hi := FieldRange(nil); lo != 0 || hi != 1 {
+		t.Errorf("empty range = [%v, %v], want [0, 1]", lo, hi)
+	}
+}
+
+// TestSceneLazyGeometryIsCached: repeated accessor calls hand back the
+// same extracted geometry (backends prepared from one scene share it).
+func TestSceneLazyGeometryIsCached(t *testing.T) {
+	sc := simScene(t, "kripke", 8, 32)
+	s1, err := sc.SurfaceMesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := sc.SurfaceMesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("surface extracted twice")
+	}
+	t1, err := sc.TetMesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := sc.TetMesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("tetrahedralized twice")
+	}
+	if !sc.Structured() {
+		t.Error("kripke scene should be structured")
+	}
+}

@@ -62,6 +62,13 @@ func New(name string, n, tasks, rank int) (Simulation, error) {
 // Names returns the available proxy names.
 func Names() []string { return []string{"cloverleaf", "kripke", "lulesh"} }
 
+// Structured reports whether a proxy publishes a structured block.
+// The Euler proxy publishes rectilinear coordinates and the transport
+// proxy uniform ones; the Lagrangian proxy publishes an explicit
+// unstructured hex mesh, which structured-only rendering backends
+// cannot consume (the paper's "not all combinations made sense").
+func Structured(name string) bool { return name != "lulesh" }
+
 func unitBounds() vecmath.AABB {
 	return vecmath.AABB{Min: vecmath.V(0, 0, 0), Max: vecmath.V(1, 1, 1)}
 }

@@ -2,163 +2,34 @@ package strawman
 
 import (
 	"fmt"
-	"math"
 
 	"insitu/internal/composite"
 	"insitu/internal/conduit"
+	"insitu/internal/core"
 	"insitu/internal/framebuffer"
-	"insitu/internal/mesh"
-	"insitu/internal/render/raster"
-	"insitu/internal/render/raytrace"
-	"insitu/internal/render/volume"
+	"insitu/internal/scenario"
 	"insitu/internal/vecmath"
 )
 
 type boundsT = vecmath.AABB
 
-// ParsedMesh is the pipeline's view of a published conduit tree. It is
-// exported so the performance study harness can drive the same parsing
-// path the in situ pipeline uses.
-type ParsedMesh struct {
-	Grid    *mesh.StructuredGrid // non-nil for uniform/rectilinear blocks
-	X, Y, Z []float64            // explicit coordinates
-	HexConn []int32              // unstructured hex connectivity
-	fields  map[string]*conduit.Node
-}
+// ParsedMesh is the pipeline's view of a published conduit tree; it now
+// lives in the scenario package so the performance study, the repro
+// tables, and this pipeline drive one parsing path. The aliases keep the
+// strawman API stable.
+type ParsedMesh = scenario.ParsedMesh
 
 // ParseMesh validates the conduit mesh conventions and builds the
-// pipeline's working representation (still zero-copy: slices are shared
-// with the simulation).
-func ParseMesh(n *conduit.Node) (*ParsedMesh, error) {
-	pm := &ParsedMesh{fields: map[string]*conduit.Node{}}
-	ctype, err := n.String("coords/type")
-	if err != nil {
-		return nil, fmt.Errorf("mesh description missing coords/type: %w", err)
-	}
-	switch ctype {
-	case "uniform":
-		ni := n.IntOr("coords/dims/i", 0)
-		nj := n.IntOr("coords/dims/j", 0)
-		nk := n.IntOr("coords/dims/k", 0)
-		if ni < 2 || nj < 2 || nk < 2 {
-			return nil, fmt.Errorf("uniform coords need dims >= 2, got %dx%dx%d", ni, nj, nk)
-		}
-		g := &mesh.StructuredGrid{
-			Nx: ni, Ny: nj, Nz: nk,
-			Origin: vecmath.V(
-				n.FloatOr("coords/origin/x", 0),
-				n.FloatOr("coords/origin/y", 0),
-				n.FloatOr("coords/origin/z", 0)),
-			Spacing: vecmath.V(
-				n.FloatOr("coords/spacing/dx", 1),
-				n.FloatOr("coords/spacing/dy", 1),
-				n.FloatOr("coords/spacing/dz", 1)),
-			Fields: map[string]*mesh.Field{},
-		}
-		pm.Grid = g
-	case "rectilinear":
-		xs, err := n.Float64Slice("coords/x")
-		if err != nil {
-			return nil, err
-		}
-		ys, err := n.Float64Slice("coords/y")
-		if err != nil {
-			return nil, err
-		}
-		zs, err := n.Float64Slice("coords/z")
-		if err != nil {
-			return nil, err
-		}
-		pm.Grid = mesh.NewRectilinearGrid(xs, ys, zs)
-	case "explicit":
-		pm.X, err = n.Float64Slice("coords/x")
-		if err != nil {
-			return nil, err
-		}
-		pm.Y, err = n.Float64Slice("coords/y")
-		if err != nil {
-			return nil, err
-		}
-		pm.Z, err = n.Float64Slice("coords/z")
-		if err != nil {
-			return nil, err
-		}
-		shape := n.StringOr("topology/elements/shape", "")
-		if shape != "hexs" {
-			return nil, fmt.Errorf("explicit topology shape %q unsupported (want hexs)", shape)
-		}
-		pm.HexConn, err = n.Int32Slice("topology/elements/connectivity")
-		if err != nil {
-			return nil, err
-		}
-	default:
-		return nil, fmt.Errorf("unknown coords/type %q", ctype)
-	}
-
-	fieldsNode, ok := n.Get("fields")
-	if !ok {
-		return nil, fmt.Errorf("mesh description has no fields")
-	}
-	for _, name := range fieldsNode.Children() {
-		pm.fields[name] = fieldsNode.Child(name)
-	}
-	return pm, nil
-}
-
-// FieldValues returns a field's values as vertex-associated data,
-// averaging element fields onto vertices when necessary.
-func (pm *ParsedMesh) FieldValues(name string) ([]float64, error) {
-	fn, ok := pm.fields[name]
-	if !ok {
-		names := make([]string, 0, len(pm.fields))
-		for k := range pm.fields {
-			names = append(names, k)
-		}
-		return nil, fmt.Errorf("no field %q (have %v)", name, names)
-	}
-	vals, err := fn.Float64Slice("values")
-	if err != nil {
-		return nil, err
-	}
-	assoc := fn.StringOr("association", "vertex")
-	if assoc == "vertex" {
-		return vals, nil
-	}
-	// Element-centered data: average to vertices.
-	if pm.HexConn != nil {
-		return mesh.ElementToVertex(len(pm.X), pm.HexConn, vals)
-	}
-	if pm.Grid != nil {
-		return elementToVertexStructured(pm.Grid, vals)
-	}
-	return nil, fmt.Errorf("field %q: cannot convert element data without topology", name)
-}
-
-// elementToVertexStructured averages a cell field to grid points.
-func elementToVertexStructured(g *mesh.StructuredGrid, vals []float64) ([]float64, error) {
-	if len(vals) != g.NumCells() {
-		return nil, fmt.Errorf("element field has %d values for %d cells", len(vals), g.NumCells())
-	}
-	conn := g.HexConnectivity()
-	return mesh.ElementToVertex(g.NumPoints(), conn, vals)
-}
-
-// LocalBounds returns the block's spatial bounds.
-func (pm *ParsedMesh) LocalBounds() vecmath.AABB {
-	if pm.Grid != nil {
-		return pm.Grid.Bounds()
-	}
-	b := vecmath.EmptyAABB()
-	for i := range pm.X {
-		b = b.ExpandPoint(vecmath.V(pm.X[i], pm.Y[i], pm.Z[i]))
-	}
-	return b
-}
+// pipeline's working representation.
+func ParseMesh(n *conduit.Node) (*ParsedMesh, error) { return scenario.ParseMesh(n) }
 
 // renderPlot renders one plot across the world and returns the composited
 // image at rank 0 (nil elsewhere; serial runs always return the image).
+// The renderer name selects a scenario backend; when a structured-only
+// backend meets an unstructured block, the "<name>-unstructured" backend
+// of the same family takes over (the Lagrangian proxy's volume plots).
 func (s *Strawman) renderPlot(p plot, w, h int, cs cameraSpec) (*framebuffer.Image, error) {
-	pm, err := ParseMesh(s.data)
+	pm, err := scenario.ParseMesh(s.data)
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +42,7 @@ func (s *Strawman) renderPlot(p plot, w, h int, cs cameraSpec) (*framebuffer.Ima
 	// consistent across tasks.
 	lb := pm.LocalBounds()
 	gb := lb
-	flo, fhi := fieldRange(vals)
+	flo, fhi := scenario.FieldRange(vals)
 	if s.comm != nil {
 		gb.Min.X = s.comm.AllReduceMin(lb.Min.X)
 		gb.Min.Y = s.comm.AllReduceMin(lb.Min.Y)
@@ -184,60 +55,28 @@ func (s *Strawman) renderPlot(p plot, w, h int, cs cameraSpec) (*framebuffer.Ima
 	}
 	cam := cs.build(gb)
 
-	var img *framebuffer.Image
-	op := composite.DepthOp
-	switch p.renderer {
-	case "raytracer", "rasterizer":
-		tri, err := pm.Surface(p.variable, vals)
-		if err != nil {
-			return nil, err
+	backend, err := scenario.Lookup(core.Renderer(p.renderer))
+	if err != nil {
+		return nil, fmt.Errorf("unknown renderer %q: %w", p.renderer, err)
+	}
+	if backend.NeedsStructured() && pm.Grid == nil {
+		fallback, ferr := scenario.Lookup(core.Renderer(p.renderer) + "-unstructured")
+		if ferr != nil {
+			return nil, fmt.Errorf("renderer %q needs a structured block and no unstructured fallback is registered", p.renderer)
 		}
-		tri.ScalarMin, tri.ScalarMax = flo, fhi
-		if p.renderer == "raytracer" {
-			img, _, err = raytrace.New(s.dev, tri).Render(raytrace.Options{
-				Width: w, Height: h, Camera: cam, Workload: raytrace.Workload2,
-			})
-		} else {
-			img, _, err = raster.New(s.dev, tri).Render(raster.Options{
-				Width: w, Height: h, Camera: cam,
-			})
-		}
-		if err != nil {
-			return nil, err
-		}
-	case "volume":
-		op = composite.BlendOp
-		if pm.Grid != nil {
-			if _, ok := pm.Grid.Fields[p.variable]; !ok {
-				if err := pm.Grid.AddField(p.variable, mesh.VertexAssoc, vals); err != nil {
-					return nil, err
-				}
-			}
-			vr, err := volume.NewStructured(s.dev, pm.Grid, p.variable)
-			if err != nil {
-				return nil, err
-			}
-			img, _, err = vr.Render(volume.StructuredOptions{
-				Width: w, Height: h, Camera: cam, FieldRange: [2]float64{flo, fhi},
-			})
-			if err != nil {
-				return nil, err
-			}
-		} else {
-			tm, err := mesh.TetMeshFromHexes(pm.X, pm.Y, pm.Z, pm.HexConn, vals)
-			if err != nil {
-				return nil, err
-			}
-			tm.ScalarMin, tm.ScalarMax = flo, fhi
-			img, _, err = volume.NewUnstructured(s.dev, tm).Render(volume.UnstructuredOptions{
-				Width: w, Height: h, Camera: cam, FieldRange: [2]float64{flo, fhi},
-			})
-			if err != nil {
-				return nil, err
-			}
-		}
-	default:
-		return nil, fmt.Errorf("unknown renderer %q", p.renderer)
+		backend = fallback
+	}
+
+	sc := scenario.NewScene(s.dev, pm, p.variable, vals, cam, w, h)
+	sc.FieldLo, sc.FieldHi = flo, fhi
+	runner, err := backend.Prepare(sc)
+	if err != nil {
+		return nil, err
+	}
+	var in core.Inputs
+	_, img, err := runner.RenderFrame(&in)
+	if err != nil {
+		return nil, err
 	}
 
 	if s.comm == nil {
@@ -246,6 +85,7 @@ func (s *Strawman) renderPlot(p plot, w, h int, cs cameraSpec) (*framebuffer.Ima
 
 	// Sort-last compositing: depth for surfaces, visibility-ordered blend
 	// for volumes.
+	op := backend.CompositeOp()
 	var order []int
 	if op == composite.BlendOp {
 		depth := lb.Center().Sub(cam.Position).Length()
@@ -275,32 +115,4 @@ func (s *Strawman) renderPlot(p plot, w, h int, cs cameraSpec) (*framebuffer.Ima
 		return nil, err
 	}
 	return out, nil
-}
-
-// Surface extracts the renderable boundary triangles of the block.
-func (pm *ParsedMesh) Surface(fieldName string, vals []float64) (*mesh.TriangleMesh, error) {
-	if pm.Grid != nil {
-		name := fieldName + "__vertex"
-		if err := pm.Grid.AddField(name, mesh.VertexAssoc, vals); err != nil {
-			return nil, err
-		}
-		return pm.Grid.ExternalFaces(name)
-	}
-	return mesh.ExternalFacesFromHexes(pm.X, pm.Y, pm.Z, pm.HexConn, vals)
-}
-
-func fieldRange(vals []float64) (float64, float64) {
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, v := range vals {
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-	}
-	if !(hi >= lo) {
-		return 0, 1
-	}
-	return lo, hi
 }

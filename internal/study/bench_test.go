@@ -1,0 +1,44 @@
+package study
+
+import (
+	"context"
+	"testing"
+
+	"insitu/internal/scenario"
+)
+
+// BenchmarkStudySmallPlan measures the full study path — simulation
+// step, scene assembly, backend dispatch, frame discipline, reduction —
+// over one tiny configuration per registered backend. It is the
+// regression guard for the measurement harness itself; run via
+// `make bench` with -benchtime 1x.
+func BenchmarkStudySmallPlan(b *testing.B) {
+	var plan []Config
+	for _, r := range scenario.Names() {
+		plan = append(plan, Config{
+			Arch: "cpu", Renderer: r, Sim: "kripke",
+			Tasks: 1, ImageSize: 48, N: 8, Frames: 2,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := RunContext(context.Background(), plan, Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(plan) {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkPlanGeneration isolates the plan generator (registry
+// iteration + Latin hypercube sampling), which runs on every repro and
+// calibrate invocation.
+func BenchmarkPlanGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if p := Plan(false); len(p) == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}

@@ -1,10 +1,15 @@
 // Package study is the experiment harness of §5.4: it generates the
-// rendering study plan (architectures x renderers x simulations x task
-// counts x Latin-hypercube-sampled data/image sizes), runs each
+// rendering study plan (architectures x scenario backends x simulations
+// x task counts x Latin-hypercube-sampled data/image sizes), runs each
 // configuration on a simulated MPI world with per-phase instrumentation,
 // and reduces the measurements to model-fitting samples using the paper's
 // discipline — render several frames, discard the first, keep the slowest
 // task's average.
+//
+// The renderers themselves come from the scenario backend registry: the
+// plan samples every registered backend against every simulation whose
+// published block it can consume, so a newly registered backend is
+// measured, fitted, and published without study changes.
 package study
 
 import (
@@ -22,14 +27,11 @@ import (
 	"insitu/internal/core"
 	"insitu/internal/device"
 	"insitu/internal/framebuffer"
-	"insitu/internal/mesh"
 	"insitu/internal/render"
-	"insitu/internal/render/raster"
-	"insitu/internal/render/raytrace"
-	"insitu/internal/render/volume"
+	"insitu/internal/scenario"
 	"insitu/internal/sim"
 	"insitu/internal/stats"
-	"insitu/internal/strawman"
+	"insitu/internal/vecmath"
 )
 
 // Config is one study test configuration.
@@ -50,8 +52,10 @@ type Row struct {
 	Sample core.Sample
 }
 
-// Plan generates the study configurations. short shrinks the plan for
-// quick runs while preserving its structure.
+// Plan generates the study configurations over the scenario axis: every
+// registered backend is paired with every simulation whose block shape
+// it accepts. short shrinks the plan for quick runs while preserving its
+// structure.
 func Plan(short bool) []Config {
 	archs := []string{"serial", "cpu"}
 	taskCounts := []int{1, 2, 4}
@@ -66,17 +70,22 @@ func Plan(short bool) []Config {
 		imgLo, imgHi = 64, 224
 		frames = 3
 	}
-	// Renderer/simulation combinations that make sense (the structured
-	// volume renderer cannot consume the Lagrangian proxy's unstructured
-	// mesh, mirroring the paper's "not all combinations made sense").
 	type combo struct {
 		r core.Renderer
 		s string
 	}
-	combos := []combo{
-		{core.RayTrace, "cloverleaf"}, {core.RayTrace, "kripke"}, {core.RayTrace, "lulesh"},
-		{core.Raster, "cloverleaf"}, {core.Raster, "kripke"}, {core.Raster, "lulesh"},
-		{core.Volume, "cloverleaf"}, {core.Volume, "kripke"},
+	var combos []combo
+	for _, r := range scenario.Names() {
+		b, err := scenario.Lookup(r)
+		if err != nil {
+			continue
+		}
+		for _, s := range sim.Names() {
+			if b.NeedsStructured() && !sim.Structured(s) {
+				continue
+			}
+			combos = append(combos, combo{r, s})
+		}
 	}
 	lhs := stats.LatinHypercube(pairs, 2, 20160101)
 	var plan []Config
@@ -153,35 +162,38 @@ func RunConfig(cfg Config) (Row, error) {
 	return Row{Config: cfg, Sample: samples[0]}, nil
 }
 
-// runTask is one task's share of a configuration; all returned samples
-// agree because the measurements are reduced across the world.
-func runTask(cfg Config, c *comm.Comm) (core.Sample, error) {
+// buildScene runs one task's share of the simulation and assembles the
+// shared scenario scene: stepped proxy, parsed block, globally reduced
+// bounds and scalar range, and the study's canonical orbit camera. The
+// returned local bounds feed the volume visibility ordering.
+func buildScene(cfg Config, c *comm.Comm) (*scenario.Scene, localGeom, error) {
+	var lg localGeom
 	dev, err := device.Profile(cfg.Arch)
 	if err != nil {
-		return core.Sample{}, err
+		return nil, lg, err
 	}
 	sm, err := sim.New(cfg.Sim, cfg.N, cfg.Tasks, c.Rank())
 	if err != nil {
-		return core.Sample{}, err
+		return nil, lg, err
 	}
 	for i := 0; i < cfg.Cycles; i++ {
 		sm.Step()
 	}
 	node := conduit.NewNode()
 	sm.Publish(node)
-	pm, err := strawman.ParseMesh(node)
+	pm, err := scenario.ParseMesh(node)
 	if err != nil {
-		return core.Sample{}, err
+		return nil, lg, err
 	}
 	vals, err := pm.FieldValues(sm.PrimaryField())
 	if err != nil {
-		return core.Sample{}, err
+		return nil, lg, err
 	}
 
 	// Globally consistent camera and scalar range.
 	lb := pm.LocalBounds()
 	gb := lb
-	flo, fhi := fieldRange(vals)
+	flo, fhi := scenario.FieldRange(vals)
 	if cfg.Tasks > 1 {
 		gb.Min.X = c.AllReduceMin(lb.Min.X)
 		gb.Min.Y = c.AllReduceMin(lb.Min.Y)
@@ -194,95 +206,50 @@ func runTask(cfg Config, c *comm.Comm) (core.Sample, error) {
 	}
 	cam := render.OrbitCamera(gb, 30, 20, 1.0)
 
+	sc := scenario.NewScene(dev, pm, sm.PrimaryField(), vals, cam, cfg.ImageSize, cfg.ImageSize)
+	sc.FieldLo, sc.FieldHi = flo, fhi
+	lg.bounds = lb
+	lg.camera = cam
+	return sc, lg, nil
+}
+
+// localGeom carries the task-local geometry facts the compositing path
+// needs alongside the scene.
+type localGeom struct {
+	bounds vecmath.AABB
+	camera render.Camera
+}
+
+// runTask is one task's share of a configuration; all returned samples
+// agree because the measurements are reduced across the world. The
+// renderer-specific work — geometry preparation, frame rendering, model
+// input extraction — is entirely the scenario backend's.
+func runTask(cfg Config, c *comm.Comm) (core.Sample, error) {
+	backend, err := scenario.Lookup(cfg.Renderer)
+	if err != nil {
+		return core.Sample{}, err
+	}
+	sc, lg, err := buildScene(cfg, c)
+	if err != nil {
+		return core.Sample{}, err
+	}
+	runner, err := backend.Prepare(sc)
+	if err != nil {
+		return core.Sample{}, fmt.Errorf("preparing %s for sim %q: %w", cfg.Renderer, cfg.Sim, err)
+	}
+
 	sample := core.Sample{
 		Arch:     cfg.Arch,
 		Renderer: cfg.Renderer,
 		In:       Inputs0(cfg), // pixels/tasks prefilled
 	}
-
-	var renderFrame func() (time.Duration, *framebuffer.Image, error)
-	op := composite.DepthOp
-
-	switch cfg.Renderer {
-	case core.RayTrace, core.Raster:
-		tri, err := pm.Surface(sm.PrimaryField(), vals)
-		if err != nil {
-			return core.Sample{}, err
-		}
-		tri.ScalarMin, tri.ScalarMax = flo, fhi
-		if cfg.Renderer == core.RayTrace {
-			raytrace.New(dev, tri) // warm-up build (cold-cache effects)
-			rdr := raytrace.New(dev, tri)
-			sample.BuildTime = rdr.BVH.BuildTime.Seconds()
-			opts := raytrace.Options{
-				Width: cfg.ImageSize, Height: cfg.ImageSize,
-				Camera: cam, Workload: raytrace.Workload2,
-			}
-			renderFrame = func() (time.Duration, *framebuffer.Image, error) {
-				start := time.Now()
-				img, st, err := rdr.Render(opts)
-				if err != nil {
-					return 0, nil, err
-				}
-				sample.In.O = float64(st.Objects)
-				sample.In.AP = float64(st.ActivePixels)
-				return time.Since(start), img, nil
-			}
-		} else {
-			rdr := raster.New(dev, tri)
-			opts := raster.Options{Width: cfg.ImageSize, Height: cfg.ImageSize, Camera: cam}
-			renderFrame = func() (time.Duration, *framebuffer.Image, error) {
-				start := time.Now()
-				img, st, err := rdr.Render(opts)
-				if err != nil {
-					return 0, nil, err
-				}
-				sample.In.O = float64(st.Objects)
-				sample.In.AP = float64(st.ActivePixels)
-				sample.In.VO = float64(st.VisibleObjects)
-				sample.In.PPT = st.PPT()
-				return time.Since(start), img, nil
-			}
-		}
-	case core.Volume:
-		op = composite.BlendOp
-		if pm.Grid == nil {
-			return core.Sample{}, fmt.Errorf("volume renderer needs a structured block (sim %q)", cfg.Sim)
-		}
-		fieldName := sm.PrimaryField()
-		if _, ok := pm.Grid.Fields[fieldName]; !ok {
-			if err := pm.Grid.AddField(fieldName, mesh.VertexAssoc, vals); err != nil {
-				return core.Sample{}, err
-			}
-		}
-		vr, err := volume.NewStructured(dev, pm.Grid, fieldName)
-		if err != nil {
-			return core.Sample{}, err
-		}
-		opts := volume.StructuredOptions{
-			Width: cfg.ImageSize, Height: cfg.ImageSize,
-			Camera: cam, FieldRange: [2]float64{flo, fhi},
-		}
-		renderFrame = func() (time.Duration, *framebuffer.Image, error) {
-			start := time.Now()
-			img, st, err := vr.Render(opts)
-			if err != nil {
-				return 0, nil, err
-			}
-			sample.In.O = float64(st.Objects)
-			sample.In.AP = float64(st.ActivePixels)
-			sample.In.SPR = st.SPR()
-			sample.In.CS = float64(st.CellsSpanned)
-			return time.Since(start), img, nil
-		}
-	default:
-		return core.Sample{}, fmt.Errorf("unknown renderer %q", cfg.Renderer)
-	}
+	sample.BuildTime = runner.BuildSeconds()
+	op := backend.CompositeOp()
 
 	// Visibility order for volume compositing.
 	var order []int
 	if op == composite.BlendOp && cfg.Tasks > 1 {
-		depth := lb.Center().Sub(cam.Position).Length()
+		depth := lg.bounds.Center().Sub(lg.camera.Position).Length()
 		parts := c.Gather(0, []float32{float32(depth)})
 		orderF := make([]float32, cfg.Tasks)
 		if c.Rank() == 0 {
@@ -314,12 +281,12 @@ func runTask(cfg Config, c *comm.Comm) (core.Sample, error) {
 			// sandbox shares two cores among all simulated tasks).
 			for r := 0; r < c.Size(); r++ {
 				if c.Rank() == r {
-					elapsed, img, err = renderFrame()
+					elapsed, img, err = runner.RenderFrame(&sample.In)
 				}
 				c.Barrier()
 			}
 		} else {
-			elapsed, img, err = renderFrame()
+			elapsed, img, err = runner.RenderFrame(&sample.In)
 		}
 		if err != nil {
 			return 0, 0, err
@@ -364,19 +331,18 @@ func runTask(cfg Config, c *comm.Comm) (core.Sample, error) {
 	sample.RenderTime = renderSum / float64(kept)
 	sample.CompositeTime = compSum / float64(kept)
 
-	// Average active pixels across tasks feeds the compositing model.
+	// Average active pixels across tasks feeds the compositing model; the
+	// model's per-task inputs are the slowest task's, so every workload
+	// input reduces by max regardless of which backend filled it (unset
+	// inputs stay zero).
 	if cfg.Tasks > 1 {
 		sample.In.AvgAP = c.AllReduceSum(sample.In.AP) / float64(cfg.Tasks)
-		// The model's AP is the slowest task's; reduce for consistency.
 		sample.In.AP = c.AllReduceMax(sample.In.AP)
 		sample.In.O = c.AllReduceMax(sample.In.O)
-		if cfg.Renderer == core.Raster {
-			sample.In.VO = c.AllReduceMax(sample.In.VO)
-			sample.In.PPT = c.AllReduceMax(sample.In.PPT)
-		}
-		if cfg.Renderer == core.Volume {
-			sample.In.SPR = c.AllReduceMax(sample.In.SPR)
-		}
+		sample.In.VO = c.AllReduceMax(sample.In.VO)
+		sample.In.PPT = c.AllReduceMax(sample.In.PPT)
+		sample.In.SPR = c.AllReduceMax(sample.In.SPR)
+		sample.In.CS = c.AllReduceMax(sample.In.CS)
 		sample.BuildTime = c.AllReduceMax(sample.BuildTime)
 	} else {
 		sample.In.AvgAP = sample.In.AP
@@ -392,34 +358,23 @@ func Inputs0(cfg Config) core.Inputs {
 	}
 }
 
-func fieldRange(vals []float64) (float64, float64) {
-	lo, hi := math.Inf(1), math.Inf(-1)
-	for _, v := range vals {
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
-	}
-	if !(hi >= lo) {
-		return 0, 1
-	}
-	return lo, hi
+// csvHeader is the WriteCSV column layout; ReadCSV validates against it.
+var csvHeader = []string{
+	"arch", "renderer", "sim", "tasks", "n", "image",
+	"objects", "active_pixels", "visible_objects", "ppt", "spr", "cs",
+	"avg_ap", "build_s", "render_s", "composite_s",
 }
 
 // WriteCSV dumps rows for offline analysis.
 func WriteCSV(w io.Writer, rows []Row) error {
 	cw := csv.NewWriter(w)
-	header := []string{
-		"arch", "renderer", "sim", "tasks", "n", "image",
-		"objects", "active_pixels", "visible_objects", "ppt", "spr", "cs",
-		"avg_ap", "build_s", "render_s", "composite_s",
-	}
-	if err := cw.Write(header); err != nil {
+	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
-	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	// Shortest round-trippable encoding: the CSV is an archive that ReadCSV
+	// re-fits from, so truncating precision would change refitted
+	// coefficients.
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	for _, r := range rows {
 		rec := []string{
 			r.Config.Arch, string(r.Config.Renderer), r.Config.Sim,
@@ -434,4 +389,82 @@ func WriteCSV(w io.Writer, rows []Row) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// ReadCSV is the inverse of WriteCSV: it parses archived rows back into
+// fitting-ready form so a stored corpus can be re-fitted or replayed
+// into a Calibrator without re-measuring. Frames and Cycles are run-time
+// knobs not recorded in the CSV and come back zero.
+func ReadCSV(r io.Reader) ([]Row, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("study: reading CSV header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("study: CSV has %d columns, want %d", len(header), len(csvHeader))
+	}
+	for i, col := range csvHeader {
+		if header[i] != col {
+			return nil, fmt.Errorf("study: CSV column %d is %q, want %q", i, header[i], col)
+		}
+	}
+	var rows []Row
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("study: CSV line %d: %w", line, err)
+		}
+		atoi := func(col int) (int, error) {
+			v, err := strconv.Atoi(rec[col])
+			if err != nil {
+				return 0, fmt.Errorf("study: CSV line %d, column %q: %w", line, csvHeader[col], err)
+			}
+			return v, nil
+		}
+		atof := func(col int) (float64, error) {
+			v, err := strconv.ParseFloat(rec[col], 64)
+			if err != nil {
+				return 0, fmt.Errorf("study: CSV line %d, column %q: %w", line, csvHeader[col], err)
+			}
+			return v, nil
+		}
+		var row Row
+		row.Config.Arch = rec[0]
+		row.Config.Renderer = core.Renderer(rec[1])
+		row.Config.Sim = rec[2]
+		if row.Config.Tasks, err = atoi(3); err != nil {
+			return nil, err
+		}
+		if row.Config.N, err = atoi(4); err != nil {
+			return nil, err
+		}
+		if row.Config.ImageSize, err = atoi(5); err != nil {
+			return nil, err
+		}
+		row.Sample.Arch = row.Config.Arch
+		row.Sample.Renderer = row.Config.Renderer
+		row.Sample.In = Inputs0(row.Config)
+		for _, field := range []struct {
+			col int
+			dst *float64
+		}{
+			{6, &row.Sample.In.O}, {7, &row.Sample.In.AP},
+			{8, &row.Sample.In.VO}, {9, &row.Sample.In.PPT},
+			{10, &row.Sample.In.SPR}, {11, &row.Sample.In.CS},
+			{12, &row.Sample.In.AvgAP}, {13, &row.Sample.BuildTime},
+			{14, &row.Sample.RenderTime}, {15, &row.Sample.CompositeTime},
+		} {
+			if *field.dst, err = atof(field.col); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }

@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"insitu/internal/core"
+	"insitu/internal/scenario"
+	"insitu/internal/sim"
 )
 
 func tinyPlan() []Config {
@@ -172,6 +174,108 @@ func TestPlanShapes(t *testing.T) {
 	}
 	if !archs["serial"] || !archs["cpu"] {
 		t.Errorf("plan architectures = %v", archs)
+	}
+}
+
+// TestPlanSamplesScenarioAxis: the plan is generated from the scenario
+// backend registry, so every registered backend — including the
+// unstructured volume backend, which the old hardcoded combo list could
+// never reach — is sampled against every proxy it can consume.
+func TestPlanSamplesScenarioAxis(t *testing.T) {
+	got := map[string]bool{}
+	for _, cfg := range Plan(false) {
+		got[string(cfg.Renderer)+"/"+cfg.Sim] = true
+	}
+	for _, r := range scenario.Names() {
+		b, err := scenario.Lookup(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range sim.Names() {
+			key := string(r) + "/" + s
+			want := !(b.NeedsStructured() && !sim.Structured(s))
+			if got[key] != want {
+				t.Errorf("combination %s: in plan = %v, want %v", key, got[key], want)
+			}
+		}
+	}
+	// The proof point: the tetrahedral volume backend reaches even the
+	// Lagrangian proxy, which previously had no volume coverage at all.
+	if !got[string(scenario.VolumeUnstructured)+"/lulesh"] {
+		t.Error("volume-unstructured not sampled against lulesh")
+	}
+}
+
+// TestUnknownRendererInConfigRejected: a config naming an unregistered
+// renderer fails with an error listing what is registered, before any
+// simulation work happens.
+func TestUnknownRendererInConfigRejected(t *testing.T) {
+	_, err := RunConfig(Config{
+		Arch: "cpu", Renderer: "teapot", Sim: "kripke",
+		Tasks: 1, ImageSize: 32, N: 8, Frames: 2,
+	})
+	if err == nil {
+		t.Fatal("unknown renderer accepted")
+	}
+	if !strings.Contains(err.Error(), "teapot") || !strings.Contains(err.Error(), "registered") {
+		t.Errorf("error does not identify the unknown renderer: %v", err)
+	}
+}
+
+// TestReadCSVRoundTrip: WriteCSV -> ReadCSV must reproduce every
+// configuration and sample field the CSV records, so an archived corpus
+// can be re-fitted or replayed into a Calibrator offline.
+func TestReadCSVRoundTrip(t *testing.T) {
+	plan := Plan(true)[:12]
+	var rows []Row
+	for i, cfg := range plan {
+		row, err := fakeExec(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Exercise every numeric column with per-row variation so the
+		// round-tripped corpus stays regressable.
+		row.Sample.In.VO = 7.5 + float64(i)
+		row.Sample.In.PPT = 3.25 + 0.5*float64(i%5)
+		row.Sample.In.SPR = 123.5 - float64(i)
+		row.Sample.In.CS = float64(17 + i)
+		row.Sample.BuildTime = 0.0125 * float64(1+i)
+		rows = append(rows, row)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("read %d rows, wrote %d", len(got), len(rows))
+	}
+	for i := range rows {
+		want := rows[i]
+		// Frames and Cycles are run-time knobs the CSV does not record.
+		want.Config.Frames = 0
+		want.Config.Cycles = 0
+		if got[i] != want {
+			t.Errorf("row %d:\n got %+v\nwant %+v", i, got[i], want)
+		}
+	}
+	// The round-tripped corpus must be fit-ready.
+	if _, _, err := core.FitAvailable(Samples(got)); err != nil {
+		t.Errorf("round-tripped corpus not fittable: %v", err)
+	}
+
+	// Error paths: wrong header and malformed numbers fail with context.
+	if _, err := ReadCSV(strings.NewReader("bogus,header\n")); err == nil {
+		t.Error("wrong header accepted")
+	}
+	malformed := "arch,renderer,sim,tasks,n,image,objects,active_pixels,visible_objects,ppt,spr,cs,avg_ap,build_s,render_s,composite_s\ncpu,raytracer,kripke,notanint,10,64,1,1,0,0,0,0,1,0,0.1,0\n"
+	if _, err := ReadCSV(strings.NewReader(malformed)); err == nil {
+		t.Error("malformed integer accepted")
+	} else if !strings.Contains(err.Error(), "tasks") {
+		t.Errorf("error does not name the bad column: %v", err)
 	}
 }
 
