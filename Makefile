@@ -2,7 +2,11 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt bench cover ci clean
+# bench-json output file; committed per PR (BENCH_4.json, BENCH_5.json,
+# ...) so benchmark trajectories survive across sessions.
+BENCH_JSON ?= BENCH_4.json
+
+.PHONY: all build test race vet fmt bench bench-json cover ci clean
 
 all: ci
 
@@ -33,6 +37,20 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkAdvisorPredict ./internal/advisor/
 	$(GO) test -run '^$$' -bench BenchmarkScenarioDispatch -benchtime 1x ./internal/scenario/
 	$(GO) test -run '^$$' -bench 'BenchmarkStudySmallPlan|BenchmarkPlanGeneration' -benchtime 1x ./internal/study/
+
+# bench-json records the render, dispatch, and small-plan study
+# benchmarks (ns/op + allocs/op via -benchmem) as $(BENCH_JSON), a
+# benchstat-compatible baseline (the raw lines are embedded:
+# `jq -r '.raw[]' $(BENCH_JSON)` reproduces benchstat input). Render
+# benchmarks warm their frame arenas before the timer, so allocs/op is
+# the steady-state figure.
+bench-json:
+	@$(GO) test -run '^$$' -bench 'BenchmarkTable1RayTraceShaded|BenchmarkTable2RayTraceFull|BenchmarkTable5Backends' -benchtime 5x -benchmem . > $(BENCH_JSON).render.tmp
+	@$(GO) test -run '^$$' -bench BenchmarkScenarioDispatch -benchtime 10x -benchmem ./internal/scenario/ > $(BENCH_JSON).dispatch.tmp
+	@$(GO) test -run '^$$' -bench 'BenchmarkStudySmallPlan|BenchmarkPlanGeneration' -benchtime 3x -benchmem ./internal/study/ > $(BENCH_JSON).study.tmp
+	@cat $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp | $(GO) run ./tools/benchjson > $(BENCH_JSON)
+	@rm -f $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp
+	@echo "wrote $(BENCH_JSON)"
 
 # cover runs the test suite with coverage and prints a per-function
 # summary plus the total. The profile lands in cover.out for

@@ -63,12 +63,18 @@ func benchTets(b *testing.B) *mesh.TetMesh {
 
 // BenchmarkTable1RayTraceShaded is Table 1's workload: WORKLOAD2 frames.
 func BenchmarkTable1RayTraceShaded(b *testing.B) {
+	b.ReportAllocs()
 	m := benchSurface(b)
 	rdr := raytrace.New(device.CPU(), m)
 	opts := raytrace.Options{
 		Width: benchImage, Height: benchImage,
 		Camera:   render.OrbitCamera(m.Bounds(), 30, 20, 1.0),
 		Workload: raytrace.Workload2,
+	}
+	// Warm frame: pays the one-time arena allocations so the timed loop
+	// measures the zero-allocation steady state.
+	if _, _, err := rdr.Render(opts); err != nil {
+		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -80,12 +86,17 @@ func BenchmarkTable1RayTraceShaded(b *testing.B) {
 
 // BenchmarkTable2RayTraceFull is Table 2's workload: WORKLOAD3 frames.
 func BenchmarkTable2RayTraceFull(b *testing.B) {
+	b.ReportAllocs()
 	m := benchSurface(b)
 	rdr := raytrace.New(device.CPU(), m)
 	opts := raytrace.Options{
 		Width: benchImage, Height: benchImage,
 		Camera:   render.OrbitCamera(m.Bounds(), 30, 20, 1.0),
 		Workload: raytrace.Workload3, Compaction: true, Supersample: true,
+	}
+	// Warm frame: steady-state allocations only in the timed loop.
+	if _, _, err := rdr.Render(opts); err != nil {
+		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -97,6 +108,7 @@ func BenchmarkTable2RayTraceFull(b *testing.B) {
 
 // BenchmarkTable3VsQueueRT measures the OptiX-analogue side of Table 3.
 func BenchmarkTable3VsQueueRT(b *testing.B) {
+	b.ReportAllocs()
 	m := benchSurface(b)
 	cam := render.OrbitCamera(m.Bounds(), 30, 20, 1.0)
 	q := baseline.NewQueueRT(m, device.CPU().Workers)
@@ -108,6 +120,7 @@ func BenchmarkTable3VsQueueRT(b *testing.B) {
 
 // BenchmarkTable4VsFastRT measures the Embree-analogue side of Table 4.
 func BenchmarkTable4VsFastRT(b *testing.B) {
+	b.ReportAllocs()
 	m := benchSurface(b)
 	cam := render.OrbitCamera(m.Bounds(), 30, 20, 1.0)
 	f := baseline.NewFastRT(m, device.CPU().Workers)
@@ -119,6 +132,7 @@ func BenchmarkTable4VsFastRT(b *testing.B) {
 
 // BenchmarkTable5Backends compares scalar vs packet traversal (Table 5).
 func BenchmarkTable5Backends(b *testing.B) {
+	b.ReportAllocs()
 	m := benchSurface(b)
 	dev, err := device.Profile("mic")
 	if err != nil {
@@ -132,10 +146,15 @@ func BenchmarkTable5Backends(b *testing.B) {
 			name = "packet"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			opts := raytrace.Options{
 				Width: benchImage, Height: benchImage, Camera: cam,
 				Workload: raytrace.Workload1, UsePackets: packets,
 			}
+			if _, _, err := rdr.Render(opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := rdr.Render(opts); err != nil {
 					b.Fatal(err)
@@ -148,10 +167,12 @@ func BenchmarkTable5Backends(b *testing.B) {
 // BenchmarkFig4VolumePhases is the unstructured VR multi-pass workload
 // behind Figures 4 and 5.
 func BenchmarkFig4VolumePhases(b *testing.B) {
+	b.ReportAllocs()
 	tm := benchTets(b)
 	cam := render.OrbitCamera(tm.Bounds(), 30, 20, 1.0)
 	for _, passes := range []int{1, 4} {
 		b.Run(fmt.Sprintf("passes%d", passes), func(b *testing.B) {
+			b.ReportAllocs()
 			rdr := volume.NewUnstructured(device.CPU(), tm)
 			for i := 0; i < b.N; i++ {
 				if _, _, err := rdr.Render(volume.UnstructuredOptions{
@@ -166,6 +187,7 @@ func BenchmarkFig4VolumePhases(b *testing.B) {
 
 // BenchmarkFig6VsHAVS measures the HAVS comparator (Figure 6).
 func BenchmarkFig6VsHAVS(b *testing.B) {
+	b.ReportAllocs()
 	tm := benchTets(b)
 	cam := render.OrbitCamera(tm.Bounds(), 30, 20, 1.0)
 	hv := &baseline.HAVS{Mesh: tm, Dev: device.CPU()}
@@ -179,6 +201,7 @@ func BenchmarkFig6VsHAVS(b *testing.B) {
 
 // BenchmarkFig7VsBunyk measures the connectivity ray-caster (Figure 7).
 func BenchmarkFig7VsBunyk(b *testing.B) {
+	b.ReportAllocs()
 	tm := benchTets(b)
 	cam := render.OrbitCamera(tm.Bounds(), 30, 20, 1.0)
 	bk := baseline.NewBunyk(tm)
@@ -192,6 +215,7 @@ func BenchmarkFig7VsBunyk(b *testing.B) {
 
 // BenchmarkTable7PhaseIPC is the instrumented VR render of Tables 6-7.
 func BenchmarkTable7PhaseIPC(b *testing.B) {
+	b.ReportAllocs()
 	tm := benchTets(b)
 	cam := render.OrbitCamera(tm.Bounds(), 30, 20, 1.8)
 	dev, err := device.Profile("gpu")
@@ -212,10 +236,12 @@ func BenchmarkTable7PhaseIPC(b *testing.B) {
 
 // BenchmarkTable8Scaling is the strong-scaling workload of Table 8.
 func BenchmarkTable8Scaling(b *testing.B) {
+	b.ReportAllocs()
 	tm := benchTets(b)
 	cam := render.OrbitCamera(tm.Bounds(), 30, 20, 1.8)
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
 			rdr := volume.NewUnstructured(device.New("w", workers), tm)
 			for i := 0; i < b.N; i++ {
 				if _, _, err := rdr.Render(volume.UnstructuredOptions{
@@ -230,6 +256,7 @@ func BenchmarkTable8Scaling(b *testing.B) {
 
 // BenchmarkTable9VsVisIt measures the VisIt-analogue (Table 9).
 func BenchmarkTable9VsVisIt(b *testing.B) {
+	b.ReportAllocs()
 	tm := benchTets(b)
 	cam := render.OrbitCamera(tm.Bounds(), 30, 20, 1.0)
 	vv := &baseline.VisItVR{Mesh: tm}
@@ -244,6 +271,7 @@ func BenchmarkTable9VsVisIt(b *testing.B) {
 // BenchmarkTable11Burden is one in situ render cycle (Table 11's vis
 // column): publish + execute through Strawman.
 func BenchmarkTable11Burden(b *testing.B) {
+	b.ReportAllocs()
 	s, err := sim.New("kripke", 16, 1, 0)
 	if err != nil {
 		b.Fatal(err)
@@ -280,6 +308,7 @@ func BenchmarkTable11Burden(b *testing.B) {
 // BenchmarkFig12Compositing is the binary-swap exchange behind Figure 12
 // and the compositing model (Table 14).
 func BenchmarkFig12Compositing(b *testing.B) {
+	b.ReportAllocs()
 	const tasks = 4
 	imgs := make([]*framebuffer.Image, tasks)
 	for r := range imgs {
@@ -334,6 +363,7 @@ func corpusForBench(b *testing.B) []core.Sample {
 
 // BenchmarkTable12ModelFit times fitting all models (Tables 12 and 17).
 func BenchmarkTable12ModelFit(b *testing.B) {
+	b.ReportAllocs()
 	samples := corpusForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -345,6 +375,7 @@ func BenchmarkTable12ModelFit(b *testing.B) {
 
 // BenchmarkTable13CrossValidation times the 3-fold CV of Table 13/Fig 11.
 func BenchmarkTable13CrossValidation(b *testing.B) {
+	b.ReportAllocs()
 	samples := corpusForBench(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -356,6 +387,7 @@ func BenchmarkTable13CrossValidation(b *testing.B) {
 
 // BenchmarkTable15HeldOut times one held-out prediction (Table 15).
 func BenchmarkTable15HeldOut(b *testing.B) {
+	b.ReportAllocs()
 	samples := corpusForBench(b)
 	set, err := core.FitModels(samples)
 	if err != nil {
@@ -371,6 +403,7 @@ func BenchmarkTable15HeldOut(b *testing.B) {
 
 // BenchmarkFig14Budget times the images-per-budget sweep (Figure 14).
 func BenchmarkFig14Budget(b *testing.B) {
+	b.ReportAllocs()
 	samples := corpusForBench(b)
 	set, err := core.FitModels(samples)
 	if err != nil {
@@ -388,6 +421,7 @@ func BenchmarkFig14Budget(b *testing.B) {
 
 // BenchmarkFig15RTvsRast times the comparison grid (Figure 15).
 func BenchmarkFig15RTvsRast(b *testing.B) {
+	b.ReportAllocs()
 	samples := corpusForBench(b)
 	set, err := core.FitModels(samples)
 	if err != nil {
@@ -408,9 +442,11 @@ func BenchmarkFig15RTvsRast(b *testing.B) {
 
 // BenchmarkAblationBVHBuilders compares build cost of the three builders.
 func BenchmarkAblationBVHBuilders(b *testing.B) {
+	b.ReportAllocs()
 	m := benchSurface(b)
 	for _, builder := range []bvh.Builder{bvh.LBVH, bvh.Median, bvh.SAH} {
 		b.Run(builder.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				bvh.Build(device.CPU(), m, builder)
 			}
@@ -420,11 +456,13 @@ func BenchmarkAblationBVHBuilders(b *testing.B) {
 
 // BenchmarkAblationBVHTraversal compares trace speed over tree quality.
 func BenchmarkAblationBVHTraversal(b *testing.B) {
+	b.ReportAllocs()
 	m := benchSurface(b)
 	cam := render.OrbitCamera(m.Bounds(), 30, 20, 1.0)
 	for _, builder := range []bvh.Builder{bvh.LBVH, bvh.SAH} {
 		rdr := raytrace.NewWithBuilder(device.CPU(), m, builder)
 		b.Run(builder.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			opts := raytrace.Options{
 				Width: benchImage, Height: benchImage, Camera: cam,
 				Workload: raytrace.Workload1,
@@ -440,6 +478,7 @@ func BenchmarkAblationBVHTraversal(b *testing.B) {
 
 // BenchmarkAblationCompositors compares the exchange algorithms.
 func BenchmarkAblationCompositors(b *testing.B) {
+	b.ReportAllocs()
 	const tasks = 4
 	imgs := make([]*framebuffer.Image, tasks)
 	for r := range imgs {
@@ -454,6 +493,7 @@ func BenchmarkAblationCompositors(b *testing.B) {
 		"radix4":     composite.RadixK(4),
 	} {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				w := comm.NewWorld(tasks)
 				err := w.Run(func(c *comm.Comm) error {
@@ -471,6 +511,7 @@ func BenchmarkAblationCompositors(b *testing.B) {
 // BenchmarkAblationCompaction measures stream compaction on/off for the
 // full ray tracing workload.
 func BenchmarkAblationCompaction(b *testing.B) {
+	b.ReportAllocs()
 	m := benchSurface(b)
 	rdr := raytrace.New(device.CPU(), m)
 	cam := render.OrbitCamera(m.Bounds(), 30, 20, 0.6) // zoomed out: many dead rays
@@ -480,6 +521,7 @@ func BenchmarkAblationCompaction(b *testing.B) {
 			name = "on"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			opts := raytrace.Options{
 				Width: benchImage, Height: benchImage, Camera: cam,
 				Workload: raytrace.Workload3, Compaction: compaction,
@@ -496,11 +538,16 @@ func BenchmarkAblationCompaction(b *testing.B) {
 // BenchmarkAblationRasterizer measures the object-order path (Figure 15's
 // other contender) on the same scene as Table 1.
 func BenchmarkAblationRasterizer(b *testing.B) {
+	b.ReportAllocs()
 	m := benchSurface(b)
 	rdr := raster.New(device.CPU(), m)
 	opts := raster.Options{
 		Width: benchImage, Height: benchImage,
 		Camera: render.OrbitCamera(m.Bounds(), 30, 20, 1.0),
+	}
+	// Warm frame: steady-state allocations only in the timed loop.
+	if _, _, err := rdr.Render(opts); err != nil {
+		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -512,6 +559,7 @@ func BenchmarkAblationRasterizer(b *testing.B) {
 
 // BenchmarkStructuredVolume measures the Chapter V volume renderer.
 func BenchmarkStructuredVolume(b *testing.B) {
+	b.ReportAllocs()
 	ds, err := synthdata.ByName("nek")
 	if err != nil {
 		b.Fatal(err)
@@ -524,6 +572,10 @@ func BenchmarkStructuredVolume(b *testing.B) {
 	opts := volume.StructuredOptions{
 		Width: benchImage, Height: benchImage,
 		Camera: render.OrbitCamera(g.Bounds(), 30, 20, 1.0), Samples: 160,
+	}
+	// Warm frame: steady-state allocations only in the timed loop.
+	if _, _, err := vr.Render(opts); err != nil {
+		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

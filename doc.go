@@ -9,7 +9,20 @@
 //
 //   - data-parallel renderers (ray tracing, rasterization, structured and
 //     unstructured volume rendering) built from the primitives in
-//     internal/dpp and executed on internal/device profiles;
+//     internal/dpp and executed on internal/device profiles. The
+//     execution model is pooled and allocation-free in the steady state:
+//     each device runs a persistent gang of parked workers (a launch is
+//     a channel wake, not a goroutine spawn; Device.Close releases it),
+//     each renderer owns a frame arena (ray SoA state, term buffers,
+//     slab samples, framebuffer, and prebuilt kernel closures reused
+//     across frames; returned images are valid until the next Render),
+//     the morton pixel order is cached per image size, and compaction,
+//     packet traversal, and compositing run through reusable per-worker
+//     or per-rank scratch. Steady-state frames allocate nothing, serial
+//     and parallel devices render byte-identical images, and
+//     device.Stats accounts occupancy per wake — see the README's
+//     performance section for sizing Workers/Grain and the warm-pool
+//     measurement note;
 //   - the in situ substrate: internal/conduit (hierarchical zero-copy data
 //     description), internal/strawman (batch in situ pipeline),
 //     internal/comm (simulated MPI), internal/composite (sort-last

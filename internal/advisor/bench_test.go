@@ -10,6 +10,7 @@ import (
 // repeated configuration), a rotating working set larger than a single
 // request, and batches, with and without the prediction cache.
 func BenchmarkAdvisorPredict(b *testing.B) {
+	b.ReportAllocs()
 	renderers := []string{"raytracer", "rasterizer", "volume"}
 	mkReqs := func(n int) []PredictRequest {
 		reqs := make([]PredictRequest, n)

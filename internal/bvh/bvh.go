@@ -79,15 +79,18 @@ func Build(d *device.Device, m *mesh.TriangleMesh, builder Builder) *BVH {
 			centroids[t] = m.Centroid(t)
 		}
 	})
-	world := vecmath.EmptyAABB()
-	for t := 0; t < n; t++ {
-		world = world.Union(bounds[t])
-	}
+	// AABB union is a componentwise min/max — commutative and exactly
+	// associative — so the parallel chunked reduction is bit-identical to
+	// the serial fold on every device profile.
+	world := dpp.Reduce(d, bounds, vecmath.EmptyAABB(),
+		func(a, c vecmath.AABB) vecmath.AABB { return a.Union(c) })
 
 	ids := make([]int32, n)
-	for i := range ids {
-		ids[i] = int32(i)
-	}
+	dpp.For(d, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ids[i] = int32(i)
+		}
+	})
 
 	switch builder {
 	case LBVH:
@@ -102,13 +105,137 @@ func Build(d *device.Device, m *mesh.TriangleMesh, builder Builder) *BVH {
 		})
 		dpp.SortPairs64(d, codes, ids)
 		b.PrimIDs = ids
-		b.buildMortonRange(codes, bounds, 0, n, 0)
+		b.buildLBVH(d, codes, bounds)
 	case Median, SAH:
+		// Pre-size to the binary-tree bound (2n-1 nodes) so recursion
+		// never regrows the array.
+		b.Nodes = make([]Node, 0, 2*n)
 		b.PrimIDs = ids
 		b.buildSpatialRange(bounds, centroids, 0, n, builder)
 	}
 	b.BuildTime = time.Since(start)
 	return b
+}
+
+// lbvhParallelCutoff is the subtree size below which the LBVH topology
+// build stays serial: smaller ranges are cheaper to build than to
+// dispatch.
+const lbvhParallelCutoff = 4096
+
+// buildLBVH constructs the morton-split topology over the sorted codes.
+// On multi-worker devices the build is parallel and deterministic: a
+// serial descent from the root carves the code range into subtree spans
+// (the "spine"), the subtrees are built concurrently into private node
+// arrays, and a parallel stitch copies them into one pre-sized array with
+// child-index fixups. The resulting tree is identical in topology to the
+// serial build; only the node numbering differs (spine first, then
+// subtrees in range order), which traversal never observes.
+func (b *BVH) buildLBVH(d *device.Device, codes []uint64, bounds []vecmath.AABB) {
+	n := len(codes)
+	workers := d.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	cutoff := n / (4 * workers)
+	if cutoff < lbvhParallelCutoff {
+		cutoff = lbvhParallelCutoff
+	}
+	if workers == 1 || n <= cutoff {
+		b.Nodes = make([]Node, 0, 2*n)
+		b.buildMortonInto(&b.Nodes, codes, bounds, 0, n, 0)
+		return
+	}
+
+	// Spine descent. Placeholder children are encoded as ^rangeIndex.
+	type span struct{ start, end, bit int }
+	var spine []Node
+	var ranges []span
+	var descend func(start, end, bit int) int32
+	descend = func(start, end, bit int) int32 {
+		count := end - start
+		if count <= cutoff || count <= b.MaxLeafSize || bit >= 30 {
+			ranges = append(ranges, span{start, end, bit})
+			return ^int32(len(ranges) - 1)
+		}
+		split := mortonSplit(codes, start, end, bit)
+		if split == start || split == end {
+			// All codes share this bit: descend without splitting.
+			return descend(start, end, bit+1)
+		}
+		idx := int32(len(spine))
+		spine = append(spine, Node{})
+		left := descend(start, split, bit+1)
+		right := descend(split, end, bit+1)
+		spine[idx].Left, spine[idx].Right = left, right
+		return idx
+	}
+	root := descend(0, n, 0)
+
+	// Build every subtree concurrently into its own array.
+	subs := make([][]Node, len(ranges))
+	dpp.ForEach(d, len(ranges), func(i int) {
+		r := ranges[i]
+		local := make([]Node, 0, 2*(r.end-r.start))
+		b.buildMortonInto(&local, codes, bounds, r.start, r.end, r.bit)
+		subs[i] = local
+	})
+
+	if root < 0 {
+		// The whole range was one span (degenerate codes): no spine.
+		b.Nodes = subs[0]
+		return
+	}
+
+	// Stitch: spine nodes first, then each subtree at its offset.
+	offs := make([]int32, len(ranges))
+	total := int32(len(spine))
+	for i := range subs {
+		offs[i] = total
+		total += int32(len(subs[i]))
+	}
+	nodes := make([]Node, total)
+	copy(nodes, spine)
+	dpp.ForEach(d, len(ranges), func(i int) {
+		off := offs[i]
+		dst := nodes[off : int(off)+len(subs[i])]
+		for j, nd := range subs[i] {
+			if nd.Count == 0 {
+				nd.Left += off
+				nd.Right += off
+			}
+			dst[j] = nd
+		}
+	})
+	// Resolve placeholder children, then fill spine bounds bottom-up.
+	// Spine nodes are in pre-order, so children always have higher
+	// indices than their parent and a reverse sweep sees children first.
+	for i := len(spine) - 1; i >= 0; i-- {
+		nd := &nodes[i]
+		if nd.Left < 0 {
+			nd.Left = offs[^nd.Left]
+		}
+		if nd.Right < 0 {
+			nd.Right = offs[^nd.Right]
+		}
+		nd.Bounds = nodes[nd.Left].Bounds.Union(nodes[nd.Right].Bounds)
+	}
+	b.Nodes = nodes
+}
+
+// mortonSplit returns the first position in the sorted [start, end) range
+// whose code has the (29-bit)th bit set, found by binary search.
+func mortonSplit(codes []uint64, start, end, bit int) int {
+	mask := uint64(1) << uint(29-bit)
+	lo, hi := start, end
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if codes[mid]&mask == 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 func safeInv(v float64) float64 {
@@ -154,36 +281,34 @@ func (b *BVH) rangeBounds(bounds []vecmath.AABB, start, end int) vecmath.AABB {
 	return box
 }
 
-// buildMortonRange recursively splits the sorted morton range at the
-// highest differing code bit, producing the LBVH topology. Returns the
-// node index.
-func (b *BVH) buildMortonRange(codes []uint64, bounds []vecmath.AABB, start, end, bit int) int32 {
-	idx := int32(len(b.Nodes))
-	b.Nodes = append(b.Nodes, Node{})
+// buildMortonInto recursively splits the sorted morton range at the
+// highest differing code bit, appending the subtree's nodes to *nodes
+// (local indices) and returning its root index. Codes were sorted with
+// PrimIDs as payload, so codes[i] corresponds to position i in PrimIDs;
+// leaf Start/Count reference the global PrimIDs array, which is what lets
+// subtrees build concurrently into private arrays and stitch without
+// touching primitive indices.
+func (b *BVH) buildMortonInto(nodes *[]Node, codes []uint64, bounds []vecmath.AABB, start, end, bit int) int32 {
+	idx := int32(len(*nodes))
+	*nodes = append(*nodes, Node{})
 	count := end - start
 	if count <= b.MaxLeafSize || bit >= 30 {
-		b.Nodes[idx] = Node{
+		(*nodes)[idx] = Node{
 			Bounds: b.rangeBounds(bounds, start, end),
 			Start:  int32(start), Count: int32(count),
 		}
 		return idx
 	}
-	// Codes were sorted with PrimIDs as payload, so codes[i] corresponds to
-	// position i in PrimIDs.
-	mask := uint64(1) << uint(29-bit)
-	split := start
-	for split < end && codes[split]&mask == 0 {
-		split++
-	}
+	split := mortonSplit(codes, start, end, bit)
 	if split == start || split == end {
 		// All codes share this bit: descend without splitting.
-		b.Nodes = b.Nodes[:idx] // rebuild node at same position after recursion
-		return b.buildMortonRange(codes, bounds, start, end, bit+1)
+		*nodes = (*nodes)[:idx] // rebuild node at same position after recursion
+		return b.buildMortonInto(nodes, codes, bounds, start, end, bit+1)
 	}
-	left := b.buildMortonRange(codes, bounds, start, split, bit+1)
-	right := b.buildMortonRange(codes, bounds, split, end, bit+1)
-	b.Nodes[idx] = Node{
-		Bounds: b.Nodes[left].Bounds.Union(b.Nodes[right].Bounds),
+	left := b.buildMortonInto(nodes, codes, bounds, start, split, bit+1)
+	right := b.buildMortonInto(nodes, codes, bounds, split, end, bit+1)
+	(*nodes)[idx] = Node{
+		Bounds: (*nodes)[left].Bounds.Union((*nodes)[right].Bounds),
 		Left:   left, Right: right,
 	}
 	return idx

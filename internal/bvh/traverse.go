@@ -140,11 +140,35 @@ func (b *BVH) IntersectAny(orig, dir vecmath.Vec3, tmin, tmax float64) bool {
 	return false
 }
 
+// PacketScratch is the reusable per-worker state of packet traversal:
+// reciprocal directions and per-ray best distances. Hoisting it out of
+// the per-packet call is what makes the packetized inner loop
+// allocation-free.
+type PacketScratch struct {
+	inv  []vecmath.Vec3
+	best []float64
+}
+
+// Ensure grows the scratch to hold width rays.
+func (s *PacketScratch) Ensure(width int) {
+	if cap(s.inv) < width {
+		s.inv = make([]vecmath.Vec3, width)
+		s.best = make([]float64, width)
+	}
+}
+
 // IntersectClosestPacket traces a bundle of coherent rays through the tree
 // together, amortizing node tests across the packet: a node is descended
 // if any ray's interval hits it. This is the vector-unit ("ISPC") backend
 // of the tracer; with VectorWidth 1 it degenerates to per-ray traversal.
 func (b *BVH) IntersectClosestPacket(orig, dir []vecmath.Vec3, tmin float64, hits []Hit) {
+	var scratch PacketScratch
+	b.IntersectClosestPacketScratch(orig, dir, tmin, hits, &scratch)
+}
+
+// IntersectClosestPacketScratch is IntersectClosestPacket with
+// caller-owned scratch, for steady-state loops that trace many packets.
+func (b *BVH) IntersectClosestPacketScratch(orig, dir []vecmath.Vec3, tmin float64, hits []Hit, scratch *PacketScratch) {
 	n := len(orig)
 	for i := range hits {
 		hits[i] = Hit{Prim: -1, T: math.Inf(1)}
@@ -152,8 +176,9 @@ func (b *BVH) IntersectClosestPacket(orig, dir []vecmath.Vec3, tmin float64, hit
 	if len(b.Nodes) == 0 || n == 0 {
 		return
 	}
-	inv := make([]vecmath.Vec3, n)
-	best := make([]float64, n)
+	scratch.Ensure(n)
+	inv := scratch.inv[:n]
+	best := scratch.best[:n]
 	for i := 0; i < n; i++ {
 		inv[i] = vecmath.V(1/dir[i].X, 1/dir[i].Y, 1/dir[i].Z)
 		best[i] = math.Inf(1)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"insitu/internal/comm"
@@ -34,11 +35,51 @@ type Stats struct {
 
 // Compositor merges the per-task sub-images of one frame into a complete
 // image delivered at rank 0 (other ranks return nil).
+//
+// A Compositor owns reusable per-rank scratch — the working image copy,
+// the encode buffer (safe to reuse between sends because comm.Send
+// copies), the decoded fragment strips, and the root's assembled output —
+// all grown on demand and pre-sized after the first frame, so
+// steady-state compositing rounds allocate only inside the comm layer's
+// network-copy semantics. Scratch is keyed by rank, so one Compositor may
+// be shared across the ranks of a simulated MPI world and reused across
+// frames (as study.runTask does); concurrent Composite calls from the
+// SAME rank are not supported. The image returned at rank 0 is owned by
+// the compositor and valid until that rank's next Composite call.
 type Compositor struct {
 	// Factors is the radix-k factorization of the task count per round.
 	// nil means "factor automatically into the smallest primes", which
 	// yields binary swap on power-of-two counts.
 	Factors []int
+
+	mu      sync.Mutex
+	scratch map[int]*compScratch
+}
+
+// compScratch is one rank's reusable compositing state.
+type compScratch struct {
+	cur       framebuffer.Image
+	out       framebuffer.Image
+	myStrip   framebuffer.Image
+	sendBuf   []float32
+	gatherBuf []float32
+	frags     []fragment
+	fragImgs  []*framebuffer.Image
+}
+
+// scratchFor returns rank's scratch, creating it on first use.
+func (k *Compositor) scratchFor(rank int) *compScratch {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.scratch == nil {
+		k.scratch = make(map[int]*compScratch)
+	}
+	s := k.scratch[rank]
+	if s == nil {
+		s = &compScratch{}
+		k.scratch[rank] = s
+	}
+	return s
 }
 
 // BinarySwap returns a compositor using radix-2 rounds.
@@ -106,7 +147,9 @@ func (k *Compositor) Composite(c *comm.Comm, img *framebuffer.Image, op Op, orde
 
 	npix := img.W * img.H
 	lo, hi := 0, npix
-	cur := img.Clone()
+	sc := k.scratchFor(c.Rank())
+	sc.cur.CopyFrom(img)
+	cur := &sc.cur
 
 	// Each round splits the owned range into f parts and exchanges them
 	// within a group of f tasks.
@@ -120,34 +163,34 @@ func (k *Compositor) Composite(c *comm.Comm, img *framebuffer.Image, op Op, orde
 		me := (virt / stride) % f
 		groupBase := virt - me*stride
 
-		// Split [lo, hi) into f contiguous parts.
-		parts := splitRange(lo, hi, f)
-
-		// Send part j to group member j; keep part me.
+		// Send part j to group member j; keep part me. partRange avoids
+		// materializing the split: parts are derived arithmetically.
 		for j := 0; j < f; j++ {
 			if j == me {
 				continue
 			}
 			peer := toActual(groupBase + j*stride)
-			c.Send(peer, tagFor(stride, j), encode(cur, parts[j][0], parts[j][1], virt))
+			plo, phi := partRange(lo, hi, f, j)
+			c.Send(peer, tagFor(stride, j), sc.encodeRange(cur, plo, phi, virt))
 		}
 		// Receive every other member's fragment of my part and merge.
-		myLo, myHi := parts[me][0], parts[me][1]
-		frags := make([]fragment, 0, f)
-		frags = append(frags, fragment{pos: virt, img: cur.SubRange(myLo, myHi)})
+		myLo, myHi := partRange(lo, hi, f, me)
+		sc.frags = sc.frags[:0]
+		cur.SubRangeInto(myLo, myHi, &sc.myStrip)
+		sc.frags = append(sc.frags, fragment{pos: virt, img: &sc.myStrip})
 		for j := 0; j < f; j++ {
 			if j == me {
 				continue
 			}
 			peer := toActual(groupBase + j*stride)
 			data := c.Recv(peer, tagFor(stride, me))
-			frag, fragPos, err := decode(data, myHi-myLo)
+			frag, fragPos, err := decodeInto(data, myHi-myLo, sc.fragImg(j))
 			if err != nil {
 				return nil, nil, err
 			}
-			frags = append(frags, fragment{pos: fragPos, img: frag})
+			sc.frags = append(sc.frags, fragment{pos: fragPos, img: frag})
 		}
-		merged, err := mergeFragments(frags, op)
+		merged, err := mergeFragments(sc.frags, op)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -157,12 +200,20 @@ func (k *Compositor) Composite(c *comm.Comm, img *framebuffer.Image, op Op, orde
 	}
 
 	// Gather the owned ranges at rank 0.
-	final := gatherRanges(c, cur, lo, hi, npix)
+	final := sc.gatherRanges(c, cur, lo, hi, npix)
 	stats.Elapsed = time.Since(start)
 	if c.Rank() != 0 {
 		return nil, stats, nil
 	}
 	return final, stats, nil
+}
+
+// fragImg returns the j-th reusable decode strip.
+func (sc *compScratch) fragImg(j int) *framebuffer.Image {
+	for len(sc.fragImgs) <= j {
+		sc.fragImgs = append(sc.fragImgs, &framebuffer.Image{})
+	}
+	return sc.fragImgs[j]
 }
 
 // fragment pairs a strip with its owner's visibility position.
@@ -194,64 +245,73 @@ func mergeFragments(frags []fragment, op Op) (*framebuffer.Image, error) {
 }
 
 // gatherRanges collects every task's owned [lo,hi) range at rank 0 and
-// assembles the full image.
-func gatherRanges(c *comm.Comm, cur *framebuffer.Image, lo, hi, npix int) *framebuffer.Image {
-	header := []float32{float32(lo), float32(hi)}
-	strip := cur.SubRange(lo, hi)
-	payload := append(header, encodeStrip(strip)...)
+// assembles the full image into the compositor's reusable output.
+func (sc *compScratch) gatherRanges(c *comm.Comm, cur *framebuffer.Image, lo, hi, npix int) *framebuffer.Image {
+	n := hi - lo
+	need := 2 + pixelsPerWord*n
+	if cap(sc.gatherBuf) < need {
+		sc.gatherBuf = make([]float32, need)
+	}
+	payload := sc.gatherBuf[:need]
+	payload[0], payload[1] = float32(lo), float32(hi)
+	copy(payload[2:2+4*n], cur.Color[4*lo:4*hi])
+	copy(payload[2+4*n:], cur.Depth[lo:hi])
 	parts := c.Gather(0, payload)
 	if c.Rank() != 0 {
 		return nil
 	}
-	out := framebuffer.NewImage(cur.W, cur.H)
+	sc.out.EnsureSize(cur.W, cur.H)
+	out := &sc.out
 	for _, p := range parts {
 		plo := int(p[0])
 		phi := int(p[1])
-		strip := decodeStrip(p[2:], phi-plo)
-		out.WriteRange(plo, strip)
+		pn := phi - plo
+		copy(out.Color[4*plo:4*phi], p[2:2+4*pn])
+		copy(out.Depth[plo:phi], p[2+4*pn:])
 	}
 	return out
 }
 
-// encode packs a pixel range plus the sender's visibility position.
-func encode(img *framebuffer.Image, lo, hi, pos int) []float32 {
-	strip := img.SubRange(lo, hi)
-	out := make([]float32, 0, 1+pixelsPerWord*(hi-lo))
-	out = append(out, float32(pos))
-	return append(out, encodeStrip(strip)...)
+// encodeRange packs a pixel range plus the sender's visibility position
+// into the compositor's reusable send buffer. comm.Send copies its
+// payload (network semantics), so the buffer may be reused by the very
+// next send.
+func (sc *compScratch) encodeRange(img *framebuffer.Image, lo, hi, pos int) []float32 {
+	n := hi - lo
+	need := 1 + pixelsPerWord*n
+	if cap(sc.sendBuf) < need {
+		sc.sendBuf = make([]float32, need)
+	}
+	buf := sc.sendBuf[:need]
+	buf[0] = float32(pos)
+	copy(buf[1:1+4*n], img.Color[4*lo:4*hi])
+	copy(buf[1+4*n:], img.Depth[lo:hi])
+	return buf
 }
 
-func decode(data []float32, n int) (*framebuffer.Image, int, error) {
+// decodeInto unpacks a fragment into the reusable strip dst.
+func decodeInto(data []float32, n int, dst *framebuffer.Image) (*framebuffer.Image, int, error) {
 	if len(data) != 1+pixelsPerWord*n {
 		return nil, 0, fmt.Errorf("composite: fragment has %d words, want %d", len(data), 1+pixelsPerWord*n)
 	}
 	pos := int(data[0])
-	return decodeStrip(data[1:], n), pos, nil
-}
-
-func encodeStrip(strip *framebuffer.Image) []float32 {
-	n := strip.W * strip.H
-	out := make([]float32, pixelsPerWord*n)
-	copy(out[:4*n], strip.Color)
-	copy(out[4*n:], strip.Depth)
-	return out
-}
-
-func decodeStrip(data []float32, n int) *framebuffer.Image {
-	strip := &framebuffer.Image{W: n, H: 1, Color: make([]float32, 4*n), Depth: make([]float32, n)}
-	copy(strip.Color, data[:4*n])
-	copy(strip.Depth, data[4*n:])
-	return strip
-}
-
-// splitRange divides [lo, hi) into k near-equal contiguous parts.
-func splitRange(lo, hi, k int) [][2]int {
-	n := hi - lo
-	parts := make([][2]int, k)
-	for j := 0; j < k; j++ {
-		parts[j] = [2]int{lo + j*n/k, lo + (j+1)*n/k}
+	body := data[1:]
+	if cap(dst.Color) < 4*n {
+		dst.Color = make([]float32, 4*n)
+		dst.Depth = make([]float32, n)
 	}
-	return parts
+	dst.W, dst.H = n, 1
+	dst.Color = dst.Color[:4*n]
+	dst.Depth = dst.Depth[:n]
+	copy(dst.Color, body[:4*n])
+	copy(dst.Depth, body[4*n:])
+	return dst, pos, nil
+}
+
+// partRange returns the j-th of f near-equal contiguous parts of [lo, hi).
+func partRange(lo, hi, f, j int) (int, int) {
+	n := hi - lo
+	return lo + j*n/f, lo + (j+1)*n/f
 }
 
 // tagFor derives a distinct message tag per (round stride, destination

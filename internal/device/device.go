@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -32,6 +33,12 @@ type Device struct {
 	VectorWidth int
 	// Stats, when non-nil, accumulates occupancy instrumentation.
 	Stats *Stats
+
+	// pool is the lazily started persistent worker gang (see Pool).
+	// Devices are shared by pointer; copying an initialized Device would
+	// share the pool, so treat Device values as handles, not data.
+	poolOnce sync.Once
+	pool     *Pool
 }
 
 // New returns a device with sensible defaults for the given worker count.
@@ -90,13 +97,21 @@ func ProfileNames() []string {
 // is the substitute for the paper's PAPI and nvprof counters: wall-clock
 // busy time, items processed, and launch counts give the occupancy and
 // throughput ("IPC analogue") figures reported in Tables 6 and 7.
+//
+// Under the pooled execution model, busy time is recorded per wake: each
+// pool worker that accepts a launch measures the span from accepting it
+// to finishing its last chunk, and the launching goroutine measures its
+// own participation the same way. Park time never counts as busy, so
+// occupancy reflects useful work, not resident goroutines.
 type Stats struct {
 	busyNS   atomic.Int64
 	items    atomic.Int64
 	launches atomic.Int64
+	wakes    atomic.Int64
 }
 
-// AddBusy records ns of worker busy time.
+// AddBusy records ns of worker busy time (one wake's or one launcher's
+// span of chunk execution).
 func (s *Stats) AddBusy(d time.Duration) { s.busyNS.Add(int64(d)) }
 
 // AddItems records processed work items.
@@ -104,6 +119,10 @@ func (s *Stats) AddItems(n int64) { s.items.Add(n) }
 
 // AddLaunch records one parallel launch.
 func (s *Stats) AddLaunch() { s.launches.Add(1) }
+
+// AddWake records one pool worker accepting a launch. The launching
+// goroutine's own participation is not a wake.
+func (s *Stats) AddWake() { s.wakes.Add(1) }
 
 // Busy returns the accumulated worker busy time.
 func (s *Stats) Busy() time.Duration { return time.Duration(s.busyNS.Load()) }
@@ -114,11 +133,17 @@ func (s *Stats) Items() int64 { return s.items.Load() }
 // Launches returns the number of parallel launches.
 func (s *Stats) Launches() int64 { return s.launches.Load() }
 
+// Wakes returns the number of pool-worker wakes across all launches.
+// Wakes/Launches approximates the average helper count per launch; it can
+// be below Workers-1 when launches are small or the pool is contended.
+func (s *Stats) Wakes() int64 { return s.wakes.Load() }
+
 // Reset zeroes all counters.
 func (s *Stats) Reset() {
 	s.busyNS.Store(0)
 	s.items.Store(0)
 	s.launches.Store(0)
+	s.wakes.Store(0)
 }
 
 // Occupancy is busy time divided by the wall-clock capacity of the device

@@ -11,29 +11,30 @@ func ScanExclusive[T any](d *device.Device, in, out []T, id T, op func(a, b T) T
 	if n == 0 {
 		return id
 	}
-	bounds := chunkRanges(d, n)
-	numChunks := len(bounds) - 1
-	sums := make([]T, numChunks)
-	For(d, numChunks, func(clo, chi int) {
+	ch := chunksFor(d, n)
+	sums := make([]T, ch.num)
+	For(d, ch.num, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
+			lo, hi := ch.bounds(c)
 			acc := id
-			for i := bounds[c]; i < bounds[c+1]; i++ {
+			for i := lo; i < hi; i++ {
 				acc = op(acc, in[i])
 			}
 			sums[c] = acc
 		}
 	})
-	prefix := make([]T, numChunks)
+	prefix := make([]T, ch.num)
 	running := id
-	for c := 0; c < numChunks; c++ {
+	for c := 0; c < ch.num; c++ {
 		prefix[c] = running
 		running = op(running, sums[c])
 	}
 	total := running
-	For(d, numChunks, func(clo, chi int) {
+	For(d, ch.num, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
+			lo, hi := ch.bounds(c)
 			acc := prefix[c]
-			for i := bounds[c]; i < bounds[c+1]; i++ {
+			for i := lo; i < hi; i++ {
 				v := in[i]
 				out[i] = acc
 				acc = op(acc, v)
@@ -50,29 +51,30 @@ func ScanInclusive[T any](d *device.Device, in, out []T, id T, op func(a, b T) T
 	if n == 0 {
 		return id
 	}
-	bounds := chunkRanges(d, n)
-	numChunks := len(bounds) - 1
-	sums := make([]T, numChunks)
-	For(d, numChunks, func(clo, chi int) {
+	ch := chunksFor(d, n)
+	sums := make([]T, ch.num)
+	For(d, ch.num, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
+			lo, hi := ch.bounds(c)
 			acc := id
-			for i := bounds[c]; i < bounds[c+1]; i++ {
+			for i := lo; i < hi; i++ {
 				acc = op(acc, in[i])
 			}
 			sums[c] = acc
 		}
 	})
-	prefix := make([]T, numChunks)
+	prefix := make([]T, ch.num)
 	running := id
-	for c := 0; c < numChunks; c++ {
+	for c := 0; c < ch.num; c++ {
 		prefix[c] = running
 		running = op(running, sums[c])
 	}
 	total := running
-	For(d, numChunks, func(clo, chi int) {
+	For(d, ch.num, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
+			lo, hi := ch.bounds(c)
 			acc := prefix[c]
-			for i := bounds[c]; i < bounds[c+1]; i++ {
+			for i := lo; i < hi; i++ {
 				acc = op(acc, in[i])
 				out[i] = acc
 			}
@@ -83,16 +85,16 @@ func ScanInclusive[T any](d *device.Device, in, out []T, id T, op func(a, b T) T
 
 // CountTrue returns the number of set flags.
 func CountTrue(d *device.Device, flags []bool) int {
-	bounds := chunkRanges(d, len(flags))
-	if bounds == nil {
+	ch := chunksFor(d, len(flags))
+	if ch.num == 0 {
 		return 0
 	}
-	numChunks := len(bounds) - 1
-	counts := make([]int, numChunks)
-	For(d, numChunks, func(clo, chi int) {
+	counts := make([]int, ch.num)
+	For(d, ch.num, func(clo, chi int) {
 		for c := clo; c < chi; c++ {
+			lo, hi := ch.bounds(c)
 			k := 0
-			for i := bounds[c]; i < bounds[c+1]; i++ {
+			for i := lo; i < hi; i++ {
 				if flags[i] {
 					k++
 				}
@@ -109,43 +111,17 @@ func CountTrue(d *device.Device, flags []bool) int {
 
 // CompactIndices returns the indices of the set flags, in ascending order.
 // This is the reduce + exclusive scan + reverse-index sequence the paper's
-// stream compaction uses, fused into a two-pass emit.
+// stream compaction uses, fused into a two-pass emit. The result is a
+// fresh slice; steady-state callers should hold a Compactor instead.
 func CompactIndices(d *device.Device, flags []bool) []int32 {
-	bounds := chunkRanges(d, len(flags))
-	if bounds == nil {
+	var c Compactor
+	c.Init(d)
+	idx := c.CompactIndices(flags)
+	if idx == nil {
 		return nil
 	}
-	numChunks := len(bounds) - 1
-	counts := make([]int, numChunks)
-	For(d, numChunks, func(clo, chi int) {
-		for c := clo; c < chi; c++ {
-			k := 0
-			for i := bounds[c]; i < bounds[c+1]; i++ {
-				if flags[i] {
-					k++
-				}
-			}
-			counts[c] = k
-		}
-	})
-	offsets := make([]int, numChunks)
-	total := 0
-	for c := 0; c < numChunks; c++ {
-		offsets[c] = total
-		total += counts[c]
-	}
-	out := make([]int32, total)
-	For(d, numChunks, func(clo, chi int) {
-		for c := clo; c < chi; c++ {
-			cursor := offsets[c]
-			for i := bounds[c]; i < bounds[c+1]; i++ {
-				if flags[i] {
-					out[cursor] = int32(i)
-					cursor++
-				}
-			}
-		}
-	})
+	out := make([]int32, len(idx))
+	copy(out, idx)
 	return out
 }
 
@@ -155,4 +131,91 @@ func Compact[T any](d *device.Device, in []T, flags []bool) []T {
 	out := make([]T, len(idx))
 	Gather(d, idx, in, out)
 	return out
+}
+
+// Compactor is the reusable, allocation-free form of CompactIndices: the
+// per-chunk count scratch, the output index buffer, and the two kernel
+// closures are built once and reused across calls, so stream compaction
+// inside a steady-state frame loop costs no heap allocation. A Compactor
+// is not safe for concurrent use.
+type Compactor struct {
+	d      *device.Device
+	flags  []bool
+	ch     chunking
+	counts []int32
+	out    []int32
+	countF func(lo, hi int)
+	emitF  func(lo, hi int)
+}
+
+// NewCompactor returns a Compactor bound to a device.
+func NewCompactor(d *device.Device) *Compactor {
+	c := &Compactor{}
+	c.Init(d)
+	return c
+}
+
+// Init (re)binds the Compactor to a device; useful for embedding a
+// Compactor by value inside a larger arena.
+func (c *Compactor) Init(d *device.Device) {
+	c.d = d
+	if c.countF == nil {
+		c.countF = c.countRange
+		c.emitF = c.emitRange
+	}
+}
+
+func (c *Compactor) countRange(clo, chi int) {
+	for k := clo; k < chi; k++ {
+		lo, hi := c.ch.bounds(k)
+		n := int32(0)
+		for i := lo; i < hi; i++ {
+			if c.flags[i] {
+				n++
+			}
+		}
+		c.counts[k] = n
+	}
+}
+
+func (c *Compactor) emitRange(clo, chi int) {
+	for k := clo; k < chi; k++ {
+		lo, hi := c.ch.bounds(k)
+		cur := c.counts[k]
+		for i := lo; i < hi; i++ {
+			if c.flags[i] {
+				c.out[cur] = int32(i)
+				cur++
+			}
+		}
+	}
+}
+
+// CompactIndices returns the indices of the set flags in ascending order.
+// The returned slice is owned by the Compactor and valid until the next
+// call; callers that need to retain it must copy.
+func (c *Compactor) CompactIndices(flags []bool) []int32 {
+	c.ch = chunksFor(c.d, len(flags))
+	if c.ch.num == 0 {
+		return nil
+	}
+	c.flags = flags
+	if cap(c.counts) < c.ch.num {
+		c.counts = make([]int32, c.ch.num)
+	}
+	c.counts = c.counts[:c.ch.num]
+	For(c.d, c.ch.num, c.countF)
+	total := int32(0)
+	for k := range c.counts {
+		n := c.counts[k]
+		c.counts[k] = total
+		total += n
+	}
+	if cap(c.out) < int(total) {
+		c.out = make([]int32, total)
+	}
+	c.out = c.out[:total]
+	For(c.d, c.ch.num, c.emitF)
+	c.flags = nil
+	return c.out
 }

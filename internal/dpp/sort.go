@@ -19,34 +19,42 @@ func SortPairs64(d *device.Device, keys []uint64, vals []int32) {
 	srcK, srcV := keys, vals
 	dstK, dstV := tmpK, tmpV
 	const radix = 256
+	ch := chunksFor(d, n)
+	hist := make([][]int32, ch.num)
 	for pass := 0; pass < 8; pass++ {
 		shift := uint(pass * 8)
-		bounds := chunkRanges(d, n)
-		numChunks := len(bounds) - 1
-		hist := make([][]int32, numChunks)
-		For(d, numChunks, func(clo, chi int) {
+		For(d, ch.num, func(clo, chi int) {
 			for c := clo; c < chi; c++ {
-				h := make([]int32, radix)
-				for i := bounds[c]; i < bounds[c+1]; i++ {
+				h := hist[c]
+				if h == nil {
+					h = make([]int32, radix)
+					hist[c] = h
+				} else {
+					for b := range h {
+						h[b] = 0
+					}
+				}
+				lo, hi := ch.bounds(c)
+				for i := lo; i < hi; i++ {
 					h[(srcK[i]>>shift)&0xff]++
 				}
-				hist[c] = h
 			}
 		})
 		// Exclusive scan in bucket-major, chunk-minor order so each chunk
 		// scatters into a private, stable range.
 		var running int32
 		for b := 0; b < radix; b++ {
-			for c := 0; c < numChunks; c++ {
+			for c := 0; c < ch.num; c++ {
 				count := hist[c][b]
 				hist[c][b] = running
 				running += count
 			}
 		}
-		For(d, numChunks, func(clo, chi int) {
+		For(d, ch.num, func(clo, chi int) {
 			for c := clo; c < chi; c++ {
 				cursors := hist[c]
-				for i := bounds[c]; i < bounds[c+1]; i++ {
+				lo, hi := ch.bounds(c)
+				for i := lo; i < hi; i++ {
 					b := (srcK[i] >> shift) & 0xff
 					pos := cursors[b]
 					cursors[b] = pos + 1

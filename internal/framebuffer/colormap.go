@@ -45,7 +45,12 @@ func Inferno() *ColorMap {
 
 // Sample returns the interpolated color for t clamped to [0,1].
 func (cm *ColorMap) Sample(t float64) vecmath.Vec3 {
-	t = vecmath.Clamp(t, 0, 1)
+	return cm.sampleClamped(vecmath.Clamp(t, 0, 1))
+}
+
+// sampleClamped is Sample for a t already known to lie in [0,1], saving
+// the redundant clamp on the transfer-function hot path.
+func (cm *ColorMap) sampleClamped(t float64) vecmath.Vec3 {
 	n := len(cm.positions)
 	if t <= cm.positions[0] {
 		return cm.colors[0]
@@ -91,7 +96,7 @@ func DefaultTransferFunction() *TransferFunction {
 // Sample returns straight (non-premultiplied) RGBA for scalar t.
 func (tf *TransferFunction) Sample(t float64) (r, g, b, a float64) {
 	t = vecmath.Clamp(t, 0, 1)
-	c := tf.Colors.Sample(t)
+	c := tf.Colors.sampleClamped(t)
 	n := len(tf.opacityP)
 	alpha := tf.opacityV[n-1]
 	if t <= tf.opacityP[0] {

@@ -31,6 +31,22 @@ func NewImage(w, h int) *Image {
 	return img
 }
 
+// EnsureSize resizes the image to w x h, reallocating only when the
+// pixel count grows, and clears it. This is the frame-arena entry point:
+// renderers that reuse one Image across frames call EnsureSize instead of
+// NewImage, so steady-state frames allocate nothing.
+func (im *Image) EnsureSize(w, h int) {
+	n := w * h
+	if cap(im.Color) < 4*n {
+		im.Color = make([]float32, 4*n)
+		im.Depth = make([]float32, n)
+	}
+	im.W, im.H = w, h
+	im.Color = im.Color[:4*n]
+	im.Depth = im.Depth[:n]
+	im.Clear()
+}
+
 // Clear resets the image to transparent black at MaxDepth.
 func (im *Image) Clear() {
 	for i := range im.Color {
@@ -119,6 +135,37 @@ func (im *Image) BlendUnder(other *Image) error {
 		}
 	}
 	return nil
+}
+
+// CopyFrom makes im a deep copy of other, reusing im's buffers when they
+// are large enough (the allocation-free form of Clone).
+func (im *Image) CopyFrom(other *Image) {
+	n := other.W * other.H
+	if cap(im.Color) < 4*n {
+		im.Color = make([]float32, 4*n)
+		im.Depth = make([]float32, n)
+	}
+	im.W, im.H = other.W, other.H
+	im.Color = im.Color[:4*n]
+	im.Depth = im.Depth[:n]
+	copy(im.Color, other.Color)
+	copy(im.Depth, other.Depth)
+}
+
+// SubRangeInto copies the pixel range [lo, hi) of the flattened image
+// into dst as a standalone strip, reusing dst's buffers (the
+// allocation-free form of SubRange).
+func (im *Image) SubRangeInto(lo, hi int, dst *Image) {
+	n := hi - lo
+	if cap(dst.Color) < 4*n {
+		dst.Color = make([]float32, 4*n)
+		dst.Depth = make([]float32, n)
+	}
+	dst.W, dst.H = n, 1
+	dst.Color = dst.Color[:4*n]
+	dst.Depth = dst.Depth[:n]
+	copy(dst.Color, im.Color[4*lo:4*hi])
+	copy(dst.Depth, im.Depth[lo:hi])
 }
 
 // Clone returns a deep copy of the image.

@@ -24,6 +24,19 @@ func NewPackedBuffer(w, h int) *PackedBuffer {
 	return b
 }
 
+// EnsureSize resizes the buffer to w x h, reallocating only when the
+// pixel count grows, and clears it (the frame-arena analogue of
+// Image.EnsureSize).
+func (b *PackedBuffer) EnsureSize(w, h int) {
+	n := w * h
+	if cap(b.words) < n {
+		b.words = make([]uint64, n)
+	}
+	b.W, b.H = w, h
+	b.words = b.words[:n]
+	b.Clear()
+}
+
 // Clear resets every pixel to "no fragment".
 func (b *PackedBuffer) Clear() {
 	for i := range b.words {

@@ -48,10 +48,16 @@ func (s *Stats) PPT() float64 {
 	return float64(s.PixelsConsidered) / float64(s.VisibleObjects)
 }
 
-// Renderer rasterizes one triangle mesh.
+// Renderer rasterizes one triangle mesh. The renderer owns a frame arena
+// (projected triangles, visibility flags, the packed depth buffer, the
+// output image, and the pipeline kernels), so steady-state frames perform
+// no heap allocation; the returned image and stats are valid until the
+// next Render call. Not safe for concurrent use.
 type Renderer struct {
 	Dev  *device.Device
 	Mesh *mesh.TriangleMesh
+
+	arena rasterArena
 }
 
 // New prepares a rasterizer for the mesh.
@@ -69,93 +75,151 @@ type screenTri struct {
 	c       [3]vecmath.Vec3
 }
 
-// Render executes the pipeline and returns the image and stats.
+// rasterArena is the renderer's persistent per-frame state.
+type rasterArena struct {
+	r *Renderer
+
+	// Per-frame parameters.
+	opts        Options
+	cam         render.Camera
+	light       render.Light
+	cmap        *framebuffer.ColorMap
+	defaultCmap *framebuffer.ColorMap
+	norm        render.Normalizer
+	matrix      vecmath.Mat4
+
+	tris    []screenTri
+	visible []bool
+	vis     []int32
+	compact dpp.Compactor
+	buf     framebuffer.PackedBuffer
+	img     framebuffer.Image
+	stats   Stats
+
+	considered atomic.Int64
+
+	transformFn, rasterizeFn func(lo, hi int)
+}
+
+func (a *rasterArena) init(r *Renderer) {
+	if a.r != nil {
+		return
+	}
+	a.r = r
+	a.compact.Init(r.Dev)
+	a.transformFn = a.transformKernel
+	a.rasterizeFn = a.rasterizeKernel
+}
+
+// Render executes the pipeline and returns the image and stats. Both are
+// owned by the renderer's arena and valid until the next Render call;
+// Clone the image to retain it across frames.
 func (r *Renderer) Render(opts Options) (*framebuffer.Image, *Stats, error) {
 	if opts.Width <= 0 || opts.Height <= 0 {
 		return nil, nil, fmt.Errorf("raster: invalid image size %dx%d", opts.Width, opts.Height)
 	}
-	cam := opts.Camera.Normalized()
-	light := render.HeadLight(cam)
+	a := &r.arena
+	a.init(r)
+	a.opts = opts
+	a.cam = opts.Camera.Normalized()
+	a.light = render.HeadLight(a.cam)
 	if opts.Light != nil {
-		light = *opts.Light
+		a.light = *opts.Light
 	}
-	cmap := opts.ColorMap
-	if cmap == nil {
-		cmap = framebuffer.CoolToWarm()
+	a.cmap = opts.ColorMap
+	if a.cmap == nil {
+		if a.defaultCmap == nil {
+			a.defaultCmap = framebuffer.CoolToWarm()
+		}
+		a.cmap = a.defaultCmap
 	}
 	m := r.Mesh
 	n := m.NumTriangles()
-	stats := &Stats{Objects: n}
-	img := framebuffer.NewImage(opts.Width, opts.Height)
-	matrix := cam.Matrix(opts.Width, opts.Height)
-	norm := render.Normalizer{Min: m.ScalarMin, Max: m.ScalarMax}
+	stats := &a.stats
+	stats.Phases.Reset()
+	stats.Objects = n
+	stats.VisibleObjects, stats.PixelsConsidered, stats.ActivePixels = 0, 0, 0
+	a.img.EnsureSize(opts.Width, opts.Height)
+	img := &a.img
+	a.matrix = a.cam.Matrix(opts.Width, opts.Height)
+	a.norm = render.Normalizer{Min: m.ScalarMin, Max: m.ScalarMax}
+	if cap(a.tris) < n {
+		a.tris = make([]screenTri, n)
+		a.visible = make([]bool, n)
+	}
+	a.tris, a.visible = a.tris[:n], a.visible[:n]
 
 	// Transform + cull: project every triangle, flag the on-screen ones.
 	start := time.Now()
-	tris := make([]screenTri, n)
-	visible := make([]bool, n)
-	w := float64(opts.Width)
-	h := float64(opts.Height)
-	dpp.For(r.Dev, n, func(lo, hi int) {
-		for t := lo; t < hi; t++ {
-			var st screenTri
-			ok := true
-			for c := 0; c < 3; c++ {
-				vi := m.Conn[3*t+c]
-				world := m.Vertex(vi)
-				p, pw := matrix.TransformPoint(world)
-				if pw <= 0 || p.Z < 0 || p.Z > 1 {
-					ok = false
-					break
-				}
-				st.x[c], st.y[c], st.z[c] = p.X, p.Y, p.Z
-				base := cmap.Sample(norm.Normalize(m.Scalars[vi]))
-				st.c[c] = gouraud(base, world, m.Normal(vi), world.Sub(cam.Position).Normalize(), light)
-			}
-			if ok {
-				minX := math.Min(st.x[0], math.Min(st.x[1], st.x[2]))
-				maxX := math.Max(st.x[0], math.Max(st.x[1], st.x[2]))
-				minY := math.Min(st.y[0], math.Min(st.y[1], st.y[2]))
-				maxY := math.Max(st.y[0], math.Max(st.y[1], st.y[2]))
-				if maxX < 0 || minX >= w || maxY < 0 || minY >= h {
-					ok = false
-				}
-			}
-			visible[t] = ok
-			if ok {
-				tris[t] = st
-			}
-		}
-	})
+	dpp.For(r.Dev, n, a.transformFn)
 	stats.Phases.Add("transform", time.Since(start))
 
 	// Stream compaction of visible triangles.
 	start = time.Now()
-	vis := dpp.CompactIndices(r.Dev, visible)
-	stats.VisibleObjects = len(vis)
+	a.vis = a.compact.CompactIndices(a.visible)
+	stats.VisibleObjects = len(a.vis)
 	stats.Phases.Add("cull", time.Since(start))
 
 	// Rasterize into the packed atomic depth buffer.
 	start = time.Now()
-	buf := framebuffer.NewPackedBuffer(opts.Width, opts.Height)
-	var considered int64
-	dpp.For(r.Dev, len(vis), func(lo, hi int) {
-		var localConsidered int64
-		for i := lo; i < hi; i++ {
-			st := &tris[vis[i]]
-			localConsidered += rasterizeTri(st, buf, opts.Width, opts.Height)
-		}
-		atomic.AddInt64(&considered, localConsidered)
-	})
-	stats.PixelsConsidered = considered
+	a.buf.EnsureSize(opts.Width, opts.Height)
+	a.considered.Store(0)
+	dpp.For(r.Dev, len(a.vis), a.rasterizeFn)
+	stats.PixelsConsidered = a.considered.Load()
 	stats.Phases.Add("rasterize", time.Since(start))
 
 	// Resolve the packed buffer into the float framebuffer.
 	start = time.Now()
-	buf.Resolve(img)
+	a.buf.Resolve(img)
 	stats.Phases.Add("resolve", time.Since(start))
 	stats.ActivePixels = img.ActivePixels()
 	return img, stats, nil
+}
+
+// transformKernel projects triangles and flags on-screen ones.
+func (a *rasterArena) transformKernel(lo, hi int) {
+	m := a.r.Mesh
+	w := float64(a.opts.Width)
+	h := float64(a.opts.Height)
+	for t := lo; t < hi; t++ {
+		var st screenTri
+		ok := true
+		for c := 0; c < 3; c++ {
+			vi := m.Conn[3*t+c]
+			world := m.Vertex(vi)
+			p, pw := a.matrix.TransformPoint(world)
+			if pw <= 0 || p.Z < 0 || p.Z > 1 {
+				ok = false
+				break
+			}
+			st.x[c], st.y[c], st.z[c] = p.X, p.Y, p.Z
+			base := a.cmap.Sample(a.norm.Normalize(m.Scalars[vi]))
+			st.c[c] = gouraud(base, world, m.Normal(vi), world.Sub(a.cam.Position).Normalize(), a.light)
+		}
+		if ok {
+			minX := math.Min(st.x[0], math.Min(st.x[1], st.x[2]))
+			maxX := math.Max(st.x[0], math.Max(st.x[1], st.x[2]))
+			minY := math.Min(st.y[0], math.Min(st.y[1], st.y[2]))
+			maxY := math.Max(st.y[0], math.Max(st.y[1], st.y[2]))
+			if maxX < 0 || minX >= w || maxY < 0 || minY >= h {
+				ok = false
+			}
+		}
+		a.visible[t] = ok
+		if ok {
+			a.tris[t] = st
+		}
+	}
+}
+
+// rasterizeKernel rasterizes visible triangles into the packed buffer.
+func (a *rasterArena) rasterizeKernel(lo, hi int) {
+	var localConsidered int64
+	for i := lo; i < hi; i++ {
+		st := &a.tris[a.vis[i]]
+		localConsidered += rasterizeTri(st, &a.buf, a.opts.Width, a.opts.Height)
+	}
+	a.considered.Add(localConsidered)
 }
 
 // rasterizeTri samples barycentric coordinates over the triangle's screen

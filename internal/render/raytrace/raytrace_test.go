@@ -95,10 +95,11 @@ func TestDeterministicAcrossDevices(t *testing.T) {
 func TestWorkload1HitMaskMatchesWorkload2Coverage(t *testing.T) {
 	m := testScene(t, 12)
 	r := New(device.CPU(), m)
-	img1, s1, err := r.Render(defaultOptions(m, Workload1))
+	frame1, s1, err := r.Render(defaultOptions(m, Workload1))
 	if err != nil {
 		t.Fatal(err)
 	}
+	img1 := frame1.Clone() // frames are arena-owned; retain across renders
 	img2, s2, err := r.Render(defaultOptions(m, Workload2))
 	if err != nil {
 		t.Fatal(err)
@@ -120,10 +121,11 @@ func TestPacketTraversalMatchesScalar(t *testing.T) {
 	dev.VectorWidth = 8
 	r := New(dev, m)
 	opts := defaultOptions(m, Workload2)
-	scalarImg, _, err := r.Render(opts)
+	scalarFrame, _, err := r.Render(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
+	scalarImg := scalarFrame.Clone() // frames are arena-owned; retain across renders
 	opts.UsePackets = true
 	packetImg, _, err := r.Render(opts)
 	if err != nil {
@@ -169,10 +171,11 @@ func TestAODarkensImage(t *testing.T) {
 	m := testScene(t, 14)
 	r := New(device.CPU(), m)
 	base := defaultOptions(m, Workload2)
-	img2, _, err := r.Render(base)
+	frame2, _, err := r.Render(base)
 	if err != nil {
 		t.Fatal(err)
 	}
+	img2 := frame2.Clone() // frames are arena-owned; retain across renders
 	full := base
 	full.Workload = Workload3
 	full.AOSamples = 4
@@ -276,10 +279,11 @@ func TestLightOverrideChangesImage(t *testing.T) {
 	m := testScene(t, 12)
 	r := New(device.CPU(), m)
 	opts := defaultOptions(m, Workload2)
-	base, _, err := r.Render(opts)
+	baseFrame, _, err := r.Render(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
+	base := baseFrame.Clone() // frames are arena-owned; retain across renders
 	// A dim light from the opposite side must produce a different image.
 	opts.Light = &render.Light{
 		Position:  m.Bounds().Center().Add(vecmath.V(-5, -5, -5)),

@@ -63,6 +63,37 @@ func (c Camera) Ray(px, py, jx, jy float64, w, h int) vecmath.Ray {
 	return vecmath.Ray{Orig: c.Position, Dir: dir}
 }
 
+// RayGen is a camera with its frame precomputed for one image size: the
+// basis vectors, FOV tangent, and aspect ratio are evaluated once per
+// frame instead of once per ray. Ray produces bit-identical rays to
+// Camera.Ray (the same expressions over the same once-computed values),
+// so hoisting ray generation through a RayGen never changes an image.
+type RayGen struct {
+	pos, right, up, forward vecmath.Vec3
+	tanF, aspect            float64
+	w, h                    float64
+}
+
+// NewRayGen precomputes the camera frame for a w x h image.
+func (c Camera) NewRayGen(w, h int) RayGen {
+	c = c.Normalized()
+	right, up, forward := c.Basis()
+	return RayGen{
+		pos: c.Position, right: right, up: up, forward: forward,
+		tanF:   math.Tan(vecmath.Radians(c.FOV) / 2),
+		aspect: float64(w) / float64(h),
+		w:      float64(w), h: float64(h),
+	}
+}
+
+// Ray returns the unit-direction primary ray through (px+jx, py+jy).
+func (g *RayGen) Ray(px, py, jx, jy float64) vecmath.Ray {
+	sx := (2*(px+jx)/g.w - 1) * g.tanF * g.aspect
+	sy := (1 - 2*(py+jy)/g.h) * g.tanF
+	dir := g.forward.Add(g.right.Scale(sx)).Add(g.up.Scale(sy)).Normalize()
+	return vecmath.Ray{Orig: g.pos, Dir: dir}
+}
+
 // Matrix returns the combined viewport * projection * view transform used
 // by the object-order renderers. Transformed points land in pixel
 // coordinates with depth in [0,1].
@@ -142,6 +173,15 @@ func (t *Timings) Add(name string, d time.Duration) {
 	}
 	t.names = append(t.names, name)
 	t.durations = append(t.durations, d)
+}
+
+// Reset zeroes every phase duration while keeping the phase names, so a
+// renderer's reused Timings records per-frame values without reallocating
+// its entries each frame.
+func (t *Timings) Reset() {
+	for i := range t.durations {
+		t.durations[i] = 0
+	}
 }
 
 // Get returns a phase's duration (0 when absent).

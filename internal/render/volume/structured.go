@@ -55,14 +55,51 @@ func (s *StructuredStats) SPR() float64 {
 	return float64(s.TotalSamples) / float64(s.ActivePixels)
 }
 
-// StructuredRenderer ray-casts one structured grid.
+// StructuredRenderer ray-casts one structured grid. The renderer owns a
+// frame arena (output image, stats, and the ray-cast kernel itself), so
+// steady-state frames perform no heap allocation; the returned image and
+// stats are valid until the next Render call. A StructuredRenderer is
+// not safe for concurrent use.
 type StructuredRenderer struct {
-	Dev   *device.Device
-	Grid  *mesh.StructuredGrid
-	field *mesh.Field
+	Dev     *device.Device
+	Grid    *mesh.StructuredGrid
+	field   *mesh.Field
+	sampler *gridSampler
+
+	arena structuredArena
 }
 
-// NewStructured prepares a renderer for the named vertex field.
+// structuredArena carries the per-frame parameters the ray-cast kernel
+// reads plus the reused output buffers.
+type structuredArena struct {
+	r *StructuredRenderer
+
+	opts          StructuredOptions
+	cam           render.Camera
+	raygen        render.RayGen
+	tf            *framebuffer.TransferFunction
+	defaultTF     *framebuffer.TransferFunction
+	norm          render.Normalizer
+	bounds        vecmath.AABB
+	step, refStep float64
+
+	img          framebuffer.Image
+	stats        StructuredStats
+	totalSamples atomic.Int64
+
+	castFn func(lo, hi int)
+}
+
+func (a *structuredArena) init(r *StructuredRenderer) {
+	if a.r != nil {
+		return
+	}
+	a.r = r
+	a.castFn = a.castKernel
+}
+
+// NewStructured prepares a renderer for the named vertex field. The
+// trilinear sampler is built once here, not per frame.
 func NewStructured(dev *device.Device, g *mesh.StructuredGrid, fieldName string) (*StructuredRenderer, error) {
 	f, err := g.Field(fieldName)
 	if err != nil {
@@ -71,11 +108,17 @@ func NewStructured(dev *device.Device, g *mesh.StructuredGrid, fieldName string)
 	if f.Assoc != mesh.VertexAssoc {
 		return nil, fmt.Errorf("volume: field %q must be vertex-associated", fieldName)
 	}
-	return &StructuredRenderer{Dev: dev, Grid: g, field: f}, nil
+	sampler, err := newGridSampler(g, f.Values)
+	if err != nil {
+		return nil, err
+	}
+	return &StructuredRenderer{Dev: dev, Grid: g, field: f, sampler: sampler}, nil
 }
 
 // Render casts one ray per pixel, sampling the field with trilinear
 // interpolation and compositing front to back with early termination.
+// The returned image and stats are owned by the renderer's arena and
+// valid until the next Render call; Clone the image to retain it.
 func (r *StructuredRenderer) Render(opts StructuredOptions) (*framebuffer.Image, *StructuredStats, error) {
 	if opts.Width <= 0 || opts.Height <= 0 {
 		return nil, nil, fmt.Errorf("volume: invalid image size %dx%d", opts.Width, opts.Height)
@@ -83,18 +126,27 @@ func (r *StructuredRenderer) Render(opts StructuredOptions) (*framebuffer.Image,
 	if opts.Samples <= 0 {
 		opts.Samples = 200
 	}
-	tf := opts.TF
-	if tf == nil {
-		tf = framebuffer.DefaultTransferFunction()
+	a := &r.arena
+	a.init(r)
+	a.opts = opts
+	a.tf = opts.TF
+	if a.tf == nil {
+		if a.defaultTF == nil {
+			a.defaultTF = framebuffer.DefaultTransferFunction()
+		}
+		a.tf = a.defaultTF
 	}
-	cam := opts.Camera.Normalized()
+	a.cam = opts.Camera.Normalized()
+	a.raygen = a.cam.NewRayGen(opts.Width, opts.Height)
 	g := r.Grid
 	cx, cy, cz := g.CellDims()
-	stats := &StructuredStats{
-		CellsSpanned: maxInt(cx, maxInt(cy, cz)),
-		Objects:      g.NumCells(),
-	}
-	img := framebuffer.NewImage(opts.Width, opts.Height)
+	stats := &a.stats
+	stats.Phases.Reset()
+	stats.CellsSpanned = maxInt(cx, maxInt(cy, cz))
+	stats.Objects = g.NumCells()
+	stats.ActivePixels, stats.TotalSamples = 0, 0
+	a.img.EnsureSize(opts.Width, opts.Height)
+	img := &a.img
 
 	lo, hi := opts.FieldRange[0], opts.FieldRange[1]
 	if lo == 0 && hi == 0 {
@@ -104,74 +156,81 @@ func (r *StructuredRenderer) Render(opts StructuredOptions) (*framebuffer.Image,
 			return nil, nil, err
 		}
 	}
-	norm := render.Normalizer{Min: lo, Max: hi}
+	a.norm = render.Normalizer{Min: lo, Max: hi}
 
-	bounds := g.Bounds()
-	diag := bounds.Diagonal().Length()
+	a.bounds = g.Bounds()
+	diag := a.bounds.Diagonal().Length()
 	if diag == 0 {
 		return img, stats, nil
 	}
-	step := diag / float64(opts.Samples)
+	a.step = diag / float64(opts.Samples)
 	// Opacity correction reference so pass/sample-count choices do not
 	// change the converged image brightness.
-	refStep := diag / 200
-
-	sampler, err := newGridSampler(g, r.field.Values)
-	if err != nil {
-		return nil, nil, err
-	}
+	a.refStep = diag / 200
 
 	start := time.Now()
-	n := opts.Width * opts.Height
-	var totalSamples int64
-	dpp.For(r.Dev, n, func(plo, phi int) {
-		var localSamples int64
-		for p := plo; p < phi; p++ {
-			px := float64(p % opts.Width)
-			py := float64(p / opts.Width)
-			ray := cam.Ray(px, py, 0.5, 0.5, opts.Width, opts.Height)
-			t0, t1, ok := bounds.HitRay(ray.Orig, ray.InvDir(), 0, math.Inf(1))
-			if !ok {
-				continue
-			}
-			var cr, cg, cb, ca float64
-			firstT := float32(framebuffer.MaxDepth)
-			for t := t0 + step/2; t < t1; t += step {
-				pos := ray.At(t)
-				v, inside := sampler.sample(pos)
-				if !inside {
-					continue
-				}
-				localSamples++
-				sr, sg, sb, sa := tf.Sample(norm.Normalize(v))
-				if sa <= 0 {
-					continue
-				}
-				// Correct opacity for the step size, then front-to-back
-				// "under" accumulation in premultiplied space.
-				sa = 1 - math.Pow(1-sa, step/refStep)
-				w := (1 - ca) * sa
-				cr += w * sr
-				cg += w * sg
-				cb += w * sb
-				ca += w
-				if firstT == framebuffer.MaxDepth {
-					firstT = float32(t)
-				}
-				if ca >= 0.99 {
-					break
-				}
-			}
-			if ca > 0 {
-				img.Set(int(px), int(py), float32(cr), float32(cg), float32(cb), float32(ca), firstT)
-			}
-		}
-		atomic.AddInt64(&totalSamples, localSamples)
-	})
+	a.totalSamples.Store(0)
+	dpp.For(r.Dev, opts.Width*opts.Height, a.castFn)
 	stats.Phases.Add("sampling", time.Since(start))
-	stats.TotalSamples = totalSamples
+	stats.TotalSamples = a.totalSamples.Load()
 	stats.ActivePixels = img.ActivePixels()
 	return img, stats, nil
+}
+
+// castKernel ray-casts one pixel range.
+func (a *structuredArena) castKernel(plo, phi int) {
+	opts := &a.opts
+	sampler := a.r.sampler
+	step := a.step
+	exp := step / a.refStep
+	var localSamples int64
+	for p := plo; p < phi; p++ {
+		px := float64(p % opts.Width)
+		py := float64(p / opts.Width)
+		ray := a.raygen.Ray(px, py, 0.5, 0.5)
+		t0, t1, ok := a.bounds.HitRay(ray.Orig, ray.InvDir(), 0, math.Inf(1))
+		if !ok {
+			continue
+		}
+		var cr, cg, cb, ca float64
+		firstT := float32(framebuffer.MaxDepth)
+		for t := t0 + step/2; t < t1; t += step {
+			pos := ray.At(t)
+			v, inside := sampler.sample(pos)
+			if !inside {
+				continue
+			}
+			localSamples++
+			sr, sg, sb, sa := a.tf.Sample(a.norm.Normalize(v))
+			if sa <= 0 {
+				continue
+			}
+			// Correct opacity for the step size, then front-to-back
+			// "under" accumulation in premultiplied space. Pow(x, 1) is
+			// exactly x, so the unit-exponent case (the default sample
+			// budget) skips the call with identical results.
+			om := 1 - sa
+			if exp != 1 {
+				om = math.Pow(om, exp)
+			}
+			sa = 1 - om
+			w := (1 - ca) * sa
+			cr += w * sr
+			cg += w * sg
+			cb += w * sb
+			ca += w
+			if firstT == framebuffer.MaxDepth {
+				firstT = float32(t)
+			}
+			if ca >= 0.99 {
+				break
+			}
+		}
+		if ca > 0 {
+			a.img.Set(int(px), int(py), float32(cr), float32(cg), float32(cb), float32(ca), firstT)
+		}
+	}
+	a.totalSamples.Add(localSamples)
 }
 
 // gridSampler performs trilinear interpolation on uniform or rectilinear

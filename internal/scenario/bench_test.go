@@ -6,10 +6,13 @@ import (
 	"insitu/internal/core"
 )
 
-// BenchmarkScenarioDispatch measures the cost of the pluggable seam
-// itself — registry lookup, scene preparation, one frame — at a tiny
-// image size, so regressions in the dispatch path (as opposed to the
-// renderers behind it) show up in isolation.
+// BenchmarkScenarioDispatch measures the steady-state frame cost through
+// the pluggable seam — registry lookup and scene preparation happen once
+// (as they do for a real plan point, where one runner renders many
+// frames), then each iteration renders one frame through the backend's
+// FrameRunner. A warm-up frame before the timer pays the one-time arena
+// allocations, so allocs/op reports the steady state, which the pooled
+// renderers keep at zero.
 func BenchmarkScenarioDispatch(b *testing.B) {
 	for _, name := range Names() {
 		backend, err := Lookup(name)
@@ -21,16 +24,17 @@ func BenchmarkScenarioDispatch(b *testing.B) {
 			continue
 		}
 		b.Run(string(name), func(b *testing.B) {
+			runner, err := backend.Prepare(sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var in core.Inputs
+			if _, _, err := runner.RenderFrame(&in); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				bk, err := Lookup(name)
-				if err != nil {
-					b.Fatal(err)
-				}
-				runner, err := bk.Prepare(sc)
-				if err != nil {
-					b.Fatal(err)
-				}
-				var in core.Inputs
 				if _, _, err := runner.RenderFrame(&in); err != nil {
 					b.Fatal(err)
 				}

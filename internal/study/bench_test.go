@@ -13,6 +13,7 @@ import (
 // regression guard for the measurement harness itself; run via
 // `make bench` with -benchtime 1x.
 func BenchmarkStudySmallPlan(b *testing.B) {
+	b.ReportAllocs()
 	var plan []Config
 	for _, r := range scenario.Names() {
 		plan = append(plan, Config{
@@ -36,6 +37,7 @@ func BenchmarkStudySmallPlan(b *testing.B) {
 // iteration + Latin hypercube sampling), which runs on every repro and
 // calibrate invocation.
 func BenchmarkPlanGeneration(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if p := Plan(false); len(p) == 0 {
 			b.Fatal("empty plan")

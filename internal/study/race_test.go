@@ -1,0 +1,46 @@
+package study
+
+import (
+	"context"
+	"testing"
+
+	"insitu/internal/scenario"
+)
+
+// TestConcurrentRealMeasurements drives the real measurement path — sim
+// step, scene assembly, pooled renderers with persistent device workers,
+// per-task compositors — through RunContext with concurrent workers, one
+// tiny configuration per registered backend. With the stubbed-executor
+// runner tests this completes the race coverage of the pooled model; it
+// is exercised under the race detector via `make race` / `make ci`.
+func TestConcurrentRealMeasurements(t *testing.T) {
+	var plan []Config
+	for _, r := range scenario.Names() {
+		plan = append(plan, Config{
+			Arch: "cpu", Renderer: r, Sim: "kripke",
+			Tasks: 1, ImageSize: 32, N: 6, Frames: 2,
+		})
+		// A two-task configuration also exercises the compositor's
+		// per-rank scratch concurrently with the other worker's frames.
+		plan = append(plan, Config{
+			Arch: "cpu", Renderer: r, Sim: "kripke",
+			Tasks: 2, ImageSize: 32, N: 6, Frames: 2,
+		})
+	}
+	rows, err := RunContext(context.Background(), plan, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(plan) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(plan))
+	}
+	for i, row := range rows {
+		if row.Sample.RenderTime <= 0 {
+			t.Errorf("row %d (%s/%s): render time %v not positive",
+				i, row.Config.Renderer, row.Config.Arch, row.Sample.RenderTime)
+		}
+		if row.Config.Tasks > 1 && row.Sample.CompositeTime < 0 {
+			t.Errorf("row %d: negative composite time", i)
+		}
+	}
+}

@@ -233,6 +233,9 @@ func runTask(cfg Config, c *comm.Comm) (core.Sample, error) {
 	if err != nil {
 		return core.Sample{}, err
 	}
+	// Release the device's persistent worker pool when the measurement is
+	// done; the study churns through one device per configuration.
+	defer sc.Dev.Close()
 	runner, err := backend.Prepare(sc)
 	if err != nil {
 		return core.Sample{}, fmt.Errorf("preparing %s for sim %q: %w", cfg.Renderer, cfg.Sim, err)
@@ -268,9 +271,15 @@ func runTask(cfg Config, c *comm.Comm) (core.Sample, error) {
 		}
 	}
 
-	// Warm-up frame: discarded, as in the paper, and used to calibrate
-	// how many measured frames are needed for a stable mean (fast renders
-	// repeat more to beat scheduler noise).
+	// One compositor per task, reused across every frame of the
+	// configuration so its per-rank encode/decode scratch stays warm.
+	compositor := composite.BinarySwap()
+
+	// Warm-up frame: discarded, as in the paper (and doubly necessary
+	// under the pooled renderers: the first frame pays the arena
+	// allocations that steady-state frames never see), and used to
+	// calibrate how many measured frames are needed for a stable mean
+	// (fast renders repeat more to beat scheduler noise).
 	oneFrame := func() (float64, float64, error) {
 		var elapsed time.Duration
 		var img *framebuffer.Image
@@ -293,7 +302,7 @@ func runTask(cfg Config, c *comm.Comm) (core.Sample, error) {
 		}
 		var compElapsed time.Duration
 		if cfg.Tasks > 1 {
-			_, st, err := composite.BinarySwap().Composite(c, img, op, order)
+			_, st, err := compositor.Composite(c, img, op, order)
 			if err != nil {
 				return 0, 0, err
 			}

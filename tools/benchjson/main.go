@@ -1,0 +1,80 @@
+// Command benchjson converts `go test -bench -benchmem` text output on
+// stdin into a JSON document on stdout: one record per benchmark with
+// ns/op, B/op, and allocs/op, plus the raw benchmark lines so
+// benchstat-compatible input can be reproduced verbatim
+// (`jq -r '.raw[]' BENCH_4.json | benchstat /dev/stdin`). The Makefile's
+// bench-json target uses it to emit the repo's committed benchmark
+// baselines (BENCH_<pr>.json), giving later PRs a trajectory to compare
+// against.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result.
+type Record struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	GeneratedBy string   `json:"generated_by"`
+	Benchmarks  []Record `json:"benchmarks"`
+	Raw         []string `json:"raw"`
+}
+
+func main() {
+	doc := Doc{GeneratedBy: "make bench-json", Benchmarks: []Record{}, Raw: []string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fields := strings.Fields(line)
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			// Keep headers (goos/goarch/pkg/cpu) in raw for benchstat.
+			if strings.HasPrefix(line, "goos:") || strings.HasPrefix(line, "goarch:") ||
+				strings.HasPrefix(line, "pkg:") || strings.HasPrefix(line, "cpu:") {
+				doc.Raw = append(doc.Raw, line)
+			}
+			continue
+		}
+		doc.Raw = append(doc.Raw, line)
+		rec := Record{Name: fields[0], BytesPerOp: -1, AllocsPerOp: -1}
+		var err error
+		if rec.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				rec.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				rec.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				rec.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, rec)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
