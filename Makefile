@@ -4,7 +4,7 @@ GO ?= go
 
 # bench-json output file; committed per PR (BENCH_4.json, BENCH_5.json,
 # ...) so benchmark trajectories survive across sessions.
-BENCH_JSON ?= BENCH_4.json
+BENCH_JSON ?= BENCH_5.json
 
 .PHONY: all build test race vet fmt bench bench-json cover ci clean
 
@@ -17,7 +17,9 @@ test:
 	$(GO) test ./...
 
 # race exercises the concurrent paths (parallel study runner, registry
-# hot reload, advisord observation ingestion) under the race detector.
+# hot reload, advisord observation ingestion, and the serve race test —
+# concurrent frame requests sharing one cache + calibrator) under the
+# race detector; ci depends on it.
 race:
 	$(GO) test -race ./...
 
@@ -37,19 +39,22 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkAdvisorPredict ./internal/advisor/
 	$(GO) test -run '^$$' -bench BenchmarkScenarioDispatch -benchtime 1x ./internal/scenario/
 	$(GO) test -run '^$$' -bench 'BenchmarkStudySmallPlan|BenchmarkPlanGeneration' -benchtime 1x ./internal/study/
+	$(GO) test -run '^$$' -bench BenchmarkRenderd -benchtime 1x ./internal/serve/
 
-# bench-json records the render, dispatch, and small-plan study
-# benchmarks (ns/op + allocs/op via -benchmem) as $(BENCH_JSON), a
-# benchstat-compatible baseline (the raw lines are embedded:
-# `jq -r '.raw[]' $(BENCH_JSON)` reproduces benchstat input). Render
-# benchmarks warm their frame arenas before the timer, so allocs/op is
-# the steady-state figure.
+# bench-json records the render, dispatch, small-plan study, and
+# renderd serving-path benchmarks (ns/op + allocs/op via -benchmem) as
+# $(BENCH_JSON), a benchstat-compatible baseline (the raw lines are
+# embedded: `jq -r '.raw[]' $(BENCH_JSON)` reproduces benchstat input).
+# Render benchmarks warm their frame arenas before the timer, so
+# allocs/op is the steady-state figure; the renderd cache-hit benchmark
+# is the serving layer's 0 allocs/op acceptance gate.
 bench-json:
 	@$(GO) test -run '^$$' -bench 'BenchmarkTable1RayTraceShaded|BenchmarkTable2RayTraceFull|BenchmarkTable5Backends' -benchtime 5x -benchmem . > $(BENCH_JSON).render.tmp
 	@$(GO) test -run '^$$' -bench BenchmarkScenarioDispatch -benchtime 10x -benchmem ./internal/scenario/ > $(BENCH_JSON).dispatch.tmp
 	@$(GO) test -run '^$$' -bench 'BenchmarkStudySmallPlan|BenchmarkPlanGeneration' -benchtime 3x -benchmem ./internal/study/ > $(BENCH_JSON).study.tmp
-	@cat $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp | $(GO) run ./tools/benchjson > $(BENCH_JSON)
-	@rm -f $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp
+	@$(GO) test -run '^$$' -bench BenchmarkRenderd -benchtime 2s -benchmem ./internal/serve/ > $(BENCH_JSON).serve.tmp
+	@cat $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp $(BENCH_JSON).serve.tmp | $(GO) run ./tools/benchjson > $(BENCH_JSON)
+	@rm -f $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp $(BENCH_JSON).serve.tmp
 	@echo "wrote $(BENCH_JSON)"
 
 # cover runs the test suite with coverage and prints a per-function

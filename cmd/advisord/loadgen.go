@@ -1,28 +1,23 @@
 package main
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
-	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"insitu/internal/advisor"
+	"insitu/internal/loadgen"
 )
 
 // runLoadgen benchmarks sustained QPS against an advisord. With no target
 // URL it spins up an in-process server over the given registry, so a
-// single command measures what this machine can serve.
+// single command measures what this machine can serve. The request mix
+// and reporting (sustained QPS, p50/p95/p99 latency) come from the
+// shared loadgen core renderd uses too.
 func runLoadgen(target, regPath string, bootstrap bool, cacheSize int, duration time.Duration, concurrency int) error {
-	if concurrency < 1 {
-		concurrency = 1
-	}
 	// Per-request timeout so a stalled target cannot wedge a worker past
 	// the deadline.
 	client := &http.Client{Timeout: 10 * time.Second}
@@ -48,10 +43,6 @@ func runLoadgen(target, regPath string, bootstrap bool, cacheSize int, duration 
 
 	// The request mix: mostly single predictions (the interactive hot
 	// path), some feasibility curves, an occasional batch.
-	type shot struct {
-		path string
-		body []byte
-	}
 	mustJSON := func(v any) []byte {
 		b, err := json.Marshal(v)
 		if err != nil {
@@ -59,7 +50,7 @@ func runLoadgen(target, regPath string, bootstrap bool, cacheSize int, duration 
 		}
 		return b
 	}
-	var shots []shot
+	var shots []loadgen.Shot
 	for i := 0; i < 64; i++ {
 		arch := pairs[i%len(pairs)].arch
 		r := pairs[i%len(pairs)].renderer
@@ -67,77 +58,30 @@ func runLoadgen(target, regPath string, bootstrap bool, cacheSize int, duration 
 			Arch: arch, Renderer: r,
 			N: 16 + 4*(i%8), Tasks: 1 << (i % 3), Width: 128 + 64*(i%6),
 		}
-		shots = append(shots, shot{"/v1/predict", mustJSON(req)})
+		shots = append(shots, loadgen.Shot{Path: "/v1/predict", Body: mustJSON(req)})
 		if i%8 == 0 {
-			shots = append(shots, shot{"/v1/feasibility", mustJSON(advisor.FeasibilityRequest{
+			shots = append(shots, loadgen.Shot{Path: "/v1/feasibility", Body: mustJSON(advisor.FeasibilityRequest{
 				Arch: arch, Renderer: r, N: 32, Tasks: 4,
 				BudgetSeconds: 60, Sizes: []int{256, 512, 1024, 2048},
 			})})
 		}
 		if i%16 == 0 {
 			batch := []advisor.PredictRequest{req, req, req, req}
-			shots = append(shots, shot{"/v1/predict", mustJSON(batch)})
+			shots = append(shots, loadgen.Shot{Path: "/v1/predict", Body: mustJSON(batch)})
 		}
 	}
 
-	var (
-		requests atomic.Uint64
-		failures atomic.Uint64
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		lats     []time.Duration
-	)
-	deadline := time.Now().Add(duration)
 	log.Printf("loadgen: %d clients for %s against %s", concurrency, duration, target)
-	for w := 0; w < concurrency; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			local := make([]time.Duration, 0, 4096)
-			for i := w; time.Now().Before(deadline); i++ {
-				sh := shots[i%len(shots)]
-				start := time.Now()
-				resp, err := client.Post(target+sh.path, "application/json", bytes.NewReader(sh.body))
-				if err != nil {
-					failures.Add(1)
-					continue
-				}
-				_, _ = io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					failures.Add(1)
-					continue
-				}
-				local = append(local, time.Since(start))
-				requests.Add(1)
-			}
-			mu.Lock()
-			lats = append(lats, local...)
-			mu.Unlock()
-		}(w)
+	rep, err := loadgen.Run(loadgen.Options{
+		Target: target, Client: client, Shots: shots,
+		Duration: duration, Concurrency: concurrency,
+	})
+	if err != nil {
+		return err
 	}
-	wg.Wait()
-
-	n := requests.Load()
-	fmt.Printf("\nloadgen results\n")
-	fmt.Printf("  requests:    %d ok, %d failed\n", n, failures.Load())
-	fmt.Printf("  sustained:   %.0f req/s over %s with %d clients\n",
-		float64(n)/duration.Seconds(), duration, concurrency)
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		var sum time.Duration
-		for _, l := range lats {
-			sum += l
-		}
-		pct := func(p float64) time.Duration {
-			idx := int(p * float64(len(lats)-1))
-			return lats[idx]
-		}
-		fmt.Printf("  latency:     avg %s  p50 %s  p95 %s  p99 %s  max %s\n",
-			sum/time.Duration(len(lats)), pct(0.50), pct(0.95), pct(0.99), lats[len(lats)-1])
-	}
-	if failures.Load() > 0 {
-		return fmt.Errorf("loadgen: %d requests failed", failures.Load())
+	fmt.Printf("\nloadgen results\n%s", rep)
+	if rep.Failed > 0 {
+		return fmt.Errorf("loadgen: %d requests failed", rep.Failed)
 	}
 	return nil
 }

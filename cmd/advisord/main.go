@@ -35,7 +35,6 @@ import (
 	"context"
 	"errors"
 	"flag"
-	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -45,6 +44,7 @@ import (
 
 	"insitu/internal/advisor"
 	"insitu/internal/registry"
+	"insitu/internal/serve"
 	"insitu/internal/study"
 )
 
@@ -155,44 +155,9 @@ func newCalibrator(reg *registry.Registry, regPath string, refitEvery int) *stud
 	}
 }
 
-// openRegistry loads the snapshot file, bootstrapping one from a short
-// on-machine study when asked and the file is absent.
+// openRegistry loads the snapshot file through the shared serving-path
+// helper, bootstrapping one from a short on-machine study when asked
+// and the file is absent.
 func openRegistry(path string, bootstrap bool, cacheSize int) (*registry.Registry, error) {
-	reg := registry.New(cacheSize)
-	if path != "" {
-		err := reg.LoadFile(path)
-		if err == nil {
-			return reg, nil
-		}
-		if !bootstrap || !os.IsNotExist(err) {
-			return nil, fmt.Errorf("advisord: loading registry: %w", err)
-		}
-	}
-	if !bootstrap {
-		return nil, fmt.Errorf("advisord: -registry is required (or pass -bootstrap)")
-	}
-	log.Printf("bootstrapping: running a short measurement study...")
-	plan := study.Plan(true)
-	rows, err := study.Run(plan, os.Stderr)
-	if err != nil {
-		return nil, fmt.Errorf("advisord: bootstrap study: %w", err)
-	}
-	snap, err := study.FitSnapshot(rows, "advisord-bootstrap")
-	if err != nil {
-		return nil, fmt.Errorf("advisord: bootstrap fit: %w", err)
-	}
-	if path != "" {
-		if err := snap.WriteFile(path); err != nil {
-			return nil, err
-		}
-		log.Printf("bootstrap registry written to %s", path)
-		if err := reg.LoadFile(path); err != nil {
-			return nil, err
-		}
-		return reg, nil
-	}
-	if err := reg.Load(snap); err != nil {
-		return nil, err
-	}
-	return reg, nil
+	return serve.OpenRegistry(path, bootstrap, cacheSize, log.Printf)
 }

@@ -13,6 +13,7 @@ import (
 	"insitu/internal/advisor"
 	"insitu/internal/core"
 	"insitu/internal/registry"
+	"insitu/internal/serve"
 )
 
 // maxBodyBytes bounds request bodies; the largest legitimate payload is a
@@ -109,23 +110,10 @@ func (s *server) handler() http.Handler {
 	return mux
 }
 
-// writeJSON encodes into a buffer first so an encoding failure (which
-// should be impossible now that responses sanitize non-finite floats, but
-// defense in depth) surfaces as a clean 500 instead of a truncated 200.
+// writeJSON is the shared buffered-encode helper (clean 500 instead of
+// a truncated 200 on an encoding failure).
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		body, _ := json.Marshal(errorBody{Error: "response not encodable: " + err.Error()})
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusInternalServerError)
-		_, _ = w.Write(body)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_, _ = w.Write(buf.Bytes())
+	serve.WriteJSON(w, status, v)
 }
 
 type errorBody struct {

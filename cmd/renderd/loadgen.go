@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"insitu/internal/core"
+	"insitu/internal/loadgen"
+	"insitu/internal/serve"
+)
+
+// runLoadgen sustains a frame-request mix against a renderd. With no
+// target it builds the full serving stack in-process (bootstrapping
+// models if needed), so one command measures what this machine can
+// serve. Deadline-gated 422 rejections count as successful answers —
+// a fast, correct "no" is exactly what the admission controller is for.
+func runLoadgen(target, regPath string, bootstrap bool, cacheSize int, arch string, duration time.Duration, concurrency int) error {
+	client := &http.Client{Timeout: 30 * time.Second}
+	if target == "" {
+		// Calibration stays off: a benchmark must not refit the served
+		// models from its own synthetic mix, and must never rewrite the
+		// user's registry file.
+		srv, err := buildServer(regPath, bootstrap, cacheSize, false, 8, serve.Config{
+			Arch: arch, Logf: func(string, ...any) {},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		ts := httptest.NewServer(newWebServer(srv).handler())
+		defer ts.Close()
+		target = ts.URL
+		client = ts.Client()
+		client.Timeout = 30 * time.Second
+		log.Printf("loadgen: in-process renderd at %s", target)
+	}
+
+	mustJSON := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err)
+		}
+		return b
+	}
+	// The mix: a handful of distinct frames (so the cache works but is
+	// not a single key), a rotating camera, and a few deadline-gated
+	// requests that exercise degradation and rejection.
+	backends := []core.Renderer{core.RayTrace, core.Volume}
+	var shots []loadgen.Shot
+	for i := 0; i < 48; i++ {
+		req := serve.FrameRequest{
+			Backend: backends[i%len(backends)],
+			Sim:     "kripke",
+			N:       10 + 2*(i%4),
+			Width:   96 + 32*(i%3),
+			Azimuth: float64(30 * (i % 4)),
+		}
+		if i%6 == 0 {
+			req.DeadlineMillis = 50
+		}
+		if i%12 == 0 {
+			req.DeadlineMillis = 0.001 // impossibly tight: a fast 422
+		}
+		shots = append(shots, loadgen.Shot{Path: "/v1/frame", Body: mustJSON(req)})
+	}
+
+	log.Printf("loadgen: %d clients for %s against %s", concurrency, duration, target)
+	rep, err := loadgen.Run(loadgen.Options{
+		Target: target, Client: client, Shots: shots,
+		Duration: duration, Concurrency: concurrency,
+		Accept: func(status int) bool {
+			return status == http.StatusOK || status == http.StatusUnprocessableEntity
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nloadgen results\n%s", rep)
+	if rep.Failed > 0 {
+		return fmt.Errorf("loadgen: %d requests failed", rep.Failed)
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+// Command renderd is the model-gated render farm: it serves PNG frames
+// of the proxy simulations over HTTP, using the fitted performance
+// models as admission control. Every request is costed by the advisor
+// engine before rendering — infeasible deadlines are rejected with the
+// prediction, tight ones are met by degrading quality (resolution,
+// geometry, ray tracing workload) until the prediction fits — then
+// scheduled earliest-deadline-first on a bounded pool of persistent
+// renderers and served through an LRU frame cache. Each rendered
+// frame's measured wall time feeds back into continuous calibration,
+// so serving traffic refits the models that gate it.
+//
+//	GET  /healthz     liveness, model count, registry generation
+//	GET  /v1/frame    render (query: backend, sim, n, size, deadline_ms,
+//	                  azimuth, zoom, arch) -> image/png
+//	POST /v1/frame    same as JSON body
+//	GET  /v1/models   served models + calibration generation
+//	GET  /v1/metrics  admission/cache/scheduler/calibration counters
+//
+// Usage:
+//
+//	renderd -registry repro_out/models.json [-addr :8090]
+//	renderd -bootstrap [-registry models.json]   # measure-fit-serve
+//	renderd -loadgen [-target URL] [-duration 10s] [-concurrency 8]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"insitu/internal/advisor"
+	"insitu/internal/registry"
+	"insitu/internal/serve"
+	"insitu/internal/study"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8090", "listen address")
+		regPath    = flag.String("registry", "", "registry snapshot JSON (from 'repro export')")
+		cacheSize  = flag.Int("cache", 4096, "prediction LRU cache entries (0 disables)")
+		bootstrap  = flag.Bool("bootstrap", false, "if the registry file is missing, run a short study and fit one")
+		calibrate  = flag.Bool("calibrate", true, "feed served frames back into continuous model refits")
+		refitEvery = flag.Int("refit-every", 8, "observed frames between refits")
+		arch       = flag.String("arch", "cpu", "default device profile / model architecture to render on")
+		workers    = flag.Int("workers", 2, "concurrent render workers")
+		queue      = flag.Int("queue", 64, "render queue capacity (EDF-ordered)")
+		frames     = flag.Int("frame-cache", 256, "encoded-frame LRU entries")
+		runners    = flag.Int("runners", 8, "idle prepared renderers kept warm")
+
+		loadgenMode = flag.Bool("loadgen", false, "run the load generator instead of serving")
+		target      = flag.String("target", "", "loadgen: base URL of a running renderd (default: in-process server)")
+		duration    = flag.Duration("duration", 10*time.Second, "loadgen: how long to sustain load")
+		concurrency = flag.Int("concurrency", 8, "loadgen: concurrent clients")
+	)
+	flag.Parse()
+
+	if *loadgenMode {
+		if err := runLoadgen(*target, *regPath, *bootstrap, *cacheSize, *arch, *duration, *concurrency); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	srv, err := buildServer(*regPath, *bootstrap, *cacheSize, *calibrate, *refitEvery, serve.Config{
+		Arch: *arch, Workers: *workers, QueueCap: *queue,
+		FrameCacheEntries: *frames, RunnerCacheEntries: *runners,
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	web := newWebServer(srv)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(log.Printf, web.handler()),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("renderd listening on %s (arch %s, %d workers)", *addr, *arch, *workers)
+		errc <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutting down...")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	log.Printf("bye")
+}
+
+// buildServer assembles the full serving stack: registry, advisor
+// engine, calibrator (when enabled), and the render-serving subsystem.
+func buildServer(regPath string, bootstrap bool, cacheSize int, calibrate bool, refitEvery int, cfg serve.Config) (*serve.Server, error) {
+	reg, err := serve.OpenRegistry(regPath, bootstrap, cacheSize, log.Printf)
+	if err != nil {
+		return nil, err
+	}
+	snap := reg.Snapshot()
+	log.Printf("registry: %d models (source %q, archs %v)", len(snap.Models), snap.Source, reg.Archs())
+
+	engine := advisor.New(reg)
+	if calibrate {
+		engine.SetObserver(newCalibrator(reg, regPath, refitEvery))
+		log.Printf("continuous calibration enabled (served frames refit the models)")
+	} else {
+		cfg.ObserveQueue = -1
+	}
+	return serve.New(engine, cfg), nil
+}
+
+// newCalibrator builds the same continuous-calibration loop advisord
+// runs, fed by renderd's own served frames instead of posted
+// observations.
+func newCalibrator(reg *registry.Registry, regPath string, refitEvery int) *study.Calibrator {
+	return &study.Calibrator{
+		Source:     "renderd-frames",
+		RefitEvery: refitEvery,
+		MaxCorpus:  4096,
+		Base: func() (*registry.Snapshot, uint64) {
+			v, err := reg.View()
+			if err != nil {
+				return nil, reg.Generation()
+			}
+			return v.Snapshot(), v.Generation()
+		},
+		Publish: func(s *registry.Snapshot, baseGen uint64) error {
+			if err := reg.PublishIf(s, baseGen); err != nil {
+				return err
+			}
+			if regPath != "" {
+				if err := s.WriteFile(regPath); err != nil {
+					log.Printf("calibrate: persisting %s: %v", regPath, err)
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,263 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"insitu/internal/advisor"
+	"insitu/internal/core"
+	"insitu/internal/registry"
+	"insitu/internal/serve"
+)
+
+// maxBodyBytes bounds request bodies; a frame request is a few hundred
+// bytes.
+const maxBodyBytes = 1 << 20
+
+// webServer wires the render-serving subsystem to HTTP.
+type webServer struct {
+	srv   *serve.Server
+	start time.Time
+}
+
+func newWebServer(srv *serve.Server) *webServer {
+	return &webServer{srv: srv, start: time.Now()}
+}
+
+// handler builds the route table.
+func (s *webServer) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/frame", s.handleFrameGet)
+	mux.HandleFunc("POST /v1/frame", s.handleFramePost)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return mux
+}
+
+// writeJSON is the shared buffered-encode helper.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	serve.WriteJSON(w, status, v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+	// Rejection carries the model's predicted-time verdict when the
+	// error is a deadline rejection.
+	Rejection *serve.RejectionError `json:"rejection,omitempty"`
+}
+
+// frameErrStatus maps serving errors to HTTP statuses: client mistakes
+// are 400, unknown models 404, deadline rejections 422 (the request is
+// well-formed, the physics disagree), backpressure 503.
+func frameErrStatus(err error) int {
+	var rej *serve.RejectionError
+	switch {
+	case errors.As(err, &rej):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, serve.ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, registry.ErrNoModel):
+		return http.StatusNotFound
+	case errors.Is(err, serve.ErrQueueFull), errors.Is(err, serve.ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// serveFrame runs one request through the serving path and writes the
+// PNG (or the structured refusal).
+func (s *webServer) serveFrame(w http.ResponseWriter, req serve.FrameRequest) {
+	res, err := s.srv.Render(req)
+	if err != nil {
+		body := errorBody{Error: err.Error()}
+		var rej *serve.RejectionError
+		if errors.As(err, &rej) {
+			body.Rejection = rej
+		}
+		writeJSON(w, frameErrStatus(err), body)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "image/png")
+	h.Set("X-Renderd-Cache", hitMiss(res.CacheHit))
+	h.Set("X-Renderd-Degraded", strconv.FormatBool(res.Degraded))
+	h.Set("X-Renderd-Quality", fmt.Sprintf("%dx%d n=%d wl=%d", res.Width, res.Height, res.N, res.RTWorkload))
+	h.Set("X-Renderd-Predicted-Seconds", strconv.FormatFloat(res.PredictedSeconds, 'g', 6, 64))
+	h.Set("X-Renderd-Render-Seconds", strconv.FormatFloat(res.RenderSeconds, 'g', 6, 64))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(res.PNG)
+}
+
+func hitMiss(hit bool) string {
+	if hit {
+		return "hit"
+	}
+	return "miss"
+}
+
+// handleFramePost renders from a JSON body.
+func (s *webServer) handleFramePost(w http.ResponseWriter, r *http.Request) {
+	var req serve.FrameRequest
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	s.serveFrame(w, req)
+}
+
+// handleFrameGet renders from query parameters — the curl-friendly
+// form: /v1/frame?backend=raytracer&sim=kripke&n=24&size=256&deadline_ms=50
+func (s *webServer) handleFrameGet(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	req := serve.FrameRequest{
+		Backend: core.Renderer(q.Get("backend")),
+		Sim:     q.Get("sim"),
+		Arch:    q.Get("arch"),
+	}
+	intArg := func(name string, dst *int) bool {
+		v := q.Get(name)
+		if v == "" {
+			return true
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad %s: %v", name, err)})
+			return false
+		}
+		*dst = n
+		return true
+	}
+	floatArg := func(name string, dst *float64) bool {
+		v := q.Get(name)
+		if v == "" {
+			return true
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad %s: %v", name, err)})
+			return false
+		}
+		*dst = f
+		return true
+	}
+	var size int
+	if !intArg("n", &req.N) || !intArg("size", &size) ||
+		!intArg("width", &req.Width) || !intArg("height", &req.Height) ||
+		!floatArg("azimuth", &req.Azimuth) || !floatArg("zoom", &req.Zoom) ||
+		!floatArg("deadline_ms", &req.DeadlineMillis) {
+		return
+	}
+	if size > 0 && req.Width == 0 {
+		req.Width = size
+	}
+	s.serveFrame(w, req)
+}
+
+// healthzBody is the liveness document.
+type healthzBody struct {
+	Status        string `json:"status"`
+	Models        int    `json:"models"`
+	Generation    uint64 `json:"generation"`
+	UptimeSeconds int64  `json:"uptime_seconds"`
+}
+
+func (s *webServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body := healthzBody{
+		Status:        "ok",
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+	}
+	v, err := s.srv.Engine().Registry().View()
+	if err != nil {
+		body.Status = "empty"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	body.Generation = v.Generation()
+	body.Models = len(v.Snapshot().Models)
+	writeJSON(w, http.StatusOK, body)
+}
+
+// modelsBody mirrors advisord's /v1/models so clients can watch the
+// calibration generation on either service.
+type modelsBody struct {
+	Generation  uint64              `json:"generation"`
+	Source      string              `json:"source"`
+	CreatedUnix int64               `json:"created_unix"`
+	Mapping     registry.MappingDoc `json:"mapping"`
+	Archs       []string            `json:"archs"`
+	Models      []registry.ModelDoc `json:"models"`
+	Compositing *registry.ModelDoc  `json:"compositing,omitempty"`
+}
+
+func (s *webServer) handleModels(w http.ResponseWriter, r *http.Request) {
+	v, err := s.srv.Engine().Registry().View()
+	if err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: "no registry loaded"})
+		return
+	}
+	snap := v.Snapshot()
+	archs := make([]string, 0, 2)
+	seen := map[string]bool{}
+	for _, d := range snap.Models {
+		if !seen[d.Arch] {
+			seen[d.Arch] = true
+			archs = append(archs, d.Arch)
+		}
+	}
+	sort.Strings(archs)
+	writeJSON(w, http.StatusOK, modelsBody{
+		Generation:  v.Generation(),
+		Source:      snap.Source,
+		CreatedUnix: snap.CreatedUnix,
+		Mapping:     snap.Mapping,
+		Archs:       archs,
+		Models:      snap.Models,
+		Compositing: snap.Compositing,
+	})
+}
+
+// metricsBody merges the serving-path counters with the advisor
+// engine's per-operation latencies and the registry's prediction-cache
+// stats.
+type metricsBody struct {
+	UptimeSeconds int64             `json:"uptime_seconds"`
+	Generation    uint64            `json:"generation"`
+	Serve         serve.Stats       `json:"serve"`
+	Ops           []advisor.OpStats `json:"ops"`
+	PredictCache  cacheBody         `json:"predict_cache"`
+}
+
+type cacheBody struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Size   int    `json:"size"`
+}
+
+func (s *webServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	eng := s.srv.Engine()
+	hits, misses, size := eng.Registry().CacheStats()
+	writeJSON(w, http.StatusOK, metricsBody{
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Generation:    eng.Registry().Generation(),
+		Serve:         s.srv.Stats(),
+		Ops:           eng.Metrics(),
+		PredictCache:  cacheBody{Hits: hits, Misses: misses, Size: size},
+	})
+}
+
+// logRequests is minimal access logging middleware.
+func logRequests(logf func(format string, args ...any), next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		logf("%s %s %s", r.Method, r.URL.Path, time.Since(start))
+	})
+}

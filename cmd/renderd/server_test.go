@@ -1,0 +1,262 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"image/png"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"insitu/internal/advisor"
+	"insitu/internal/core"
+	"insitu/internal/registry"
+	"insitu/internal/serve"
+)
+
+// testSnapshotFile writes a hand-built model snapshot (plausible
+// positive coefficients, serial arch) so the serving stack starts
+// without a slow measurement study.
+func testSnapshotFile(t *testing.T) string {
+	t.Helper()
+	fit := func(coef ...float64) registry.FitDoc {
+		return registry.FitDoc{Coef: coef, R2: 0.99, N: 16, P: len(coef)}
+	}
+	build := fit(1e-8, 1e-5)
+	snap := &registry.Snapshot{
+		Version: registry.SnapshotVersion, Source: "renderd-test", CreatedUnix: 1,
+		Mapping: registry.MappingDoc{FillFraction: 0.55, SPRBase: 373},
+		Models: []registry.ModelDoc{
+			{Arch: "serial", Renderer: string(core.RayTrace), Fit: fit(1e-7, 5e-8, 1e-4), BuildFit: &build},
+			{Arch: "serial", Renderer: string(core.Volume), Fit: fit(1e-8, 1e-9, 1e-4)},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "models.json")
+	if err := snap.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// startRenderd builds the full one-process stack — registry, engine,
+// calibrator, serving subsystem, HTTP layer — exactly as main does.
+func startRenderd(t *testing.T, refitEvery int) (*httptest.Server, *serve.Server) {
+	t.Helper()
+	srv, err := buildServer(testSnapshotFile(t), false, 1024, true, refitEvery, serve.Config{
+		Arch: "serial", Workers: 2, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(newWebServer(srv).handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func getFrame(t *testing.T, ts *httptest.Server, query string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/frame?" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func getJSON(t *testing.T, ts *httptest.Server, path string, v any) int {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestRenderdClosedLoop is the subsystem's acceptance test, all in one
+// process: a tight-deadline request is admitted only after degradation,
+// an impossible one is rejected with the prediction, served frames'
+// measurements reach the calibrator, and /v1/models shows the
+// generation bump — the full predict → act → measure → refit loop.
+func TestRenderdClosedLoop(t *testing.T) {
+	ts, srv := startRenderd(t, 1)
+	engine := srv.Engine()
+
+	// 1. A generous request serves a PNG at the requested quality.
+	resp, body := getFrame(t, ts, "backend=raytracer&sim=kripke&n=8&size=72")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frame status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "image/png" {
+		t.Errorf("content type %q", ct)
+	}
+	if resp.Header.Get("X-Renderd-Cache") != "miss" || resp.Header.Get("X-Renderd-Degraded") != "false" {
+		t.Errorf("headers: %+v", resp.Header)
+	}
+	img, err := png.Decode(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("body is not a PNG: %v", err)
+	}
+	if b := img.Bounds(); b.Dx() != 72 {
+		t.Errorf("PNG width %d, want 72", b.Dx())
+	}
+
+	// 2. The identical request hits the cache with identical bytes.
+	resp2, body2 := getFrame(t, ts, "backend=raytracer&sim=kripke&n=8&size=72")
+	if resp2.Header.Get("X-Renderd-Cache") != "hit" {
+		t.Error("second request missed the cache")
+	}
+	if !bytes.Equal(body, body2) {
+		t.Error("cache hit served different bytes")
+	}
+
+	// 3. A deadline below the requested-quality prediction but above the
+	// floor is admitted only after degradation.
+	full, err := engine.Predict(advisor.PredictRequest{
+		Arch: "serial", Renderer: string(core.RayTrace), N: 12, Tasks: 1, Width: 512, Renderings: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadlineMS := full.PerImageSeconds / 2 * 1e3
+	resp3, body3 := getFrame(t, ts, fmt.Sprintf(
+		"backend=raytracer&sim=kripke&n=12&size=512&deadline_ms=%g", deadlineMS))
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("degradable request status %d: %s", resp3.StatusCode, body3)
+	}
+	if resp3.Header.Get("X-Renderd-Degraded") != "true" {
+		t.Errorf("tight deadline served undegraded: %+v", resp3.Header)
+	}
+	img3, err := png.Decode(bytes.NewReader(body3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := img3.Bounds(); b.Dx() >= 512 {
+		t.Errorf("degraded frame still %dpx wide", b.Dx())
+	}
+
+	// 4. An impossible deadline is rejected with the predicted times.
+	resp4, body4 := getFrame(t, ts, "backend=raytracer&sim=kripke&n=12&size=512&deadline_ms=0.000001")
+	if resp4.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("impossible deadline status %d: %s", resp4.StatusCode, body4)
+	}
+	var eb errorBody
+	if err := json.Unmarshal(body4, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Rejection == nil || eb.Rejection.PredictedSeconds <= 0 {
+		t.Fatalf("rejection body lacks the prediction: %s", body4)
+	}
+
+	// 5. Served frames feed the calibrator; once the volume group has
+	// enough samples the refit publishes and /v1/models bumps its
+	// generation — without any POST /v1/observations.
+	var models modelsBody
+	getJSON(t, ts, "/v1/models", &models)
+	gen0 := models.Generation
+	for i := 0; i < 6; i++ {
+		q := fmt.Sprintf("backend=volume&sim=kripke&n=%d&size=%d&azimuth=%d",
+			8+2*(i%3), 48+16*(i%2), 10*i)
+		if resp, body := getFrame(t, ts, q); resp.StatusCode != http.StatusOK {
+			t.Fatalf("volume frame %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		getJSON(t, ts, "/v1/models", &models)
+		if models.Generation > gen0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if models.Generation <= gen0 {
+		t.Fatalf("generation never bumped past %d (calibration loop broken)", gen0)
+	}
+	if models.Source != "renderd-frames" {
+		t.Errorf("refitted snapshot source %q", models.Source)
+	}
+
+	// 6. /v1/metrics reflects the loop: frames rendered, observations
+	// queued, at least one refit, and the same generation.
+	var mb metricsBody
+	getJSON(t, ts, "/v1/metrics", &mb)
+	if mb.Serve.FramesRendered == 0 || mb.Serve.ObservationsQueued == 0 {
+		t.Errorf("metrics missing serving traffic: %+v", mb.Serve)
+	}
+	if mb.Serve.Refits == 0 {
+		t.Errorf("metrics missing refits: %+v", mb.Serve)
+	}
+	if mb.Generation != models.Generation {
+		t.Errorf("metrics generation %d, models %d", mb.Generation, models.Generation)
+	}
+}
+
+// TestRenderdRequestValidation: unknown names answer 400 with the
+// registered alternatives; model-less backends 404; malformed numbers
+// 400.
+func TestRenderdRequestValidation(t *testing.T) {
+	ts, _ := startRenderd(t, 1000)
+
+	resp, body := getFrame(t, ts, "backend=teapot&n=8&size=64")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "raytracer") {
+		t.Errorf("unknown backend: status %d body %s", resp.StatusCode, body)
+	}
+	resp, body = getFrame(t, ts, "backend=raytracer&sim=spice&n=8&size=64")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "kripke") {
+		t.Errorf("unknown sim: status %d body %s", resp.StatusCode, body)
+	}
+	// Registered backend, no model in this snapshot: 404, not 400.
+	resp, _ = getFrame(t, ts, "backend=rasterizer&n=8&size=64")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("model-less backend status %d, want 404", resp.StatusCode)
+	}
+	resp, _ = getFrame(t, ts, "backend=raytracer&n=eight&size=64")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed n status %d", resp.StatusCode)
+	}
+	// POST body form: malformed JSON is 400.
+	r, err := ts.Client().Post(ts.URL+"/v1/frame", "application/json", strings.NewReader("{oops"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status %d", r.StatusCode)
+	}
+
+	// POST and GET forms answer identically for the same request.
+	reqBody, _ := json.Marshal(serve.FrameRequest{Backend: core.Volume, Sim: "kripke", N: 8, Width: 64})
+	r, err = ts.Client().Post(ts.URL+"/v1/frame", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	postBytes, _ := io.ReadAll(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("POST frame status %d: %s", r.StatusCode, postBytes)
+	}
+	_, getBytes := getFrame(t, ts, "backend=volume&sim=kripke&n=8&size=64")
+	if !bytes.Equal(postBytes, getBytes) {
+		t.Error("POST and GET served different bytes for one frame")
+	}
+
+	var hz healthzBody
+	if code := getJSON(t, ts, "/healthz", &hz); code != http.StatusOK || hz.Status != "ok" || hz.Models != 2 {
+		t.Errorf("healthz: code %d body %+v", code, hz)
+	}
+}

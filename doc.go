@@ -57,7 +57,20 @@
 //     predict, images-in-budget, and max-triangles queries with
 //     per-request metrics, ingesting posted observations for continuous
 //     calibration, and sanitizing non-finite predictions at the API
-//     boundary so responses always serialize).
+//     boundary so responses always serialize);
+//   - the render-serving subsystem in internal/serve — the layer that
+//     acts on the predictions: model-gated admission (reject with the
+//     predicted time, or degrade resolution/geometry/workload until the
+//     prediction fits the deadline), an earliest-deadline-first bounded
+//     scheduler over persistent cached scenario runners
+//     (scenario.RunnerCache leases prepared scenes and device pools
+//     across requests), an LRU frame cache with a zero-allocation hit
+//     path, and calibration feedback: every rendered frame's measured
+//     wall time flows into the calibrator, so serving traffic refits
+//     the models that gate it. internal/lru is the one generic LRU
+//     shared by the registry, the admission memo, and the frame cache;
+//     internal/loadgen the shared load-generator core (QPS +
+//     p50/p95/p99).
 //
 // Entry points: cmd/repro regenerates every table and figure of the
 // paper's evaluation (with -parallel N measuring the study on N
@@ -66,11 +79,15 @@
 // measure -> refit -> publish loop; cmd/advisord serves feasibility
 // answers from such a snapshot over HTTP, accepts measured samples on
 // POST /v1/observations for background refit and atomic hot reload (and
-// has a load-generator mode for benchmarking); cmd/insitu runs a proxy
-// simulation with in situ rendering; cmd/render renders a synthetic
-// dataset; the examples/ directory holds runnable walkthroughs,
-// including examples/advisor for the measure -> export -> serve path and
-// examples/calibrate for the continuous-calibration loop. bench_test.go
-// in this directory carries one benchmark per reproduced table and
-// figure.
+// has a load-generator mode for benchmarking); cmd/renderd serves
+// deadline-gated PNG frames from the same models (GET/POST /v1/frame),
+// degrading or refusing what does not fit and refitting from its own
+// traffic; cmd/insitu runs a proxy simulation with in situ rendering;
+// cmd/render renders a synthetic dataset through the scenario backend
+// registry; the examples/ directory holds runnable walkthroughs,
+// including examples/advisor for the measure -> export -> serve path,
+// examples/calibrate for the continuous-calibration loop, and
+// examples/renderd for the full predict -> act -> measure -> refit
+// serving loop. bench_test.go in this directory carries one benchmark
+// per reproduced table and figure.
 package insitu

@@ -1,0 +1,54 @@
+package framebuffer
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// PNGEncoder encodes Images to PNG while reusing its conversion and
+// compression scratch across frames: the RGBA staging image and the png
+// package's encoder buffers survive between Encode calls, so a serving
+// path that encodes a frame per request allocates only the output bytes.
+// An encoder is not safe for concurrent use; give each worker its own.
+type PNGEncoder struct {
+	rgba *image.RGBA
+	enc  png.Encoder
+	buf  *png.EncoderBuffer
+}
+
+// Get and Put implement png.EncoderBufferPool over the single retained
+// buffer, which is all a single-threaded encoder needs.
+func (e *PNGEncoder) Get() *png.EncoderBuffer  { return e.buf }
+func (e *PNGEncoder) Put(b *png.EncoderBuffer) { e.buf = b }
+
+// Encode writes im as PNG to w, staging through the reused RGBA image.
+// The pixel conversion matches Image.ToRGBA: composited over a white
+// background, opaque output.
+func (e *PNGEncoder) Encode(w io.Writer, im *Image) error {
+	bounds := image.Rect(0, 0, im.W, im.H)
+	n := 4 * im.W * im.H
+	if e.rgba == nil || cap(e.rgba.Pix) < n {
+		e.rgba = image.NewRGBA(bounds)
+	} else if e.rgba.Rect != bounds {
+		e.rgba = &image.RGBA{Pix: e.rgba.Pix[:n], Stride: 4 * im.W, Rect: bounds}
+	}
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			i := y*im.W + x
+			a := im.Color[4*i+3]
+			bg := 1 - a
+			e.rgba.SetRGBA(x, y, color.RGBA{
+				R: clamp8(im.Color[4*i+0] + bg),
+				G: clamp8(im.Color[4*i+1] + bg),
+				B: clamp8(im.Color[4*i+2] + bg),
+				A: 255,
+			})
+		}
+	}
+	if e.enc.BufferPool == nil {
+		e.enc.BufferPool = e
+	}
+	return e.enc.Encode(w, e.rgba)
+}

@@ -1,0 +1,192 @@
+// Package loadgen is the load-generator core shared by the serving
+// binaries: advisord and renderd both sustain a fixed request mix
+// against a target for a duration and report sustained QPS plus the
+// latency distribution (p50/p95/p99, not just the mean — tail latency
+// is what a deadline-scheduled service is judged on).
+package loadgen
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Shot is one request in the mix.
+type Shot struct {
+	Method string // default POST when Body != nil, else GET
+	Path   string
+	Body   []byte
+}
+
+// Options configures a run.
+type Options struct {
+	// Target is the base URL; Client issues the requests.
+	Target string
+	Client *http.Client
+	// Shots is the request mix, replayed round-robin per worker.
+	Shots []Shot
+	// Duration and Concurrency shape the load.
+	Duration    time.Duration
+	Concurrency int
+	// Accept classifies a status code as a successful answer (default:
+	// 2xx). A deadline-gated 422 rejection, for example, is a correct
+	// fast answer for renderd, not a failure.
+	Accept func(status int) bool
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	OK, Failed  uint64
+	Duration    time.Duration
+	Concurrency int
+	// Latency distribution over successful requests.
+	Avg, P50, P95, P99, Max time.Duration
+	// ByStatus counts accepted answers per status code.
+	ByStatus map[int]uint64
+}
+
+// Run sustains the mix against the target and aggregates the report.
+func Run(opts Options) (Report, error) {
+	if len(opts.Shots) == 0 {
+		return Report{}, fmt.Errorf("loadgen: no shots configured")
+	}
+	if opts.Concurrency < 1 {
+		opts.Concurrency = 1
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 10 * time.Second
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	accept := opts.Accept
+	if accept == nil {
+		accept = func(status int) bool { return status >= 200 && status < 300 }
+	}
+
+	var (
+		ok, failed atomic.Uint64
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		lats       []time.Duration
+		byStatus   = map[int]uint64{}
+	)
+	deadline := time.Now().Add(opts.Duration)
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]time.Duration, 0, 4096)
+			localStatus := map[int]uint64{}
+			for i := w; time.Now().Before(deadline); i++ {
+				sh := opts.Shots[i%len(opts.Shots)]
+				method := sh.Method
+				if method == "" {
+					if sh.Body != nil {
+						method = http.MethodPost
+					} else {
+						method = http.MethodGet
+					}
+				}
+				req, err := http.NewRequest(method, opts.Target+sh.Path, bytes.NewReader(sh.Body))
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				if sh.Body != nil {
+					req.Header.Set("Content-Type", "application/json")
+				}
+				start := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if !accept(resp.StatusCode) {
+					failed.Add(1)
+					continue
+				}
+				local = append(local, time.Since(start))
+				localStatus[resp.StatusCode]++
+				ok.Add(1)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			for code, n := range localStatus {
+				byStatus[code] += n
+			}
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+
+	rep := Report{
+		OK: ok.Load(), Failed: failed.Load(),
+		Duration: opts.Duration, Concurrency: opts.Concurrency,
+		ByStatus: byStatus,
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		rep.Avg = sum / time.Duration(len(lats))
+		rep.P50 = percentile(lats, 0.50)
+		rep.P95 = percentile(lats, 0.95)
+		rep.P99 = percentile(lats, 0.99)
+		rep.Max = lats[len(lats)-1]
+	}
+	return rep, nil
+}
+
+// percentile reads the p-quantile from sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// QPS is the sustained successful request rate.
+func (r Report) QPS() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.OK) / r.Duration.Seconds()
+}
+
+// String renders the human report block both binaries print.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  requests:    %d ok, %d failed\n", r.OK, r.Failed)
+	fmt.Fprintf(&b, "  sustained:   %.0f req/s over %s with %d clients\n",
+		r.QPS(), r.Duration, r.Concurrency)
+	if r.OK > 0 {
+		fmt.Fprintf(&b, "  latency:     avg %s  p50 %s  p95 %s  p99 %s  max %s\n",
+			r.Avg, r.P50, r.P95, r.P99, r.Max)
+	}
+	if len(r.ByStatus) > 1 {
+		codes := make([]int, 0, len(r.ByStatus))
+		for c := range r.ByStatus {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		fmt.Fprintf(&b, "  status mix: ")
+		for _, c := range codes {
+			fmt.Fprintf(&b, " %d x%d", c, r.ByStatus[c])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	return b.String()
+}

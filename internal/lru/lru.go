@@ -1,0 +1,105 @@
+// Package lru is the one LRU cache shared by every serving-path layer:
+// the model registry memoizes predictions in it, and the render-serving
+// subsystem keys admission decisions and encoded frames with it. Keeping
+// one implementation means one eviction policy, one concurrency
+// discipline (a single mutex — every use site is a lookup measured in
+// nanoseconds), and one place to audit for allocation behaviour: Get on
+// a present key performs no heap allocation, which the zero-allocation
+// frame path depends on.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a mutex-guarded LRU cache from comparable keys to values.
+// The zero value is unusable; construct with New. A capacity <= 0
+// disables the cache entirely (every Get misses, Add is a no-op), which
+// lets callers expose "0 disables caching" knobs without branching.
+type Cache[K comparable, V any] struct {
+	mu      sync.Mutex
+	cap     int
+	ll      *list.List
+	items   map[K]*list.Element
+	onEvict func(K, V)
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns a cache holding up to cap entries.
+func New[K comparable, V any](cap int) *Cache[K, V] {
+	return &Cache[K, V]{cap: cap, ll: list.New(), items: map[K]*list.Element{}}
+}
+
+// OnEvict installs a callback invoked (outside any future Get/Add, but
+// under the cache lock) when capacity eviction or Purge drops an entry —
+// the hook resource-owning values (cached frame buffers, prepared
+// renderers) use to account for or release what they hold. Call before
+// the cache is shared; it is not synchronized against concurrent use.
+func (c *Cache[K, V]) OnEvict(f func(K, V)) { c.onEvict = f }
+
+// Get returns the value for k, marking it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	var zero V
+	if c.cap <= 0 {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*entry[K, V]).val, true
+}
+
+// Add inserts or refreshes k, evicting the least recently used entry
+// when the cache is full.
+func (c *Cache[K, V]) Add(k K, v V) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*entry[K, V]).val = v
+		return
+	}
+	c.items[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		e := oldest.Value.(*entry[K, V])
+		delete(c.items, e.key)
+		if c.onEvict != nil {
+			c.onEvict(e.key, e.val)
+		}
+	}
+}
+
+// Purge drops every entry, invoking the eviction hook for each.
+func (c *Cache[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.onEvict != nil {
+		for el := c.ll.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry[K, V])
+			c.onEvict(e.key, e.val)
+		}
+	}
+	c.ll.Init()
+	c.items = map[K]*list.Element{}
+}
+
+// Len returns the current entry count.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"insitu/internal/core"
+	"insitu/internal/lru"
 	"insitu/internal/stats"
 )
 
@@ -315,7 +316,7 @@ type Registry struct {
 	path       string // last loaded file, for Reload
 	generation uint64
 
-	cache      *lru
+	cache      *lru.Cache[predKey, PredictResult]
 	hits       atomic.Uint64
 	misses     atomic.Uint64
 	lastReload atomic.Int64 // unix nanos
@@ -324,7 +325,7 @@ type Registry struct {
 // New returns an empty registry whose prediction cache holds up to
 // cacheSize entries (0 disables caching).
 func New(cacheSize int) *Registry {
-	return &Registry{cache: newLRU(cacheSize)}
+	return &Registry{cache: lru.New[predKey, PredictResult](cacheSize)}
 }
 
 // Load installs an in-memory snapshot, replacing any previous one

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"insitu/internal/core"
+	"insitu/internal/lru"
 )
 
 // fittedSet fits a model set from synthetic study-like samples, mirroring
@@ -410,7 +411,7 @@ func TestStalePredictionCannotPoisonCacheAcrossReload(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := newLRU(2)
+	c := lru.New[predKey, PredictResult](2)
 	k := func(i int) predKey { return predKey{key: "m", in: core.Inputs{O: float64(i)}} }
 	c.Add(k(1), PredictResult{RenderSeconds: 1})
 	c.Add(k(2), PredictResult{RenderSeconds: 2})
@@ -426,7 +427,7 @@ func TestLRUEviction(t *testing.T) {
 		t.Errorf("len = %d", c.Len())
 	}
 	// Disabled cache never stores.
-	d := newLRU(0)
+	d := lru.New[predKey, PredictResult](0)
 	d.Add(k(1), PredictResult{})
 	if _, ok := d.Get(k(1)); ok || d.Len() != 0 {
 		t.Error("disabled cache cached")

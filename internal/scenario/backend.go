@@ -9,6 +9,7 @@ import (
 	"insitu/internal/composite"
 	"insitu/internal/core"
 	"insitu/internal/framebuffer"
+	"insitu/internal/render"
 )
 
 // FrameRunner renders frames of one prepared scene. A runner is bound to
@@ -24,6 +25,11 @@ type FrameRunner interface {
 	// BuildSeconds is the one-time acceleration-structure construction
 	// cost (0 for techniques without one).
 	BuildSeconds() float64
+	// SetCamera repoints the camera for subsequent frames. Geometry and
+	// acceleration structures are camera-independent for every modeled
+	// technique, so a serving path reuses one prepared runner across
+	// camera angles through this instead of re-preparing the scene.
+	SetCamera(cam render.Camera)
 }
 
 // Backend is one pluggable rendering technique: it declares its model

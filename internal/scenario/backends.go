@@ -8,6 +8,7 @@ import (
 	"insitu/internal/core"
 	"insitu/internal/framebuffer"
 	"insitu/internal/mesh"
+	"insitu/internal/render"
 	"insitu/internal/render/raster"
 	"insitu/internal/render/raytrace"
 	"insitu/internal/render/volume"
@@ -56,11 +57,19 @@ func (raytraceBackend) Prepare(sc *Scene) (FrameRunner, error) {
 	}
 	raytrace.New(sc.Dev, tri) // warm-up build (cold-cache effects)
 	rdr := raytrace.New(sc.Dev, tri)
+	wl := raytrace.Workload(sc.RTWorkload)
+	if wl == 0 {
+		wl = raytrace.Workload2
+	}
 	return &raytraceRunner{
 		rdr: rdr,
 		opts: raytrace.Options{
 			Width: sc.Width, Height: sc.Height,
-			Camera: sc.Camera, Workload: raytrace.Workload2,
+			Camera: sc.Camera, Workload: wl,
+			// The full pipeline uses its complete feature set, matching
+			// cmd/render's historical workload-3 configuration.
+			Compaction:  wl == raytrace.Workload3,
+			Supersample: wl == raytrace.Workload3,
 		},
 	}, nil
 }
@@ -70,7 +79,8 @@ type raytraceRunner struct {
 	opts raytrace.Options
 }
 
-func (r *raytraceRunner) BuildSeconds() float64 { return r.rdr.BVH.BuildTime.Seconds() }
+func (r *raytraceRunner) BuildSeconds() float64       { return r.rdr.BVH.BuildTime.Seconds() }
+func (r *raytraceRunner) SetCamera(cam render.Camera) { r.opts.Camera = cam }
 
 func (r *raytraceRunner) RenderFrame(in *core.Inputs) (time.Duration, *framebuffer.Image, error) {
 	start := time.Now()
@@ -110,7 +120,8 @@ type rasterRunner struct {
 	opts raster.Options
 }
 
-func (r *rasterRunner) BuildSeconds() float64 { return 0 }
+func (r *rasterRunner) BuildSeconds() float64       { return 0 }
+func (r *rasterRunner) SetCamera(cam render.Camera) { r.opts.Camera = cam }
 
 func (r *rasterRunner) RenderFrame(in *core.Inputs) (time.Duration, *framebuffer.Image, error) {
 	start := time.Now()
@@ -156,6 +167,7 @@ func (volumeBackend) Prepare(sc *Scene) (FrameRunner, error) {
 		opts: volume.StructuredOptions{
 			Width: sc.Width, Height: sc.Height,
 			Camera: sc.Camera, FieldRange: [2]float64{lo, hi},
+			Samples: sc.SamplesZ,
 		},
 	}, nil
 }
@@ -165,7 +177,8 @@ type volumeRunner struct {
 	opts volume.StructuredOptions
 }
 
-func (r *volumeRunner) BuildSeconds() float64 { return 0 }
+func (r *volumeRunner) BuildSeconds() float64       { return 0 }
+func (r *volumeRunner) SetCamera(cam render.Camera) { r.opts.Camera = cam }
 
 func (r *volumeRunner) RenderFrame(in *core.Inputs) (time.Duration, *framebuffer.Image, error) {
 	start := time.Now()
@@ -224,7 +237,8 @@ type volumeUnstructuredRunner struct {
 	opts volume.UnstructuredOptions
 }
 
-func (r *volumeUnstructuredRunner) BuildSeconds() float64 { return 0 }
+func (r *volumeUnstructuredRunner) BuildSeconds() float64       { return 0 }
+func (r *volumeUnstructuredRunner) SetCamera(cam render.Camera) { r.opts.Camera = cam }
 
 func (r *volumeUnstructuredRunner) RenderFrame(in *core.Inputs) (time.Duration, *framebuffer.Image, error) {
 	start := time.Now()

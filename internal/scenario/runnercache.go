@@ -1,0 +1,183 @@
+package scenario
+
+import (
+	"sync"
+)
+
+// RunnerCache keeps prepared FrameRunners alive across requests so a
+// serving path pays scene preparation — simulation stepping, geometry
+// extraction, acceleration-structure builds, device worker-pool spin-up —
+// once per distinct configuration instead of once per frame. FrameRunners
+// are not safe for concurrent use, so the cache hands out exclusive
+// leases: a second request for the same key blocks until the first
+// releases it (frames of one configuration serialize on its runner, which
+// also keeps the runner's frame arenas warm), while requests for
+// different keys proceed in parallel.
+//
+// Capacity is a soft bound on *idle* runners: when the cache holds more
+// entries than cap, the least recently released idle entry is closed and
+// dropped. Entries currently leased (or awaited) are never evicted, so
+// the live count can exceed cap under load and shrinks back as leases
+// return.
+type RunnerCache[K comparable] struct {
+	mu      sync.Mutex
+	cap     int
+	seq     uint64
+	entries map[K]*runnerEntry[K]
+	closed  bool
+}
+
+type runnerEntry[K comparable] struct {
+	key K
+	// mu serializes preparation and rendering on this entry; it is held
+	// for the lifetime of a lease.
+	mu       sync.Mutex
+	runner   FrameRunner
+	close    func()
+	prepared bool
+	// pins counts leases held or awaited; only pins==0 entries may be
+	// evicted. lastUsed orders idle entries for LRU eviction.
+	pins     int
+	lastUsed uint64
+}
+
+// RunnerLease is exclusive access to one cached runner. Release it when
+// the frame is done; the runner stays cached for the next request.
+type RunnerLease[K comparable] struct {
+	cache *RunnerCache[K]
+	entry *runnerEntry[K]
+}
+
+// Runner returns the leased frame runner.
+func (l *RunnerLease[K]) Runner() FrameRunner { return l.entry.runner }
+
+// Release returns the runner to the cache and triggers idle eviction if
+// the cache is over capacity.
+func (l *RunnerLease[K]) Release() {
+	l.entry.mu.Unlock()
+	l.cache.release(l.entry)
+}
+
+// NewRunnerCache returns a cache keeping up to cap idle runners (cap < 1
+// keeps 1: a cache that closed every runner immediately would defeat its
+// purpose).
+func NewRunnerCache[K comparable](cap int) *RunnerCache[K] {
+	if cap < 1 {
+		cap = 1
+	}
+	return &RunnerCache[K]{cap: cap, entries: map[K]*runnerEntry[K]{}}
+}
+
+// Acquire leases the runner for key, preparing it with prepare on first
+// use. prepare returns the runner and a close hook releasing whatever
+// backs it (typically the scene's device). Preparation happens outside
+// the cache lock but inside the entry's, so concurrent requests for one
+// key prepare exactly once and requests for other keys are not stalled
+// behind a slow preparation. A failed preparation is not cached: the
+// error propagates and the next Acquire retries.
+func (c *RunnerCache[K]) Acquire(key K, prepare func() (FrameRunner, func(), error)) (*RunnerLease[K], error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errRunnerCacheClosed
+	}
+	e, ok := c.entries[key]
+	if !ok {
+		e = &runnerEntry[K]{key: key}
+		c.entries[key] = e
+	}
+	e.pins++
+	c.mu.Unlock()
+
+	e.mu.Lock()
+	if !e.prepared {
+		runner, closeFn, err := prepare()
+		if err != nil {
+			e.mu.Unlock()
+			c.mu.Lock()
+			e.pins--
+			// Drop the failed entry only if no other waiter is about to
+			// retry preparation through it.
+			if e.pins == 0 && c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+			return nil, err
+		}
+		e.runner, e.close, e.prepared = runner, closeFn, true
+	}
+	return &RunnerLease[K]{cache: c, entry: e}, nil
+}
+
+// release unpins the entry and evicts over-capacity idle runners.
+func (c *RunnerCache[K]) release(e *runnerEntry[K]) {
+	var closers []func()
+	c.mu.Lock()
+	e.pins--
+	c.seq++
+	e.lastUsed = c.seq
+	for len(c.entries) > c.cap {
+		victim := c.victimLocked()
+		if victim == nil {
+			break
+		}
+		delete(c.entries, victim.key)
+		if victim.close != nil {
+			closers = append(closers, victim.close)
+		}
+	}
+	c.mu.Unlock()
+	for _, fn := range closers {
+		fn()
+	}
+}
+
+// victimLocked returns the least recently used idle entry, or nil when
+// every entry is pinned.
+func (c *RunnerCache[K]) victimLocked() *runnerEntry[K] {
+	var victim *runnerEntry[K]
+	for _, e := range c.entries {
+		if e.pins > 0 || !e.prepared {
+			continue
+		}
+		if victim == nil || e.lastUsed < victim.lastUsed {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// Len returns the number of cached entries (leased and idle).
+func (c *RunnerCache[K]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Close drops every idle runner and refuses further Acquires. Leased
+// runners are closed by their eventual release path only if the caller
+// re-Closes; in practice servers stop accepting work before Close.
+func (c *RunnerCache[K]) Close() {
+	var closers []func()
+	c.mu.Lock()
+	c.closed = true
+	for k, e := range c.entries {
+		if e.pins > 0 {
+			continue
+		}
+		delete(c.entries, k)
+		if e.close != nil {
+			closers = append(closers, e.close)
+		}
+	}
+	c.mu.Unlock()
+	for _, fn := range closers {
+		fn()
+	}
+}
+
+type runnerCacheError string
+
+func (e runnerCacheError) Error() string { return string(e) }
+
+const errRunnerCacheClosed = runnerCacheError("scenario: runner cache closed")

@@ -29,6 +29,11 @@ type Scene struct {
 	// SamplesZ is the depth sampling density for volume techniques
 	// (0 uses the backend's default).
 	SamplesZ int
+	// RTWorkload selects the ray tracing pipeline depth (1, 2, or 3;
+	// 0 uses the backend default, the paper's shaded Workload2). The
+	// serving layer degrades it to fit deadlines; the study leaves it at
+	// the default so fitted models stay on one workload.
+	RTWorkload int
 
 	// Mesh is the parsed simulation block (nil for prebuilt-geometry
 	// scenes).
@@ -80,6 +85,13 @@ func SceneFromGrid(dev *device.Device, g *mesh.StructuredGrid, fieldName string,
 	sc := NewScene(dev, &ParsedMesh{Grid: g}, fieldName, f.Values, cam, width, height)
 	return sc, nil
 }
+
+// SetSurface installs prebuilt surface geometry (e.g. an extracted
+// isosurface), which surface backends will render instead of the block's
+// external faces. This is how a tool renders a *plot* of a parsed block
+// rather than its boundary while still dispatching through the backend
+// registry.
+func (sc *Scene) SetSurface(tri *mesh.TriangleMesh) { sc.surface = tri }
 
 // FieldRange returns the scene's scalar normalization range.
 func (sc *Scene) FieldRange() (float64, float64) {

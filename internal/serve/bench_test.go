@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+
+	"insitu/internal/advisor"
+	"insitu/internal/core"
+)
+
+// benchServer builds a serving stack without testing.T cleanup.
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	s := New(advisor.New(testRegistry(b)), Config{Arch: "serial", Logf: func(string, ...any) {}})
+	b.Cleanup(s.Close)
+	return s
+}
+
+// BenchmarkRenderdFrameCacheHit is the acceptance benchmark for the
+// steady-state frame path: admission memo + frame cache hit, end to
+// end through Server.Render. It must report 0 allocs/op — PR 4's
+// zero-allocation discipline surviving the serving layer — and the
+// frames/s metric shows the cache-hit ceiling (far beyond the 100
+// frames/s bar for small frames).
+func BenchmarkRenderdFrameCacheHit(b *testing.B) {
+	s := benchServer(b)
+	req := FrameRequest{Backend: core.RayTrace, Sim: "kripke", N: 8, Width: 64, DeadlineMillis: 1000}
+	if _, err := s.Render(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Render(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CacheHit {
+			b.Fatal("steady state missed the cache")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkRenderdFrameRender measures sustained small-frame render
+// throughput with the frame cache disabled (a negative capacity
+// disables the LRU), so every Render schedules a real frame on the
+// warm cached runner — the render-farm steady state.
+func BenchmarkRenderdFrameRender(b *testing.B) {
+	s := New(advisor.New(testRegistry(b)), Config{
+		Arch: "serial", FrameCacheEntries: -1, Logf: func(string, ...any) {},
+	})
+	b.Cleanup(s.Close)
+	req := FrameRequest{Backend: core.RayTrace, Sim: "kripke", N: 8, Width: 64}
+	if _, err := s.Render(req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := s.Render(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CacheHit {
+			b.Fatal("cache-disabled server served a hit")
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkRenderdThroughput is the mixed-traffic figure for
+// BENCH_5.json: a request mix over several backends, sizes, and
+// cameras, mostly cache hits with a steady miss rate, measured end to
+// end through the serving path.
+func BenchmarkRenderdThroughput(b *testing.B) {
+	s := benchServer(b)
+	var reqs []FrameRequest
+	for i := 0; i < 16; i++ {
+		backend := core.RayTrace
+		if i%2 == 1 {
+			backend = core.Volume
+		}
+		reqs = append(reqs, FrameRequest{
+			Backend: backend, Sim: "kripke",
+			N: 8 + 2*(i%2), Width: 48 + 16*(i%2),
+			Azimuth:        float64(30 * (i % 4)),
+			DeadlineMillis: 1000,
+		})
+	}
+	for _, req := range reqs {
+		if _, err := s.Render(req); err != nil {
+			b.Fatal(fmt.Errorf("warming %+v: %w", req, err))
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Render(reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}

@@ -1,0 +1,28 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+)
+
+// WriteJSON encodes v into a buffer before touching the ResponseWriter,
+// so an encoding failure (which should be impossible now that serving
+// responses sanitize non-finite floats, but defense in depth) surfaces
+// as a clean 500 instead of a truncated 200. Shared by the serving
+// binaries (advisord, renderd) so the two response paths cannot drift.
+func WriteJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		body, _ := json.Marshal(map[string]string{"error": "response not encodable: " + err.Error()})
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		_, _ = w.Write(body)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+}

@@ -1,0 +1,84 @@
+package serve
+
+import "sync/atomic"
+
+// counters is the serving-path instrumentation; all atomics so the
+// frame path never takes a lock (and never allocates) to account for
+// itself.
+type counters struct {
+	admitted            atomic.Uint64
+	degraded            atomic.Uint64
+	rejected            atomic.Uint64
+	badRequests         atomic.Uint64
+	errors              atomic.Uint64
+	cacheHits           atomic.Uint64
+	cacheMisses         atomic.Uint64
+	coalesced           atomic.Uint64
+	framesRendered      atomic.Uint64
+	renderNanos         atomic.Uint64
+	deadlineMisses      atomic.Uint64
+	queueFull           atomic.Uint64
+	observationsQueued  atomic.Uint64
+	observationsDropped atomic.Uint64
+	observationsSkipped atomic.Uint64
+	refits              atomic.Uint64
+}
+
+// Stats is one metrics snapshot, JSON-shaped for /v1/metrics.
+type Stats struct {
+	// Admission outcomes. Degraded counts admissions that changed
+	// quality; Rejected infeasible-even-degraded refusals.
+	Admitted    uint64 `json:"admitted"`
+	Degraded    uint64 `json:"degraded"`
+	Rejected    uint64 `json:"rejected"`
+	BadRequests uint64 `json:"bad_requests"`
+	Errors      uint64 `json:"errors"`
+
+	// Frame cache effectiveness. Coalesced counts misses served from a
+	// concurrent identical render instead of a duplicate job.
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	CachedFrames int    `json:"cached_frames"`
+	Coalesced    uint64 `json:"coalesced"`
+
+	// Render throughput. DeadlineMisses counts served frames whose
+	// measured time exceeded their deadline (the model's admission was
+	// too optimistic — exactly what calibration feedback corrects).
+	FramesRendered     uint64  `json:"frames_rendered"`
+	RenderSecondsTotal float64 `json:"render_seconds_total"`
+	DeadlineMisses     uint64  `json:"deadline_misses"`
+	QueueFull          uint64  `json:"queue_full"`
+	QueueDepth         int     `json:"queue_depth"`
+	RunnersLive        int     `json:"runners_live"`
+
+	// Calibration feedback.
+	ObservationsQueued  uint64 `json:"observations_queued"`
+	ObservationsDropped uint64 `json:"observations_dropped"`
+	ObservationsSkipped uint64 `json:"observations_skipped"`
+	Refits              uint64 `json:"refits"`
+}
+
+// Stats snapshots the serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Admitted:            s.stats.admitted.Load(),
+		Degraded:            s.stats.degraded.Load(),
+		Rejected:            s.stats.rejected.Load(),
+		BadRequests:         s.stats.badRequests.Load(),
+		Errors:              s.stats.errors.Load(),
+		CacheHits:           s.stats.cacheHits.Load(),
+		CacheMisses:         s.stats.cacheMisses.Load(),
+		CachedFrames:        s.frames.Len(),
+		Coalesced:           s.stats.coalesced.Load(),
+		FramesRendered:      s.stats.framesRendered.Load(),
+		RenderSecondsTotal:  float64(s.stats.renderNanos.Load()) / 1e9,
+		DeadlineMisses:      s.stats.deadlineMisses.Load(),
+		QueueFull:           s.stats.queueFull.Load(),
+		QueueDepth:          s.sched.depth(),
+		RunnersLive:         s.runners.Len(),
+		ObservationsQueued:  s.stats.observationsQueued.Load(),
+		ObservationsDropped: s.stats.observationsDropped.Load(),
+		ObservationsSkipped: s.stats.observationsSkipped.Load(),
+		Refits:              s.stats.refits.Load(),
+	}
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+
+	"insitu/internal/registry"
+	"insitu/internal/study"
+)
+
+// OpenRegistry loads a model snapshot into a fresh registry, shared by
+// the serving binaries (advisord, renderd). With bootstrap set and the
+// file absent, it runs a short measurement study on this machine, fits
+// the models, persists the snapshot when a path was given, and serves
+// that — the single-command path from nothing to a live model-gated
+// service.
+func OpenRegistry(path string, bootstrap bool, cacheSize int, logf func(format string, args ...any)) (*registry.Registry, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	reg := registry.New(cacheSize)
+	if path != "" {
+		err := reg.LoadFile(path)
+		if err == nil {
+			return reg, nil
+		}
+		if !bootstrap || !os.IsNotExist(err) {
+			return nil, fmt.Errorf("serve: loading registry: %w", err)
+		}
+	}
+	if !bootstrap {
+		return nil, fmt.Errorf("serve: a registry file is required (or pass bootstrap)")
+	}
+	logf("bootstrapping: running a short measurement study...")
+	plan := study.Plan(true)
+	rows, err := study.Run(plan, os.Stderr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: bootstrap study: %w", err)
+	}
+	snap, err := study.FitSnapshot(rows, "bootstrap")
+	if err != nil {
+		return nil, fmt.Errorf("serve: bootstrap fit: %w", err)
+	}
+	if path != "" {
+		if err := snap.WriteFile(path); err != nil {
+			return nil, err
+		}
+		logf("bootstrap registry written to %s", path)
+		if err := reg.LoadFile(path); err != nil {
+			return nil, err
+		}
+		return reg, nil
+	}
+	if err := reg.Load(snap); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+	"time"
+
+	"insitu/internal/framebuffer"
+)
+
+// ErrQueueFull reports a render queue at capacity; clients should retry
+// later (HTTP layers map it to 503).
+var ErrQueueFull = errors.New("serve: render queue full")
+
+// ErrClosed reports a server that has stopped accepting work.
+var ErrClosed = errors.New("serve: server closed")
+
+// workerState is the per-worker scratch that persists across jobs: the
+// PNG encoder's staging image and compression buffers stay warm, so
+// steady-state frame encoding allocates only the output bytes.
+type workerState struct {
+	enc framebuffer.PNGEncoder
+}
+
+// job is one queued render with its absolute deadline (zero time means
+// no deadline and sorts last) and a FIFO tiebreaker.
+type job struct {
+	deadline time.Time
+	seq      uint64
+	run      func(ws *workerState)
+}
+
+// jobHeap orders jobs earliest-deadline-first.
+type jobHeap []*job
+
+func (h jobHeap) Len() int { return len(h) }
+func (h jobHeap) Less(i, j int) bool {
+	di, dj := h[i].deadline, h[j].deadline
+	switch {
+	case di.IsZero() && dj.IsZero():
+		return h[i].seq < h[j].seq
+	case di.IsZero():
+		return false
+	case dj.IsZero():
+		return true
+	case di.Equal(dj):
+		return h[i].seq < h[j].seq
+	default:
+		return di.Before(dj)
+	}
+}
+func (h jobHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *jobHeap) Push(x any)   { *h = append(*h, x.(*job)) }
+func (h *jobHeap) Pop() any {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return j
+}
+
+// scheduler is a bounded worker pool executing jobs in
+// earliest-deadline-first order: under contention the frame closest to
+// missing its deadline renders next, which is the schedule that
+// minimizes deadline misses when the admission controller has already
+// verified each job fits on its own.
+type scheduler struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     jobHeap
+	queueCap int
+	seq      uint64
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+func newScheduler(workers, queueCap int) *scheduler {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	s := &scheduler{queueCap: queueCap}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// submit enqueues a job; a zero deadline means "whenever" (sorted after
+// every deadlined job).
+func (s *scheduler) submit(deadline time.Time, run func(ws *workerState)) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(s.jobs) >= s.queueCap {
+		return ErrQueueFull
+	}
+	s.seq++
+	heap.Push(&s.jobs, &job{deadline: deadline, seq: s.seq, run: run})
+	s.cond.Signal()
+	return nil
+}
+
+// depth reports the queued (not yet running) job count.
+func (s *scheduler) depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.jobs)
+}
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	ws := &workerState{}
+	for {
+		s.mu.Lock()
+		for len(s.jobs) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.jobs) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.jobs).(*job)
+		s.mu.Unlock()
+		j.run(ws)
+	}
+}
+
+// close stops accepting jobs, drains the queue, and waits for workers.
+func (s *scheduler) close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}

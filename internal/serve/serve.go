@@ -1,0 +1,602 @@
+// Package serve is the render-serving subsystem: it operationalizes the
+// fitted performance models as admission control for a real rendering
+// service. Every frame request is costed by the advisor engine before
+// any pixel is touched — rejected with the prediction when no quality
+// fits the deadline, or degraded (resolution, geometry, ray tracing
+// workload) until the prediction fits — then scheduled
+// earliest-deadline-first on a bounded worker pool of persistent,
+// cached scenario FrameRunners, and served as PNG from an LRU frame
+// cache. Measured wall times feed back into the engine's observer, so
+// the traffic the scheduler admits continuously refits the very models
+// it admits with: the paper's predict → act → measure → refit loop in
+// one process.
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"insitu/internal/advisor"
+	"insitu/internal/conduit"
+	"insitu/internal/core"
+	"insitu/internal/device"
+	"insitu/internal/lru"
+	"insitu/internal/render"
+	"insitu/internal/scenario"
+	"insitu/internal/sim"
+	"insitu/internal/vecmath"
+)
+
+// FrameRequest is one frame a client wants rendered. The zero values of
+// optional fields pick documented defaults; DeadlineMillis <= 0 means
+// "no deadline" (admitted at the requested quality).
+type FrameRequest struct {
+	// Backend names the scenario rendering backend ("raytracer",
+	// "rasterizer", "volume", "volume-unstructured").
+	Backend core.Renderer `json:"backend"`
+	// Sim names the proxy simulation providing the data ("cloverleaf",
+	// "kripke", "lulesh"; default "kripke").
+	Sim string `json:"sim,omitempty"`
+	// N is the per-task data size (an N^3 block).
+	N int `json:"n"`
+	// Width and Height are the requested resolution (Height defaults to
+	// Width).
+	Width  int `json:"width"`
+	Height int `json:"height,omitempty"`
+	// Azimuth (degrees) and Zoom set the orbit camera (defaults 0, 1).
+	Azimuth float64 `json:"azimuth,omitempty"`
+	Zoom    float64 `json:"zoom,omitempty"`
+	// DeadlineMillis is the per-frame budget the prediction is gated
+	// against.
+	DeadlineMillis float64 `json:"deadline_ms,omitempty"`
+	// Arch is the device profile to render on (default the server's).
+	Arch string `json:"arch,omitempty"`
+}
+
+// FrameResult is one served frame. PNG aliases the cache entry; treat
+// it as read-only.
+type FrameResult struct {
+	PNG []byte
+	// Width, Height, N, RTWorkload are the served quality (equal to the
+	// request unless Degraded).
+	Width, Height, N int
+	RTWorkload       int
+	// PredictedSeconds is the admission-time prediction for the served
+	// quality; RenderSeconds the measured wall time of the frame's
+	// actual render (also set on cache hits, to the hit frame's
+	// original measurement).
+	PredictedSeconds float64
+	RenderSeconds    float64
+	CacheHit         bool
+	Degraded         bool
+	DegradeSteps     int
+}
+
+// Config tunes a Server. Zero values pick the documented defaults.
+type Config struct {
+	// Arch is the default device profile and model architecture.
+	Arch string // default "cpu"
+	// Workers bounds concurrent renders; QueueCap bounds waiting ones.
+	Workers  int // default 2
+	QueueCap int // default 64
+	// FrameCacheEntries bounds the encoded-frame LRU; AdmitCacheEntries
+	// the memoized admission decisions; RunnerCacheEntries the idle
+	// prepared runners kept warm.
+	FrameCacheEntries  int // default 256
+	AdmitCacheEntries  int // default 4096
+	RunnerCacheEntries int // default 8
+	// RunnerReuse amortizes one-time build costs over this many frames
+	// in predictions (runners are cached, so builds really are reused).
+	RunnerReuse int // default 100
+	// MinImageSize and MinN floor the degradation ladder; MaxImageSize
+	// and MaxN bound what a request may ask for at all.
+	MinImageSize int // default 64
+	MinN         int // default 8
+	MaxImageSize int // default 2048
+	MaxN         int // default 64
+	// ObserveQueue buffers measured samples for the engine's observer;
+	// 0 disables calibration feedback.
+	ObserveQueue int // default 256
+	// Logf, when non-nil, receives operational log lines.
+	Logf func(format string, args ...any)
+}
+
+// maxAzimuthDegrees and maxZoom bound the camera parameters a request
+// may carry: generous for any real orbit, small enough that the
+// millidegree key quantization stays far from int64 overflow.
+const (
+	maxAzimuthDegrees = 1e6
+	maxZoom           = 1e6
+)
+
+func (c *Config) setDefaults() {
+	if c.Arch == "" {
+		c.Arch = "cpu"
+	}
+	if c.Workers < 1 {
+		c.Workers = 2
+	}
+	if c.QueueCap < 1 {
+		c.QueueCap = 64
+	}
+	if c.FrameCacheEntries == 0 {
+		c.FrameCacheEntries = 256
+	}
+	if c.AdmitCacheEntries == 0 {
+		c.AdmitCacheEntries = 4096
+	}
+	if c.RunnerCacheEntries < 1 {
+		c.RunnerCacheEntries = 8
+	}
+	if c.RunnerReuse < 1 {
+		c.RunnerReuse = 100
+	}
+	if c.MinImageSize < 1 {
+		c.MinImageSize = 64
+	}
+	if c.MinN < 4 {
+		c.MinN = 8
+	}
+	if c.MaxImageSize < 1 {
+		c.MaxImageSize = 2048
+	}
+	if c.MaxN < 4 {
+		c.MaxN = 64
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+}
+
+// frameKey identifies a served frame: who renders what, from where, at
+// which (possibly degraded) quality. Camera angles are quantized to
+// millidegrees so float noise cannot fragment the cache (normalize
+// bounds them, so the quantization cannot overflow).
+type frameKey struct {
+	arch      string
+	backend   core.Renderer
+	sim       string
+	azMilli   int64
+	zoomMilli int64
+	q         quality
+}
+
+// runnerKey identifies a prepared runner: the frame key minus the
+// camera. Geometry and acceleration structures are camera-independent
+// (FrameRunner.SetCamera repoints per frame), so an orbiting client
+// reuses one warm runner instead of re-preparing the scene per angle.
+type runnerKey struct {
+	arch    string
+	backend core.Renderer
+	sim     string
+	q       quality
+}
+
+// preparedRunner couples a cached runner with the scene bounds the
+// per-request orbit camera is derived from.
+type preparedRunner struct {
+	scenario.FrameRunner
+	bounds vecmath.AABB
+}
+
+// cachedFrame is one encoded frame plus the measurement that produced
+// it.
+type cachedFrame struct {
+	png           []byte
+	renderSeconds float64
+}
+
+// flight coalesces concurrent misses on one frame key: followers wait
+// for the leader's render instead of queueing a duplicate.
+type flight struct {
+	done chan struct{}
+	res  FrameResult
+	err  error
+}
+
+// Server is the render-serving subsystem: admission, scheduling,
+// caching, and calibration feedback behind one Render call.
+type Server struct {
+	engine *advisor.Engine
+	cfg    Config
+
+	sims     map[string]bool
+	profiles map[string]bool
+
+	admit   *lru.Cache[admitKey, decision]
+	frames  *lru.Cache[frameKey, cachedFrame]
+	runners *scenario.RunnerCache[runnerKey]
+	sched   *scheduler
+
+	flightMu sync.Mutex
+	flights  map[frameKey]*flight
+
+	obsCh     chan core.Sample
+	obsWG     sync.WaitGroup
+	obsMu     sync.Mutex
+	obsClosed bool
+
+	stats counters
+}
+
+// New builds a server over the engine. When the engine has an observer
+// configured (advisor.Engine.SetObserver) and cfg.ObserveQueue is not
+// negative, every served frame's measurement feeds the observer.
+func New(engine *advisor.Engine, cfg Config) *Server {
+	cfg.setDefaults()
+	s := &Server{
+		engine:   engine,
+		cfg:      cfg,
+		sims:     map[string]bool{},
+		profiles: map[string]bool{},
+		admit:    lru.New[admitKey, decision](cfg.AdmitCacheEntries),
+		frames:   lru.New[frameKey, cachedFrame](cfg.FrameCacheEntries),
+		runners:  scenario.NewRunnerCache[runnerKey](cfg.RunnerCacheEntries),
+		sched:    newScheduler(cfg.Workers, cfg.QueueCap),
+		flights:  map[frameKey]*flight{},
+	}
+	for _, name := range sim.Names() {
+		s.sims[name] = true
+	}
+	for _, name := range device.ProfileNames() {
+		s.profiles[name] = true
+	}
+	if cfg.ObserveQueue >= 0 {
+		q := cfg.ObserveQueue
+		if q == 0 {
+			q = 256
+		}
+		s.obsCh = make(chan core.Sample, q)
+		s.obsWG.Add(1)
+		go s.observeLoop()
+	}
+	return s
+}
+
+// Engine exposes the advisor engine gating admissions.
+func (s *Server) Engine() *advisor.Engine { return s.engine }
+
+// Close drains the scheduler, stops the calibration feed, and releases
+// cached runners (device worker pools).
+func (s *Server) Close() {
+	s.sched.close()
+	s.obsMu.Lock()
+	if s.obsCh != nil && !s.obsClosed {
+		s.obsClosed = true
+		close(s.obsCh)
+	}
+	s.obsMu.Unlock()
+	s.obsWG.Wait()
+	s.runners.Close()
+}
+
+// normalize validates the request and fills defaults in place. It
+// performs no heap allocation for valid requests — the zero-allocation
+// cache-hit path runs straight through it.
+func (s *Server) normalize(req *FrameRequest) error {
+	if req.Backend == "" {
+		return badRequestf("missing backend (registered: %v)", scenario.Names())
+	}
+	if req.Sim == "" {
+		req.Sim = "kripke"
+	}
+	if !s.sims[req.Sim] {
+		return badRequestf("unknown sim %q (have %v)", req.Sim, sim.Names())
+	}
+	if req.Arch == "" {
+		req.Arch = s.cfg.Arch
+	}
+	if !s.profiles[req.Arch] {
+		return badRequestf("unknown arch %q (have %v)", req.Arch, device.ProfileNames())
+	}
+	if req.N < 4 {
+		return badRequestf("n must be >= 4, got %d", req.N)
+	}
+	if req.N > s.cfg.MaxN {
+		return badRequestf("n %d exceeds the serving cap %d", req.N, s.cfg.MaxN)
+	}
+	if req.Width <= 0 {
+		return badRequestf("width must be positive, got %d", req.Width)
+	}
+	if req.Height <= 0 {
+		req.Height = req.Width
+	}
+	if req.Width > s.cfg.MaxImageSize || req.Height > s.cfg.MaxImageSize {
+		return badRequestf("image %dx%d exceeds the serving cap %d", req.Width, req.Height, s.cfg.MaxImageSize)
+	}
+	if req.Zoom == 0 {
+		req.Zoom = 1
+	}
+	// The bounds also guarantee the cache keys' millidegree quantization
+	// cannot overflow int64 (which would alias distinct cameras onto one
+	// cached frame).
+	if math.IsNaN(req.Azimuth) || math.Abs(req.Azimuth) > maxAzimuthDegrees {
+		return badRequestf("azimuth must be finite and within ±%g degrees", float64(maxAzimuthDegrees))
+	}
+	if math.IsNaN(req.Zoom) || req.Zoom <= 0 || req.Zoom > maxZoom {
+		return badRequestf("zoom must be in (0, %g]", float64(maxZoom))
+	}
+	if math.IsNaN(req.DeadlineMillis) || math.IsInf(req.DeadlineMillis, 0) {
+		return badRequestf("deadline_ms must be finite")
+	}
+	if req.DeadlineMillis < 0 {
+		return badRequestf("deadline_ms must be non-negative, got %v", req.DeadlineMillis)
+	}
+	return nil
+}
+
+// Render serves one frame: normalize, model-gated admission (memoized),
+// frame cache, and — on a miss — a deadline-scheduled render on the
+// worker pool. The cache-hit path performs zero heap allocations.
+func (s *Server) Render(req FrameRequest) (FrameResult, error) {
+	if err := s.normalize(&req); err != nil {
+		s.stats.badRequests.Add(1)
+		return FrameResult{}, err
+	}
+	backend, err := scenario.Lookup(req.Backend)
+	if err != nil {
+		s.stats.badRequests.Add(1)
+		return FrameResult{}, fmt.Errorf("%w: %s", ErrBadRequest, err)
+	}
+	if backend.NeedsStructured() && !sim.Structured(req.Sim) {
+		s.stats.badRequests.Add(1)
+		return FrameResult{}, badRequestf("%s needs a structured block; sim %q publishes an unstructured one", req.Backend, req.Sim)
+	}
+
+	// Admission: memoized per (arch, backend, n, resolution, deadline,
+	// model generation) so the steady-state gate is one LRU probe.
+	ak := admitKey{
+		arch: req.Arch, backend: req.Backend,
+		n: req.N, w: req.Width, h: req.Height,
+		deadlineNanos: deadlineNanos(req.DeadlineMillis),
+		gen:           s.engine.Registry().Generation(),
+	}
+	d, ok := s.admit.Get(ak)
+	if !ok {
+		spec, _ := core.LookupRenderer(req.Backend)
+		d, err = s.decide(&req, spec.Surface)
+		if err != nil {
+			s.stats.errors.Add(1)
+			return FrameResult{}, err
+		}
+		s.admit.Add(ak, d)
+	}
+	if !d.ok {
+		s.stats.rejected.Add(1)
+		return FrameResult{}, &RejectionError{
+			DeadlineSeconds:       req.DeadlineMillis / 1e3,
+			PredictedSeconds:      d.requestedPredicted,
+			FloorPredictedSeconds: d.predicted,
+			Steps:                 d.steps,
+		}
+	}
+	s.stats.admitted.Add(1)
+	if d.degraded {
+		s.stats.degraded.Add(1)
+	}
+
+	fk := frameKey{
+		arch: req.Arch, backend: req.Backend, sim: req.Sim,
+		azMilli:   int64(math.Round(req.Azimuth * 1e3)),
+		zoomMilli: int64(math.Round(req.Zoom * 1e3)),
+		q:         d.q,
+	}
+	if cf, ok := s.frames.Get(fk); ok {
+		s.stats.cacheHits.Add(1)
+		return FrameResult{
+			PNG:   cf.png,
+			Width: d.q.W, Height: d.q.H, N: d.q.N, RTWorkload: d.q.RTWorkload,
+			PredictedSeconds: d.predicted, RenderSeconds: cf.renderSeconds,
+			CacheHit: true, Degraded: d.degraded, DegradeSteps: d.steps,
+		}, nil
+	}
+	s.stats.cacheMisses.Add(1)
+	return s.renderMiss(req, d, fk)
+}
+
+// renderMiss coalesces concurrent identical misses and renders through
+// the deadline scheduler.
+func (s *Server) renderMiss(req FrameRequest, d decision, fk frameKey) (FrameResult, error) {
+	s.flightMu.Lock()
+	if f, ok := s.flights[fk]; ok {
+		s.flightMu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return FrameResult{}, f.err
+		}
+		res := f.res
+		res.CacheHit = true // served from the leader's render
+		s.stats.coalesced.Add(1)
+		return res, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[fk] = f
+	s.flightMu.Unlock()
+
+	f.res, f.err = s.renderScheduled(req, d, fk)
+	if f.err == nil {
+		s.frames.Add(fk, cachedFrame{png: f.res.PNG, renderSeconds: f.res.RenderSeconds})
+	}
+	s.flightMu.Lock()
+	delete(s.flights, fk)
+	s.flightMu.Unlock()
+	close(f.done)
+	return f.res, f.err
+}
+
+// renderScheduled queues the render with its absolute deadline and
+// waits for a worker.
+func (s *Server) renderScheduled(req FrameRequest, d decision, fk frameKey) (FrameResult, error) {
+	var deadline time.Time
+	if req.DeadlineMillis > 0 {
+		deadline = time.Now().Add(time.Duration(req.DeadlineMillis * float64(time.Millisecond)))
+	}
+	type outcome struct {
+		res FrameResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	err := s.sched.submit(deadline, func(ws *workerState) {
+		res, err := s.renderFrame(ws, &req, d, fk)
+		ch <- outcome{res, err}
+	})
+	if err != nil {
+		s.stats.queueFull.Add(1)
+		return FrameResult{}, err
+	}
+	out := <-ch
+	if out.err != nil {
+		s.stats.errors.Add(1)
+	}
+	return out.res, out.err
+}
+
+// renderFrame runs on a scheduler worker: lease the (cached) runner,
+// point its camera at this request's orbit position, render, encode,
+// and feed the measurement back to calibration.
+func (s *Server) renderFrame(ws *workerState, req *FrameRequest, d decision, fk frameKey) (FrameResult, error) {
+	rk := runnerKey{arch: req.Arch, backend: req.Backend, sim: req.Sim, q: d.q}
+	lease, err := s.runners.Acquire(rk, func() (scenario.FrameRunner, func(), error) {
+		return s.prepareRunner(req, d.q)
+	})
+	if err != nil {
+		return FrameResult{}, err
+	}
+	pr := lease.Runner().(*preparedRunner)
+	pr.SetCamera(render.OrbitCamera(pr.bounds, req.Azimuth, 20, req.Zoom))
+	in := core.Inputs{Pixels: float64(d.q.W * d.q.H), Tasks: 1}
+	elapsed, img, err := pr.RenderFrame(&in)
+	if err != nil {
+		lease.Release()
+		return FrameResult{}, fmt.Errorf("serve: rendering %s/%s: %w", req.Backend, req.Sim, err)
+	}
+	in.AvgAP = in.AP
+	build := pr.BuildSeconds()
+
+	var buf bytes.Buffer
+	encErr := ws.enc.Encode(&buf, img)
+	lease.Release()
+	if encErr != nil {
+		return FrameResult{}, fmt.Errorf("serve: encoding frame: %w", encErr)
+	}
+
+	wall := elapsed.Seconds()
+	s.stats.framesRendered.Add(1)
+	s.stats.renderNanos.Add(uint64(elapsed.Nanoseconds()))
+	if dl := req.DeadlineMillis / 1e3; dl > 0 && wall > dl {
+		s.stats.deadlineMisses.Add(1)
+	}
+	s.feedObservation(req, d.q, in, build, wall)
+
+	return FrameResult{
+		PNG:   buf.Bytes(),
+		Width: d.q.W, Height: d.q.H, N: d.q.N, RTWorkload: d.q.RTWorkload,
+		PredictedSeconds: d.predicted, RenderSeconds: wall,
+		Degraded: d.degraded, DegradeSteps: d.steps,
+	}, nil
+}
+
+// prepareRunner builds the scene — step the proxy one cycle, publish,
+// parse, orbit the camera — and hands it to the backend. The returned
+// close hook releases the scene's device worker pool when the runner
+// cache evicts the runner.
+func (s *Server) prepareRunner(req *FrameRequest, q quality) (scenario.FrameRunner, func(), error) {
+	backend, err := scenario.Lookup(req.Backend)
+	if err != nil {
+		return nil, nil, err
+	}
+	dev, err := device.Profile(req.Arch)
+	if err != nil {
+		return nil, nil, err
+	}
+	sm, err := sim.New(req.Sim, q.N, 1, 0)
+	if err != nil {
+		dev.Close()
+		return nil, nil, err
+	}
+	sm.Step()
+	node := conduit.NewNode()
+	sm.Publish(node)
+	pm, err := scenario.ParseMesh(node)
+	if err != nil {
+		dev.Close()
+		return nil, nil, err
+	}
+	vals, err := pm.FieldValues(sm.PrimaryField())
+	if err != nil {
+		dev.Close()
+		return nil, nil, err
+	}
+	bounds := pm.LocalBounds()
+	cam := render.OrbitCamera(bounds, req.Azimuth, 20, req.Zoom)
+	sc := scenario.NewScene(dev, pm, sm.PrimaryField(), vals, cam, q.W, q.H)
+	sc.RTWorkload = q.RTWorkload
+	runner, err := backend.Prepare(sc)
+	if err != nil {
+		dev.Close()
+		return nil, nil, fmt.Errorf("serve: preparing %s for sim %q: %w", req.Backend, req.Sim, err)
+	}
+	return &preparedRunner{FrameRunner: runner, bounds: bounds}, dev.Close, nil
+}
+
+// feedObservation queues the served frame's measurement for the
+// engine's observer. Frames rendered off the fitted ray tracing
+// workload are excluded: workload is not a model input, and feeding
+// derated frames would bias the refit.
+func (s *Server) feedObservation(req *FrameRequest, q quality, in core.Inputs, build, wall float64) {
+	if s.obsCh == nil || wall <= 0 {
+		return
+	}
+	if req.Backend == core.RayTrace && q.RTWorkload != 0 {
+		s.stats.observationsSkipped.Add(1)
+		return
+	}
+	sample := core.Sample{
+		Arch: req.Arch, Renderer: req.Backend,
+		In: in, BuildTime: build, RenderTime: wall,
+	}
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	if s.obsClosed {
+		return
+	}
+	select {
+	case s.obsCh <- sample:
+		s.stats.observationsQueued.Add(1)
+	default:
+		s.stats.observationsDropped.Add(1)
+	}
+}
+
+// observeLoop drains measured samples into the engine's observer in
+// small batches, off the render path.
+func (s *Server) observeLoop() {
+	defer s.obsWG.Done()
+	for sample := range s.obsCh {
+		batch := append(make([]core.Sample, 0, 8), sample)
+	drain:
+		for len(batch) < cap(batch) {
+			select {
+			case more, ok := <-s.obsCh:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		resp, err := s.engine.Observe(batch)
+		if err != nil {
+			s.cfg.Logf("serve: observe: %d samples rejected: %v", len(batch), err)
+			continue
+		}
+		if resp.Published {
+			s.stats.refits.Add(1)
+			s.cfg.Logf("serve: calibration published generation %d (corpus %d)", resp.Generation, resp.CorpusSize)
+		}
+	}
+}

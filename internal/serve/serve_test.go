@@ -1,0 +1,427 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"image/png"
+	"strings"
+	"testing"
+	"time"
+
+	"insitu/internal/advisor"
+	"insitu/internal/core"
+	"insitu/internal/registry"
+	"insitu/internal/study"
+)
+
+// testSnapshot hand-builds a model snapshot with plausible positive
+// coefficients. The serving layer is gated on predictions, not on fit
+// quality, so a synthetic snapshot keeps these tests off the slow
+// measurement path; the coefficients are sized so a 256^2 frame costs
+// tens of model-milliseconds and a 64^2 frame a few.
+func testSnapshot() *registry.Snapshot {
+	fit := func(coef ...float64) registry.FitDoc {
+		return registry.FitDoc{Coef: coef, R2: 0.99, N: 16, P: len(coef)}
+	}
+	build := fit(1e-8, 1e-5)
+	return &registry.Snapshot{
+		Version: registry.SnapshotVersion, Source: "serve-test", CreatedUnix: 1,
+		Mapping: registry.MappingDoc{FillFraction: 0.55, SPRBase: 373},
+		Models: []registry.ModelDoc{
+			{Arch: "serial", Renderer: string(core.RayTrace), Fit: fit(1e-7, 5e-8, 1e-4), BuildFit: &build},
+			{Arch: "serial", Renderer: string(core.Volume), Fit: fit(1e-8, 1e-9, 1e-4)},
+		},
+	}
+}
+
+func testRegistry(t testing.TB) *registry.Registry {
+	t.Helper()
+	reg := registry.New(1024)
+	if err := reg.Load(testSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// testServer builds a serving stack over the synthetic registry on the
+// serial device profile (deterministic, cheap).
+func testServer(t testing.TB, cfg Config) *Server {
+	t.Helper()
+	cfg.Arch = "serial"
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	s := New(advisor.New(testRegistry(t)), cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestDeadlineZeroAdmitsAtRequestedQuality: deadline 0 means "no
+// deadline" — the frame is admitted exactly as asked, rendered, and the
+// bytes decode as a PNG of the requested size.
+func TestDeadlineZeroAdmitsAtRequestedQuality(t *testing.T) {
+	s := testServer(t, Config{})
+	res, err := s.Render(FrameRequest{Backend: core.RayTrace, Sim: "kripke", N: 8, Width: 72})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Degraded || res.DegradeSteps != 0 {
+		t.Errorf("no-deadline request degraded: %+v", res)
+	}
+	if res.Width != 72 || res.Height != 72 || res.N != 8 {
+		t.Errorf("served quality %dx%d n=%d, want 72x72 n=8", res.Width, res.Height, res.N)
+	}
+	img, err := png.Decode(bytes.NewReader(res.PNG))
+	if err != nil {
+		t.Fatalf("served bytes are not a PNG: %v", err)
+	}
+	if b := img.Bounds(); b.Dx() != 72 || b.Dy() != 72 {
+		t.Errorf("PNG is %dx%d", b.Dx(), b.Dy())
+	}
+	if res.PredictedSeconds <= 0 || res.RenderSeconds <= 0 {
+		t.Errorf("missing timings: %+v", res)
+	}
+}
+
+// TestUnknownNamesAnswerBadRequest: unknown backends, sims, and archs
+// are client errors that name the registered alternatives.
+func TestUnknownNamesAnswerBadRequest(t *testing.T) {
+	s := testServer(t, Config{})
+	cases := []struct {
+		req  FrameRequest
+		want string
+	}{
+		{FrameRequest{Backend: "teapot", Sim: "kripke", N: 8, Width: 64}, string(core.RayTrace)},
+		{FrameRequest{Backend: core.RayTrace, Sim: "spice", N: 8, Width: 64}, "kripke"},
+		{FrameRequest{Backend: core.RayTrace, Sim: "kripke", N: 8, Width: 64, Arch: "abacus"}, "serial"},
+		// The structured-only volume renderer cannot eat the Lagrangian
+		// proxy's unstructured mesh.
+		{FrameRequest{Backend: core.Volume, Sim: "lulesh", N: 8, Width: 64}, "structured"},
+	}
+	for _, tc := range cases {
+		_, err := s.Render(tc.req)
+		if !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%+v: err = %v, want ErrBadRequest", tc.req, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%+v: error %q does not mention %q", tc.req, err, tc.want)
+		}
+	}
+	// A registered backend with no model in the snapshot is a 404-class
+	// error, not a 400.
+	_, err := s.Render(FrameRequest{Backend: core.Raster, Sim: "kripke", N: 8, Width: 64})
+	if !errors.Is(err, registry.ErrNoModel) {
+		t.Errorf("model-less backend: err = %v, want ErrNoModel", err)
+	}
+}
+
+// TestCacheHitReturnsIdenticalBytes: the second identical request is a
+// cache hit serving byte-identical PNG data.
+func TestCacheHitReturnsIdenticalBytes(t *testing.T) {
+	s := testServer(t, Config{})
+	req := FrameRequest{Backend: core.Volume, Sim: "kripke", N: 8, Width: 64}
+	first, err := s.Render(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first render was a cache hit")
+	}
+	second, err := s.Render(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("second render missed the cache")
+	}
+	if !bytes.Equal(first.PNG, second.PNG) {
+		t.Fatal("cache hit served different bytes")
+	}
+	if second.RenderSeconds != first.RenderSeconds {
+		t.Errorf("cache hit lost the original measurement: %v vs %v", second.RenderSeconds, first.RenderSeconds)
+	}
+	st := s.Stats()
+	if st.CacheHits != 1 || st.CacheMisses != 1 || st.FramesRendered != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+}
+
+// TestTightDeadlineDegrades: a deadline between the floor-quality and
+// requested-quality predictions is admitted only after degradation.
+func TestTightDeadlineDegrades(t *testing.T) {
+	s := testServer(t, Config{})
+	req := FrameRequest{Backend: core.RayTrace, Sim: "kripke", N: 12, Width: 512}
+	full, err := s.predictQuality("serial", core.RayTrace, quality{W: 512, H: 512, N: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor, err := s.predictQuality("serial", core.RayTrace, quality{W: 64, H: 64, N: 8, RTWorkload: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if floor >= full {
+		t.Fatalf("degradation does not reduce predicted cost: floor %v, full %v", floor, full)
+	}
+	req.DeadlineMillis = (floor + (full-floor)/4) * 1e3
+	res, err := s.Render(req)
+	if err != nil {
+		t.Fatalf("degradable request rejected: %v", err)
+	}
+	if !res.Degraded || res.DegradeSteps == 0 {
+		t.Errorf("tight deadline served undegraded: %+v", res)
+	}
+	if res.Width >= 512 {
+		t.Errorf("resolution did not shrink: %d", res.Width)
+	}
+	if res.PredictedSeconds > req.DeadlineMillis/1e3 {
+		t.Errorf("admitted prediction %v exceeds deadline %v", res.PredictedSeconds, req.DeadlineMillis/1e3)
+	}
+}
+
+// TestImpossibleDeadlineRejectsWithPrediction: the degrade ladder
+// terminates and the refusal carries the model's predicted times.
+func TestImpossibleDeadlineRejectsWithPrediction(t *testing.T) {
+	s := testServer(t, Config{})
+	req := FrameRequest{
+		Backend: core.RayTrace, Sim: "kripke", N: 24, Width: 1024,
+		DeadlineMillis: 1e-6, // one nanosecond: nothing fits
+	}
+	done := make(chan struct{})
+	var res FrameResult
+	var err error
+	go func() {
+		res, err = s.Render(req)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("degrade ladder did not terminate")
+	}
+	var rej *RejectionError
+	if !errors.As(err, &rej) {
+		t.Fatalf("err = %v (%+v), want RejectionError", err, res)
+	}
+	if rej.PredictedSeconds <= 0 || rej.FloorPredictedSeconds <= 0 {
+		t.Errorf("rejection lacks predictions: %+v", rej)
+	}
+	if rej.FloorPredictedSeconds > rej.PredictedSeconds {
+		t.Errorf("floor prediction %v above requested prediction %v", rej.FloorPredictedSeconds, rej.PredictedSeconds)
+	}
+	if rej.Steps == 0 {
+		t.Errorf("ladder took no steps: %+v", rej)
+	}
+	if s.Stats().Rejected != 1 {
+		t.Errorf("stats: %+v", s.Stats())
+	}
+}
+
+// TestDegradedFramesSkipCalibration: frames rendered off the fitted ray
+// tracing workload must not reach the observer (workload is not a model
+// input), while baseline frames must.
+func TestDegradedFramesSkipCalibration(t *testing.T) {
+	reg := testRegistry(t)
+	engine := advisor.New(reg)
+	cal := &study.Calibrator{
+		Source: "serve-test", RefitEvery: 1000, // accumulate only
+		Publish: func(s *registry.Snapshot, _ uint64) error { return reg.Publish(s) },
+	}
+	engine.SetObserver(cal)
+	s := New(engine, Config{Arch: "serial", Logf: t.Logf})
+	defer s.Close()
+
+	if _, err := s.Render(FrameRequest{Backend: core.Volume, Sim: "kripke", N: 8, Width: 64}); err != nil {
+		t.Fatal(err)
+	}
+	// Force the workload-1 floor: minimum quality everywhere, deadline
+	// between the derated and underated floor predictions.
+	floorBase, err := s.predictQuality("serial", core.RayTrace, quality{W: 64, H: 64, N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := FrameRequest{
+		Backend: core.RayTrace, Sim: "kripke", N: 8, Width: 64,
+		DeadlineMillis: floorBase * workload1Derate * 1.5 * 1e3,
+	}
+	if req.DeadlineMillis/1e3 >= floorBase {
+		t.Fatalf("test deadline %v does not force the workload floor (base %v)", req.DeadlineMillis/1e3, floorBase)
+	}
+	res, err := s.Render(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RTWorkload != 1 {
+		t.Fatalf("expected the workload-1 floor, got %+v", res)
+	}
+	// Wait for the volume observation to drain; the raytrace frame must
+	// have been skipped.
+	deadline := time.Now().Add(5 * time.Second)
+	for cal.CorpusSize() < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := cal.CorpusSize(); got != 1 {
+		t.Errorf("calibrator corpus = %d, want 1 (volume only)", got)
+	}
+	if st := s.Stats(); st.ObservationsSkipped != 1 {
+		t.Errorf("observations skipped = %d, want 1", st.ObservationsSkipped)
+	}
+}
+
+// TestServedFrameRefitsModels is the closed loop in one process: a
+// served frame's measurement reaches the calibrator and bumps the
+// registry generation, and the next admission is gated by the refitted
+// models (the admission memo is generation-keyed).
+func TestServedFrameRefitsModels(t *testing.T) {
+	reg := testRegistry(t)
+	engine := advisor.New(reg)
+	engine.SetObserver(&study.Calibrator{
+		Source: "serve-refit", RefitEvery: 1,
+		Base: func() (*registry.Snapshot, uint64) {
+			v, err := reg.View()
+			if err != nil {
+				return nil, reg.Generation()
+			}
+			return v.Snapshot(), v.Generation()
+		},
+		Publish: func(s *registry.Snapshot, baseGen uint64) error {
+			return reg.PublishIf(s, baseGen)
+		},
+	})
+	s := New(engine, Config{Arch: "serial", Logf: t.Logf})
+	defer s.Close()
+
+	gen0 := reg.Generation()
+	// Distinct cameras force real renders (cache misses), and the
+	// volume fit needs >= 4 samples before the calibrator publishes.
+	for i := 0; i < 6; i++ {
+		req := FrameRequest{
+			Backend: core.Volume, Sim: "kripke",
+			N: 8 + (i%3)*2, Width: 48 + 16*(i%2), Azimuth: float64(10 * i),
+		}
+		if _, err := s.Render(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for reg.Generation() == gen0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if reg.Generation() == gen0 {
+		t.Fatalf("served frames never republished the models (stats: %+v)", s.Stats())
+	}
+	snap := reg.Snapshot()
+	if snap.Source != "serve-refit" {
+		t.Errorf("serving snapshot source %q", snap.Source)
+	}
+	if s.Stats().Refits == 0 {
+		t.Errorf("refit counter not bumped: %+v", s.Stats())
+	}
+	// The refitted registry still serves the untouched raytracer model
+	// (carried over by the calibrator's merge).
+	if _, err := s.Render(FrameRequest{Backend: core.RayTrace, Sim: "kripke", N: 8, Width: 48}); err != nil {
+		t.Errorf("carried-over model gone after refit: %v", err)
+	}
+}
+
+// TestQueueFullAnswersBackpressure: a zero-capacity-ish queue with a
+// blocked worker refuses overflow with ErrQueueFull instead of queueing
+// unboundedly.
+func TestQueueFullAnswersBackpressure(t *testing.T) {
+	sched := newScheduler(1, 1)
+	defer sched.close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := sched.submit(time.Time{}, func(*workerState) { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if err := sched.submit(time.Time{}, func(*workerState) {}); err != nil {
+		t.Fatalf("first queued job refused: %v", err)
+	}
+	if err := sched.submit(time.Time{}, func(*workerState) {}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow err = %v, want ErrQueueFull", err)
+	}
+	close(block)
+}
+
+// TestSchedulerEDFOrder: queued jobs run earliest-deadline-first with
+// no-deadline jobs last, regardless of submission order.
+func TestSchedulerEDFOrder(t *testing.T) {
+	sched := newScheduler(1, 16)
+	defer sched.close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := sched.submit(time.Time{}, func(*workerState) { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	var mu struct {
+		ch chan string
+	}
+	mu.ch = make(chan string, 8)
+	now := time.Now()
+	submit := func(name string, deadline time.Time) {
+		if err := sched.submit(deadline, func(*workerState) { mu.ch <- name }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	submit("none", time.Time{})
+	submit("late", now.Add(3*time.Second))
+	submit("early", now.Add(1*time.Second))
+	submit("mid", now.Add(2*time.Second))
+	close(block)
+
+	want := []string{"early", "mid", "late", "none"}
+	for _, w := range want {
+		select {
+		case got := <-mu.ch:
+			if got != w {
+				t.Fatalf("ran %q, want %q", got, w)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("job %q never ran", w)
+		}
+	}
+}
+
+// TestSubNanosecondDeadlineDoesNotAliasNoDeadline: the admission memo
+// quantizes deadlines; a positive-but-tiny deadline must not share the
+// deadline=0 ("no deadline") key, or the cached unbounded admission
+// would answer an impossible request.
+func TestSubNanosecondDeadlineDoesNotAliasNoDeadline(t *testing.T) {
+	s := testServer(t, Config{})
+	req := FrameRequest{Backend: core.Volume, Sim: "kripke", N: 8, Width: 64}
+	if _, err := s.Render(req); err != nil {
+		t.Fatal(err)
+	}
+	req.DeadlineMillis = 1e-9
+	_, err := s.Render(req)
+	var rej *RejectionError
+	if !errors.As(err, &rej) {
+		t.Fatalf("tiny deadline after cached no-deadline admission: err = %v, want rejection", err)
+	}
+}
+
+// TestInvalidRequestsRejected covers the remaining validation edges.
+func TestInvalidRequestsRejected(t *testing.T) {
+	s := testServer(t, Config{})
+	bad := []FrameRequest{
+		{Sim: "kripke", N: 8, Width: 64},                              // no backend
+		{Backend: core.RayTrace, N: 0, Width: 64},                     // n too small
+		{Backend: core.RayTrace, N: 8, Width: 0},                      // no width
+		{Backend: core.RayTrace, N: 8, Width: 64, DeadlineMillis: -5}, // negative deadline
+		{Backend: core.RayTrace, N: 8, Width: 1 << 20},                // over the size cap
+		{Backend: core.RayTrace, N: 1 << 20, Width: 64},               // over the n cap
+		{Backend: core.RayTrace, N: 8, Width: 64, Zoom: -1},           // bad camera
+	}
+	for _, req := range bad {
+		if _, err := s.Render(req); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%+v: err = %v, want ErrBadRequest", req, err)
+		}
+	}
+	if st := s.Stats(); st.BadRequests != uint64(len(bad)) {
+		t.Errorf("bad request counter = %d, want %d", st.BadRequests, len(bad))
+	}
+}
