@@ -4,7 +4,7 @@ GO ?= go
 
 # bench-json output file; committed per PR (BENCH_4.json, BENCH_5.json,
 # ...) so benchmark trajectories survive across sessions.
-BENCH_JSON ?= BENCH_5.json
+BENCH_JSON ?= BENCH_6.json
 
 .PHONY: all build test race vet fmt bench bench-json cover ci clean
 
@@ -40,6 +40,7 @@ bench:
 	$(GO) test -run '^$$' -bench BenchmarkScenarioDispatch -benchtime 1x ./internal/scenario/
 	$(GO) test -run '^$$' -bench 'BenchmarkStudySmallPlan|BenchmarkPlanGeneration' -benchtime 1x ./internal/study/
 	$(GO) test -run '^$$' -bench BenchmarkRenderd -benchtime 1x ./internal/serve/
+	$(GO) test -run '^$$' -bench BenchmarkClusterThroughput -benchtime 1x ./internal/cluster/
 
 # bench-json records the render, dispatch, small-plan study, and
 # renderd serving-path benchmarks (ns/op + allocs/op via -benchmem) as
@@ -53,8 +54,9 @@ bench-json:
 	@$(GO) test -run '^$$' -bench BenchmarkScenarioDispatch -benchtime 10x -benchmem ./internal/scenario/ > $(BENCH_JSON).dispatch.tmp
 	@$(GO) test -run '^$$' -bench 'BenchmarkStudySmallPlan|BenchmarkPlanGeneration' -benchtime 3x -benchmem ./internal/study/ > $(BENCH_JSON).study.tmp
 	@$(GO) test -run '^$$' -bench BenchmarkRenderd -benchtime 2s -benchmem ./internal/serve/ > $(BENCH_JSON).serve.tmp
-	@cat $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp $(BENCH_JSON).serve.tmp | $(GO) run ./tools/benchjson > $(BENCH_JSON)
-	@rm -f $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp $(BENCH_JSON).serve.tmp
+	@$(GO) test -run '^$$' -bench BenchmarkClusterThroughput -benchtime 2s -benchmem ./internal/cluster/ > $(BENCH_JSON).cluster.tmp
+	@cat $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp $(BENCH_JSON).serve.tmp $(BENCH_JSON).cluster.tmp | $(GO) run ./tools/benchjson > $(BENCH_JSON)
+	@rm -f $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp $(BENCH_JSON).serve.tmp $(BENCH_JSON).cluster.tmp
 	@echo "wrote $(BENCH_JSON)"
 
 # cover runs the test suite with coverage and prints a per-function

@@ -24,7 +24,7 @@ func runLoadgen(target, regPath string, bootstrap bool, cacheSize int, arch stri
 		// Calibration stays off: a benchmark must not refit the served
 		// models from its own synthetic mix, and must never rewrite the
 		// user's registry file.
-		srv, err := buildServer(regPath, bootstrap, cacheSize, false, 8, serve.Config{
+		srv, _, err := buildServer(regPath, bootstrap, cacheSize, false, 8, 0, serve.Config{
 			Arch: arch, Logf: func(string, ...any) {},
 		})
 		if err != nil {

@@ -9,16 +9,24 @@
 // frame's measured wall time feeds back into continuous calibration,
 // so serving traffic refits the models that gate it.
 //
+// With -cluster N the process additionally hosts an in-process worker
+// fleet of N ranks: requests carrying shards=k are partitioned across k
+// ranks (weak scaling, one N^3 block each), rendered in parallel, and
+// composited sort-last into one frame, with the fitted compositing model
+// (the paper's Tc) charged at admission and refitted from the measured
+// compositing times.
+//
 //	GET  /healthz     liveness, model count, registry generation
 //	GET  /v1/frame    render (query: backend, sim, n, size, deadline_ms,
-//	                  azimuth, zoom, arch) -> image/png
+//	                  azimuth, zoom, arch, shards) -> image/png
 //	POST /v1/frame    same as JSON body
 //	GET  /v1/models   served models + calibration generation
-//	GET  /v1/metrics  admission/cache/scheduler/calibration counters
+//	GET  /v1/metrics  admission/cache/scheduler/calibration/cluster counters
 //
 // Usage:
 //
 //	renderd -registry repro_out/models.json [-addr :8090]
+//	renderd -registry models.json -cluster 4     # sharded serving
 //	renderd -bootstrap [-registry models.json]   # measure-fit-serve
 //	renderd -loadgen [-target URL] [-duration 10s] [-concurrency 8]
 package main
@@ -35,6 +43,7 @@ import (
 	"time"
 
 	"insitu/internal/advisor"
+	"insitu/internal/cluster"
 	"insitu/internal/registry"
 	"insitu/internal/serve"
 	"insitu/internal/study"
@@ -53,6 +62,7 @@ func main() {
 		queue      = flag.Int("queue", 64, "render queue capacity (EDF-ordered)")
 		frames     = flag.Int("frame-cache", 256, "encoded-frame LRU entries")
 		runners    = flag.Int("runners", 8, "idle prepared renderers kept warm")
+		clusterN   = flag.Int("cluster", 0, "worker ranks for sharded frames (0 = single-process serving only)")
 
 		loadgenMode = flag.Bool("loadgen", false, "run the load generator instead of serving")
 		target      = flag.String("target", "", "loadgen: base URL of a running renderd (default: in-process server)")
@@ -68,13 +78,18 @@ func main() {
 		return
 	}
 
-	srv, err := buildServer(*regPath, *bootstrap, *cacheSize, *calibrate, *refitEvery, serve.Config{
+	srv, fleet, err := buildServer(*regPath, *bootstrap, *cacheSize, *calibrate, *refitEvery, *clusterN, serve.Config{
 		Arch: *arch, Workers: *workers, QueueCap: *queue,
 		FrameCacheEntries: *frames, RunnerCacheEntries: *runners,
 		Logf: log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	// Deferred in reverse: the server drains in-flight frames before the
+	// fleet it dispatches them to goes away.
+	if fleet != nil {
+		defer fleet.Close()
 	}
 	defer srv.Close()
 
@@ -109,11 +124,13 @@ func main() {
 }
 
 // buildServer assembles the full serving stack: registry, advisor
-// engine, calibrator (when enabled), and the render-serving subsystem.
-func buildServer(regPath string, bootstrap bool, cacheSize int, calibrate bool, refitEvery int, cfg serve.Config) (*serve.Server, error) {
+// engine, calibrator (when enabled), optional worker fleet for sharded
+// frames, and the render-serving subsystem. The returned cluster (nil
+// when clusterN is 0) must be closed after the server.
+func buildServer(regPath string, bootstrap bool, cacheSize int, calibrate bool, refitEvery, clusterN int, cfg serve.Config) (*serve.Server, *cluster.Cluster, error) {
 	reg, err := serve.OpenRegistry(regPath, bootstrap, cacheSize, log.Printf)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	snap := reg.Snapshot()
 	log.Printf("registry: %d models (source %q, archs %v)", len(snap.Models), snap.Source, reg.Archs())
@@ -125,7 +142,16 @@ func buildServer(regPath string, bootstrap bool, cacheSize int, calibrate bool, 
 	} else {
 		cfg.ObserveQueue = -1
 	}
-	return serve.New(engine, cfg), nil
+	var fleet *cluster.Cluster
+	if clusterN > 0 {
+		fleet, err = cluster.New(reg, clusterN)
+		if err != nil {
+			return nil, nil, err
+		}
+		cfg.Cluster = fleet
+		log.Printf("cluster mode: %d worker ranks (requests may shard up to %d ways)", clusterN, clusterN)
+	}
+	return serve.New(engine, cfg), fleet, nil
 }
 
 // newCalibrator builds the same continuous-calibration loop advisord

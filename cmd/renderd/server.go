@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"insitu/internal/advisor"
@@ -91,6 +92,16 @@ func (s *webServer) serveFrame(w http.ResponseWriter, req serve.FrameRequest) {
 	h.Set("X-Renderd-Quality", fmt.Sprintf("%dx%d n=%d wl=%d", res.Width, res.Height, res.N, res.RTWorkload))
 	h.Set("X-Renderd-Predicted-Seconds", strconv.FormatFloat(res.PredictedSeconds, 'g', 6, 64))
 	h.Set("X-Renderd-Render-Seconds", strconv.FormatFloat(res.RenderSeconds, 'g', 6, 64))
+	h.Set("X-Renderd-Shards", strconv.Itoa(res.Shards))
+	if res.Shards > 1 {
+		h.Set("X-Renderd-Composite-Seconds", strconv.FormatFloat(res.CompositeSeconds, 'g', 6, 64))
+		h.Set("X-Renderd-Predicted-Composite-Seconds", strconv.FormatFloat(res.PredictedCompositeSeconds, 'g', 6, 64))
+		ranks := make([]string, len(res.RankRenderSeconds))
+		for i, sec := range res.RankRenderSeconds {
+			ranks[i] = strconv.FormatFloat(sec, 'g', 6, 64)
+		}
+		h.Set("X-Renderd-Rank-Render-Seconds", strings.Join(ranks, ","))
+	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(res.PNG)
 }
@@ -151,6 +162,7 @@ func (s *webServer) handleFrameGet(w http.ResponseWriter, r *http.Request) {
 	var size int
 	if !intArg("n", &req.N) || !intArg("size", &size) ||
 		!intArg("width", &req.Width) || !intArg("height", &req.Height) ||
+		!intArg("shards", &req.Shards) ||
 		!floatArg("azimuth", &req.Azimuth) || !floatArg("zoom", &req.Zoom) ||
 		!floatArg("deadline_ms", &req.DeadlineMillis) {
 		return

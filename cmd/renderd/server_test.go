@@ -35,6 +35,9 @@ func testSnapshotFile(t *testing.T) string {
 			{Arch: "serial", Renderer: string(core.RayTrace), Fit: fit(1e-7, 5e-8, 1e-4), BuildFit: &build},
 			{Arch: "serial", Renderer: string(core.Volume), Fit: fit(1e-8, 1e-9, 1e-4)},
 		},
+		Compositing: &registry.ModelDoc{
+			Arch: "all", Renderer: string(core.Compositing), Fit: fit(1e-9, 1e-9, 1e-4),
+		},
 	}
 	path := filepath.Join(t.TempDir(), "models.json")
 	if err := snap.WriteFile(path); err != nil {
@@ -46,12 +49,21 @@ func testSnapshotFile(t *testing.T) string {
 // startRenderd builds the full one-process stack — registry, engine,
 // calibrator, serving subsystem, HTTP layer — exactly as main does.
 func startRenderd(t *testing.T, refitEvery int) (*httptest.Server, *serve.Server) {
+	return startRenderdCluster(t, refitEvery, 0)
+}
+
+// startRenderdCluster is startRenderd with -cluster N: the same stack
+// plus an in-process worker fleet for sharded frames.
+func startRenderdCluster(t *testing.T, refitEvery, clusterN int) (*httptest.Server, *serve.Server) {
 	t.Helper()
-	srv, err := buildServer(testSnapshotFile(t), false, 1024, true, refitEvery, serve.Config{
+	srv, fleet, err := buildServer(testSnapshotFile(t), false, 1024, true, refitEvery, clusterN, serve.Config{
 		Arch: "serial", Workers: 2, Logf: t.Logf,
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if fleet != nil {
+		t.Cleanup(fleet.Close)
 	}
 	t.Cleanup(srv.Close)
 	ts := httptest.NewServer(newWebServer(srv).handler())
@@ -203,6 +215,76 @@ func TestRenderdClosedLoop(t *testing.T) {
 	}
 	if mb.Generation != models.Generation {
 		t.Errorf("metrics generation %d, models %d", mb.Generation, models.Generation)
+	}
+}
+
+// TestRenderdClusterMode exercises the -cluster topology over HTTP: a
+// sharded request serves a PNG with the compositing headers, the shard
+// count is part of the frame's cache identity, /v1/metrics carries the
+// fleet counters, and sharding without a fleet is a client error.
+func TestRenderdClusterMode(t *testing.T) {
+	ts, _ := startRenderdCluster(t, 1000, 3)
+
+	resp, body := getFrame(t, ts, "backend=volume&sim=kripke&n=8&size=48&shards=3")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sharded frame status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Renderd-Shards"); got != "3" {
+		t.Errorf("X-Renderd-Shards = %q, want 3", got)
+	}
+	if resp.Header.Get("X-Renderd-Composite-Seconds") == "" ||
+		resp.Header.Get("X-Renderd-Predicted-Composite-Seconds") == "" {
+		t.Errorf("compositing headers missing: %+v", resp.Header)
+	}
+	if ranks := strings.Split(resp.Header.Get("X-Renderd-Rank-Render-Seconds"), ","); len(ranks) != 3 {
+		t.Errorf("X-Renderd-Rank-Render-Seconds = %q, want 3 entries", resp.Header.Get("X-Renderd-Rank-Render-Seconds"))
+	}
+	if _, err := png.Decode(bytes.NewReader(body)); err != nil {
+		t.Fatalf("sharded body is not a PNG: %v", err)
+	}
+
+	// The unsharded variant of the same scene is a different frame: no
+	// cache hit, shard-free headers, different pixels.
+	respLocal, bodyLocal := getFrame(t, ts, "backend=volume&sim=kripke&n=8&size=48")
+	if respLocal.StatusCode != http.StatusOK {
+		t.Fatalf("local frame status %d: %s", respLocal.StatusCode, bodyLocal)
+	}
+	if respLocal.Header.Get("X-Renderd-Cache") != "miss" || respLocal.Header.Get("X-Renderd-Shards") != "1" {
+		t.Errorf("local request aliased the sharded frame: %+v", respLocal.Header)
+	}
+	if respLocal.Header.Get("X-Renderd-Composite-Seconds") != "" {
+		t.Errorf("local frame carries compositing headers: %+v", respLocal.Header)
+	}
+	if bytes.Equal(body, bodyLocal) {
+		t.Error("sharded and local frames served identical bytes")
+	}
+
+	// Repeating the sharded request hits its own cache entry.
+	respAgain, bodyAgain := getFrame(t, ts, "backend=volume&sim=kripke&n=8&size=48&shards=3")
+	if respAgain.Header.Get("X-Renderd-Cache") != "hit" || !bytes.Equal(body, bodyAgain) {
+		t.Error("repeat sharded request did not hit its cache entry")
+	}
+
+	var mb metricsBody
+	getJSON(t, ts, "/v1/metrics", &mb)
+	if mb.Serve.ClusterFrames != 1 || mb.Serve.ClusterShardsTotal != 3 {
+		t.Errorf("cluster counters: %+v", mb.Serve)
+	}
+	if mb.Serve.Cluster == nil || mb.Serve.Cluster.Workers != 3 {
+		t.Errorf("fleet stats: %+v", mb.Serve.Cluster)
+	}
+
+	// Oversharding the fleet is a 400.
+	resp, _ = getFrame(t, ts, "backend=volume&sim=kripke&n=8&size=48&shards=9")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversharded request status %d, want 400", resp.StatusCode)
+	}
+
+	// A fleet-less server refuses sharded requests outright.
+	tsLocal, _ := startRenderd(t, 1000)
+	resp, _ = getFrame(t, tsLocal, "backend=volume&sim=kripke&n=8&size=48&shards=2")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("sharded request without a fleet: status %d, want 400", resp.StatusCode)
 	}
 }
 

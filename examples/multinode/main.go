@@ -1,73 +1,122 @@
-// Multinode demonstrates distributed in situ rendering: eight simulated
-// MPI tasks each run a block of the transport proxy, render their sub-
-// domain, and composite with binary swap — the sort-last pipeline the
-// paper's multi-node model covers.
+// Multinode demonstrates the distributed renderd topology in one
+// process: a router rank fronts a fleet of worker ranks, shards each
+// frame's data across them (weak scaling, one N^3 block per rank),
+// renders the partials in parallel, and composites sort-last with
+// binary swap — the pipeline the paper's multi-node model covers, and
+// exactly what `renderd -cluster N` serves over HTTP.
+//
+// The walkthrough:
+//
+//  1. Load a model registry (synthetic here; `repro export` in real use)
+//     so the fleet has the fitted render and compositing (Tc) models.
+//  2. cluster.New(reg, workers) boots the fleet: worker rank loops over
+//     an in-process MPI-like world, the router on rank 0.
+//  3. Each Render call places the job's shards on distinct ranks by
+//     rendezvous hashing, replicates any new model snapshot first, then
+//     dispatches; the shard group renders and composites collectively
+//     and the router gets one finished frame.
+//  4. A model publish on the router is visible on every worker by the
+//     next frame — the closed calibration loop's distribution half.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
-	"insitu/internal/comm"
-	"insitu/internal/conduit"
-	"insitu/internal/framebuffer"
-	"insitu/internal/sim"
-	"insitu/internal/strawman"
+	"insitu/internal/cluster"
+	"insitu/internal/core"
+	"insitu/internal/registry"
+	"insitu/internal/scenario"
 )
 
 func main() {
-	tasks := flag.Int("tasks", 8, "simulated MPI tasks")
+	workers := flag.Int("workers", 4, "worker ranks in the fleet")
+	shards := flag.Int("shards", 3, "ranks each frame is sharded across")
 	size := flag.Int("size", 400, "image size")
-	n := flag.Int("n", 20, "grid points per axis per task")
-	renderer := flag.String("renderer", "volume", "raytracer, rasterizer, or volume")
+	n := flag.Int("n", 16, "grid points per axis per shard")
+	backend := flag.String("backend", "volume", "raytracer, rasterizer, volume, or volume-unstructured")
+	simName := flag.String("sim", "kripke", "proxy simulation (cloverleaf, kripke, lulesh)")
+	out := flag.String("out", "multinode.png", "output image path")
 	flag.Parse()
 
-	world := comm.NewWorld(*tasks)
-	images, err := comm.RunCollect(world, func(c *comm.Comm) (*framebuffer.Image, error) {
-		s, err := sim.New("kripke", *n, *tasks, c.Rank())
-		if err != nil {
-			return nil, err
-		}
-		for i := 0; i < 3; i++ {
-			s.Step()
-		}
-		opts := conduit.NewNode()
-		opts.Set("device", "cpu")
-		opts.SetExternal("mpi_comm", c)
-		sman, err := strawman.Open(opts)
-		if err != nil {
-			return nil, err
-		}
-		defer sman.Close()
+	// 1. Models. A fleet admits and composites by the fitted models, so
+	// it is built over a registry; here a small synthetic snapshot stands
+	// in for one exported by the measurement study.
+	reg := registry.New(64)
+	if err := reg.Load(demoSnapshot()); err != nil {
+		log.Fatal(err)
+	}
 
-		data := conduit.NewNode()
-		s.Publish(data)
-		if err := sman.Publish(data); err != nil {
-			return nil, err
-		}
-		actions := conduit.NewNode()
-		add := actions.Append()
-		add.Set("action", "add_plot")
-		add.Set("var", s.PrimaryField())
-		add.Set("renderer", *renderer)
-		save := actions.Append()
-		save.Set("action", "save_image")
-		save.Set("fileName", "multinode")
-		save.Set("width", *size)
-		save.Set("height", *size)
-		if err := sman.Execute(actions); err != nil {
-			return nil, err
-		}
-		return sman.LastImages["multinode"], nil
+	// 2. Boot the fleet: *workers* serial rank loops plus the router.
+	fleet, err := cluster.New(reg, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer fleet.Close()
+
+	// 3. Render one sharded frame. The router places the shards,
+	// replicates the registry snapshot to stale workers, dispatches, and
+	// returns the binary-swap composite of the partial renders.
+	res, err := fleet.Render(context.Background(), cluster.Job{
+		Backend: *backend, Sim: *simName, Arch: "serial",
+		N: *n, Width: *size, Height: *size,
+		Shards: *shards, Azimuth: 30, Zoom: 1,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%d tasks rendered and composited; bytes over the wire: %d\n",
-		*tasks, world.BytesSent())
-	if images[0] != nil {
-		fmt.Printf("composited image: %d active pixels -> multinode.png\n",
-			images[0].ActivePixels())
+	fmt.Printf("%d of %d ranks rendered %q/%s and composited %dx%d\n",
+		*shards, *workers, *backend, *simName, res.Image.W, res.Image.H)
+	fmt.Printf("  max rank render: %.4fs  composite (Tc): %.4fs  per rank: %v\n",
+		res.RenderSeconds, res.CompositeSeconds, fmtSeconds(res.RankRenderSeconds))
+
+	// 4. Replication: after the frame, every worker's registry replica is
+	// at the router's generation — a publish here reaches the fleet with
+	// the next dispatch.
+	st := fleet.Stats()
+	fmt.Printf("  fleet: %d frames, %d snapshots pushed, %d bytes over the wire, worker generations %v\n",
+		st.FramesDispatched, st.SnapshotsPushed, st.BytesSent, st.WorkerGenerations)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := res.Image.EncodePNG(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  wrote %s\n", *out)
+}
+
+func fmtSeconds(secs []float64) []string {
+	out := make([]string, len(secs))
+	for i, s := range secs {
+		out[i] = fmt.Sprintf("%.4fs", s)
+	}
+	return out
+}
+
+// demoSnapshot hand-builds a registry snapshot with plausible positive
+// coefficients for every backend plus the compositing model.
+func demoSnapshot() *registry.Snapshot {
+	fit := func(coef ...float64) registry.FitDoc {
+		return registry.FitDoc{Coef: coef, R2: 0.99, N: 16, P: len(coef)}
+	}
+	build := fit(1e-8, 1e-5)
+	return &registry.Snapshot{
+		Version: registry.SnapshotVersion, Source: "multinode-example", CreatedUnix: 1,
+		Mapping: registry.MappingDoc{FillFraction: 0.55, SPRBase: 373},
+		Models: []registry.ModelDoc{
+			{Arch: "serial", Renderer: string(core.RayTrace), Fit: fit(1e-7, 5e-8, 1e-4), BuildFit: &build},
+			{Arch: "serial", Renderer: string(core.Raster), Fit: fit(1e-9, 1e-8, 1e-4)},
+			{Arch: "serial", Renderer: string(core.Volume), Fit: fit(1e-8, 1e-9, 1e-4)},
+			{Arch: "serial", Renderer: string(scenario.VolumeUnstructured), Fit: fit(1e-9, 1e-9, 1e-4)},
+		},
+		Compositing: &registry.ModelDoc{
+			Arch: "all", Renderer: string(core.Compositing), Fit: fit(1e-9, 1e-9, 1e-4),
+		},
 	}
 }

@@ -1,0 +1,359 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"insitu/internal/comm"
+	"insitu/internal/core"
+	"insitu/internal/framebuffer"
+	"insitu/internal/registry"
+)
+
+// Job is one sharded frame order: which backend renders which simulation
+// block, how wide the domain decomposition is, and the view.
+type Job struct {
+	Backend    string // renderer name
+	Sim        string
+	Arch       string
+	N          int // per-shard grid size (weak scaling, as in the study)
+	Width      int
+	Height     int
+	Shards     int
+	RTWorkload int
+	Azimuth    float64
+	Zoom       float64
+}
+
+// Result is one finished cluster frame with the measurements serving and
+// calibration consume.
+type Result struct {
+	Image *framebuffer.Image
+	// In carries the reduced model inputs of the frame (Tasks = shard
+	// count), ready to pair with the measured times as a calibration
+	// sample.
+	In                core.Inputs
+	BuildSeconds      float64
+	RenderSeconds     float64 // slowest rank's local render, max(T_local)
+	CompositeSeconds  float64 // measured sort-last composite, the paper's Tc
+	RankRenderSeconds []float64
+}
+
+// Stats is a point-in-time view of cluster transport and replication
+// counters.
+type Stats struct {
+	Workers           int      `json:"workers"`
+	FramesDispatched  int64    `json:"frames_dispatched"`
+	BytesSent         int64    `json:"bytes_sent"`
+	MessagesSent      int64    `json:"messages_sent"`
+	SnapshotsPushed   int64    `json:"snapshots_pushed"`
+	SnapshotsAcked    int64    `json:"snapshots_acked"`
+	SnapshotErrors    int64    `json:"snapshot_errors"`
+	WorkerGenerations []uint64 `json:"worker_generations"`
+}
+
+// Cluster is the router side of a worker fleet: it owns rank 0 of an
+// in-process comm world whose other ranks run worker loops, places and
+// dispatches sharded frames, replicates registry snapshots, and routes
+// finished frames back to concurrent callers.
+type Cluster struct {
+	world   *comm.World
+	router  *comm.Comm
+	reg     *registry.Registry
+	workers int
+
+	// replicas[w] is worker w's registry replica: written by the worker
+	// loop, read by WorkerGenerations (the registry is internally
+	// locked). Index 0 is unused.
+	replicas []*registry.Registry
+	// lastGen[w] is the router generation last pushed to worker w,
+	// guarded by dispatchMu.
+	lastGen []uint64
+
+	// dispatchMu serializes job dispatch (and the snapshot pushes that
+	// precede it), establishing the global job order the deadlock-freedom
+	// argument in the package comment rests on.
+	dispatchMu sync.Mutex
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan *wireResultMsg
+
+	nextID atomic.Uint64
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	framesDispatched atomic.Int64
+	snapshotsPushed  atomic.Int64
+	snapshotsAcked   atomic.Int64
+	snapshotErrors   atomic.Int64
+}
+
+type wireResultMsg struct {
+	res *wireResult
+	img *framebuffer.Image
+}
+
+// New starts a fleet of workers wired to reg's models. The registry is
+// the router's source of truth; each worker gets its own replica, synced
+// on dispatch.
+func New(reg *registry.Registry, workers int) (*Cluster, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 worker, got %d", workers)
+	}
+	if reg == nil {
+		return nil, fmt.Errorf("cluster: nil registry")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	world := comm.NewWorld(workers + 1)
+	cl := &Cluster{
+		world:    world,
+		router:   world.Endpoint(0),
+		reg:      reg,
+		workers:  workers,
+		replicas: make([]*registry.Registry, workers+1),
+		lastGen:  make([]uint64, workers+1),
+		pending:  map[uint64]chan *wireResultMsg{},
+		ctx:      ctx,
+		cancel:   cancel,
+	}
+	for w := 1; w <= workers; w++ {
+		cl.replicas[w] = registry.New(0)
+		cl.wg.Add(2)
+		go cl.workerLoop(w)
+		go cl.demuxLoop(w)
+	}
+	return cl, nil
+}
+
+// Workers returns the fleet size.
+func (cl *Cluster) Workers() int { return cl.workers }
+
+// Close shuts the fleet down. Jobs already dispatched run to completion
+// (their results are dropped); callers should stop submitting first.
+func (cl *Cluster) Close() {
+	cl.cancel()
+	cl.wg.Wait()
+}
+
+// Stats snapshots the transport and replication counters.
+func (cl *Cluster) Stats() Stats {
+	return Stats{
+		Workers:           cl.workers,
+		FramesDispatched:  cl.framesDispatched.Load(),
+		BytesSent:         cl.world.BytesSent(),
+		MessagesSent:      cl.world.MessagesSent(),
+		SnapshotsPushed:   cl.snapshotsPushed.Load(),
+		SnapshotsAcked:    cl.snapshotsAcked.Load(),
+		SnapshotErrors:    cl.snapshotErrors.Load(),
+		WorkerGenerations: cl.WorkerGenerations(),
+	}
+}
+
+// WorkerGenerations returns each worker replica's registry generation, in
+// worker order — the observable form of snapshot replication.
+func (cl *Cluster) WorkerGenerations() []uint64 {
+	out := make([]uint64, cl.workers)
+	for w := 1; w <= cl.workers; w++ {
+		out[w-1] = cl.replicas[w].Generation()
+	}
+	return out
+}
+
+// Render dispatches one sharded frame and blocks until the composited
+// image arrives or ctx expires. Safe for concurrent use: dispatch is
+// serialized, execution overlaps across disjoint worker sets.
+func (cl *Cluster) Render(ctx context.Context, job Job) (*Result, error) {
+	members, err := placeShards(cl.workers, &job)
+	if err != nil {
+		return nil, err
+	}
+	id := cl.nextID.Add(1)
+	wj := wireJob{
+		JobID:   id,
+		Backend: job.Backend, Sim: job.Sim, Arch: job.Arch,
+		N: job.N, Width: job.Width, Height: job.Height,
+		Shards: job.Shards, RTWorkload: job.RTWorkload,
+		Azimuth: job.Azimuth, Zoom: job.Zoom,
+		Members: members,
+	}
+	msg, err := packJSON(&wj)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding job: %w", err)
+	}
+
+	ch := make(chan *wireResultMsg, 1)
+	cl.pendMu.Lock()
+	cl.pending[id] = ch
+	cl.pendMu.Unlock()
+	unregister := func() {
+		cl.pendMu.Lock()
+		delete(cl.pending, id)
+		cl.pendMu.Unlock()
+	}
+
+	// Dispatch atomically: snapshot sync first (FIFO links guarantee the
+	// job renders under the models current at dispatch), then the job to
+	// every member. All-or-nothing so a group can never form partially.
+	cl.dispatchMu.Lock()
+	cl.replicateLocked()
+	for _, w := range members {
+		if err := cl.router.SendCtx(cl.ctx, w, tagJob, msg); err != nil {
+			cl.dispatchMu.Unlock()
+			unregister()
+			return nil, fmt.Errorf("cluster: dispatch to worker %d: %w", w, err)
+		}
+	}
+	cl.framesDispatched.Add(1)
+	cl.dispatchMu.Unlock()
+
+	select {
+	case m := <-ch:
+		if m.res.Err != "" {
+			return nil, fmt.Errorf("cluster: %s", m.res.Err)
+		}
+		return &Result{
+			Image:             m.img,
+			In:                m.res.In,
+			BuildSeconds:      m.res.BuildSeconds,
+			RenderSeconds:     m.res.RenderSeconds,
+			CompositeSeconds:  m.res.CompositeSeconds,
+			RankRenderSeconds: m.res.RankRenderSeconds,
+		}, nil
+	case <-ctx.Done():
+		unregister()
+		return nil, ctx.Err()
+	case <-cl.ctx.Done():
+		unregister()
+		return nil, fmt.Errorf("cluster: closed while rendering")
+	}
+}
+
+// replicateLocked pushes the registry's current snapshot to every worker
+// whose last pushed generation is stale — every worker, not just the next
+// job's members, so the whole fleet answers model queries consistently.
+// Caller holds dispatchMu.
+func (cl *Cluster) replicateLocked() {
+	gen := cl.reg.Generation()
+	if gen == 0 {
+		return
+	}
+	snap := cl.reg.Snapshot()
+	if snap == nil {
+		return
+	}
+	var msg []float32
+	for w := 1; w <= cl.workers; w++ {
+		if cl.lastGen[w] == gen {
+			continue
+		}
+		if msg == nil {
+			b, err := snap.EncodeBytes()
+			if err != nil {
+				cl.snapshotErrors.Add(1)
+				return
+			}
+			if msg, err = packJSON(&wireSnapshot{Gen: gen, Snapshot: json.RawMessage(b)}); err != nil {
+				cl.snapshotErrors.Add(1)
+				return
+			}
+		}
+		if err := cl.router.SendCtx(cl.ctx, w, tagSnapshot, msg); err != nil {
+			return // shutting down
+		}
+		cl.lastGen[w] = gen
+		cl.snapshotsPushed.Add(1)
+	}
+}
+
+// workerLoop is worker w: it drains its router link serially, installing
+// snapshots and rendering jobs in arrival order. Serial processing is
+// load-bearing — see the deadlock-freedom argument in the package
+// comment.
+func (cl *Cluster) workerLoop(w int) {
+	defer cl.wg.Done()
+	e := cl.world.Endpoint(w)
+	st := newShardState(8, 4)
+	defer st.Close()
+	for {
+		tag, data, err := e.RecvAnyCtx(cl.ctx, 0)
+		if err != nil {
+			return // shutdown
+		}
+		switch tag {
+		case tagSnapshot:
+			var ws wireSnapshot
+			ack := wireAck{}
+			if _, err := unpackJSON(data, &ws); err != nil {
+				ack.Err = err.Error()
+			} else if snap, err := registry.DecodeBytes(ws.Snapshot); err != nil {
+				ack.Gen = ws.Gen
+				ack.Err = err.Error()
+			} else if err := cl.replicas[w].Load(snap); err != nil {
+				ack.Gen = ws.Gen
+				ack.Err = err.Error()
+			} else {
+				ack.Gen = ws.Gen
+			}
+			if msg, err := packJSON(&ack); err == nil {
+				e.SendCtx(cl.ctx, 0, tagSnapshotAck, msg)
+			}
+		case tagJob:
+			var job wireJob
+			if _, err := unpackJSON(data, &job); err != nil {
+				continue // a malformed job cannot name a group to fail
+			}
+			gc, err := e.Group(job.Members)
+			if err != nil {
+				continue
+			}
+			res, img := st.render(gc, &job)
+			if res == nil {
+				continue // not the group leader
+			}
+			if msg, err := encodeResult(res, img); err == nil {
+				e.SendCtx(cl.ctx, 0, tagResult, msg)
+			}
+		}
+	}
+}
+
+// demuxLoop drains worker w's link to the router, routing results to
+// their waiting Render calls and counting snapshot acks. One goroutine
+// per link keeps the single-reader discipline.
+func (cl *Cluster) demuxLoop(w int) {
+	defer cl.wg.Done()
+	for {
+		tag, data, err := cl.router.RecvAnyCtx(cl.ctx, w)
+		if err != nil {
+			return // shutdown
+		}
+		switch tag {
+		case tagSnapshotAck:
+			var ack wireAck
+			if _, err := unpackJSON(data, &ack); err != nil || ack.Err != "" {
+				cl.snapshotErrors.Add(1)
+				continue
+			}
+			cl.snapshotsAcked.Add(1)
+		case tagResult:
+			res, img, err := decodeResult(data)
+			if err != nil {
+				continue
+			}
+			cl.pendMu.Lock()
+			ch, ok := cl.pending[res.JobID]
+			if ok {
+				delete(cl.pending, res.JobID)
+			}
+			cl.pendMu.Unlock()
+			if ok {
+				ch <- &wireResultMsg{res: res, img: img}
+			}
+			// Results for unregistered jobs (caller timed out) are dropped.
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package cluster partitions one admitted frame across a fleet of worker
+// ranks — the serving-path analogue of the paper's distributed-memory
+// setting, where every image is rendered by many tasks and finished by a
+// sort-last composite whose cost Tc the fitted model predicts.
+//
+// Topology: a comm.World of size workers+1 holds rank 0 as the router
+// (owned by the serving layer) and ranks 1..W as long-lived worker loops.
+// Each worker serially drains its link from the router, handling registry
+// snapshot pushes and render jobs in arrival order. A job names the
+// worker ranks it spans (chosen by rendezvous placement over the shard's
+// runner-cache identity, so a shard's prepared scene and device stay hot
+// on one rank); those workers form a comm sub-communicator, render their
+// shard of the weak-scaled domain decomposition, run the same global
+// reductions the study path runs (bounds, scalar range, visibility
+// order), composite sort-last via internal/composite, and the group
+// leader ships the finished image back to the router.
+//
+// Deadlock freedom: the router serializes dispatch under one mutex, so
+// jobs have a global total order; every worker processes its router link
+// FIFO and serially, so when two jobs share workers, all shared workers
+// execute them in the same order and inter-worker waits always point from
+// later jobs to earlier ones — the wait graph is acyclic. Group
+// collectives (bounds, field range, error barrier) run on every rank on
+// every frame, even when local setup failed, so cache hit/miss asymmetry
+// can never desynchronize an exchange.
+//
+// Registry replication: before dispatching a job, the router pushes the
+// current model snapshot to every worker whose last-seen generation is
+// stale, over the same links (FIFO guarantees the job renders under the
+// models current at dispatch). Each worker installs the snapshot in its
+// own registry replica, so hot reload and continuous calibration
+// propagate cluster-wide without a shared registry.
+package cluster

@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"insitu/internal/comm"
+	"insitu/internal/composite"
+	"insitu/internal/core"
+	"insitu/internal/device"
+	"insitu/internal/framebuffer"
+	"insitu/internal/lru"
+	"insitu/internal/render"
+	"insitu/internal/scenario"
+	"insitu/internal/vecmath"
+)
+
+// sceneKey identifies one cached shard slice: the simulation block a rank
+// renders is a pure function of (proxy, size, decomposition, shard).
+type sceneKey struct {
+	sim              string
+	n, shards, shard int
+}
+
+// runnerKey identifies one prepared frame runner. It extends sceneKey
+// with everything preparation bakes in: architecture, backend, image
+// size, and ray-tracing workload.
+type runnerKey struct {
+	arch, backend, sim            string
+	n, w, h, rt, shards, shardIdx int
+}
+
+// shardState is one worker's long-lived render state: sliced scenes and
+// prepared runners cached across jobs (the hot state rendezvous placement
+// protects), plus a compositor whose per-rank scratch persists across
+// exchanges. A shardState is confined to its worker's serial loop — no
+// internal locking beyond the runner cache's own.
+type shardState struct {
+	scenes  *lru.Cache[sceneKey, *scenario.ShardData]
+	runners *scenario.RunnerCache[runnerKey]
+	comp    *composite.Compositor
+}
+
+func newShardState(sceneCap, runnerCap int) *shardState {
+	return &shardState{
+		scenes:  lru.New[sceneKey, *scenario.ShardData](sceneCap),
+		runners: scenario.NewRunnerCache[runnerKey](runnerCap),
+		comp:    composite.BinarySwap(),
+	}
+}
+
+func (st *shardState) Close() { st.runners.Close() }
+
+// hugeCoord is the neutral element a failed rank contributes to the
+// bounds/range min-max reductions: finite (the comm reduction encoding
+// cannot carry Inf) and dominated by any real coordinate.
+const hugeCoord = 1e30
+
+// render executes one shard of a job on the group communicator gc, whose
+// rank i is the renderer of shard i (the job's Members order). It mirrors
+// the study path measurement for measurement so served frames exercise
+// exactly the configuration the models were fitted on: globally reduced
+// bounds and scalar range, the shared orbit camera, per-rank local
+// render, visibility-ordered sort-last composite, and max/avg reductions
+// of the model inputs.
+//
+// Every collective here runs on every rank on every frame — ranks whose
+// local setup failed contribute neutral values and the frame is discarded
+// at the error barrier — so a cache miss or error on one rank can never
+// desynchronize the group. Only the group leader (rank 0) returns a
+// result; other ranks return (nil, nil).
+func (st *shardState) render(gc *comm.Comm, job *wireJob) (*wireResult, *framebuffer.Image) {
+	k := gc.Size()
+	shard := gc.Rank()
+	leader := shard == 0
+
+	// Local, fallible setup. Errors are recorded, not returned: the rank
+	// must keep participating in the frame's collectives.
+	var (
+		rerr    error
+		backend scenario.Backend
+		sd      *scenario.ShardData
+	)
+	backend, rerr = scenario.Lookup(core.Renderer(job.Backend))
+	if rerr == nil {
+		sk := sceneKey{job.Sim, job.N, job.Shards, shard}
+		if v, ok := st.scenes.Get(sk); ok {
+			sd = v
+		} else if sd, rerr = scenario.BuildShard(job.Sim, job.N, job.Shards, shard, 1); rerr == nil {
+			st.scenes.Add(sk, sd)
+		}
+	}
+
+	// Globally consistent camera and color map, as in the study path.
+	lb := vecmath.AABB{
+		Min: vecmath.V(hugeCoord, hugeCoord, hugeCoord),
+		Max: vecmath.V(-hugeCoord, -hugeCoord, -hugeCoord),
+	}
+	flo, fhi := hugeCoord, -hugeCoord
+	if sd != nil {
+		lb, flo, fhi = sd.LocalBounds, sd.FieldLo, sd.FieldHi
+	}
+	gb := lb
+	if k > 1 {
+		gb.Min.X = gc.AllReduceMin(lb.Min.X)
+		gb.Min.Y = gc.AllReduceMin(lb.Min.Y)
+		gb.Min.Z = gc.AllReduceMin(lb.Min.Z)
+		gb.Max.X = gc.AllReduceMax(lb.Max.X)
+		gb.Max.Y = gc.AllReduceMax(lb.Max.Y)
+		gb.Max.Z = gc.AllReduceMax(lb.Max.Z)
+		flo = gc.AllReduceMin(flo)
+		fhi = gc.AllReduceMax(fhi)
+	}
+	cam := render.OrbitCamera(gb, job.Azimuth, 20, job.Zoom)
+
+	// Lease this shard's prepared runner (preparing on first use) and
+	// render the local partial image.
+	var (
+		lease     *scenario.RunnerLease[runnerKey]
+		img       *framebuffer.Image
+		renderSec float64
+		buildSec  float64
+		in        core.Inputs
+	)
+	if rerr == nil {
+		rk := runnerKey{job.Arch, job.Backend, job.Sim, job.N, job.Width, job.Height, job.RTWorkload, job.Shards, shard}
+		lease, rerr = st.runners.Acquire(rk, func() (scenario.FrameRunner, func(), error) {
+			dev, err := device.Profile(job.Arch)
+			if err != nil {
+				return nil, nil, err
+			}
+			sc := scenario.NewScene(dev, sd.Mesh, sd.Field, sd.Values, cam, job.Width, job.Height)
+			sc.FieldLo, sc.FieldHi = flo, fhi
+			sc.RTWorkload = job.RTWorkload
+			r, err := backend.Prepare(sc)
+			if err != nil {
+				dev.Close()
+				return nil, nil, err
+			}
+			return r, dev.Close, nil
+		})
+	}
+	if rerr == nil {
+		runner := lease.Runner()
+		runner.SetCamera(cam)
+		buildSec = runner.BuildSeconds()
+		in = core.Inputs{Pixels: float64(job.Width * job.Height), Tasks: k}
+		var elapsed time.Duration
+		elapsed, img, rerr = runner.RenderFrame(&in)
+		renderSec = elapsed.Seconds()
+	}
+
+	// Error barrier: the frame fails as a unit or proceeds as a unit.
+	flag := 0.0
+	if rerr != nil {
+		flag = 1
+	}
+	if k > 1 {
+		flag = gc.AllReduceMax(flag)
+	}
+	if flag > 0 {
+		msg := ""
+		if rerr != nil {
+			msg = fmt.Sprintf("shard %d/%d: %v", shard, job.Shards, rerr)
+		}
+		if k > 1 {
+			parts := gc.Gather(0, packBytes([]byte(msg)))
+			if leader {
+				msg = joinErrors(parts)
+			}
+		}
+		if lease != nil {
+			lease.Release()
+		}
+		if !leader {
+			return nil, nil
+		}
+		return &wireResult{JobID: job.JobID, Err: msg}, nil
+	}
+
+	// Visibility order for blend compositing, exactly as the study does.
+	op := backend.CompositeOp()
+	var order []int
+	if op == composite.BlendOp && k > 1 {
+		depth := sd.LocalBounds.Center().Sub(cam.Position).Length()
+		parts := gc.Gather(0, []float32{float32(depth)})
+		orderF := make([]float32, k)
+		if leader {
+			depths := make([]float64, k)
+			for r, p := range parts {
+				depths[r] = float64(p[0])
+			}
+			for i, r := range composite.VisibilityOrder(depths) {
+				orderF[i] = float32(r)
+			}
+		}
+		orderF = gc.Bcast(0, orderF)
+		order = make([]int, len(orderF))
+		for i, f := range orderF {
+			order[i] = int(f)
+		}
+	}
+
+	out := img
+	compSec := 0.0
+	var cerr error
+	if k > 1 {
+		var stats *composite.Stats
+		out, stats, cerr = st.comp.Composite(gc, img, op, order)
+		if stats != nil {
+			compSec = stats.Elapsed.Seconds()
+		}
+	}
+	cflag := 0.0
+	if cerr != nil {
+		cflag = 1
+	}
+	if k > 1 {
+		cflag = gc.AllReduceMax(cflag)
+	}
+	if cflag > 0 {
+		msg := ""
+		if cerr != nil {
+			msg = fmt.Sprintf("shard %d/%d composite: %v", shard, job.Shards, cerr)
+		}
+		if k > 1 {
+			parts := gc.Gather(0, packBytes([]byte(msg)))
+			if leader {
+				msg = joinErrors(parts)
+			}
+		}
+		lease.Release()
+		if !leader {
+			return nil, nil
+		}
+		return &wireResult{JobID: job.JobID, Err: msg}, nil
+	}
+
+	// Reduce the measurements and model inputs the calibrator consumes:
+	// max across ranks (a frame is as slow as its slowest task), average
+	// active pixels for the compositing model's AvgAP term.
+	rt, ct := renderSec, compSec
+	if k > 1 {
+		rt = gc.AllReduceMax(rt)
+		ct = gc.AllReduceMax(ct)
+		in.AvgAP = gc.AllReduceSum(in.AP) / float64(k)
+		in.AP = gc.AllReduceMax(in.AP)
+		in.O = gc.AllReduceMax(in.O)
+		in.VO = gc.AllReduceMax(in.VO)
+		in.PPT = gc.AllReduceMax(in.PPT)
+		in.SPR = gc.AllReduceMax(in.SPR)
+		in.CS = gc.AllReduceMax(in.CS)
+		buildSec = gc.AllReduceMax(buildSec)
+	} else {
+		in.AvgAP = in.AP
+	}
+	perRank := gc.Gather(0, []float32{float32(renderSec)})
+
+	if !leader {
+		lease.Release()
+		return nil, nil
+	}
+	// The composited image aliases compositor (or runner-arena) scratch
+	// that the next job on this worker will overwrite: deep-copy before
+	// releasing the lease.
+	final := framebuffer.NewImage(out.W, out.H)
+	final.CopyFrom(out)
+	lease.Release()
+	rr := make([]float64, len(perRank))
+	for i, p := range perRank {
+		rr[i] = float64(p[0])
+	}
+	return &wireResult{
+		JobID:             job.JobID,
+		W:                 final.W,
+		H:                 final.H,
+		In:                in,
+		BuildSeconds:      buildSec,
+		RenderSeconds:     rt,
+		CompositeSeconds:  ct,
+		RankRenderSeconds: rr,
+	}, final
+}
+
+// joinErrors combines the per-rank packed error strings gathered at the
+// leader into one message, in rank order.
+func joinErrors(parts [][]float32) string {
+	msg := ""
+	for _, p := range parts {
+		b, _, err := unpackBytes(p)
+		if err != nil || len(b) == 0 {
+			continue
+		}
+		if msg != "" {
+			msg += "; "
+		}
+		msg += string(b)
+	}
+	if msg == "" {
+		msg = "cluster: frame failed with no rank error"
+	}
+	return msg
+}

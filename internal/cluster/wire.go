@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"insitu/internal/core"
+	"insitu/internal/framebuffer"
+)
+
+// Message tags on the router<->worker links. The composite exchange owns
+// 1000..~5200 and the comm collectives own the negative range; cluster
+// control traffic lives far above both.
+const (
+	tagJob         = 900001 // router -> worker: render one shard
+	tagSnapshot    = 900002 // router -> worker: install a registry snapshot
+	tagSnapshotAck = 900003 // worker -> router: snapshot installed
+	tagResult      = 900004 // group leader -> router: finished frame
+)
+
+// wireJob is the render order broadcast to every member of a sharded
+// frame. Members lists the world ranks in shard order: member i renders
+// shard i of the Shards-wide domain decomposition and becomes rank i of
+// the job's sub-communicator.
+type wireJob struct {
+	JobID      uint64
+	Backend    string
+	Sim        string
+	Arch       string
+	N          int
+	Width      int
+	Height     int
+	Shards     int
+	RTWorkload int
+	Azimuth    float64
+	Zoom       float64
+	Members    []int
+}
+
+// wireResult is the header of a finished frame (or the combined error of
+// a failed one). The composited RGBA planes ride behind it in the same
+// message as raw float words.
+type wireResult struct {
+	JobID             uint64
+	Err               string `json:",omitempty"`
+	W, H              int
+	In                core.Inputs
+	BuildSeconds      float64
+	RenderSeconds     float64 // slowest rank, the paper's max(T_local)
+	CompositeSeconds  float64
+	RankRenderSeconds []float64
+}
+
+// wireSnapshot replicates one registry snapshot. Gen is the router-side
+// generation the push corresponds to (echoed in the ack); the snapshot
+// travels as its canonical JSON encoding.
+type wireSnapshot struct {
+	Gen      uint64
+	Snapshot json.RawMessage
+}
+
+// wireAck acknowledges a snapshot push.
+type wireAck struct {
+	Gen uint64
+	Err string `json:",omitempty"`
+}
+
+// encodeResult packs a result header and, when the frame succeeded, the
+// image's color planes into one message.
+func encodeResult(res *wireResult, img *framebuffer.Image) ([]float32, error) {
+	head, err := packJSON(res)
+	if err != nil {
+		return nil, err
+	}
+	if img == nil {
+		return head, nil
+	}
+	out := make([]float32, 0, len(head)+len(img.Color))
+	out = append(out, head...)
+	out = append(out, img.Color...)
+	return out, nil
+}
+
+// decodeResult unpacks a result message, reconstructing the image (nil
+// for failed frames).
+func decodeResult(data []float32) (*wireResult, *framebuffer.Image, error) {
+	var res wireResult
+	rest, err := unpackJSON(data, &res)
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Err != "" {
+		return &res, nil, nil
+	}
+	if want := 4 * res.W * res.H; len(rest) != want {
+		return nil, nil, fmt.Errorf("cluster: result carries %d color words for %dx%d (want %d)", len(rest), res.W, res.H, want)
+	}
+	img := framebuffer.NewImage(res.W, res.H)
+	copy(img.Color, rest)
+	return &res, img, nil
+}

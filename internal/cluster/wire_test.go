@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"insitu/internal/core"
+	"insitu/internal/framebuffer"
+)
+
+func TestPackBytesRoundTrip(t *testing.T) {
+	for n := 0; n < 9; n++ {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte(17*i + 3)
+		}
+		// Trailing payload words must survive untouched.
+		msg := append(packBytes(b), 1.5, 2.5)
+		got, words, err := unpackBytes(msg)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, b) {
+			t.Fatalf("n=%d: round trip %v != %v", n, got, b)
+		}
+		if rest := msg[words:]; len(rest) != 2 || rest[0] != 1.5 || rest[1] != 2.5 {
+			t.Fatalf("n=%d: trailing payload corrupted: %v", n, rest)
+		}
+	}
+}
+
+func TestUnpackBytesRejectsTruncation(t *testing.T) {
+	msg := packBytes([]byte("hello world"))
+	if _, _, err := unpackBytes(msg[:2]); err == nil {
+		t.Fatal("truncated message accepted")
+	}
+	if _, _, err := unpackBytes(nil); err == nil {
+		t.Fatal("empty message accepted")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	img := framebuffer.NewImage(3, 2)
+	for i := range img.Color {
+		img.Color[i] = float32(i) / 7
+	}
+	res := &wireResult{
+		JobID: 42, W: 3, H: 2,
+		In:                core.Inputs{Pixels: 6, Tasks: 3, AP: 5, AvgAP: 4.5},
+		BuildSeconds:      0.25,
+		RenderSeconds:     1.5,
+		CompositeSeconds:  0.125,
+		RankRenderSeconds: []float64{1.5, 0.5, 1},
+	}
+	msg, err := encodeResult(res, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gimg, err := decodeResult(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.JobID != 42 || got.In.AvgAP != 4.5 || got.RenderSeconds != 1.5 || len(got.RankRenderSeconds) != 3 {
+		t.Fatalf("header mangled: %+v", got)
+	}
+	if gimg.W != 3 || gimg.H != 2 {
+		t.Fatalf("image %dx%d", gimg.W, gimg.H)
+	}
+	for i := range img.Color {
+		if gimg.Color[i] != img.Color[i] {
+			t.Fatalf("color word %d: %v != %v", i, gimg.Color[i], img.Color[i])
+		}
+	}
+
+	// Error results carry no image.
+	emsg, err := encodeResult(&wireResult{JobID: 7, Err: "boom"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eres, eimg, err := decodeResult(emsg)
+	if err != nil || eres.Err != "boom" || eimg != nil {
+		t.Fatalf("error result: %+v %v %v", eres, eimg, err)
+	}
+}
+
+func TestPlacementDistinctAndStable(t *testing.T) {
+	job := Job{Backend: "raytracer", Sim: "kripke", Arch: "serial", N: 8, Width: 64, Height: 64, Shards: 3}
+	const workers = 5
+	m1, err := placeShards(workers, &job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m1) != 3 {
+		t.Fatalf("placement %v", m1)
+	}
+	seen := map[int]bool{}
+	for _, w := range m1 {
+		if w < 1 || w > workers {
+			t.Fatalf("member %d outside worker range", w)
+		}
+		if seen[w] {
+			t.Fatalf("placement %v reuses a worker", m1)
+		}
+		seen[w] = true
+	}
+	// Stable across repeats.
+	m2, _ := placeShards(workers, &job)
+	for i := range m1 {
+		if m1[i] != m2[i] {
+			t.Fatalf("placement unstable: %v vs %v", m1, m2)
+		}
+	}
+	// Resolution and workload changes (the degrade ladder's moves) keep
+	// shards on the ranks holding their sliced scenes.
+	degraded := job
+	degraded.Width, degraded.Height, degraded.RTWorkload = 32, 32, 1
+	m3, _ := placeShards(workers, &degraded)
+	for i := range m1 {
+		if m1[i] != m3[i] {
+			t.Fatalf("degraded request migrated shards: %v vs %v", m1, m3)
+		}
+	}
+	// Too many shards for the fleet is an error, not a wedge.
+	over := job
+	over.Shards = workers + 1
+	if _, err := placeShards(workers, &over); err == nil {
+		t.Fatal("oversharded placement accepted")
+	}
+}

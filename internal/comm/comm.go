@@ -90,39 +90,106 @@ func RunCollect[T any](w *World, f func(c *Comm) (T, error)) ([]T, error) {
 	return results, err
 }
 
-// Comm is one task's endpoint in the world.
+// Endpoint returns a service-lifetime communicator for one rank. Unlike
+// Run — which owns every rank for the duration of one collective job — an
+// endpoint is held by a long-lived goroutine (a render router, a worker
+// loop) that sends and receives on its own schedule. The caller is
+// responsible for the usual single-reader discipline: at most one
+// goroutine may receive from a given (from, to) link at a time.
+func (w *World) Endpoint(rank int) *Comm {
+	if rank < 0 || rank >= w.size {
+		panic(fmt.Sprintf("comm: endpoint for invalid rank %d", rank))
+	}
+	return &Comm{world: w, rank: rank}
+}
+
+// Comm is one task's endpoint in the world (or, when members is set, in a
+// sub-communicator over a subset of the world's ranks).
 type Comm struct {
 	world *World
-	rank  int
+	// rank is the task's id in this communicator's coordinate space:
+	// a position in members for a group, a world rank otherwise.
+	rank    int
+	members []int // nil for a whole-world communicator
+}
+
+// actual translates a rank in this communicator's coordinate space to a
+// world rank.
+func (c *Comm) actual(v int) int {
+	if c.members == nil {
+		return v
+	}
+	return c.members[v]
 }
 
 // Rank returns this task's id in [0, Size).
 func (c *Comm) Rank() int { return c.rank }
 
-// Size returns the world size.
-func (c *Comm) Size() int { return c.world.size }
+// Size returns the communicator size (the world size, or the member count
+// for a group).
+func (c *Comm) Size() int {
+	if c.members != nil {
+		return len(c.members)
+	}
+	return c.world.size
+}
+
+// Group derives a sub-communicator over a subset of this communicator's
+// ranks: members[i] becomes rank i of the group, so collectives and
+// compositing exchanges written against ranks 0..len(members)-1 run
+// unchanged over any rank subset (MPI_Comm_create in miniature). The
+// calling task must be a member. Messages still travel over the world's
+// per-pair links, so a task may only participate in one group exchange at
+// a time — concurrent groups are safe as long as each world rank works
+// through its exchanges in a globally consistent order.
+func (c *Comm) Group(members []int) (*Comm, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("comm: empty group")
+	}
+	actual := make([]int, len(members))
+	seen := make(map[int]bool, len(members))
+	me := -1
+	for i, m := range members {
+		if m < 0 || m >= c.Size() {
+			return nil, fmt.Errorf("comm: group member %d out of range [0,%d)", m, c.Size())
+		}
+		a := c.actual(m)
+		if seen[a] {
+			return nil, fmt.Errorf("comm: duplicate group member %d", m)
+		}
+		seen[a] = true
+		actual[i] = a
+		if m == c.rank {
+			me = i
+		}
+	}
+	if me < 0 {
+		return nil, fmt.Errorf("comm: rank %d is not a member of group %v", c.rank, members)
+	}
+	return &Comm{world: c.world, rank: me, members: actual}, nil
+}
 
 // Send delivers a copy of data to the destination rank. Messages between a
 // fixed (from, to) pair arrive in send order.
 func (c *Comm) Send(to, tag int, data []float32) {
-	if to < 0 || to >= c.world.size {
+	if to < 0 || to >= c.Size() {
 		panic(fmt.Sprintf("comm: send to invalid rank %d", to))
 	}
 	cp := make([]float32, len(data))
 	copy(cp, data)
 	c.world.bytes.Add(int64(4 * len(data)))
 	c.world.msgs.Add(1)
-	c.world.links[c.rank][to] <- message{tag: tag, data: cp}
+	c.world.links[c.actual(c.rank)][c.actual(to)] <- message{tag: tag, data: cp}
 }
 
 // Recv blocks for the next message from a rank and checks its tag. A tag
 // mismatch indicates a protocol bug and panics (surfaced by Run as an
 // error).
 func (c *Comm) Recv(from, tag int) []float32 {
-	if from < 0 || from >= c.world.size {
+	if from < 0 || from >= c.Size() {
 		panic(fmt.Sprintf("comm: recv from invalid rank %d", from))
 	}
-	m := <-c.world.links[from][c.rank]
+	m := <-c.world.links[c.actual(from)][c.actual(c.rank)]
 	if m.tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag))
 	}

@@ -1,0 +1,65 @@
+package comm
+
+import (
+	"context"
+	"fmt"
+)
+
+// Context-aware point-to-point operations for service-lifetime endpoints.
+// The study path uses the blocking Send/Recv pair — a one-shot collective
+// job either completes or is a bug — but a serving router must bound how
+// long it waits on a slow or wedged rank and must be able to shut down
+// while blocked, so these variants select on the context alongside the
+// link. Unlike Recv, a tag mismatch is reported as an error rather than a
+// panic: on a long-lived transport a protocol hiccup should fail one
+// request, not the process.
+
+// SendCtx is Send bounded by a context: it delivers a copy of data unless
+// the destination link stays full past the context's deadline or
+// cancellation, in which case the message is not sent and the context's
+// error is returned.
+func (c *Comm) SendCtx(ctx context.Context, to, tag int, data []float32) error {
+	if to < 0 || to >= c.Size() {
+		return fmt.Errorf("comm: send to invalid rank %d", to)
+	}
+	cp := make([]float32, len(data))
+	copy(cp, data)
+	select {
+	case c.world.links[c.actual(c.rank)][c.actual(to)] <- message{tag: tag, data: cp}:
+		c.world.bytes.Add(int64(4 * len(data)))
+		c.world.msgs.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RecvCtx is Recv bounded by a context. A message carrying an unexpected
+// tag is an error (the message is consumed — the link is presumed
+// poisoned at that point and the caller should fail the exchange).
+func (c *Comm) RecvCtx(ctx context.Context, from, tag int) ([]float32, error) {
+	gotTag, data, err := c.RecvAnyCtx(ctx, from)
+	if err != nil {
+		return nil, err
+	}
+	if gotTag != tag {
+		return nil, fmt.Errorf("comm: rank %d expected tag %d from %d, got %d", c.rank, tag, from, gotTag)
+	}
+	return data, nil
+}
+
+// RecvAnyCtx receives the next message from a rank regardless of tag,
+// returning the tag alongside the payload — the demultiplexing primitive
+// for a service loop that handles several message kinds (jobs, snapshot
+// pushes, results) over one link.
+func (c *Comm) RecvAnyCtx(ctx context.Context, from int) (int, []float32, error) {
+	if from < 0 || from >= c.Size() {
+		return 0, nil, fmt.Errorf("comm: recv from invalid rank %d", from)
+	}
+	select {
+	case m := <-c.world.links[c.actual(from)][c.actual(c.rank)]:
+		return m.tag, m.data, nil
+	case <-ctx.Done():
+		return 0, nil, ctx.Err()
+	}
+}

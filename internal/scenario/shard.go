@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"fmt"
+
+	"insitu/internal/conduit"
+	"insitu/internal/sim"
+	"insitu/internal/vecmath"
+)
+
+// ShardData is one rank's slice of a sharded scene: the parsed block a
+// simulation proxy publishes for that shard of the domain decomposition,
+// plus the locally derived facts (bounds, scalar range) that cluster
+// ranks reduce into the globally consistent camera and color map. It is
+// deliberately device- and camera-free so a worker can cache it across
+// requests that differ only in view or resolution.
+type ShardData struct {
+	Mesh        *ParsedMesh
+	Field       string
+	Values      []float64
+	LocalBounds vecmath.AABB
+	// FieldLo/FieldHi are the shard-local scalar range; callers reduce
+	// them across the fleet before building scenes.
+	FieldLo, FieldHi float64
+}
+
+// BuildShard steps one shard of a simulation proxy and slices its
+// published block into a ShardData. shards is the total decomposition
+// width and shard this rank's index in [0, shards) — the same
+// (tasks, rank) pair the study hands to sim.New, so a sharded serving
+// frame renders exactly the block layout the study measured and the
+// models were fitted on.
+func BuildShard(simName string, n, shards, shard, cycles int) (*ShardData, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("scenario: shard count %d < 1", shards)
+	}
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("scenario: shard index %d outside [0,%d)", shard, shards)
+	}
+	sm, err := sim.New(simName, n, shards, shard)
+	if err != nil {
+		return nil, err
+	}
+	if cycles < 1 {
+		cycles = 1
+	}
+	for i := 0; i < cycles; i++ {
+		sm.Step()
+	}
+	node := conduit.NewNode()
+	sm.Publish(node)
+	pm, err := ParseMesh(node)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: parsing %s shard %d/%d: %w", simName, shard, shards, err)
+	}
+	vals, err := pm.FieldValues(sm.PrimaryField())
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %s shard %d/%d: %w", simName, shard, shards, err)
+	}
+	lo, hi := FieldRange(vals)
+	return &ShardData{
+		Mesh:        pm,
+		Field:       sm.PrimaryField(),
+		Values:      vals,
+		LocalBounds: pm.LocalBounds(),
+		FieldLo:     lo,
+		FieldHi:     hi,
+	}, nil
+}

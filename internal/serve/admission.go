@@ -38,14 +38,22 @@ func (e *RejectionError) Error() string {
 }
 
 // quality is the set of knobs the degradation ladder turns: image
-// resolution, per-task data size, and (for the ray tracer) pipeline
-// depth. It is the part of a frame's identity that admission may change.
+// resolution, per-task data size, shard count, and (for the ray tracer)
+// pipeline depth. It is the part of a frame's identity that admission
+// may change.
 type quality struct {
 	W, H int
 	N    int
 	// RTWorkload is 0 for the backend's fitted baseline; 1 is the
 	// primary-visibility-only floor the ladder degrades to.
 	RTWorkload int
+	// Shards is the cluster decomposition width (1 = the local
+	// single-process path). Part of quality — and so of the admission
+	// memo and frame-cache keys — because a sharded frame renders a
+	// different dataset and pays the compositing term: a single-node
+	// prediction or cached frame must never answer a cluster request, or
+	// vice versa.
+	Shards int
 }
 
 // admitKey memoizes admission decisions. Camera and simulation are
@@ -56,6 +64,7 @@ type admitKey struct {
 	arch          string
 	backend       core.Renderer
 	n, w, h       int
+	shards        int
 	deadlineNanos int64
 	gen           uint64
 }
@@ -83,6 +92,9 @@ type decision struct {
 	// workload derating); requestedPredicted is the cost as asked.
 	predicted          float64
 	requestedPredicted float64
+	// predictedComposite is the fitted compositing model's share of
+	// predicted (the paper's Tc); 0 for unsharded frames.
+	predictedComposite float64
 	steps              int
 	degraded           bool
 }
@@ -107,9 +119,10 @@ const maxDegradeSteps = 32
 // workload — until the prediction fits or every knob is at its floor.
 func (s *Server) decide(req *FrameRequest, surface bool) (decision, error) {
 	deadline := req.DeadlineMillis / 1e3
-	q := quality{W: req.Width, H: req.Height, N: req.N}
+	requested := quality{W: req.Width, H: req.Height, N: req.N, Shards: maxInt(req.Shards, 1)}
+	q := requested
 	d := decision{q: q}
-	p, err := s.predictQuality(req.Arch, req.Backend, q)
+	p, comp, err := s.predictQuality(req.Arch, req.Backend, q)
 	if err != nil {
 		return decision{}, err
 	}
@@ -119,8 +132,9 @@ func (s *Server) decide(req *FrameRequest, surface bool) (decision, error) {
 			d.ok = true
 			d.q = q
 			d.predicted = p
+			d.predictedComposite = comp
 			d.steps = step
-			d.degraded = q != (quality{W: req.Width, H: req.Height, N: req.N})
+			d.degraded = q != requested
 			return d, nil
 		}
 		if step >= maxDegradeSteps {
@@ -131,7 +145,7 @@ func (s *Server) decide(req *FrameRequest, surface bool) (decision, error) {
 			break
 		}
 		q = next
-		if p, err = s.predictQuality(req.Arch, req.Backend, q); err != nil {
+		if p, comp, err = s.predictQuality(req.Arch, req.Backend, q); err != nil {
 			return decision{}, err
 		}
 		d.steps = step + 1
@@ -139,6 +153,7 @@ func (s *Server) decide(req *FrameRequest, surface bool) (decision, error) {
 	d.ok = false
 	d.q = q
 	d.predicted = p
+	d.predictedComposite = comp
 	return d, nil
 }
 
@@ -149,6 +164,30 @@ func (s *Server) decide(req *FrameRequest, surface bool) (decision, error) {
 func (s *Server) degradeOnce(req *FrameRequest, q quality, surface bool, deadline float64) (quality, bool) {
 	minW := minInt(s.cfg.MinImageSize, req.Width)
 	minH := minInt(s.cfg.MinImageSize, req.Height)
+	// Sharded frames first trade shard count against resolution by
+	// predicted totals: halving shards sheds compositing cost and shrinks
+	// the weak-scaled dataset, halving resolution sheds per-pixel cost —
+	// the model decides which buys more. Geometry and workload rungs wait
+	// until the frame is down to one shard.
+	if q.Shards > 1 {
+		byRes := q
+		byRes.W = maxInt(q.W/2, minW)
+		byRes.H = maxInt(q.H/2, minH)
+		resPossible := byRes != q
+		byShards := q
+		byShards.Shards = maxInt(q.Shards/2, 1)
+		switch {
+		case !resPossible:
+			return byShards, true
+		default:
+			pRes, _, errRes := s.predictQuality(req.Arch, req.Backend, byRes)
+			pShards, _, errShards := s.predictQuality(req.Arch, req.Backend, byShards)
+			if errRes != nil || errShards != nil || pRes <= pShards {
+				return byRes, true
+			}
+			return byShards, true
+		}
+	}
 	if q.W > minW || q.H > minH {
 		q.W = maxInt(q.W/2, minW)
 		q.H = maxInt(q.H/2, minH)
@@ -187,21 +226,23 @@ func (s *Server) degradeOnce(req *FrameRequest, q quality, surface bool, deadlin
 // predictQuality asks the advisor engine what a frame at quality q
 // costs: per-image render plus compositing plus the build amortized
 // over the configured runner reuse, with the serving-side workload
-// derate applied.
-func (s *Server) predictQuality(arch string, backend core.Renderer, q quality) (float64, error) {
+// derate applied. The second return is the compositing model's share
+// (the paper's Tc) — charged whenever the frame is sharded, 0 otherwise.
+func (s *Server) predictQuality(arch string, backend core.Renderer, q quality) (float64, float64, error) {
 	resp, err := s.engine.Predict(advisor.PredictRequest{
 		Arch: arch, Renderer: string(backend),
-		N: q.N, Tasks: 1, Width: q.W, Height: q.H,
+		N: q.N, Tasks: maxInt(q.Shards, 1), Width: q.W, Height: q.H,
 		Renderings: s.cfg.RunnerReuse,
 	})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	p := resp.PerImageSeconds
+	comp := resp.CompositeSeconds
 	if q.RTWorkload == 1 {
 		p *= workload1Derate
 	}
-	return p, nil
+	return p, comp, nil
 }
 
 func minInt(a, b int) int {

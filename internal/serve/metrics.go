@@ -1,6 +1,10 @@
 package serve
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"insitu/internal/cluster"
+)
 
 // counters is the serving-path instrumentation; all atomics so the
 // frame path never takes a lock (and never allocates) to account for
@@ -22,6 +26,11 @@ type counters struct {
 	observationsDropped atomic.Uint64
 	observationsSkipped atomic.Uint64
 	refits              atomic.Uint64
+
+	clusterFrames                  atomic.Uint64
+	clusterShards                  atomic.Uint64
+	clusterCompositeNanos          atomic.Uint64
+	clusterPredictedCompositeNanos atomic.Uint64
 }
 
 // Stats is one metrics snapshot, JSON-shaped for /v1/metrics.
@@ -56,10 +65,27 @@ type Stats struct {
 	ObservationsDropped uint64 `json:"observations_dropped"`
 	ObservationsSkipped uint64 `json:"observations_skipped"`
 	Refits              uint64 `json:"refits"`
+
+	// Cluster serving. ClusterShardsTotal sums served shard counts
+	// (total partial renders); the composite totals pair the fitted Tc
+	// model's admission-time predictions with the measured sort-last
+	// times, so Tc drift is observable from /v1/metrics alone. Cluster
+	// carries the fleet's transport and replication counters when this
+	// server fronts one.
+	ClusterFrames                         uint64         `json:"cluster_frames"`
+	ClusterShardsTotal                    uint64         `json:"cluster_shards_total"`
+	ClusterCompositeSecondsTotal          float64        `json:"cluster_composite_seconds_total"`
+	ClusterPredictedCompositeSecondsTotal float64        `json:"cluster_predicted_composite_seconds_total"`
+	Cluster                               *cluster.Stats `json:"cluster,omitempty"`
 }
 
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
+	var fleet *cluster.Stats
+	if s.cfg.Cluster != nil {
+		st := s.cfg.Cluster.Stats()
+		fleet = &st
+	}
 	return Stats{
 		Admitted:            s.stats.admitted.Load(),
 		Degraded:            s.stats.degraded.Load(),
@@ -80,5 +106,11 @@ func (s *Server) Stats() Stats {
 		ObservationsDropped: s.stats.observationsDropped.Load(),
 		ObservationsSkipped: s.stats.observationsSkipped.Load(),
 		Refits:              s.stats.refits.Load(),
+
+		ClusterFrames:                         s.stats.clusterFrames.Load(),
+		ClusterShardsTotal:                    s.stats.clusterShards.Load(),
+		ClusterCompositeSecondsTotal:          float64(s.stats.clusterCompositeNanos.Load()) / 1e9,
+		ClusterPredictedCompositeSecondsTotal: float64(s.stats.clusterPredictedCompositeNanos.Load()) / 1e9,
+		Cluster:                               fleet,
 	}
 }

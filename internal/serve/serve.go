@@ -14,12 +14,14 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"sync"
 	"time"
 
 	"insitu/internal/advisor"
+	"insitu/internal/cluster"
 	"insitu/internal/conduit"
 	"insitu/internal/core"
 	"insitu/internal/device"
@@ -54,6 +56,11 @@ type FrameRequest struct {
 	DeadlineMillis float64 `json:"deadline_ms,omitempty"`
 	// Arch is the device profile to render on (default the server's).
 	Arch string `json:"arch,omitempty"`
+	// Shards > 1 partitions the frame across that many cluster worker
+	// ranks (weak scaling: each renders an N^3 block) and composites
+	// sort-last. Requires a Config.Cluster; 0 and 1 mean the local
+	// single-process path.
+	Shards int `json:"shards,omitempty"`
 }
 
 // FrameResult is one served frame. PNG aliases the cache entry; treat
@@ -67,12 +74,21 @@ type FrameResult struct {
 	// PredictedSeconds is the admission-time prediction for the served
 	// quality; RenderSeconds the measured wall time of the frame's
 	// actual render (also set on cache hits, to the hit frame's
-	// original measurement).
+	// original measurement). For sharded frames RenderSeconds is the
+	// slowest rank's local render — the paper's max(T_local).
 	PredictedSeconds float64
 	RenderSeconds    float64
-	CacheHit         bool
-	Degraded         bool
-	DegradeSteps     int
+	// Shards is the served decomposition width (1 = local render). When
+	// above 1, CompositeSeconds is the measured sort-last compositing
+	// time, PredictedCompositeSeconds the fitted model's Tc charged at
+	// admission, and RankRenderSeconds each rank's local render time.
+	Shards                    int
+	CompositeSeconds          float64
+	PredictedCompositeSeconds float64
+	RankRenderSeconds         []float64
+	CacheHit                  bool
+	Degraded                  bool
+	DegradeSteps              int
 }
 
 // Config tunes a Server. Zero values pick the documented defaults.
@@ -100,6 +116,13 @@ type Config struct {
 	// ObserveQueue buffers measured samples for the engine's observer;
 	// 0 disables calibration feedback.
 	ObserveQueue int // default 256
+	// Cluster, when non-nil, enables sharded frames: requests with
+	// Shards > 1 are partitioned across its worker fleet. The server
+	// does not own the cluster; close it after the server.
+	Cluster *cluster.Cluster
+	// ClusterTimeout bounds one sharded frame end to end (dispatch,
+	// render, composite, result transfer).
+	ClusterTimeout time.Duration // default 60s
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -146,6 +169,9 @@ func (c *Config) setDefaults() {
 	if c.MaxN < 4 {
 		c.MaxN = 64
 	}
+	if c.ClusterTimeout <= 0 {
+		c.ClusterTimeout = 60 * time.Second
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -182,11 +208,13 @@ type preparedRunner struct {
 	bounds vecmath.AABB
 }
 
-// cachedFrame is one encoded frame plus the measurement that produced
-// it.
+// cachedFrame is one encoded frame plus the measurements that produced
+// it (composite fields zero for local single-process frames).
 type cachedFrame struct {
-	png           []byte
-	renderSeconds float64
+	png               []byte
+	renderSeconds     float64
+	compositeSeconds  float64
+	rankRenderSeconds []float64
 }
 
 // flight coalesces concurrent misses on one frame key: followers wait
@@ -325,6 +353,20 @@ func (s *Server) normalize(req *FrameRequest) error {
 	if req.DeadlineMillis < 0 {
 		return badRequestf("deadline_ms must be non-negative, got %v", req.DeadlineMillis)
 	}
+	if req.Shards < 0 {
+		return badRequestf("shards must be non-negative, got %d", req.Shards)
+	}
+	if req.Shards == 0 {
+		req.Shards = 1
+	}
+	if req.Shards > 1 {
+		if s.cfg.Cluster == nil {
+			return badRequestf("shards=%d needs cluster mode (this server has no worker fleet)", req.Shards)
+		}
+		if w := s.cfg.Cluster.Workers(); req.Shards > w {
+			return badRequestf("shards %d exceeds the fleet's %d workers", req.Shards, w)
+		}
+	}
 	return nil
 }
 
@@ -351,6 +393,7 @@ func (s *Server) Render(req FrameRequest) (FrameResult, error) {
 	ak := admitKey{
 		arch: req.Arch, backend: req.Backend,
 		n: req.N, w: req.Width, h: req.Height,
+		shards:        req.Shards,
 		deadlineNanos: deadlineNanos(req.DeadlineMillis),
 		gen:           s.engine.Registry().Generation(),
 	}
@@ -390,7 +433,11 @@ func (s *Server) Render(req FrameRequest) (FrameResult, error) {
 			PNG:   cf.png,
 			Width: d.q.W, Height: d.q.H, N: d.q.N, RTWorkload: d.q.RTWorkload,
 			PredictedSeconds: d.predicted, RenderSeconds: cf.renderSeconds,
-			CacheHit: true, Degraded: d.degraded, DegradeSteps: d.steps,
+			Shards:                    d.q.Shards,
+			CompositeSeconds:          cf.compositeSeconds,
+			PredictedCompositeSeconds: d.predictedComposite,
+			RankRenderSeconds:         cf.rankRenderSeconds,
+			CacheHit:                  true, Degraded: d.degraded, DegradeSteps: d.steps,
 		}, nil
 	}
 	s.stats.cacheMisses.Add(1)
@@ -418,7 +465,12 @@ func (s *Server) renderMiss(req FrameRequest, d decision, fk frameKey) (FrameRes
 
 	f.res, f.err = s.renderScheduled(req, d, fk)
 	if f.err == nil {
-		s.frames.Add(fk, cachedFrame{png: f.res.PNG, renderSeconds: f.res.RenderSeconds})
+		s.frames.Add(fk, cachedFrame{
+			png:               f.res.PNG,
+			renderSeconds:     f.res.RenderSeconds,
+			compositeSeconds:  f.res.CompositeSeconds,
+			rankRenderSeconds: f.res.RankRenderSeconds,
+		})
 	}
 	s.flightMu.Lock()
 	delete(s.flights, fk)
@@ -456,8 +508,12 @@ func (s *Server) renderScheduled(req FrameRequest, d decision, fk frameKey) (Fra
 
 // renderFrame runs on a scheduler worker: lease the (cached) runner,
 // point its camera at this request's orbit position, render, encode,
-// and feed the measurement back to calibration.
+// and feed the measurement back to calibration. Sharded frames are
+// routed to the cluster fleet instead of the local runner cache.
 func (s *Server) renderFrame(ws *workerState, req *FrameRequest, d decision, fk frameKey) (FrameResult, error) {
+	if d.q.Shards > 1 {
+		return s.renderClusterFrame(ws, req, d)
+	}
 	rk := runnerKey{arch: req.Arch, backend: req.Backend, sim: req.Sim, q: d.q}
 	lease, err := s.runners.Acquire(rk, func() (scenario.FrameRunner, func(), error) {
 		return s.prepareRunner(req, d.q)
@@ -489,13 +545,61 @@ func (s *Server) renderFrame(ws *workerState, req *FrameRequest, d decision, fk 
 	if dl := req.DeadlineMillis / 1e3; dl > 0 && wall > dl {
 		s.stats.deadlineMisses.Add(1)
 	}
-	s.feedObservation(req, d.q, in, build, wall)
+	s.feedObservation(req, d.q, in, build, wall, 0)
 
 	return FrameResult{
 		PNG:   buf.Bytes(),
 		Width: d.q.W, Height: d.q.H, N: d.q.N, RTWorkload: d.q.RTWorkload,
 		PredictedSeconds: d.predicted, RenderSeconds: wall,
+		Shards:   1,
 		Degraded: d.degraded, DegradeSteps: d.steps,
+	}, nil
+}
+
+// renderClusterFrame runs on a scheduler worker like any other frame,
+// but delegates the pixels to the worker fleet: dispatch the admitted
+// quality's shard group, wait for the composited image, encode it, and
+// feed the reduced measurement — including the measured compositing
+// time the Tc model refits on — back to calibration.
+func (s *Server) renderClusterFrame(ws *workerState, req *FrameRequest, d decision) (FrameResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ClusterTimeout)
+	defer cancel()
+	res, err := s.cfg.Cluster.Render(ctx, cluster.Job{
+		Backend: string(req.Backend), Sim: req.Sim, Arch: req.Arch,
+		N: d.q.N, Width: d.q.W, Height: d.q.H,
+		Shards: d.q.Shards, RTWorkload: d.q.RTWorkload,
+		Azimuth: req.Azimuth, Zoom: req.Zoom,
+	})
+	if err != nil {
+		return FrameResult{}, fmt.Errorf("serve: cluster render %s/%s x%d: %w", req.Backend, req.Sim, d.q.Shards, err)
+	}
+
+	var buf bytes.Buffer
+	if err := ws.enc.Encode(&buf, res.Image); err != nil {
+		return FrameResult{}, fmt.Errorf("serve: encoding cluster frame: %w", err)
+	}
+
+	wall := res.RenderSeconds
+	s.stats.framesRendered.Add(1)
+	s.stats.renderNanos.Add(uint64(wall * 1e9))
+	s.stats.clusterFrames.Add(1)
+	s.stats.clusterShards.Add(uint64(d.q.Shards))
+	s.stats.clusterCompositeNanos.Add(uint64(res.CompositeSeconds * 1e9))
+	s.stats.clusterPredictedCompositeNanos.Add(uint64(d.predictedComposite * 1e9))
+	if dl := req.DeadlineMillis / 1e3; dl > 0 && wall+res.CompositeSeconds > dl {
+		s.stats.deadlineMisses.Add(1)
+	}
+	s.feedObservation(req, d.q, res.In, res.BuildSeconds, wall, res.CompositeSeconds)
+
+	return FrameResult{
+		PNG:   buf.Bytes(),
+		Width: d.q.W, Height: d.q.H, N: d.q.N, RTWorkload: d.q.RTWorkload,
+		PredictedSeconds: d.predicted, RenderSeconds: wall,
+		Shards:                    d.q.Shards,
+		CompositeSeconds:          res.CompositeSeconds,
+		PredictedCompositeSeconds: d.predictedComposite,
+		RankRenderSeconds:         res.RankRenderSeconds,
+		Degraded:                  d.degraded, DegradeSteps: d.steps,
 	}, nil
 }
 
@@ -545,8 +649,10 @@ func (s *Server) prepareRunner(req *FrameRequest, q quality) (scenario.FrameRunn
 // feedObservation queues the served frame's measurement for the
 // engine's observer. Frames rendered off the fitted ray tracing
 // workload are excluded: workload is not a model input, and feeding
-// derated frames would bias the refit.
-func (s *Server) feedObservation(req *FrameRequest, q quality, in core.Inputs, build, wall float64) {
+// derated frames would bias the refit. Sharded frames carry their
+// measured compositing time and Tasks = shard count, so the calibrator
+// refits the Tc model from serving traffic tagged by rank count.
+func (s *Server) feedObservation(req *FrameRequest, q quality, in core.Inputs, build, wall, compositeSec float64) {
 	if s.obsCh == nil || wall <= 0 {
 		return
 	}
@@ -557,6 +663,7 @@ func (s *Server) feedObservation(req *FrameRequest, q quality, in core.Inputs, b
 	sample := core.Sample{
 		Arch: req.Arch, Renderer: req.Backend,
 		In: in, BuildTime: build, RenderTime: wall,
+		CompositeTime: compositeSec,
 	}
 	s.obsMu.Lock()
 	defer s.obsMu.Unlock()

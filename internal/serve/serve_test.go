@@ -152,11 +152,11 @@ func TestCacheHitReturnsIdenticalBytes(t *testing.T) {
 func TestTightDeadlineDegrades(t *testing.T) {
 	s := testServer(t, Config{})
 	req := FrameRequest{Backend: core.RayTrace, Sim: "kripke", N: 12, Width: 512}
-	full, err := s.predictQuality("serial", core.RayTrace, quality{W: 512, H: 512, N: 12})
+	full, _, err := s.predictQuality("serial", core.RayTrace, quality{W: 512, H: 512, N: 12})
 	if err != nil {
 		t.Fatal(err)
 	}
-	floor, err := s.predictQuality("serial", core.RayTrace, quality{W: 64, H: 64, N: 8, RTWorkload: 1})
+	floor, _, err := s.predictQuality("serial", core.RayTrace, quality{W: 64, H: 64, N: 8, RTWorkload: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +236,7 @@ func TestDegradedFramesSkipCalibration(t *testing.T) {
 	}
 	// Force the workload-1 floor: minimum quality everywhere, deadline
 	// between the derated and underated floor predictions.
-	floorBase, err := s.predictQuality("serial", core.RayTrace, quality{W: 64, H: 64, N: 8})
+	floorBase, _, err := s.predictQuality("serial", core.RayTrace, quality{W: 64, H: 64, N: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
