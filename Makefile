@@ -4,9 +4,18 @@ GO ?= go
 
 # bench-json output file; committed per PR (BENCH_4.json, BENCH_5.json,
 # ...) so benchmark trajectories survive across sessions.
-BENCH_JSON ?= BENCH_6.json
+BENCH_JSON ?= BENCH_7.json
 
-.PHONY: all build test race vet fmt bench bench-json cover ci clean
+# Committed baselines guarding the zero-allocation steady state:
+# bench-json fails if a benchmark that was 0 allocs/op in any of these
+# is >0 now.
+BENCH_BASELINES ?= BENCH_4.json BENCH_5.json BENCH_6.json
+
+# insitulint is the repo's analyzer suite (internal/analysis); built
+# into ./bin so the vettool path is hermetic to the checkout.
+LINT_BIN := bin/insitulint
+
+.PHONY: all build test race vet fmt lint bench bench-json cover ci clean
 
 all: ci
 
@@ -25,6 +34,14 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint compiles the repo's performance & fleet-safety invariants
+# (//insitu:noalloc, collective discipline, lease/arena lifetimes,
+# ctx-aware transport) into the build via `go vet -vettool`. The same
+# binary runs standalone: `./bin/insitulint ./...`.
+lint:
+	$(GO) build -o $(LINT_BIN) ./tools/insitulint
+	$(GO) vet -vettool=$(CURDIR)/$(LINT_BIN) ./...
 
 # fmt fails if any file needs reformatting (CI-friendly gofmt check).
 fmt:
@@ -48,14 +65,16 @@ bench:
 # embedded: `jq -r '.raw[]' $(BENCH_JSON)` reproduces benchstat input).
 # Render benchmarks warm their frame arenas before the timer, so
 # allocs/op is the steady-state figure; the renderd cache-hit benchmark
-# is the serving layer's 0 allocs/op acceptance gate.
+# is the serving layer's 0 allocs/op acceptance gate. benchjson compares
+# against $(BENCH_BASELINES) and fails the target if any benchmark that
+# was 0 allocs/op there allocates now.
 bench-json:
 	@$(GO) test -run '^$$' -bench 'BenchmarkTable1RayTraceShaded|BenchmarkTable2RayTraceFull|BenchmarkTable5Backends' -benchtime 5x -benchmem . > $(BENCH_JSON).render.tmp
 	@$(GO) test -run '^$$' -bench BenchmarkScenarioDispatch -benchtime 10x -benchmem ./internal/scenario/ > $(BENCH_JSON).dispatch.tmp
 	@$(GO) test -run '^$$' -bench 'BenchmarkStudySmallPlan|BenchmarkPlanGeneration' -benchtime 3x -benchmem ./internal/study/ > $(BENCH_JSON).study.tmp
 	@$(GO) test -run '^$$' -bench BenchmarkRenderd -benchtime 2s -benchmem ./internal/serve/ > $(BENCH_JSON).serve.tmp
 	@$(GO) test -run '^$$' -bench BenchmarkClusterThroughput -benchtime 2s -benchmem ./internal/cluster/ > $(BENCH_JSON).cluster.tmp
-	@cat $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp $(BENCH_JSON).serve.tmp $(BENCH_JSON).cluster.tmp | $(GO) run ./tools/benchjson > $(BENCH_JSON)
+	@cat $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp $(BENCH_JSON).serve.tmp $(BENCH_JSON).cluster.tmp | $(GO) run ./tools/benchjson $(foreach b,$(BENCH_BASELINES),-baseline $(b)) > $(BENCH_JSON)
 	@rm -f $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp $(BENCH_JSON).serve.tmp $(BENCH_JSON).cluster.tmp
 	@echo "wrote $(BENCH_JSON)"
 
@@ -66,7 +85,7 @@ cover:
 	$(GO) test -short -coverprofile=cover.out ./...
 	@$(GO) tool cover -func=cover.out | tail -1
 
-ci: build vet fmt test race
+ci: build vet lint fmt test race
 
 clean:
 	$(GO) clean ./...

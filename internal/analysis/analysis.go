@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis: a name (which is also its
+// suppression tag — `//insitu:<name>-ok` silences one diagnostic), docs,
+// and a Run function executed once per package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one reported problem, anchored to a position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Facts carry `//insitu:` annotations across package boundaries: the set
+// of functions (by qualified key, see FuncKey) annotated noalloc or
+// arena, plus packages annotated wholesale. In the standalone driver
+// they flow in memory in dependency order; under `go vet -vettool` they
+// are serialized to the vetx files cmd/go threads between units.
+type Facts struct {
+	// Noalloc holds FuncKeys of functions whose steady state must not
+	// allocate, and "pkg:<path>" markers for //insitu:noalloc-package.
+	Noalloc map[string]bool `json:"noalloc,omitempty"`
+	// Arena holds FuncKeys of functions whose results are frame-arena
+	// owned (valid only until the next call on the same receiver).
+	Arena map[string]bool `json:"arena,omitempty"`
+}
+
+// NewFacts returns empty, non-nil fact sets.
+func NewFacts() *Facts {
+	return &Facts{Noalloc: map[string]bool{}, Arena: map[string]bool{}}
+}
+
+// Merge adds other's entries into f.
+func (f *Facts) Merge(other *Facts) {
+	if other == nil {
+		return
+	}
+	for k := range other.Noalloc {
+		f.Noalloc[k] = true
+	}
+	for k := range other.Arena {
+		f.Arena[k] = true
+	}
+}
+
+// A Pass provides one analyzer's view of one package: syntax, types,
+// annotations, imported facts, and the Report sink. Suppression
+// (`//insitu:<name>-ok`) is applied centrally in Report so every
+// analyzer honors the same escape-hatch grammar.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Ann       *Annotations
+	Imported  *Facts
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos unless an `//insitu:<name>-ok`
+// suppression covers its line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.Ann != nil && p.Ann.Suppressed(p.Analyzer.Name, p.Fset.Position(pos)) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// FuncHasMark reports whether fn carries the `//insitu:<mark>` annotation,
+// either in this package's syntax or in the imported facts, or via a
+// package-level `//insitu:<mark>-package` directive.
+func (p *Pass) FuncHasMark(fn *types.Func, mark string) bool {
+	if fn == nil {
+		return false
+	}
+	if p.Ann != nil && fn.Pkg() == p.Pkg && p.Ann.Has(fn, mark) {
+		return true
+	}
+	set := p.factSet(mark)
+	if set == nil {
+		return false
+	}
+	if set[FuncKey(fn)] {
+		return true
+	}
+	if fn.Pkg() != nil && set["pkg:"+fn.Pkg().Path()] {
+		return true
+	}
+	return false
+}
+
+func (p *Pass) factSet(mark string) map[string]bool {
+	if p.Imported == nil {
+		return nil
+	}
+	switch mark {
+	case MarkNoalloc:
+		return p.Imported.Noalloc
+	case MarkArena:
+		return p.Imported.Arena
+	}
+	return nil
+}
+
+// FuncKey is the cross-package identity of a function: the
+// types.Func.FullName with pointer stars and generic instantiations
+// normalized away, so `(*lru.Cache[K,V]).Get` and `(lru.Cache).Get`
+// agree between the annotation site and the call site.
+func FuncKey(fn *types.Func) string {
+	name := fn.FullName()
+	name = strings.ReplaceAll(name, "*", "")
+	for {
+		i := strings.IndexByte(name, '[')
+		if i < 0 {
+			break
+		}
+		depth, j := 0, i
+		for ; j < len(name); j++ {
+			switch name[j] {
+			case '[':
+				depth++
+			case ']':
+				depth--
+			}
+			if depth == 0 {
+				break
+			}
+		}
+		if j >= len(name) {
+			break
+		}
+		name = name[:i] + name[j+1:]
+	}
+	return name
+}
+
+// Callee resolves the *types.Func statically called by call, or nil for
+// calls through function values, built-ins, and type conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[f]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		// Package-qualified call (pkg.Func).
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// RunAnalyzers executes analyzers over one loaded package and returns
+// the surviving (unsuppressed) diagnostics sorted by position.
+func RunAnalyzers(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File,
+	pkg *types.Package, info *types.Info, ann *Annotations, imported *Facts) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Ann:       ann,
+			Imported:  imported,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers read.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

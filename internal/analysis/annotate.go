@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Annotation marks understood by the suite. The grammar is:
+//
+//	//insitu:noalloc              on a func/method (or interface method)
+//	//insitu:arena                on a func/method (or interface method)
+//	//insitu:noalloc-package      in a package doc comment: every function
+//	//insitu:<analyzer>-ok <why>  on (or directly above) a flagged line
+const (
+	MarkNoalloc = "noalloc"
+	MarkArena   = "arena"
+)
+
+const directivePrefix = "//insitu:"
+
+// Annotations is the per-package index of `//insitu:` directives: which
+// functions carry which marks, package-wide marks, and line-level
+// suppressions. One Annotations is shared by all analyzers of a package.
+type Annotations struct {
+	funcMarks map[types.Object]map[string]bool
+	pkgMarks  map[string]bool
+	// suppress maps filename -> line -> analyzer name -> present. A
+	// suppression on line L covers diagnostics on L and L+1, so the
+	// comment can trail the flagged line or sit on its own line above.
+	suppress map[string]map[int]map[string]bool
+
+	fset *token.FileSet
+}
+
+// BuildAnnotations scans the package syntax for `//insitu:` directives.
+// info may be nil when only suppressions are needed.
+func BuildAnnotations(fset *token.FileSet, files []*ast.File, info *types.Info) *Annotations {
+	ann := &Annotations{
+		funcMarks: map[types.Object]map[string]bool{},
+		pkgMarks:  map[string]bool{},
+		suppress:  map[string]map[int]map[string]bool{},
+		fset:      fset,
+	}
+	for _, f := range files {
+		ann.scanSuppressions(fset, f)
+		ann.scanPackageMarks(f)
+		if info == nil {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				for _, mark := range directiveMarks(d.Doc) {
+					ann.addFuncMark(info.Defs[d.Name], mark)
+				}
+			case *ast.InterfaceType:
+				if d.Methods == nil {
+					return true
+				}
+				for _, m := range d.Methods.List {
+					marks := directiveMarks(m.Doc)
+					marks = append(marks, directiveMarks(m.Comment)...)
+					for _, name := range m.Names {
+						for _, mark := range marks {
+							ann.addFuncMark(info.Defs[name], mark)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return ann
+}
+
+func (a *Annotations) addFuncMark(obj types.Object, mark string) {
+	if obj == nil {
+		return
+	}
+	set := a.funcMarks[obj]
+	if set == nil {
+		set = map[string]bool{}
+		a.funcMarks[obj] = set
+	}
+	set[mark] = true
+}
+
+// Has reports whether fn is annotated with mark in this package (either
+// directly or via a package-level `//insitu:<mark>-package`).
+func (a *Annotations) Has(fn *types.Func, mark string) bool {
+	if a.pkgMarks[mark] && !a.inTestFile(fn) {
+		return true
+	}
+	return a.funcMarks[fn][mark]
+}
+
+// HasObj is Has for the raw defining object of a FuncDecl name.
+func (a *Annotations) HasObj(obj types.Object, mark string) bool {
+	if a.pkgMarks[mark] && !a.inTestFile(obj) {
+		return true
+	}
+	return a.funcMarks[obj][mark]
+}
+
+// inTestFile reports whether obj is declared in a _test.go file. Package
+// marks cover production code only: `go vet` analyzes the test variant
+// of a package, and holding Test functions to //insitu:noalloc-package
+// would flag every t.Errorf.
+func (a *Annotations) inTestFile(obj types.Object) bool {
+	if obj == nil || a.fset == nil || !obj.Pos().IsValid() {
+		return false
+	}
+	return strings.HasSuffix(a.fset.Position(obj.Pos()).Filename, "_test.go")
+}
+
+// PkgMark reports a package-wide `//insitu:<mark>-package` directive.
+func (a *Annotations) PkgMark(mark string) bool { return a.pkgMarks[mark] }
+
+// Suppressed reports whether an `//insitu:<analyzer>-ok` comment covers
+// the given position.
+func (a *Annotations) Suppressed(analyzer string, pos token.Position) bool {
+	lines := a.suppress[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	return lines[pos.Line][analyzer] || lines[pos.Line-1][analyzer]
+}
+
+// ExportedFacts converts this package's annotations into Facts for
+// dependent packages, keyed by FuncKey.
+func (a *Annotations) ExportedFacts(pkgPath string) *Facts {
+	f := NewFacts()
+	for obj, marks := range a.funcMarks {
+		fn, ok := obj.(*types.Func)
+		if !ok {
+			continue
+		}
+		if marks[MarkNoalloc] {
+			f.Noalloc[FuncKey(fn)] = true
+		}
+		if marks[MarkArena] {
+			f.Arena[FuncKey(fn)] = true
+		}
+	}
+	if a.pkgMarks[MarkNoalloc] {
+		f.Noalloc["pkg:"+pkgPath] = true
+	}
+	if a.pkgMarks[MarkArena] {
+		f.Arena["pkg:"+pkgPath] = true
+	}
+	return f
+}
+
+func (a *Annotations) scanSuppressions(fset *token.FileSet, f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			name, found := cutSuffixWord(text, "-ok")
+			if !found {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			lines := a.suppress[pos.Filename]
+			if lines == nil {
+				lines = map[int]map[string]bool{}
+				a.suppress[pos.Filename] = lines
+			}
+			set := lines[pos.Line]
+			if set == nil {
+				set = map[string]bool{}
+				lines[pos.Line] = set
+			}
+			set[name] = true
+		}
+	}
+}
+
+func (a *Annotations) scanPackageMarks(f *ast.File) {
+	if f.Doc == nil {
+		return
+	}
+	for _, c := range f.Doc.List {
+		text, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		if mark, found := cutSuffixWord(text, "-package"); found {
+			a.pkgMarks[mark] = true
+		}
+	}
+}
+
+// directiveMarks extracts the bare marks (`//insitu:noalloc`,
+// `//insitu:arena`) from a comment group. `-ok` and `-package` forms are
+// handled elsewhere and excluded here.
+func directiveMarks(cg *ast.CommentGroup) []string {
+	if cg == nil {
+		return nil
+	}
+	var marks []string
+	for _, c := range cg.List {
+		text, ok := strings.CutPrefix(c.Text, directivePrefix)
+		if !ok {
+			continue
+		}
+		word := firstWord(text)
+		if word == "" || strings.HasSuffix(word, "-ok") || strings.HasSuffix(word, "-package") {
+			continue
+		}
+		marks = append(marks, word)
+	}
+	return marks
+}
+
+// cutSuffixWord returns text's first word with suffix removed, and
+// whether the first word ended in suffix (`noalloc-ok reason` -> "noalloc").
+func cutSuffixWord(text, suffix string) (string, bool) {
+	return strings.CutSuffix(firstWord(text), suffix)
+}
+
+func firstWord(text string) string {
+	if i := strings.IndexAny(text, " \t"); i >= 0 {
+		return text[:i]
+	}
+	return text
+}

@@ -1,0 +1,423 @@
+// Package collective enforces PR 6's deadlock-freedom discipline: every
+// rank executes every collective, every frame. A collective
+// (AllReduce*/Gather/Bcast/Barrier/Group on a comm.Comm) reached under a
+// rank-local condition, or skippable by a rank-local or error-path early
+// exit, desynchronizes the group — the surviving ranks block forever in
+// a collective their peers never enter. The enforced shape is the
+// two-phase error barrier: local failures set a flag, the flag is
+// AllReduce'd, and the whole group takes the same exit together.
+package collective
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"insitu/internal/analysis"
+)
+
+// Analyzer flags collectives whose execution can differ across ranks.
+var Analyzer = &analysis.Analyzer{
+	Name: "collective",
+	Doc: "flag collective calls (AllReduce*/Gather/Bcast/Barrier/Group) under " +
+		"rank-local conditions, and rank-local or error-path early exits that skip " +
+		"a later collective; use the two-phase error barrier instead",
+	Run: run,
+}
+
+// collectiveNames are the comm.Comm methods every group member must call
+// the same number of times in the same order.
+var collectiveNames = map[string]bool{
+	"AllReduce":    true,
+	"AllReduceMax": true,
+	"AllReduceMin": true,
+	"AllReduceSum": true,
+	"Gather":       true,
+	"Bcast":        true,
+	"Barrier":      true,
+	"Group":        true,
+}
+
+// rankNames taint identifiers (and struct fields) that denote a rank or
+// a rank-derived role by name alone.
+var rankNames = map[string]bool{
+	"rank":     true,
+	"leader":   true,
+	"isleader": true,
+	"isroot":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkFunc(pass, fn.Body)
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFunc analyzes one function body; nested function literals are
+// analyzed as their own units (a closure runs on whatever rank calls it).
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	tainted := taintRankLocals(pass, body)
+	w := &walker{pass: pass, tainted: tainted}
+	w.stmts(body.List, nil)
+
+	// Analyze nested closures independently, without the enclosing
+	// function's conditional context.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkFunc(pass, lit.Body)
+			return false
+		}
+		return true
+	})
+}
+
+type walker struct {
+	pass    *analysis.Pass
+	tainted map[types.Object]bool
+	// rankCond is the innermost enclosing rank-local condition, nil when
+	// the current statement executes on every rank.
+	rankCond ast.Expr
+}
+
+// stmts walks one statement list. rest is the stack of continuation
+// statement lists of the enclosing blocks, innermost last, used to
+// answer "does any collective still run after this point?".
+func (w *walker) stmts(list []ast.Stmt, rest [][]ast.Stmt) {
+	for i, s := range list {
+		cont := append(rest[:len(rest):len(rest)], list[i+1:])
+		w.stmt(s, cont)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt, cont [][]ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.exprs(s.Init)
+		}
+		w.exprs(&ast.ExprStmt{X: s.Cond})
+		rankLocal := w.exprTainted(s.Cond)
+		errGuard := w.isErrGuard(s.Cond)
+		if (rankLocal || errGuard) && branchTerminates(s) {
+			if coll := collectiveInContinuation(w.pass, cont); coll != "" {
+				if rankLocal {
+					w.pass.Reportf(s.Pos(), "rank-local early exit may skip later collective %s; every rank must execute every collective", coll)
+				} else {
+					w.pass.Reportf(s.Pos(), "error-path early exit skips later collective %s; exchange errors with a two-phase barrier (AllReduce an error flag) instead", coll)
+				}
+			}
+		}
+		inner := *w
+		if rankLocal {
+			inner.rankCond = s.Cond
+		}
+		inner.stmts(s.Body.List, cont)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			inner.stmts(e.List, cont)
+		case *ast.IfStmt:
+			inner.stmt(e, cont)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.exprs(s.Init)
+		}
+		inner := *w
+		if s.Cond != nil {
+			w.exprs(&ast.ExprStmt{X: s.Cond})
+			if w.exprTainted(s.Cond) {
+				inner.rankCond = s.Cond
+			}
+		}
+		inner.stmts(s.Body.List, cont)
+	case *ast.RangeStmt:
+		inner := *w
+		if s.X != nil && w.exprTainted(s.X) {
+			inner.rankCond = s.X
+		}
+		inner.stmts(s.Body.List, cont)
+	case *ast.SwitchStmt:
+		inner := *w
+		if s.Tag != nil && w.exprTainted(s.Tag) {
+			inner.rankCond = s.Tag
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			caseW := inner
+			for _, e := range cc.List {
+				if w.exprTainted(e) {
+					caseW.rankCond = e
+				}
+			}
+			caseW.stmts(cc.Body, cont)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			w.stmts(c.(*ast.CaseClause).Body, cont)
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			w.stmts(c.(*ast.CommClause).Body, cont)
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List, cont)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, cont)
+	default:
+		w.exprs(s)
+	}
+}
+
+// exprs scans a non-control statement for collective calls executed
+// under the current rank-local condition.
+func (w *walker) exprs(s ast.Stmt) {
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // analyzed as its own unit
+		}
+		if call, ok := n.(*ast.CallExpr); ok && w.rankCond != nil {
+			if name := collectiveCall(w.pass, call); name != "" {
+				w.pass.Reportf(call.Pos(), "collective %s executed under rank-local condition; every rank must execute every collective", name)
+			}
+		}
+		return true
+	})
+}
+
+func (w *walker) exprTainted(e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if rankNames[strings.ToLower(n.Name)] || w.tainted[w.pass.TypesInfo.Uses[n]] {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Rank" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isErrGuard reports whether cond compares an error-typed value against
+// nil (the `if err != nil` shape).
+func (w *walker) isErrGuard(cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		b, ok := n.(*ast.BinaryExpr)
+		if !ok || (b.Op != token.NEQ && b.Op != token.EQL) {
+			return !found
+		}
+		for _, side := range []ast.Expr{b.X, b.Y} {
+			if t := w.pass.TypesInfo.Types[side].Type; t != nil && isErrorType(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// taintRankLocals computes the variables holding rank-derived values:
+// seeded by Rank() call results and rank-named identifiers, propagated
+// through assignments (two lexical passes reach the fixpoint for the
+// straight-line seeding code this targets).
+func taintRankLocals(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	// rankValue walks value expressions without descending into call
+	// arguments: `shard := c.Rank()` and `leader := shard == 0` taint,
+	// but `sm, err := sim.New(..., c.Rank())` does not — the callee
+	// consumed the rank; its results (and errors) are ordinary values.
+	var rankValue func(e ast.Expr) bool
+	rankValue = func(e ast.Expr) bool {
+		switch e := e.(type) {
+		case *ast.ParenExpr:
+			return rankValue(e.X)
+		case *ast.BinaryExpr:
+			return rankValue(e.X) || rankValue(e.Y)
+		case *ast.UnaryExpr:
+			return rankValue(e.X)
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr)
+			return ok && sel.Sel.Name == "Rank"
+		case *ast.Ident:
+			return rankNames[strings.ToLower(e.Name)] || tainted[pass.TypesInfo.Uses[e]]
+		}
+		return false
+	}
+	exprTainted := rankValue
+	markIdent := func(id *ast.Ident) {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			tainted[obj] = true
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			tainted[obj] = true
+		}
+	}
+	for round := 0; round < 2; round++ {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					rhs := n.Rhs[0]
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					}
+					if exprTainted(rhs) {
+						markIdent(id)
+					}
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					if exprTainted(v) {
+						for _, id := range n.Names {
+							markIdent(id)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// collectiveInContinuation reports the first collective that still runs
+// after the current statement: scanning each continuation level in order
+// and stopping at an unconditional terminator.
+func collectiveInContinuation(pass *analysis.Pass, cont [][]ast.Stmt) string {
+	for level := len(cont) - 1; level >= 0; level-- {
+		for _, s := range cont[level] {
+			if name := firstCollective(pass, s); name != "" {
+				return name
+			}
+			if terminates(s) {
+				return ""
+			}
+		}
+	}
+	return ""
+}
+
+func firstCollective(pass *analysis.Pass, n ast.Node) string {
+	name := ""
+	ast.Inspect(n, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if c := collectiveCall(pass, call); c != "" {
+				name = c
+				return false
+			}
+		}
+		return true
+	})
+	return name
+}
+
+// collectiveCall returns the collective's name when call is a collective
+// method on a comm.Comm (a type named Comm), or "".
+func collectiveCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !collectiveNames[sel.Sel.Name] {
+		return ""
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return "" // package-qualified function, not a method
+	}
+	recv := selection.Recv()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Name() != "Comm" {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// branchTerminates reports whether an if statement has a branch that
+// exits early (return, break, continue, goto, panic).
+func branchTerminates(s *ast.IfStmt) bool {
+	if blockTerminates(s.Body) {
+		return true
+	}
+	switch e := s.Else.(type) {
+	case *ast.BlockStmt:
+		return blockTerminates(e)
+	case *ast.IfStmt:
+		return branchTerminates(e)
+	}
+	return false
+}
+
+func blockTerminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	return terminates(b.List[len(b.List)-1])
+}
+
+// terminates reports whether s unconditionally leaves the enclosing
+// statement sequence.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.IfStmt:
+		if s.Else == nil {
+			return false
+		}
+		term := blockTerminates(s.Body)
+		switch e := s.Else.(type) {
+		case *ast.BlockStmt:
+			return term && blockTerminates(e)
+		case *ast.IfStmt:
+			return term && terminates(e)
+		}
+	case *ast.BlockStmt:
+		return blockTerminates(s)
+	}
+	return false
+}
+
+// isErrorType reports whether t is the error interface (or implements it
+// as a named error type).
+func isErrorType(t types.Type) bool {
+	if named, ok := t.(*types.Named); ok && named.Obj() == types.Universe.Lookup("error") {
+		return true
+	}
+	errType, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	return errType != nil && types.Implements(t, errType)
+}

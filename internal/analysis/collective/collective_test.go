@@ -1,0 +1,11 @@
+package collective
+
+import (
+	"testing"
+
+	"insitu/internal/analysis/analysistest"
+)
+
+func TestCollective(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer)
+}

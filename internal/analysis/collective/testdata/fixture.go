@@ -1,0 +1,84 @@
+// Package fixture exercises the collective analyzer. Comm is a local
+// stand-in: the analyzer matches collectives by method name on any type
+// named Comm, so the fixture needs no import of the real comm package.
+// The rank-gated cases prove that desynchronizing a collective breaks
+// the lint gate.
+package fixture
+
+import "errors"
+
+type Comm struct{ rank, size int }
+
+func (c *Comm) Rank() int                      { return c.rank }
+func (c *Comm) Size() int                      { return c.size }
+func (c *Comm) Barrier()                       {}
+func (c *Comm) AllReduceMax(v float64) float64 { return v }
+func (c *Comm) Bcast(root int, b []byte) error { return nil }
+
+func work() error { return errors.New("boom") }
+
+// rankGated runs a collective only on rank 0: the other ranks never
+// enter the barrier and rank 0 blocks forever.
+func rankGated(c *Comm) {
+	if c.Rank() == 0 {
+		c.Barrier() // want `collective Barrier executed under rank-local condition`
+	}
+}
+
+// taintedGate reaches the same bug through a rank-derived local.
+func taintedGate(c *Comm) {
+	leader := c.Rank() == 0
+	if leader {
+		c.Barrier() // want `collective Barrier executed under rank-local condition`
+	}
+}
+
+// earlyExit skips the barrier on every rank but 0.
+func earlyExit(c *Comm) {
+	if c.Rank() != 0 { // want `rank-local early exit may skip later collective Barrier`
+		return
+	}
+	c.Barrier()
+}
+
+// errEarlyExit returns on a rank-local error before a collective: ranks
+// that succeeded wait in AllReduceMax for peers that already left.
+func errEarlyExit(c *Comm) error {
+	err := work()
+	if err != nil { // want `error-path early exit skips later collective AllReduceMax`
+		return err
+	}
+	_ = c.AllReduceMax(1)
+	return nil
+}
+
+// twoPhase is the enforced shape: agree on the failure first, then take
+// the same exit on every rank. Clean.
+func twoPhase(c *Comm) error {
+	err := work()
+	flag := 0.0
+	if err != nil {
+		flag = 1
+	}
+	if c.AllReduceMax(flag) > 0 {
+		return errors.New("peer failure")
+	}
+	c.Barrier()
+	return nil
+}
+
+// uniformGate branches on data every rank computed identically; the
+// analyzer only taints rank-derived conditions. Clean.
+func uniformGate(c *Comm, frames int) {
+	if frames > 0 {
+		c.Barrier()
+	}
+}
+
+// suppressedGate documents a genuinely safe gate with the escape hatch.
+func suppressedGate(c *Comm) {
+	if c.Rank() == 0 {
+		//insitu:collective-ok the group is size 1 in this configuration
+		c.Barrier()
+	}
+}

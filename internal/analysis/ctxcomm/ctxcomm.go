@@ -1,0 +1,155 @@
+// Package ctxcomm keeps cancellation plumbed through the transport. A
+// function that receives a context.Context is part of a cancelable call
+// chain; inside it, calling the bare blocking variant of a transport
+// method (Send where SendCtx exists) detaches the operation from
+// cancellation, and passing context.Background()/context.TODO() down a
+// callee severs the chain for everything below. Both defeat the
+// deadline scheduler: a canceled frame must release its rank fleet
+// promptly, not after a blocking Recv drains.
+package ctxcomm
+
+import (
+	"go/ast"
+	"go/types"
+
+	"insitu/internal/analysis"
+)
+
+// Analyzer flags bare transport calls and dropped contexts in
+// context-aware call chains.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcomm",
+	Doc: "in functions that take a context.Context, flag bare Send/Recv/RecvAny " +
+		"where a SendCtx/RecvCtx/RecvAnyCtx variant exists, and flag " +
+		"context.Background()/context.TODO() passed to callees",
+	Run: run,
+}
+
+// ctxVariants maps a bare blocking method name to its context-aware
+// variant; the bare form is flagged only when the receiver's method set
+// actually offers the variant.
+var ctxVariants = map[string]string{
+	"Send":    "SendCtx",
+	"Recv":    "RecvCtx",
+	"RecvAny": "RecvAnyCtx",
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok {
+				return true
+			}
+			if fd.Body != nil && hasCtxParam(pass, fd.Type) {
+				// Nested closures inherit the ctx from scope, so the whole
+				// body — closures included — is context-aware.
+				checkBody(pass, fd.Body)
+			} else if fd.Body != nil {
+				// Only closures that themselves take a ctx are checked.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok && hasCtxParam(pass, lit.Type) {
+						checkBody(pass, lit.Body)
+						return false
+					}
+					return true
+				})
+			}
+			return false
+		})
+	}
+	return nil
+}
+
+func hasCtxParam(pass *analysis.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isContextType(pass.TypesInfo.Types[field.Type].Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		checkBareTransport(pass, call)
+		for _, arg := range call.Args {
+			if isBackgroundOrTODO(info, arg) {
+				pass.Reportf(arg.Pos(), "context.%s drops the caller's ctx; pass the ctx parameter through", calleeName(arg))
+			}
+		}
+		return true
+	})
+}
+
+// checkBareTransport flags x.Send(...) when x also has SendCtx.
+func checkBareTransport(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	variant, ok := ctxVariants[sel.Sel.Name]
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok {
+		return // package-qualified call, not a method
+	}
+	recv := selection.Recv()
+	if !methodSetHas(recv, variant) {
+		return
+	}
+	pass.Reportf(call.Pos(), "bare %s detaches from cancellation in a ctx-aware function; use %s", sel.Sel.Name, variant)
+}
+
+func methodSetHas(t types.Type, name string) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isBackgroundOrTODO matches the literal calls context.Background() and
+// context.TODO() (stored fields like cl.ctx are deliberate and allowed).
+func isBackgroundOrTODO(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	fn := analysis.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	return fn.Name() == "Background" || fn.Name() == "TODO"
+}
+
+func calleeName(e ast.Expr) string {
+	call := ast.Unparen(e).(*ast.CallExpr)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "Background"
+}

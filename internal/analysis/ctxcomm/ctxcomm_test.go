@@ -1,0 +1,11 @@
+package ctxcomm
+
+import (
+	"testing"
+
+	"insitu/internal/analysis/analysistest"
+)
+
+func TestCtxcomm(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer)
+}

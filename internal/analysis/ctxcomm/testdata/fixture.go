@@ -1,0 +1,68 @@
+// Package fixture exercises the ctxcomm analyzer over a local transport
+// type offering both blocking and context-aware method variants.
+package fixture
+
+import "context"
+
+type conn struct{}
+
+func (c *conn) Send(to int, b []byte) error { return nil }
+func (c *conn) SendCtx(ctx context.Context, to int, b []byte) error {
+	return nil
+}
+func (c *conn) Recv(from int, b []byte) error { return nil }
+func (c *conn) RecvCtx(ctx context.Context, from int, b []byte) error {
+	return nil
+}
+
+func process(ctx context.Context, b []byte) {}
+
+// bare blocks forever if the caller cancels: the ctx-aware variant
+// exists and must be used inside a ctx-param function.
+func bare(ctx context.Context, c *conn) error {
+	return c.Send(0, nil) // want `bare Send detaches from cancellation in a ctx-aware function; use SendCtx`
+}
+
+// bareRecv covers the receive side.
+func bareRecv(ctx context.Context, c *conn) error {
+	return c.Recv(0, nil) // want `bare Recv detaches from cancellation in a ctx-aware function; use RecvCtx`
+}
+
+// dropped severs the cancellation chain mid-call-tree.
+func dropped(ctx context.Context, b []byte) {
+	process(context.Background(), b) // want `context.Background drops the caller's ctx`
+}
+
+// todoDropped is the same bug spelled TODO.
+func todoDropped(ctx context.Context, b []byte) {
+	process(context.TODO(), b) // want `context.TODO drops the caller's ctx`
+}
+
+// good passes the ctx through. Clean.
+func good(ctx context.Context, c *conn) error {
+	return c.SendCtx(ctx, 0, nil)
+}
+
+// noCtx takes no context, so the blocking variant is its only option.
+// Clean.
+func noCtx(c *conn) error {
+	return c.Send(0, nil)
+}
+
+type client struct {
+	ctx context.Context
+	c   *conn
+}
+
+// storedCtx passes a deliberately stored context, which is allowed —
+// only the literal Background()/TODO() constructors are flagged.
+func storedCtx(ctx context.Context, cl *client) error {
+	return cl.c.SendCtx(cl.ctx, 0, nil)
+}
+
+// drain documents an intentionally non-cancelable final send with the
+// escape hatch.
+func drain(ctx context.Context, c *conn) error {
+	//insitu:ctxcomm-ok the shutdown drain must complete even after cancel
+	return c.Send(0, nil)
+}

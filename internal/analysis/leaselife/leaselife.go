@@ -1,0 +1,565 @@
+// Package leaselife enforces the repo's two lifetime invariants.
+//
+// Lease release: a RunnerCache lease (any Acquire whose result has a
+// Release method) pins a prepared runner and its device pool; a path
+// that exits the acquiring function without Release leaks the pin and
+// eventually starves the cache. Every exit path after an acquire must
+// release (directly, via defer, or behind an `if lease != nil` guard).
+//
+// Arena escape: a value returned by an `//insitu:arena` function (frame
+// images, compositor output, compactor index lists) is only valid until
+// the next call on the same receiver. Storing it in a field, global,
+// channel, or composite literal, or returning it from a function not
+// itself annotated arena, lets a stale frame escape; deep-copy first
+// (the copy is a fresh value, so copies don't propagate the taint).
+package leaselife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"insitu/internal/analysis"
+)
+
+// Analyzer flags unreleased leases and arena-owned values that outlive
+// their frame.
+var Analyzer = &analysis.Analyzer{
+	Name: "leaselife",
+	Doc: "flag RunnerCache-style leases not released on every path, and " +
+		"//insitu:arena results stored or returned beyond their frame",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLeases(pass, fn.Body)
+					checkArena(pass, fn.Body, pass.TypesInfo.Defs[fn.Name])
+				}
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// --- lease release -----------------------------------------------------
+
+// checkLeases finds Acquire calls in the unit (including nested
+// closures, each treated as its own unit) and verifies a Release on
+// every subsequent exit path.
+func checkLeases(pass *analysis.Pass, body *ast.BlockStmt) {
+	type acquire struct {
+		stmt ast.Stmt
+		obj  types.Object
+		err  types.Object // the error result, when assigned to an ident
+	}
+	var acquires []acquire
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			checkLeases(pass, lit.Body)
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isLeaseAcquire(pass, call) {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(as.Pos(), "lease discarded at acquire; it can never be released")
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		a := acquire{stmt: as, obj: obj}
+		if len(as.Lhs) == 2 {
+			if errID, ok := as.Lhs[1].(*ast.Ident); ok {
+				if eo := pass.TypesInfo.Defs[errID]; eo != nil {
+					a.err = eo
+				} else {
+					a.err = pass.TypesInfo.Uses[errID]
+				}
+			}
+		}
+		acquires = append(acquires, a)
+		return true
+	})
+	for _, a := range acquires {
+		w := &leaseWalker{pass: pass, acquireStmt: a.stmt, lease: a.obj, acquireErr: a.err}
+		out, terminated := w.block(body.List, leaseState{})
+		if !terminated && out.acquired && !out.released {
+			pass.Reportf(body.Rbrace, "lease %s is not released before the function returns", a.obj.Name())
+		}
+	}
+}
+
+// isLeaseAcquire reports whether call is a method named Acquire whose
+// first result (dereferenced) has a Release method.
+func isLeaseAcquire(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Acquire" {
+		return false
+	}
+	sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	return hasRelease(sig.Results().At(0).Type())
+}
+
+func hasRelease(t types.Type) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			if ms.At(i).Obj().Name() == "Release" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+type leaseState struct {
+	acquired, released bool
+}
+
+type leaseWalker struct {
+	pass        *analysis.Pass
+	acquireStmt ast.Stmt
+	lease       types.Object
+	acquireErr  types.Object
+}
+
+// block walks a statement list, returning the out-state and whether the
+// list unconditionally terminates (so following statements are dead).
+func (w *leaseWalker) block(stmts []ast.Stmt, s leaseState) (leaseState, bool) {
+	for _, stmt := range stmts {
+		var term bool
+		s, term = w.stmt(stmt, s)
+		if term {
+			return s, true
+		}
+	}
+	return s, false
+}
+
+func (w *leaseWalker) stmt(stmt ast.Stmt, s leaseState) (leaseState, bool) {
+	if stmt == w.acquireStmt {
+		s.acquired = true
+		return s, false
+	}
+	// Once the acquire's error variable is reassigned (err reused by a
+	// later call), `if err != nil` no longer means "the acquire failed":
+	// stop treating it as the lease-free branch.
+	if w.acquireErr != nil && w.reassignsAcquireErr(stmt) {
+		w.acquireErr = nil
+	}
+	switch st := stmt.(type) {
+	case *ast.ReturnStmt:
+		// Returning the lease itself transfers ownership to the caller.
+		for _, r := range st.Results {
+			if id, ok := ast.Unparen(r).(*ast.Ident); ok && w.identIsLease(id) {
+				return s, true
+			}
+		}
+		if s.acquired && !s.released {
+			w.pass.Reportf(st.Pos(), "lease %s may not be released on this return path", w.lease.Name())
+		}
+		return s, true
+	case *ast.BranchStmt:
+		return s, true
+	case *ast.IfStmt:
+		return w.ifStmt(st, s)
+	case *ast.ForStmt:
+		return w.loop(st.Body, s)
+	case *ast.RangeStmt:
+		return w.loop(st.Body, s)
+	case *ast.SwitchStmt:
+		return w.cases(caseBodies(st.Body), hasDefaultCase(st.Body), s)
+	case *ast.TypeSwitchStmt:
+		return w.cases(caseBodies(st.Body), hasDefaultCase(st.Body), s)
+	case *ast.SelectStmt:
+		return w.cases(commBodies(st.Body), false, s)
+	case *ast.BlockStmt:
+		return w.block(st.List, s)
+	case *ast.LabeledStmt:
+		return w.stmt(st.Stmt, s)
+	default:
+		if w.containsRelease(stmt) {
+			s.released = true
+		}
+		if w.containsAcquire(stmt) {
+			s.acquired = true
+		}
+		return s, false
+	}
+}
+
+func (w *leaseWalker) ifStmt(st *ast.IfStmt, s leaseState) (leaseState, bool) {
+	// `if lease != nil { lease.Release() }` releases on every path that
+	// has anything to release.
+	nilGuardRelease := w.isNilGuard(st.Cond) && w.containsRelease(st.Body)
+
+	// `lease, err := Acquire(...); if err != nil { ... }`: the error
+	// branch holds no lease, so returns inside it are clean.
+	bIn := s
+	if w.isAcquireErrGuard(st.Cond) {
+		bIn.acquired = false
+	}
+	bOut, bTerm := w.block(st.Body.List, bIn)
+	eOut, eTerm := s, false
+	switch e := st.Else.(type) {
+	case *ast.BlockStmt:
+		eOut, eTerm = w.block(e.List, s)
+	case *ast.IfStmt:
+		eOut, eTerm = w.stmt(e, s)
+	}
+	out, term := merge(s, bOut, bTerm, eOut, eTerm, st.Else != nil)
+	if nilGuardRelease {
+		out.released = true
+	}
+	return out, term
+}
+
+func (w *leaseWalker) loop(body *ast.BlockStmt, s leaseState) (leaseState, bool) {
+	bOut, _ := w.block(body.List, s)
+	// A loop body may run zero times; only an unbalanced acquire inside
+	// it (acquired without release) persists past the loop.
+	if bOut.acquired && !bOut.released {
+		s.acquired = true
+	}
+	return s, false
+}
+
+func (w *leaseWalker) cases(bodies [][]ast.Stmt, hasDefault bool, s leaseState) (leaseState, bool) {
+	outs := make([]leaseState, 0, len(bodies)+1)
+	allTerm := hasDefault
+	for _, b := range bodies {
+		o, t := w.block(b, s)
+		if !t {
+			outs = append(outs, o)
+			allTerm = false
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, s) // the no-case-taken path
+		allTerm = false
+	}
+	if allTerm && len(outs) == 0 {
+		return s, true
+	}
+	out := outs[0]
+	for _, o := range outs[1:] {
+		out.acquired = out.acquired || o.acquired
+		out.released = out.released && o.released
+	}
+	return out, false
+}
+
+// merge combines if/else branch out-states over the fall-through paths.
+func merge(before, bOut leaseState, bTerm bool, eOut leaseState, eTerm bool, hasElse bool) (leaseState, bool) {
+	if !hasElse {
+		eOut, eTerm = before, false
+	}
+	switch {
+	case bTerm && eTerm:
+		return before, true
+	case bTerm:
+		return eOut, false
+	case eTerm:
+		return bOut, false
+	}
+	return leaseState{
+		acquired: bOut.acquired || eOut.acquired,
+		released: bOut.released && eOut.released,
+	}, false
+}
+
+// reassignsAcquireErr reports whether stmt (or anything nested in it)
+// assigns a new value to the acquire's error variable.
+func (w *leaseWalker) reassignsAcquireErr(stmt ast.Stmt) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return !found
+		}
+		for _, l := range as.Lhs {
+			id, ok := l.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := w.pass.TypesInfo.Uses[id]
+			if obj == nil {
+				obj = w.pass.TypesInfo.Defs[id]
+			}
+			if obj == w.acquireErr {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isAcquireErrGuard matches `if <acquire-err> != nil`.
+func (w *leaseWalker) isAcquireErrGuard(cond ast.Expr) bool {
+	if w.acquireErr == nil {
+		return false
+	}
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != token.NEQ {
+		return false
+	}
+	for _, pair := range [][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+		id, ok := ast.Unparen(pair[0]).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := w.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = w.pass.TypesInfo.Defs[id]
+		}
+		if obj != w.acquireErr {
+			continue
+		}
+		if nid, ok := ast.Unparen(pair[1]).(*ast.Ident); ok && nid.Name == "nil" {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *leaseWalker) isNilGuard(cond ast.Expr) bool {
+	b, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || b.Op != token.NEQ {
+		return false
+	}
+	x, y := ast.Unparen(b.X), ast.Unparen(b.Y)
+	for _, pair := range [][2]ast.Expr{{x, y}, {y, x}} {
+		if id, ok := pair[0].(*ast.Ident); ok && w.identIsLease(id) {
+			if nid, ok := pair[1].(*ast.Ident); ok && nid.Name == "nil" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (w *leaseWalker) containsRelease(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Release" {
+			return !found
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && w.identIsLease(id) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (w *leaseWalker) containsAcquire(n ast.Node) bool {
+	return n == w.acquireStmt
+}
+
+func (w *leaseWalker) identIsLease(id *ast.Ident) bool {
+	obj := w.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = w.pass.TypesInfo.Defs[id]
+	}
+	return obj == w.lease
+}
+
+func caseBodies(b *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range b.List {
+		out = append(out, c.(*ast.CaseClause).Body)
+	}
+	return out
+}
+
+func hasDefaultCase(b *ast.BlockStmt) bool {
+	for _, c := range b.List {
+		if c.(*ast.CaseClause).List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+func commBodies(b *ast.BlockStmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	for _, c := range b.List {
+		out = append(out, c.(*ast.CommClause).Body)
+	}
+	return out
+}
+
+// --- arena escape ------------------------------------------------------
+
+// checkArena flags arena-owned values (results of //insitu:arena calls)
+// that escape the frame: stored into fields/globals/indexes/channels,
+// captured in composite literals, or returned from a function that is
+// not itself //insitu:arena.
+func checkArena(pass *analysis.Pass, body *ast.BlockStmt, fnObj types.Object) {
+	info := pass.TypesInfo
+	tainted := map[types.Object]bool{}
+
+	isArenaCall := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		callee := analysis.Callee(info, call)
+		return callee != nil && pass.FuncHasMark(callee.Origin(), analysis.MarkArena)
+	}
+	taintedExpr := func(e ast.Expr) bool {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			obj := info.Uses[id]
+			return obj != nil && tainted[obj]
+		}
+		return isArenaCall(e)
+	}
+	// pointerLike: only pointer/slice/map results can alias the arena.
+	pointerLike := func(obj types.Object) bool {
+		if obj == nil {
+			return false
+		}
+		switch obj.Type().Underlying().(type) {
+		case *types.Pointer, *types.Slice, *types.Map:
+			return true
+		}
+		return false
+	}
+
+	// Two lexical rounds of taint propagation through assignments.
+	for round := 0; round < 2; round++ {
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			anyTaintedRHS := false
+			for _, r := range as.Rhs {
+				if taintedExpr(r) {
+					anyTaintedRHS = true
+				}
+			}
+			if !anyTaintedRHS {
+				return true
+			}
+			for i, l := range as.Lhs {
+				if len(as.Rhs) == len(as.Lhs) && !taintedExpr(as.Rhs[i]) {
+					continue
+				}
+				id, ok := l.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if pointerLike(obj) {
+					tainted[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	fnIsArena := false
+	if fn, ok := fnObj.(*types.Func); ok {
+		fnIsArena = pass.FuncHasMark(fn, analysis.MarkArena)
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			if fnIsArena {
+				return true
+			}
+			for _, r := range n.Results {
+				if taintedExpr(r) {
+					pass.Reportf(r.Pos(), "arena-owned value returned from %s, which is not //insitu:arena; deep-copy it or annotate the function", nameOf(fnObj))
+				}
+			}
+		case *ast.AssignStmt:
+			for i, l := range n.Lhs {
+				rhs := n.Rhs[0]
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				if !taintedExpr(rhs) {
+					continue
+				}
+				if escapingLHS(info, l) {
+					pass.Reportf(n.Pos(), "arena-owned value stored beyond the frame; deep-copy it first (it is only valid until the next frame)")
+				}
+			}
+		case *ast.SendStmt:
+			if taintedExpr(n.Value) {
+				pass.Reportf(n.Pos(), "arena-owned value sent on a channel; deep-copy it first (it is only valid until the next frame)")
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if taintedExpr(v) {
+					pass.Reportf(v.Pos(), "arena-owned value captured in composite literal; deep-copy it first (it is only valid until the next frame)")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// escapingLHS reports whether assigning to l lets the value outlive the
+// function: a field, an element of something, a dereference, or a
+// package-level variable.
+func escapingLHS(info *types.Info, l ast.Expr) bool {
+	switch l := l.(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		obj := info.Uses[l]
+		if obj == nil {
+			obj = info.Defs[l]
+		}
+		return obj != nil && obj.Parent() == obj.Pkg().Scope()
+	}
+	return false
+}
+
+func nameOf(obj types.Object) string {
+	if obj == nil {
+		return "this function"
+	}
+	return obj.Name()
+}

@@ -1,0 +1,11 @@
+package leaselife
+
+import (
+	"testing"
+
+	"insitu/internal/analysis/analysistest"
+)
+
+func TestLeaselife(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer)
+}

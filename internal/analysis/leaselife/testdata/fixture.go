@@ -1,0 +1,150 @@
+// Package fixture exercises the leaselife analyzer: lease-release
+// completeness over a local Acquire/Release pair (any Acquire whose
+// first result has a Release method counts), and arena-escape tracking
+// over a local //insitu:arena function. The leak cases prove that
+// deleting a Release breaks the lint gate.
+package fixture
+
+import "errors"
+
+type lease struct{}
+
+func (l *lease) Release() {}
+
+type cache struct{}
+
+func (c *cache) Acquire(key string) (*lease, error) { return &lease{}, nil }
+
+func work() error { return nil }
+
+// leaked drops the lease on the failure path.
+func leaked(c *cache, fail bool) error {
+	l, err := c.Acquire("k")
+	if err != nil {
+		return err
+	}
+	if fail {
+		return errors.New("lost the lease") // want `lease l may not be released on this return path`
+	}
+	l.Release()
+	return nil
+}
+
+// missingAtEnd never releases at all.
+func missingAtEnd(c *cache) {
+	l, _ := c.Acquire("k")
+	_ = l
+} // want `lease l is not released before the function returns`
+
+// discarded can never be released.
+func discarded(c *cache) {
+	_, _ = c.Acquire("k") // want `lease discarded at acquire; it can never be released`
+}
+
+// reassigned overwrites the acquire error with a later call's: from
+// then on `if err != nil` paths hold the lease and must release it.
+func reassigned(c *cache) error {
+	l, err := c.Acquire("k")
+	if err != nil {
+		return err
+	}
+	err = work()
+	if err != nil {
+		return err // want `lease l may not be released on this return path`
+	}
+	l.Release()
+	return nil
+}
+
+// deferred releases on every path.
+func deferred(c *cache) error {
+	l, err := c.Acquire("k")
+	if err != nil {
+		return err
+	}
+	defer l.Release()
+	return work()
+}
+
+// transferred hands the lease to the caller, who owns it now.
+func transferred(c *cache) (*lease, error) {
+	l, err := c.Acquire("k")
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// nilGuarded releases behind the standard nil check.
+func nilGuarded(c *cache) {
+	l, _ := c.Acquire("k")
+	if l != nil {
+		l.Release()
+	}
+}
+
+// expectedFailure documents a test-style acquire that is asserted to
+// fail: the nil path carries nothing to release, excused with the
+// escape hatch.
+func expectedFailure(c *cache) {
+	l, _ := c.Acquire("missing")
+	if l == nil {
+		//insitu:leaselife-ok expected failure: a nil lease carries nothing to release
+		return
+	}
+	l.Release()
+}
+
+// --- arena escape ------------------------------------------------------
+
+type renderer struct{ px []float64 }
+
+var last []float64
+
+// render returns its frame arena; the slice is valid until the next
+// render call on the same receiver.
+//
+//insitu:arena
+func (r *renderer) render() []float64 { return r.px }
+
+// stores keeps the arena value in a global that outlives the frame.
+func stores(r *renderer) {
+	px := r.render()
+	last = px // want `arena-owned value stored beyond the frame`
+}
+
+// returnsArena hands the arena value out of a non-arena function.
+func returnsArena(r *renderer) []float64 {
+	px := r.render()
+	return px // want `arena-owned value returned from returnsArena`
+}
+
+// sends lets another goroutine hold the frame.
+func sends(r *renderer, ch chan []float64) {
+	px := r.render()
+	ch <- px // want `arena-owned value sent on a channel`
+}
+
+// copies deep-copies first: the copy is a fresh value. Clean.
+func copies(r *renderer) []float64 {
+	px := r.render()
+	out := make([]float64, len(px))
+	copy(out, px)
+	return out
+}
+
+// forwards is itself //insitu:arena, so returning the frame is its
+// documented contract. Clean.
+//
+//insitu:arena
+func forwards(r *renderer) []float64 {
+	return r.render()
+}
+
+// consumed uses the frame before the next render and documents it.
+func consumed(r *renderer) {
+	px := r.render()
+	//insitu:leaselife-ok drained synchronously below before any further render
+	last = px
+	last = nil
+}

@@ -1,0 +1,295 @@
+// Package noalloc enforces the zero-allocation steady-state contract
+// introduced by PR 4: a function annotated `//insitu:noalloc` — and
+// every same-package function it statically calls — must not contain
+// heap-allocating constructs. Allocation that is genuinely amortized
+// (arena growth guarded by a capacity check, cold error paths) is
+// suppressed site-by-site with `//insitu:noalloc-ok <why>`, keeping the
+// justification next to the code it excuses.
+package noalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"insitu/internal/analysis"
+)
+
+// Analyzer flags heap-escaping constructs in //insitu:noalloc functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "noalloc",
+	Doc: "flag allocating constructs (make/new/append, slice & map literals, " +
+		"escaping composites, closures, string building, interface boxing, map " +
+		"iteration, calls to unannotated functions) in //insitu:noalloc functions " +
+		"and their same-package callees",
+	Run: run,
+}
+
+// safePkgs are packages whose functions are assumed allocation-free in
+// steady state without annotation: pure math, atomics, and the
+// lock/pool/timer primitives the dispatch path is built from.
+// (sync.Pool.Get amortizes its New allocation exactly like an arena.)
+var safePkgs = map[string]bool{
+	"container/list": true, // element moves relink in place
+	"math":           true,
+	"math/bits":      true,
+	"sync":           true,
+	"sync/atomic":    true,
+	"time":           true,
+	"unsafe":         true,
+}
+
+func run(pass *analysis.Pass) error {
+	decls := map[types.Object]*ast.FuncDecl{}
+	var roots []*ast.FuncDecl
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			decls[obj] = fd
+			if pass.Ann.HasObj(obj, analysis.MarkNoalloc) {
+				roots = append(roots, fd)
+			}
+		}
+	}
+
+	visited := map[*ast.FuncDecl]bool{}
+	work := append([]*ast.FuncDecl(nil), roots...)
+	for len(work) > 0 {
+		fd := work[0]
+		work = work[1:]
+		if visited[fd] {
+			continue
+		}
+		visited[fd] = true
+		work = append(work, checkFunc(pass, fd, decls)...)
+	}
+	return nil
+}
+
+// checkFunc walks one function body, reporting allocating constructs and
+// returning the same-package callees the noalloc obligation propagates to.
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, decls map[types.Object]*ast.FuncDecl) []*ast.FuncDecl {
+	info := pass.TypesInfo
+	var callees []*ast.FuncDecl
+	handled := map[ast.Node]bool{}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocates at creation in //insitu:noalloc function %s; prebuild it in the arena", fd.Name.Name)
+			return false // the closure body is not part of this frame's path
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement allocates a goroutine in //insitu:noalloc function %s", fd.Name.Name)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if cl, ok := n.X.(*ast.CompositeLit); ok {
+					handled[cl] = true
+					pass.Reportf(n.Pos(), "heap-escaping composite literal (&%s) in //insitu:noalloc function %s", typeString(info, cl), fd.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			if handled[n] {
+				return true
+			}
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Slice:
+				pass.Reportf(n.Pos(), "slice literal allocates in //insitu:noalloc function %s", fd.Name.Name)
+			case *types.Map:
+				pass.Reportf(n.Pos(), "map literal allocates in //insitu:noalloc function %s", fd.Name.Name)
+			}
+		case *ast.RangeStmt:
+			if n.X != nil {
+				if _, ok := info.Types[n.X].Type.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "map iteration in //insitu:noalloc function %s (hash-order walk defeats the predictable hot path)", fd.Name.Name)
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info, n) && info.Types[n].Value == nil {
+				pass.Reportf(n.Pos(), "string concatenation allocates in //insitu:noalloc function %s", fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info, n.Lhs[0]) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in //insitu:noalloc function %s", fd.Name.Name)
+			}
+		case *ast.CallExpr:
+			callees = append(callees, checkCall(pass, fd, n, decls)...)
+		}
+		return true
+	})
+	return callees
+}
+
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, decls map[types.Object]*ast.FuncDecl) []*ast.FuncDecl {
+	info := pass.TypesInfo
+	tv := info.Types[ast.Unparen(call.Fun)]
+
+	// Type conversions: only the ones that copy memory matter.
+	if tv.IsType() {
+		checkConversion(pass, fd, call, tv.Type)
+		return nil
+	}
+
+	if tv.IsBuiltin() {
+		switch builtinName(call) {
+		case "make":
+			pass.Reportf(call.Pos(), "make allocates in //insitu:noalloc function %s", fd.Name.Name)
+		case "new":
+			pass.Reportf(call.Pos(), "new allocates in //insitu:noalloc function %s", fd.Name.Name)
+		case "append":
+			pass.Reportf(call.Pos(), "append may grow and allocate in //insitu:noalloc function %s", fd.Name.Name)
+		}
+		return nil
+	}
+
+	callee := analysis.Callee(info, call)
+	if callee == nil {
+		// Calls through function values (the prebuilt kernel closures)
+		// are the definition site's responsibility, not the caller's.
+		checkBoxedArgs(pass, fd, call)
+		return nil
+	}
+	if callee.Pkg() == nil { // error.Error and other universe methods
+		return nil
+	}
+	if callee.Pkg() == pass.Pkg {
+		// Same-package call: the noalloc obligation propagates — unless
+		// this call site is explicitly excused as a cold path.
+		if pass.Ann.Suppressed(pass.Analyzer.Name, pass.Fset.Position(call.Pos())) {
+			return nil
+		}
+		checkBoxedArgs(pass, fd, call)
+		if fdCallee, ok := decls[callee.Origin()]; ok {
+			return []*ast.FuncDecl{fdCallee}
+		}
+		return nil
+	}
+	if safePkgs[callee.Pkg().Path()] || pass.FuncHasMark(callee.Origin(), analysis.MarkNoalloc) {
+		checkBoxedArgs(pass, fd, call)
+		return nil
+	}
+	pass.Reportf(call.Pos(), "call to %s, which is not //insitu:noalloc, in //insitu:noalloc function %s", callee.FullName(), fd.Name.Name)
+	return nil
+}
+
+func checkConversion(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := pass.TypesInfo.Types[call.Args[0]].Type
+	if src == nil {
+		return
+	}
+	switch target.Underlying().(type) {
+	case *types.Basic:
+		if isStringType(target) && !isStringType(src) {
+			pass.Reportf(call.Pos(), "conversion to string allocates in //insitu:noalloc function %s", fd.Name.Name)
+		}
+	case *types.Slice:
+		if isStringType(src) {
+			pass.Reportf(call.Pos(), "conversion from string allocates in //insitu:noalloc function %s", fd.Name.Name)
+		}
+	case *types.Interface:
+		if _, ok := src.Underlying().(*types.Interface); !ok && !isUntypedNil(src) {
+			pass.Reportf(call.Pos(), "interface conversion allocates in //insitu:noalloc function %s", fd.Name.Name)
+		}
+	}
+}
+
+// checkBoxedArgs flags concrete values passed to interface-typed
+// parameters: the conversion boxes on the heap unless the compiler can
+// prove otherwise, which a hot path must not rely on.
+func checkBoxedArgs(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	sigType := info.Types[call.Fun].Type
+	if sigType == nil {
+		return
+	}
+	sig, ok := sigType.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.Types[arg].Type
+		if at == nil || isUntypedNil(at) {
+			continue
+		}
+		if _, argIface := at.Underlying().(*types.Interface); argIface {
+			continue
+		}
+		if pointerShaped(at) {
+			continue // pointers live in the iface data word, no box
+		}
+		pass.Reportf(arg.Pos(), "argument boxed into interface parameter in //insitu:noalloc function %s", fd.Name.Name)
+	}
+}
+
+func builtinName(call *ast.CallExpr) string {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+func typeString(info *types.Info, cl *ast.CompositeLit) string {
+	if t := info.Types[cl].Type; t != nil {
+		s := t.String()
+		if i := strings.LastIndexByte(s, '/'); i >= 0 {
+			s = s[i+1:]
+		}
+		return s
+	}
+	return "composite"
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	t := info.Types[e].Type
+	return t != nil && isStringType(t)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// pointerShaped reports types the runtime stores directly in an
+// interface's data word without allocating: pointers, channels, maps,
+// funcs, and unsafe pointers.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

@@ -1,0 +1,11 @@
+package noalloc
+
+import (
+	"testing"
+
+	"insitu/internal/analysis/analysistest"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer)
+}

@@ -1,0 +1,99 @@
+// Package fixture exercises the noalloc analyzer: every `// want`
+// comment asserts a diagnostic on its line; lines without one must stay
+// clean. This file never reaches the build (testdata is invisible to go
+// list); it exists to prove that allocating inside a noalloc kernel
+// breaks the lint gate.
+package fixture
+
+import (
+	"errors"
+	"math"
+)
+
+type vec struct{ x, y, z float64 }
+
+// add is a clean kernel: pure arithmetic and value composites stay on
+// the stack.
+//
+//insitu:noalloc
+func add(a, b vec) vec {
+	return vec{a.x + b.x, a.y + b.y, a.z + b.z}
+}
+
+// norm may call safe-listed packages without annotation.
+//
+//insitu:noalloc
+func norm(v vec) float64 {
+	return math.Sqrt(v.x*v.x + v.y*v.y + v.z*v.z)
+}
+
+//insitu:noalloc
+func allocates(n int) {
+	s := make([]float64, n) // want `make allocates in //insitu:noalloc function allocates`
+	s = append(s, 1)        // want `append may grow and allocate`
+	_ = s
+	p := new(vec) // want `new allocates`
+	_ = p
+	m := map[int]int{} // want `map literal allocates`
+	for range m {      // want `map iteration`
+	}
+	v := &vec{} // want `heap-escaping composite literal`
+	_ = v
+	f := func() {} // want `closure allocates at creation`
+	f()
+	go add(vec{}, vec{}) // want `go statement allocates a goroutine`
+}
+
+//insitu:noalloc
+func builds(a, b string, bs []byte) string {
+	s := a + b     // want `string concatenation allocates`
+	s += a         // want `string concatenation allocates`
+	_ = string(bs) // want `conversion to string allocates`
+	_ = []byte(a)  // want `conversion from string allocates`
+	return s
+}
+
+//insitu:noalloc
+func converts(v vec) any {
+	return any(v) // want `interface conversion allocates`
+}
+
+//insitu:noalloc
+func coldCall() error {
+	return errors.New("cold") // want `call to errors.New, which is not //insitu:noalloc`
+}
+
+// root's obligation propagates to its unannotated same-package callee.
+//
+//insitu:noalloc
+func root() { helper() }
+
+func helper() {
+	_ = make([]int, 4) // want `make allocates in //insitu:noalloc function helper`
+}
+
+func eat(v interface{}) { _ = v }
+
+//insitu:noalloc
+func boxes(v vec, p *vec) {
+	eat(v) // want `argument boxed into interface parameter`
+	eat(p) // pointer-shaped: rides in the iface data word, no box
+}
+
+// grow shows the escape hatch: capacity-guarded arena growth is the
+// sanctioned amortized-allocation idiom.
+//
+//insitu:noalloc
+func grow(buf []int, n int) []int {
+	if cap(buf) < n {
+		//insitu:noalloc-ok capacity-guarded arena growth, amortized across frames
+		buf = make([]int, n)
+	}
+	return buf[:n]
+}
+
+// unconstrained carries no annotation and is not reachable from one, so
+// it may allocate freely.
+func unconstrained() []int {
+	return make([]int, 8)
+}

@@ -45,6 +45,8 @@ func IntersectTriangle(orig, dir, a, b, c vecmath.Vec3) (t, u, v float64, ok boo
 // Prim == -1 when nothing is hit, along with the number of node and
 // triangle tests performed (the workload counters behind the model's
 // AP*log2(O) term).
+//
+//insitu:noalloc
 func (b *BVH) IntersectClosest(orig, dir vecmath.Vec3, tmin, tmax float64) (Hit, int, int) {
 	hit := Hit{Prim: -1, T: math.Inf(1)}
 	if len(b.Nodes) == 0 {
@@ -106,6 +108,8 @@ func (b *BVH) IntersectClosest(orig, dir vecmath.Vec3, tmin, tmax float64) (Hit,
 
 // IntersectAny reports whether any triangle is hit in (tmin, tmax), the
 // early-out query used for shadow and ambient-occlusion rays.
+//
+//insitu:noalloc
 func (b *BVH) IntersectAny(orig, dir vecmath.Vec3, tmin, tmax float64) bool {
 	if len(b.Nodes) == 0 {
 		return false
@@ -150,9 +154,13 @@ type PacketScratch struct {
 }
 
 // Ensure grows the scratch to hold width rays.
+//
+//insitu:noalloc
 func (s *PacketScratch) Ensure(width int) {
 	if cap(s.inv) < width {
+		//insitu:noalloc-ok capacity-guarded arena growth: first frame only, steady state reuses
 		s.inv = make([]vecmath.Vec3, width)
+		//insitu:noalloc-ok capacity-guarded arena growth: first frame only, steady state reuses
 		s.best = make([]float64, width)
 	}
 }
@@ -168,6 +176,8 @@ func (b *BVH) IntersectClosestPacket(orig, dir []vecmath.Vec3, tmin float64, hit
 
 // IntersectClosestPacketScratch is IntersectClosestPacket with
 // caller-owned scratch, for steady-state loops that trace many packets.
+//
+//insitu:noalloc
 func (b *BVH) IntersectClosestPacketScratch(orig, dir []vecmath.Vec3, tmin float64, hits []Hit, scratch *PacketScratch) {
 	n := len(orig)
 	for i := range hits {

@@ -105,6 +105,7 @@ func TestGatherAndBcast(t *testing.T) {
 	err := w.Run(func(c *Comm) error {
 		mine := []float32{float32(c.Rank()), float32(c.Rank() * 10)}
 		parts := c.Gather(0, mine)
+		//insitu:collective-ok assertion failure aborts the whole world run; no rank keeps collecting
 		if c.Rank() == 0 {
 			for r := 0; r < 4; r++ {
 				if parts[r][0] != float32(r) || parts[r][1] != float32(r*10) {

@@ -72,6 +72,7 @@ func runComposite(t *testing.T, k *Compositor, imgs []*framebuffer.Image, op Op,
 		if stats.Elapsed <= 0 {
 			return nil, fmt.Errorf("no elapsed time recorded")
 		}
+		//insitu:leaselife-ok test compares the image before any further Composite call reuses the arena
 		return out, nil
 	})
 	if err != nil {
@@ -225,6 +226,7 @@ func TestDistributedRenderMatchesSingleTask(t *testing.T) {
 			return nil, err
 		}
 		out, _, err := BinarySwap().Composite(c, img, DepthOp, nil)
+		//insitu:leaselife-ok per-rank compositor is discarded after this one frame; no reuse overwrites the image
 		return out, err
 	})
 	if err != nil {

@@ -71,6 +71,8 @@ func (im *Image) ClearColor(r, g, b, a float32) {
 }
 
 // Set writes a pixel's color and depth.
+//
+//insitu:noalloc
 func (im *Image) Set(x, y int, r, g, b, a, depth float32) {
 	i := y*im.W + x
 	im.Color[4*i+0] = r

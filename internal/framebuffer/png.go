@@ -26,12 +26,17 @@ func (e *PNGEncoder) Put(b *png.EncoderBuffer) { e.buf = b }
 // Encode writes im as PNG to w, staging through the reused RGBA image.
 // The pixel conversion matches Image.ToRGBA: composited over a white
 // background, opaque output.
+//
+//insitu:noalloc
 func (e *PNGEncoder) Encode(w io.Writer, im *Image) error {
+	//insitu:noalloc-ok image.Rect is a value constructor, no heap
 	bounds := image.Rect(0, 0, im.W, im.H)
 	n := 4 * im.W * im.H
 	if e.rgba == nil || cap(e.rgba.Pix) < n {
+		//insitu:noalloc-ok capacity-guarded staging growth: reused across frames at steady resolution
 		e.rgba = image.NewRGBA(bounds)
 	} else if e.rgba.Rect != bounds {
+		//insitu:noalloc-ok re-slicing the retained staging buffer on resolution change, no pixel alloc
 		e.rgba = &image.RGBA{Pix: e.rgba.Pix[:n], Stride: 4 * im.W, Rect: bounds}
 	}
 	for y := 0; y < im.H; y++ {
@@ -39,6 +44,7 @@ func (e *PNGEncoder) Encode(w io.Writer, im *Image) error {
 			i := y*im.W + x
 			a := im.Color[4*i+3]
 			bg := 1 - a
+			//insitu:noalloc-ok SetRGBA writes 4 bytes in place into the retained staging buffer
 			e.rgba.SetRGBA(x, y, color.RGBA{
 				R: clamp8(im.Color[4*i+0] + bg),
 				G: clamp8(im.Color[4*i+1] + bg),
@@ -50,5 +56,6 @@ func (e *PNGEncoder) Encode(w io.Writer, im *Image) error {
 	if e.enc.BufferPool == nil {
 		e.enc.BufferPool = e
 	}
+	//insitu:noalloc-ok the png encoder reuses our pooled EncoderBuffer; only the caller-owned output grows
 	return e.enc.Encode(w, e.rgba)
 }

@@ -43,6 +43,8 @@ func New[K comparable, V any](cap int) *Cache[K, V] {
 func (c *Cache[K, V]) OnEvict(f func(K, V)) { c.onEvict = f }
 
 // Get returns the value for k, marking it most recently used.
+//
+//insitu:noalloc
 func (c *Cache[K, V]) Get(k K) (V, bool) {
 	var zero V
 	if c.cap <= 0 {

@@ -442,6 +442,8 @@ func (r *Registry) Reload() error {
 
 // Generation returns the load counter; it increments on every successful
 // Load so clients can detect model churn.
+//
+//insitu:noalloc
 func (r *Registry) Generation() uint64 {
 	r.mu.RLock()
 	defer r.mu.RUnlock()

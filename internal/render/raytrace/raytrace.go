@@ -249,6 +249,8 @@ func (a *frameArena) ensure(n, w, h int) {
 // stats. Both are owned by the renderer's frame arena and remain valid
 // only until the next Render call on this renderer; Clone the image (and
 // copy the stats) to retain them across frames.
+//
+//insitu:arena
 func (r *Renderer) Render(opts Options) (*framebuffer.Image, *Stats, error) {
 	if opts.Width <= 0 || opts.Height <= 0 {
 		return nil, nil, fmt.Errorf("raytrace: invalid image size %dx%d", opts.Width, opts.Height)
@@ -337,6 +339,7 @@ func (r *Renderer) Render(opts Options) (*framebuffer.Image, *Stats, error) {
 	// occlusion/shadow identity fill.
 	start = time.Now()
 	dpp.For(r.Dev, n, a.flagsFn)
+	//insitu:leaselife-ok the arena field is itself frame-scoped; both reset on the next Render
 	a.live = a.compact.CompactIndices(a.flags)
 	if opts.Workload == Workload3 && opts.Compaction {
 		stats.Phases.Add("compact", time.Since(start))
@@ -381,6 +384,8 @@ func (r *Renderer) Render(opts Options) (*framebuffer.Image, *Stats, error) {
 }
 
 // raygenKernel fills the SoA with primary rays in morton order.
+//
+//insitu:noalloc
 func (a *frameArena) raygenKernel(lo, hi int) {
 	opts := &a.opts
 	spp := a.spp
@@ -399,6 +404,8 @@ func (a *frameArena) raygenKernel(lo, hi int) {
 }
 
 // traceKernel intersects rays against the BVH, scalar path.
+//
+//insitu:noalloc
 func (a *frameArena) traceKernel(lo, hi int) {
 	rays := &a.rays
 	var localNode, localTri int
@@ -431,6 +438,8 @@ func (a *frameArena) ensurePackets() {
 
 // tracePacketKernel is the packetized traversal; worker indexes the
 // per-worker scratch, so the inner loop performs no allocation.
+//
+//insitu:noalloc
 func (a *frameArena) tracePacketKernel(worker, lo, hi int) {
 	rays := &a.rays
 	width := a.r.Dev.VectorWidth
@@ -455,6 +464,8 @@ func (a *frameArena) tracePacketKernel(worker, lo, hi int) {
 }
 
 // flagsKernel marks rays that hit geometry for stream compaction.
+//
+//insitu:noalloc
 func (a *frameArena) flagsKernel(lo, hi int) {
 	for i := lo; i < hi; i++ {
 		a.flags[i] = a.rays.hitPrim[i] >= 0
@@ -464,6 +475,8 @@ func (a *frameArena) flagsKernel(lo, hi int) {
 // initKernel resets the per-ray occlusion and shadow terms to their
 // identity. Reused buffers make this reset mandatory: stale terms from
 // the previous frame must never leak into the current one.
+//
+//insitu:noalloc
 func (a *frameArena) initKernel(lo, hi int) {
 	for i := lo; i < hi; i++ {
 		a.occlusion[i] = 1
@@ -472,6 +485,8 @@ func (a *frameArena) initKernel(lo, hi int) {
 }
 
 // hitsKernel paints the Workload1 hit-mask image.
+//
+//insitu:noalloc
 func (a *frameArena) hitsKernel(lo, hi int) {
 	w := a.img.W
 	spp := a.spp
@@ -488,6 +503,8 @@ func (a *frameArena) hitsKernel(lo, hi int) {
 // aoKernel casts hemisphere rays around every live hit. Sample directions
 // come from a per-ray deterministic hash stream, so renders are
 // reproducible across devices and schedules.
+//
+//insitu:noalloc
 func (a *frameArena) aoKernel(lo, hi int) {
 	m := a.r.Mesh
 	rays := &a.rays
@@ -520,6 +537,8 @@ func (a *frameArena) aoKernel(lo, hi int) {
 }
 
 // shadowKernel tests visibility from every live hit to the light.
+//
+//insitu:noalloc
 func (a *frameArena) shadowKernel(lo, hi int) {
 	rays := &a.rays
 	var localCast int64
@@ -543,6 +562,8 @@ func (a *frameArena) shadowKernel(lo, hi int) {
 // reflectKernel traces one specular bounce for every live ray, writing
 // bounce colors indexed like live (zero when the bounce misses — written
 // unconditionally so reused buffers never carry stale colors).
+//
+//insitu:noalloc
 func (a *frameArena) reflectKernel(lo, hi int) {
 	m := a.r.Mesh
 	rays := &a.rays
@@ -571,6 +592,8 @@ func (a *frameArena) reflectKernel(lo, hi int) {
 
 // shadeKernel evaluates Blinn-Phong over interpolated normals and
 // color-mapped scalars, modulated by the AO and shadow terms.
+//
+//insitu:noalloc
 func (a *frameArena) shadeKernel(lo, hi int) {
 	m := a.r.Mesh
 	rays := &a.rays
@@ -590,6 +613,8 @@ func (a *frameArena) shadeKernel(lo, hi int) {
 }
 
 // accumKernel gathers each pixel's samples into the framebuffer.
+//
+//insitu:noalloc
 func (a *frameArena) accumKernel(lo, hi int) {
 	rays := &a.rays
 	spp := a.spp

@@ -21,6 +21,7 @@ type FrameRunner interface {
 	// inputs the backend's model terms consume (O, AP, and the technique's
 	// specific measures). Prefilled configuration inputs (Pixels, Tasks)
 	// are left untouched.
+	//insitu:arena
 	RenderFrame(in *core.Inputs) (time.Duration, *framebuffer.Image, error)
 	// BuildSeconds is the one-time acceleration-structure construction
 	// cost (0 for techniques without one).
@@ -51,6 +52,7 @@ type Backend interface {
 	// structured blocks (mirroring the paper's "not all combinations made
 	// sense": the structured volume renderer cannot eat the Lagrangian
 	// proxy's unstructured mesh).
+	//insitu:noalloc
 	NeedsStructured() bool
 	// Prepare builds a frame runner for the scene, performing any
 	// one-time setup (geometry extraction, acceleration structures).

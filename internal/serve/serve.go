@@ -373,18 +373,24 @@ func (s *Server) normalize(req *FrameRequest) error {
 // Render serves one frame: normalize, model-gated admission (memoized),
 // frame cache, and — on a miss — a deadline-scheduled render on the
 // worker pool. The cache-hit path performs zero heap allocations.
+//
+//insitu:noalloc
 func (s *Server) Render(req FrameRequest) (FrameResult, error) {
+	//insitu:noalloc-ok normalize is read-only for accepted requests; only rejections build errors
 	if err := s.normalize(&req); err != nil {
 		s.stats.badRequests.Add(1)
 		return FrameResult{}, err
 	}
+	//insitu:noalloc-ok registry probe is a map read; its error path only runs on rejected requests
 	backend, err := scenario.Lookup(req.Backend)
 	if err != nil {
 		s.stats.badRequests.Add(1)
+		//insitu:noalloc-ok bad-request path, never taken by a cache hit
 		return FrameResult{}, fmt.Errorf("%w: %s", ErrBadRequest, err)
 	}
 	if backend.NeedsStructured() && !sim.Structured(req.Sim) {
 		s.stats.badRequests.Add(1)
+		//insitu:noalloc-ok bad-request path, never taken by a cache hit
 		return FrameResult{}, badRequestf("%s needs a structured block; sim %q publishes an unstructured one", req.Backend, req.Sim)
 	}
 
@@ -399,16 +405,21 @@ func (s *Server) Render(req FrameRequest) (FrameResult, error) {
 	}
 	d, ok := s.admit.Get(ak)
 	if !ok {
+		// Admission miss: one full model costing, then memoized.
+		//insitu:noalloc-ok admission miss is once per (request shape, model generation)
 		spec, _ := core.LookupRenderer(req.Backend)
+		//insitu:noalloc-ok admission miss is once per (request shape, model generation)
 		d, err = s.decide(&req, spec.Surface)
 		if err != nil {
 			s.stats.errors.Add(1)
 			return FrameResult{}, err
 		}
+		//insitu:noalloc-ok admission miss is once per (request shape, model generation)
 		s.admit.Add(ak, d)
 	}
 	if !d.ok {
 		s.stats.rejected.Add(1)
+		//insitu:noalloc-ok rejection path, never taken by a cache hit
 		return FrameResult{}, &RejectionError{
 			DeadlineSeconds:       req.DeadlineMillis / 1e3,
 			PredictedSeconds:      d.requestedPredicted,
@@ -441,6 +452,7 @@ func (s *Server) Render(req FrameRequest) (FrameResult, error) {
 		}, nil
 	}
 	s.stats.cacheMisses.Add(1)
+	//insitu:noalloc-ok the miss path renders a frame; only the hit path above is allocation-free
 	return s.renderMiss(req, d, fk)
 }
 

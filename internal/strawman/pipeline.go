@@ -28,13 +28,22 @@ func ParseMesh(n *conduit.Node) (*ParsedMesh, error) { return scenario.ParseMesh
 // The renderer name selects a scenario backend; when a structured-only
 // backend meets an unstructured block, the "<name>-unstructured" backend
 // of the same family takes over (the Lagrangian proxy's volume plots).
+//
+//insitu:arena
 func (s *Strawman) renderPlot(p plot, w, h int, cs cameraSpec) (*framebuffer.Image, error) {
 	pm, err := scenario.ParseMesh(s.data)
-	if err != nil {
-		return nil, err
+	var vals []float64
+	if err == nil {
+		vals, err = pm.FieldValues(p.variable)
 	}
-	vals, err := pm.FieldValues(p.variable)
-	if err != nil {
+	var backend scenario.Backend
+	if err == nil {
+		backend, err = lookupBackend(p.renderer, pm)
+	}
+	// Resolve rank-local failures collectively before the first
+	// reduction: either every task proceeds or every task returns.
+	//insitu:collective-ok failure is collectively agreed by errBarrier above
+	if err = s.errBarrier(err); err != nil {
 		return nil, err
 	}
 
@@ -55,27 +64,17 @@ func (s *Strawman) renderPlot(p plot, w, h int, cs cameraSpec) (*framebuffer.Ima
 	}
 	cam := cs.build(gb)
 
-	backend, err := scenario.Lookup(core.Renderer(p.renderer))
-	if err != nil {
-		return nil, fmt.Errorf("unknown renderer %q: %w", p.renderer, err)
-	}
-	if backend.NeedsStructured() && pm.Grid == nil {
-		fallback, ferr := scenario.Lookup(core.Renderer(p.renderer) + "-unstructured")
-		if ferr != nil {
-			return nil, fmt.Errorf("renderer %q needs a structured block and no unstructured fallback is registered", p.renderer)
-		}
-		backend = fallback
-	}
-
 	sc := scenario.NewScene(s.dev, pm, p.variable, vals, cam, w, h)
 	sc.FieldLo, sc.FieldHi = flo, fhi
 	runner, err := backend.Prepare(sc)
-	if err != nil {
-		return nil, err
+	var img *framebuffer.Image
+	if err == nil {
+		var in core.Inputs
+		_, img, err = runner.RenderFrame(&in)
 	}
-	var in core.Inputs
-	_, img, err := runner.RenderFrame(&in)
-	if err != nil {
+	// Same agreement before the compositing collectives below.
+	//insitu:collective-ok failure is collectively agreed by errBarrier above
+	if err = s.errBarrier(err); err != nil {
 		return nil, err
 	}
 
@@ -115,4 +114,43 @@ func (s *Strawman) renderPlot(p plot, w, h int, cs cameraSpec) (*framebuffer.Ima
 		return nil, err
 	}
 	return out, nil
+}
+
+// lookupBackend resolves the plot's renderer, falling back to the
+// "<name>-unstructured" family member when a structured-only backend
+// meets an unstructured block.
+func lookupBackend(renderer string, pm *ParsedMesh) (scenario.Backend, error) {
+	backend, err := scenario.Lookup(core.Renderer(renderer))
+	if err != nil {
+		return nil, fmt.Errorf("unknown renderer %q: %w", renderer, err)
+	}
+	if backend.NeedsStructured() && pm.Grid == nil {
+		fallback, ferr := scenario.Lookup(core.Renderer(renderer) + "-unstructured")
+		if ferr != nil {
+			return nil, fmt.Errorf("renderer %q needs a structured block and no unstructured fallback is registered", renderer)
+		}
+		backend = fallback
+	}
+	return backend, nil
+}
+
+// errBarrier is the two-phase error exchange from cluster/shard.go: every
+// task reduces a failure flag before anyone acts on a rank-local error,
+// so either all tasks return an error or none do and no task is left
+// blocking in a collective its peers skipped.
+func (s *Strawman) errBarrier(err error) error {
+	if s.comm == nil {
+		return err
+	}
+	flag := 0.0
+	if err != nil {
+		flag = 1
+	}
+	if s.comm.AllReduceMax(flag) > 0 {
+		if err == nil {
+			err = fmt.Errorf("peer task failed preparing the plot")
+		}
+		return err
+	}
+	return nil
 }

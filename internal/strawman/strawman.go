@@ -135,14 +135,18 @@ func (s *Strawman) Execute(actions *conduit.Node) error {
 					return fmt.Errorf("strawman: plot %q: %w", p.variable, err)
 				}
 				if img != nil { // rank 0 (or serial)
-					s.LastImages[name] = img
+					// renderPlot's image is frame-arena owned: the next
+					// plot in this loop would overwrite it in place, so
+					// keep a deep copy.
+					kept := img.Clone()
+					s.LastImages[name] = kept
 					if a.StringOr("format", "png") == "png" {
-						if err := img.SavePNG(name + ".png"); err != nil {
+						if err := kept.SavePNG(name + ".png"); err != nil {
 							return fmt.Errorf("strawman: saving %q: %w", name, err)
 						}
 					}
 					if s.server != nil {
-						s.server.Update(img)
+						s.server.Update(kept)
 					}
 				}
 			}

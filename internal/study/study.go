@@ -169,10 +169,12 @@ func RunConfig(cfg Config) (Row, error) {
 func buildScene(cfg Config, c *comm.Comm) (*scenario.Scene, localGeom, error) {
 	var lg localGeom
 	dev, err := device.Profile(cfg.Arch)
+	//insitu:collective-ok cfg is identical on every task, so a profile failure is rank-uniform
 	if err != nil {
 		return nil, lg, err
 	}
 	sm, err := sim.New(cfg.Sim, cfg.N, cfg.Tasks, c.Rank())
+	//insitu:collective-ok sim construction is deterministic on the shared cfg; failures are rank-uniform
 	if err != nil {
 		return nil, lg, err
 	}
@@ -182,10 +184,12 @@ func buildScene(cfg Config, c *comm.Comm) (*scenario.Scene, localGeom, error) {
 	node := conduit.NewNode()
 	sm.Publish(node)
 	pm, err := scenario.ParseMesh(node)
+	//insitu:collective-ok every task publishes the same conduit schema, so a parse failure is rank-uniform
 	if err != nil {
 		return nil, lg, err
 	}
 	vals, err := pm.FieldValues(sm.PrimaryField())
+	//insitu:collective-ok the primary field is published by every task; a lookup failure is rank-uniform
 	if err != nil {
 		return nil, lg, err
 	}
@@ -226,10 +230,12 @@ type localGeom struct {
 // input extraction — is entirely the scenario backend's.
 func runTask(cfg Config, c *comm.Comm) (core.Sample, error) {
 	backend, err := scenario.Lookup(cfg.Renderer)
+	//insitu:collective-ok the renderer registry is process-global and cfg is shared; failures are rank-uniform
 	if err != nil {
 		return core.Sample{}, err
 	}
 	sc, lg, err := buildScene(cfg, c)
+	//insitu:collective-ok buildScene failures are rank-uniform (see its per-site justifications)
 	if err != nil {
 		return core.Sample{}, err
 	}
@@ -237,6 +243,7 @@ func runTask(cfg Config, c *comm.Comm) (core.Sample, error) {
 	// done; the study churns through one device per configuration.
 	defer sc.Dev.Close()
 	runner, err := backend.Prepare(sc)
+	//insitu:collective-ok Prepare failures are config-shaped (backend/mesh-kind mismatch), identical on every task
 	if err != nil {
 		return core.Sample{}, fmt.Errorf("preparing %s for sim %q: %w", cfg.Renderer, cfg.Sim, err)
 	}
@@ -280,6 +287,19 @@ func runTask(cfg Config, c *comm.Comm) (core.Sample, error) {
 	// allocations that steady-state frames never see), and used to
 	// calibrate how many measured frames are needed for a stable mean
 	// (fast renders repeat more to beat scheduler noise).
+	// agree is the two-phase error barrier: every task reduces a failure
+	// flag before anyone acts on a rank-local error, so no task is left
+	// blocking in a collective its peers skipped.
+	agree := func(err error) bool {
+		flag := 0.0
+		if err != nil {
+			flag = 1
+		}
+		if cfg.Tasks > 1 {
+			flag = c.AllReduceMax(flag)
+		}
+		return flag > 0
+	}
 	oneFrame := func() (float64, float64, error) {
 		var elapsed time.Duration
 		var img *framebuffer.Image
@@ -297,14 +317,20 @@ func runTask(cfg Config, c *comm.Comm) (core.Sample, error) {
 		} else {
 			elapsed, img, err = runner.RenderFrame(&sample.In)
 		}
-		if err != nil {
+		if agree(err) {
+			if err == nil {
+				err = fmt.Errorf("peer task failed rendering")
+			}
 			return 0, 0, err
 		}
 		var compElapsed time.Duration
 		if cfg.Tasks > 1 {
-			_, st, err := compositor.Composite(c, img, op, order)
-			if err != nil {
-				return 0, 0, err
+			_, st, cerr := compositor.Composite(c, img, op, order)
+			if agree(cerr) {
+				if cerr == nil {
+					cerr = fmt.Errorf("peer task failed compositing")
+				}
+				return 0, 0, cerr
 			}
 			compElapsed = st.Elapsed
 		}
@@ -318,6 +344,7 @@ func runTask(cfg Config, c *comm.Comm) (core.Sample, error) {
 		return rt, ct, nil
 	}
 	warm, _, err := oneFrame()
+	//insitu:collective-ok oneFrame errors are already collectively agreed via its agree() barrier
 	if err != nil {
 		return core.Sample{}, err
 	}
@@ -331,6 +358,7 @@ func runTask(cfg Config, c *comm.Comm) (core.Sample, error) {
 	var renderSum, compSum float64
 	for frame := 0; frame < kept; frame++ {
 		rt, ct, err := oneFrame()
+		//insitu:collective-ok oneFrame errors are already collectively agreed via its agree() barrier
 		if err != nil {
 			return core.Sample{}, err
 		}

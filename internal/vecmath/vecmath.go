@@ -1,5 +1,10 @@
 // Package vecmath provides the small 3-D linear algebra kernel shared by
 // every renderer: vectors, rays, 4x4 transforms, and axis-aligned boxes.
+// Everything here is value math on small structs: no function in this
+// package may heap-allocate, which the whole-package directive below
+// compiles into CI.
+//
+//insitu:noalloc-package
 package vecmath
 
 import "math"
@@ -74,9 +79,10 @@ func (v Vec3) Abs() Vec3 { return Vec3{math.Abs(v.X), math.Abs(v.Y), math.Abs(v.
 
 // IsFinite reports whether every component is neither NaN nor infinite.
 func (v Vec3) IsFinite() bool {
-	ok := func(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
-	return ok(v.X) && ok(v.Y) && ok(v.Z)
+	return finite(v.X) && finite(v.Y) && finite(v.Z)
 }
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
 
 // Reflect returns v reflected about unit normal n.
 func (v Vec3) Reflect(n Vec3) Vec3 { return v.Sub(n.Scale(2 * v.Dot(n))) }

@@ -6,11 +6,20 @@
 // bench-json target uses it to emit the repo's committed benchmark
 // baselines (BENCH_<pr>.json), giving later PRs a trajectory to compare
 // against.
+//
+// Each -baseline flag names a committed BENCH_<pr>.json; any benchmark
+// that was 0 allocs/op in some baseline and is >0 now is an allocation
+// regression: the JSON is still written, but the exit status is 1 so
+// `make bench-json` fails loudly. The zero-allocation steady state is a
+// load-bearing property (PR 4's arenas, PR 5's cache-hit path), and this
+// guard is its cheap regression fence alongside the insitulint noalloc
+// analyzer's static one.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -33,7 +42,21 @@ type Doc struct {
 	Raw         []string `json:"raw"`
 }
 
+// baselineFlags collects repeated -baseline file arguments.
+type baselineFlags []string
+
+func (b *baselineFlags) String() string { return strings.Join(*b, ",") }
+func (b *baselineFlags) Set(v string) error {
+	*b = append(*b, v)
+	return nil
+}
+
 func main() {
+	var baselines baselineFlags
+	flag.Var(&baselines, "baseline",
+		"committed BENCH_<pr>.json to guard against allocation regressions (repeatable)")
+	flag.Parse()
+
 	doc := Doc{GeneratedBy: "make bench-json", Benchmarks: []Record{}, Raw: []string{}}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -77,4 +100,63 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	if regressed := checkAllocRegressions(doc.Benchmarks, baselines); regressed {
+		os.Exit(1)
+	}
+}
+
+// checkAllocRegressions compares the new records against the committed
+// baselines: a benchmark that achieved 0 allocs/op in any baseline must
+// stay at 0. Names are compared with the -GOMAXPROCS suffix stripped so
+// baselines recorded on differently-sized machines still match.
+func checkAllocRegressions(recs []Record, baselines []string) bool {
+	zero := map[string]string{} // normalized name -> baseline file
+	for _, file := range baselines {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping baseline %s: %v\n", file, err)
+			continue
+		}
+		var base Doc
+		if err := json.Unmarshal(data, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: skipping baseline %s: %v\n", file, err)
+			continue
+		}
+		for _, b := range base.Benchmarks {
+			if b.AllocsPerOp == 0 {
+				zero[trimProcSuffix(b.Name)] = file
+			}
+		}
+	}
+	regressed := false
+	for _, r := range recs {
+		if r.AllocsPerOp <= 0 {
+			continue // zero, or -benchmem was off (-1)
+		}
+		if file, ok := zero[trimProcSuffix(r.Name)]; ok {
+			fmt.Fprintf(os.Stderr,
+				"benchjson: ALLOCATION REGRESSION: %s was 0 allocs/op in %s, now %d allocs/op\n",
+				r.Name, file, r.AllocsPerOp)
+			regressed = true
+		}
+	}
+	return regressed
+}
+
+// trimProcSuffix drops a trailing -N GOMAXPROCS marker from a benchmark
+// name: BenchmarkRenderdThroughput-8 -> BenchmarkRenderdThroughput.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i+1 == len(name) {
+		return name
+	}
+	return name[:i]
 }
