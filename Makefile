@@ -4,12 +4,12 @@ GO ?= go
 
 # bench-json output file; committed per PR (BENCH_4.json, BENCH_5.json,
 # ...) so benchmark trajectories survive across sessions.
-BENCH_JSON ?= BENCH_7.json
+BENCH_JSON ?= BENCH_8.json
 
 # Committed baselines guarding the zero-allocation steady state:
 # bench-json fails if a benchmark that was 0 allocs/op in any of these
 # is >0 now.
-BENCH_BASELINES ?= BENCH_4.json BENCH_5.json BENCH_6.json
+BENCH_BASELINES ?= BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json
 
 # insitulint is the repo's analyzer suite (internal/analysis); built
 # into ./bin so the vettool path is hermetic to the checkout.

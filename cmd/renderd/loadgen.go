@@ -18,7 +18,12 @@ import (
 // models if needed), so one command measures what this machine can
 // serve. Deadline-gated 422 rejections count as successful answers —
 // a fast, correct "no" is exactly what the admission controller is for.
-func runLoadgen(target, regPath string, bootstrap bool, cacheSize int, arch string, duration time.Duration, concurrency int) error {
+//
+// sessions > 0 switches to interactive-session mode: that many virtual
+// clients each open a streaming session and orbit the camera with think
+// time between frames, and the report is time-to-photon percentiles
+// plus the speculative-prefetch hit rate instead of raw QPS.
+func runLoadgen(target, regPath string, bootstrap bool, cacheSize int, arch string, duration time.Duration, concurrency, sessions int, think time.Duration) error {
 	client := &http.Client{Timeout: 30 * time.Second}
 	if target == "" {
 		// Calibration stays off: a benchmark must not refit the served
@@ -45,6 +50,36 @@ func runLoadgen(target, regPath string, bootstrap bool, cacheSize int, arch stri
 			panic(err)
 		}
 		return b
+	}
+
+	if sessions > 0 {
+		// A few distinct scene configurations, so concurrent sessions
+		// share (and contend for) the warm-runner cache like real mixed
+		// traffic would.
+		var opens [][]byte
+		for i := 0; i < 4; i++ {
+			opens = append(opens, mustJSON(serve.FrameRequest{
+				Backend: core.RayTrace,
+				Sim:     "kripke",
+				N:       10 + 2*(i%2),
+				Width:   96 + 32*(i%2),
+				Azimuth: float64(90 * i),
+			}))
+		}
+		log.Printf("loadgen: %d interactive sessions for %s against %s (think %s)",
+			sessions, duration, target, think)
+		rep, err := loadgen.RunSessions(loadgen.SessionOptions{
+			Target: target, Client: client, Opens: opens,
+			Sessions: sessions, Duration: duration, ThinkTime: think,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nsession loadgen results\n%s", rep)
+		if rep.Failed > 0 {
+			return fmt.Errorf("loadgen: %d opens/frames failed", rep.Failed)
+		}
+		return nil
 	}
 	// The mix: a handful of distinct frames (so the cache works but is
 	// not a single key), a rotating camera, and a few deadline-gated

@@ -16,12 +16,25 @@
 // (the paper's Tc) charged at admission and refitted from the measured
 // compositing times.
 //
-//	GET  /healthz     liveness, model count, registry generation
-//	GET  /v1/frame    render (query: backend, sim, n, size, deadline_ms,
-//	                  azimuth, zoom, arch, shards) -> image/png
-//	POST /v1/frame    same as JSON body
-//	GET  /v1/models   served models + calibration generation
-//	GET  /v1/metrics  admission/cache/scheduler/calibration/cluster counters
+// Interactive clients open persistent sessions: the session is admitted
+// once, pins its warm runner, tracks the camera path, and speculatively
+// renders model-predicted next poses into the frame cache during the
+// client's think time — strictly below foreground deadline work — so a
+// predictable camera (an orbit) sees cache-hit time-to-photon.
+//
+//	GET    /healthz              liveness, model count, registry generation
+//	GET    /v1/frame             render (query: backend, sim, n, size, deadline_ms,
+//	                             azimuth, zoom, arch, shards) -> image/png
+//	POST   /v1/frame             same as JSON body
+//	POST   /v1/session           open a streaming session (body = frame JSON) -> id
+//	GET    /v1/session/{id}      session info + prefetch counters
+//	GET    /v1/session/{id}/frame   next pose (query: azimuth, zoom) -> image/png
+//	GET    /v1/session/{id}/stream  server-paced orbit (query: step, fps, frames)
+//	                             -> multipart/x-mixed-replace PNG parts
+//	DELETE /v1/session/{id}      close the session, release its runner pin
+//	GET    /v1/models            served models + calibration generation
+//	GET    /v1/metrics           admission/cache/scheduler/session/prefetch/
+//	                             calibration/cluster counters
 //
 // Usage:
 //
@@ -29,6 +42,8 @@
 //	renderd -registry models.json -cluster 4     # sharded serving
 //	renderd -bootstrap [-registry models.json]   # measure-fit-serve
 //	renderd -loadgen [-target URL] [-duration 10s] [-concurrency 8]
+//	renderd -loadgen -sessions 8 [-think 50ms]   # interactive sessions:
+//	                                             # time-to-photon + prefetch hit rate
 package main
 
 import (
@@ -68,11 +83,13 @@ func main() {
 		target      = flag.String("target", "", "loadgen: base URL of a running renderd (default: in-process server)")
 		duration    = flag.Duration("duration", 10*time.Second, "loadgen: how long to sustain load")
 		concurrency = flag.Int("concurrency", 8, "loadgen: concurrent clients")
+		sessions    = flag.Int("sessions", 0, "loadgen: interactive orbiting sessions instead of the request mix (reports time-to-photon + prefetch hit rate)")
+		think       = flag.Duration("think", 50*time.Millisecond, "loadgen: per-session pause between frames (the idle headroom prefetch renders into)")
 	)
 	flag.Parse()
 
 	if *loadgenMode {
-		if err := runLoadgen(*target, *regPath, *bootstrap, *cacheSize, *arch, *duration, *concurrency); err != nil {
+		if err := runLoadgen(*target, *regPath, *bootstrap, *cacheSize, *arch, *duration, *concurrency, *sessions, *think); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -99,6 +116,13 @@ func main() {
 		Handler:           logRequests(log.Printf, web.handler()),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+
+	// Graceful drain: when Shutdown starts, close every streaming session
+	// first — active /v1/session/{id}/stream handlers see ErrSessionClosed
+	// on their next frame and end their multipart streams, speculative
+	// prefetch jobs become no-ops, and runner pins release — so Shutdown's
+	// wait for in-flight requests actually terminates.
+	httpSrv.RegisterOnShutdown(srv.DrainSessions)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -36,6 +36,11 @@ func (s *webServer) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/frame", s.handleFrameGet)
 	mux.HandleFunc("POST /v1/frame", s.handleFramePost)
+	mux.HandleFunc("POST /v1/session", s.handleSessionOpen)
+	mux.HandleFunc("GET /v1/session/{id}", s.handleSessionInfo)
+	mux.HandleFunc("GET /v1/session/{id}/frame", s.handleSessionFrame)
+	mux.HandleFunc("GET /v1/session/{id}/stream", s.handleSessionStream)
+	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionClose)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return mux

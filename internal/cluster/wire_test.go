@@ -127,3 +127,32 @@ func TestPlacementDistinctAndStable(t *testing.T) {
 		t.Fatal("oversharded placement accepted")
 	}
 }
+
+// TestPlacementCameraAffinity: the shard key excludes the camera, so a
+// streaming session's speculative prefetch — the same scene at
+// predicted future azimuths and zooms — lands every shard on the ranks
+// already holding its sliced scene and warm runner. Speculation across
+// a rank fleet inherits rendezvous affinity for free.
+func TestPlacementCameraAffinity(t *testing.T) {
+	job := Job{Backend: "raytracer", Sim: "kripke", Arch: "serial", N: 8, Width: 64, Height: 64, Shards: 3}
+	const workers = 5
+	base, err := placeShards(workers, &job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, az := range []float64{15, 30, 345, 0.5} {
+		for _, zoom := range []float64{1, 1.25, 0.8} {
+			moved := job
+			moved.Azimuth, moved.Zoom = az, zoom
+			m, err := placeShards(workers, &moved)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range base {
+				if m[i] != base[i] {
+					t.Fatalf("camera az=%g zoom=%g migrated shards: %v vs %v", az, zoom, m, base)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SessionOptions configures an interactive-session run: each virtual
+// client opens a streaming session, orbits the camera at a steady
+// angular velocity with a think-time pause between frames (the idle
+// headroom speculative prefetch renders into), and reports
+// time-to-photon — the client-observed latency from asking for a pose
+// to holding its pixels.
+type SessionOptions struct {
+	// Target is the base URL; Client issues the requests.
+	Target string
+	Client *http.Client
+	// Opens are JSON bodies for POST /v1/session, assigned to clients
+	// round-robin, so a mix of scene configurations shares the server.
+	Opens [][]byte
+	// Sessions is the number of concurrent virtual clients; Duration how
+	// long each orbits.
+	Sessions int
+	Duration time.Duration
+	// StepDegrees is the per-frame azimuth increment (default 15);
+	// ThinkTime the pause between a frame's arrival and the next request
+	// (default 50ms). Zero think time turns the orbit into a saturation
+	// test where prefetch has no idle headroom to work with.
+	StepDegrees float64
+	ThinkTime   time.Duration
+}
+
+// SessionReport is the outcome of an interactive-session run.
+type SessionReport struct {
+	Sessions int
+	Duration time.Duration
+	// Frames counts delivered frames across all sessions; Failed both
+	// failed opens and failed frames.
+	Frames, Failed uint64
+	// PrefetchHits counts frames the server marked as served from a
+	// speculatively rendered cache entry; CacheHits any cache-served
+	// frame (prefetch hits included).
+	PrefetchHits, CacheHits uint64
+	// Time-to-photon distribution over delivered frames.
+	Avg, P50, P95, P99, Max time.Duration
+}
+
+// sessionOpenBody is the slice of the open response this package needs.
+type sessionOpenBody struct {
+	ID string `json:"session"`
+}
+
+// RunSessions drives Sessions concurrent orbiting clients against the
+// target's session API and aggregates the time-to-photon distribution.
+func RunSessions(opts SessionOptions) (SessionReport, error) {
+	if len(opts.Opens) == 0 {
+		return SessionReport{}, fmt.Errorf("loadgen: no session-open bodies configured")
+	}
+	if opts.Sessions < 1 {
+		opts.Sessions = 1
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 10 * time.Second
+	}
+	if opts.StepDegrees == 0 {
+		opts.StepDegrees = 15
+	}
+	if opts.ThinkTime == 0 {
+		opts.ThinkTime = 50 * time.Millisecond
+	}
+	client := opts.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+
+	var (
+		frames, failed, prefetch, cached atomic.Uint64
+		wg                               sync.WaitGroup
+		mu                               sync.Mutex
+		lats                             []time.Duration
+	)
+	deadline := time.Now().Add(opts.Duration)
+	for c := 0; c < opts.Sessions; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			id, az, err := openSession(client, opts.Target, opts.Opens[c%len(opts.Opens)])
+			if err != nil {
+				failed.Add(1)
+				return
+			}
+			defer closeSession(client, opts.Target, id)
+			local := make([]time.Duration, 0, 4096)
+			for time.Now().Before(deadline) {
+				az += opts.StepDegrees
+				for az >= 360 {
+					az -= 360
+				}
+				elapsed, pf, hit, err := sessionFrame(client, opts.Target, id, az)
+				if err != nil {
+					failed.Add(1)
+					break
+				}
+				frames.Add(1)
+				if pf {
+					prefetch.Add(1)
+				}
+				if hit {
+					cached.Add(1)
+				}
+				local = append(local, elapsed)
+				time.Sleep(opts.ThinkTime)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+
+	rep := SessionReport{
+		Sessions: opts.Sessions, Duration: opts.Duration,
+		Frames: frames.Load(), Failed: failed.Load(),
+		PrefetchHits: prefetch.Load(), CacheHits: cached.Load(),
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		rep.Avg = sum / time.Duration(len(lats))
+		rep.P50 = percentile(lats, 0.50)
+		rep.P95 = percentile(lats, 0.95)
+		rep.P99 = percentile(lats, 0.99)
+		rep.Max = lats[len(lats)-1]
+	}
+	return rep, nil
+}
+
+// openSession opens one streaming session and returns its token plus
+// the opening azimuth (the orbit continues from there).
+func openSession(client *http.Client, target string, body []byte) (id string, azimuth float64, err error) {
+	req, err := http.NewRequest(http.MethodPost, target+"/v1/session", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return "", 0, fmt.Errorf("loadgen: open session: status %d: %s", resp.StatusCode, strings.TrimSpace(string(b)))
+	}
+	var open sessionOpenBody
+	if err := json.NewDecoder(resp.Body).Decode(&open); err != nil {
+		return "", 0, fmt.Errorf("loadgen: open session: %w", err)
+	}
+	var opened struct {
+		Azimuth float64 `json:"azimuth"`
+	}
+	_ = json.Unmarshal(body, &opened)
+	return open.ID, opened.Azimuth, nil
+}
+
+// sessionFrame requests one pose and reports its time-to-photon plus
+// the server's prefetch/cache verdict headers.
+func sessionFrame(client *http.Client, target, id string, azimuth float64) (elapsed time.Duration, prefetchHit, cacheHit bool, err error) {
+	u := target + "/v1/session/" + url.PathEscape(id) + "/frame?azimuth=" +
+		strconv.FormatFloat(azimuth, 'g', -1, 64)
+	start := time.Now()
+	resp, err := client.Get(u)
+	if err != nil {
+		return 0, false, false, err
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	elapsed = time.Since(start)
+	if resp.StatusCode != http.StatusOK {
+		return 0, false, false, fmt.Errorf("loadgen: frame status %d", resp.StatusCode)
+	}
+	return elapsed,
+		resp.Header.Get("X-Renderd-Prefetch") == "hit",
+		resp.Header.Get("X-Renderd-Cache") == "hit",
+		nil
+}
+
+func closeSession(client *http.Client, target, id string) {
+	req, err := http.NewRequest(http.MethodDelete, target+"/v1/session/"+url.PathEscape(id), nil)
+	if err != nil {
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// FPS is the sustained delivered frame rate across all sessions.
+func (r SessionReport) FPS() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Frames) / r.Duration.Seconds()
+}
+
+// PrefetchHitRate is the fraction of delivered frames served from a
+// speculatively rendered cache entry.
+func (r SessionReport) PrefetchHitRate() float64 {
+	if r.Frames == 0 {
+		return 0
+	}
+	return float64(r.PrefetchHits) / float64(r.Frames)
+}
+
+// String renders the human report block.
+func (r SessionReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  sessions:       %d clients for %s\n", r.Sessions, r.Duration)
+	fmt.Fprintf(&b, "  frames:         %d delivered (%.1f fps aggregate), %d failed\n",
+		r.Frames, r.FPS(), r.Failed)
+	if r.Frames > 0 {
+		fmt.Fprintf(&b, "  prefetch:       %.1f%% of frames pre-rendered (%d prefetch hits, %d cache hits)\n",
+			100*r.PrefetchHitRate(), r.PrefetchHits, r.CacheHits)
+		fmt.Fprintf(&b, "  time-to-photon: avg %s  p50 %s  p95 %s  p99 %s  max %s\n",
+			r.Avg, r.P50, r.P95, r.P99, r.Max)
+	}
+	return b.String()
+}

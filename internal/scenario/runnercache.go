@@ -12,19 +12,56 @@ import (
 // leases: a second request for the same key blocks until the first
 // releases it (frames of one configuration serialize on its runner, which
 // also keeps the runner's frame arenas warm), while requests for
-// different keys proceed in parallel.
+// different keys proceed in parallel. Lease handoff under contention is
+// first-come-first-served in the long run (sync.Mutex starvation mode
+// hands the lock to the longest waiter once it has waited ~1ms, and
+// render-bound leases are held for milliseconds), which is the fairness
+// property the session manager's starvation guarantee rests on.
 //
 // Capacity is a soft bound on *idle* runners: when the cache holds more
 // entries than cap, the least recently released idle entry is closed and
 // dropped. Entries currently leased (or awaited) are never evicted, so
 // the live count can exceed cap under load and shrinks back as leases
 // return.
+//
+// Pins are the session-aware layer: a streaming session Pins the key its
+// frames render through, and eviction prefers unpinned idle entries, so
+// one-shot request churn cannot cold-start a live session's warm runner.
+// Pins are soft — when every idle entry is pinned the LRU one is evicted
+// anyway — so a cache smaller than the session population stays bounded
+// and degrades to plain LRU instead of growing or starving.
 type RunnerCache[K comparable] struct {
 	mu      sync.Mutex
 	cap     int
 	seq     uint64
 	entries map[K]*runnerEntry[K]
+	pins    map[K]int
 	closed  bool
+	stats   RunnerCacheStats
+}
+
+// RunnerCacheStats is a point-in-time view of lease and eviction
+// activity, JSON-shaped for /v1/metrics.
+type RunnerCacheStats struct {
+	// Leases counts Acquire calls that handed out a lease; Hits the
+	// subset that found the runner already prepared (a miss pays the
+	// full scene preparation, counted in Prepared).
+	Leases   uint64 `json:"leases"`
+	Hits     uint64 `json:"hits"`
+	Prepared uint64 `json:"prepared"`
+	// PrepareErrors counts failed preparations (not cached; the next
+	// Acquire retries).
+	PrepareErrors uint64 `json:"prepare_errors"`
+	// Evicted counts idle runners closed by capacity pressure;
+	// EvictedPinned the subset that were pinned by a live session when
+	// evicted (pressure exceeded the pin population — the soft-pin
+	// degradation path).
+	Evicted       uint64 `json:"evicted"`
+	EvictedPinned uint64 `json:"evicted_pinned"`
+	// Live is the current entry count (leased and idle); Pinned the
+	// number of distinct pinned keys.
+	Live   int `json:"live"`
+	Pinned int `json:"pinned"`
 }
 
 type runnerEntry[K comparable] struct {
@@ -65,7 +102,7 @@ func NewRunnerCache[K comparable](cap int) *RunnerCache[K] {
 	if cap < 1 {
 		cap = 1
 	}
-	return &RunnerCache[K]{cap: cap, entries: map[K]*runnerEntry[K]{}}
+	return &RunnerCache[K]{cap: cap, entries: map[K]*runnerEntry[K]{}, pins: map[K]int{}}
 }
 
 // Acquire leases the runner for key, preparing it with prepare on first
@@ -96,6 +133,7 @@ func (c *RunnerCache[K]) Acquire(key K, prepare func() (FrameRunner, func(), err
 			e.mu.Unlock()
 			c.mu.Lock()
 			e.pins--
+			c.stats.PrepareErrors++
 			// Drop the failed entry only if no other waiter is about to
 			// retry preparation through it.
 			if e.pins == 0 && c.entries[key] == e {
@@ -105,8 +143,51 @@ func (c *RunnerCache[K]) Acquire(key K, prepare func() (FrameRunner, func(), err
 			return nil, err
 		}
 		e.runner, e.close, e.prepared = runner, closeFn, true
+		c.mu.Lock()
+		c.stats.Leases++
+		c.stats.Prepared++
+		c.mu.Unlock()
+	} else {
+		c.mu.Lock()
+		c.stats.Leases++
+		c.stats.Hits++
+		c.mu.Unlock()
 	}
 	return &RunnerLease[K]{cache: c, entry: e}, nil
+}
+
+// Pin marks key as backing a live session: eviction prefers unpinned
+// entries, so request churn cannot cold-start the session's warm runner.
+// Pins nest (each Pin needs an Unpin) and are soft — see the type
+// comment. Pinning does not prepare the runner; the first Acquire does.
+func (c *RunnerCache[K]) Pin(key K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.pins[key]++
+}
+
+// Unpin removes one pin for key.
+func (c *RunnerCache[K]) Unpin(key K) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n := c.pins[key]; n > 1 {
+		c.pins[key] = n - 1
+	} else {
+		delete(c.pins, key)
+	}
+}
+
+// Stats snapshots the lease and eviction counters.
+func (c *RunnerCache[K]) Stats() RunnerCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Live = len(c.entries)
+	st.Pinned = len(c.pins)
+	return st
 }
 
 // release unpins the entry and evicts over-capacity idle runners.
@@ -122,6 +203,10 @@ func (c *RunnerCache[K]) release(e *runnerEntry[K]) {
 			break
 		}
 		delete(c.entries, victim.key)
+		c.stats.Evicted++
+		if c.pins[victim.key] > 0 {
+			c.stats.EvictedPinned++
+		}
 		if victim.close != nil {
 			closers = append(closers, victim.close)
 		}
@@ -132,19 +217,28 @@ func (c *RunnerCache[K]) release(e *runnerEntry[K]) {
 	}
 }
 
-// victimLocked returns the least recently used idle entry, or nil when
-// every entry is pinned.
+// victimLocked returns the least recently used idle entry, preferring
+// unpinned ones; nil when every entry is leased or awaited.
 func (c *RunnerCache[K]) victimLocked() *runnerEntry[K] {
-	var victim *runnerEntry[K]
+	var victim, pinnedVictim *runnerEntry[K]
 	for _, e := range c.entries {
 		if e.pins > 0 || !e.prepared {
+			continue
+		}
+		if c.pins[e.key] > 0 {
+			if pinnedVictim == nil || e.lastUsed < pinnedVictim.lastUsed {
+				pinnedVictim = e
+			}
 			continue
 		}
 		if victim == nil || e.lastUsed < victim.lastUsed {
 			victim = e
 		}
 	}
-	return victim
+	if victim != nil {
+		return victim
+	}
+	return pinnedVictim
 }
 
 // Len returns the number of cached entries (leased and idle).

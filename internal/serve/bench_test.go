@@ -2,7 +2,9 @@ package serve
 
 import (
 	"fmt"
+	"sort"
 	"testing"
+	"time"
 
 	"insitu/internal/advisor"
 	"insitu/internal/core"
@@ -104,4 +106,135 @@ func BenchmarkRenderdThroughput(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+}
+
+// BenchmarkRenderdSessionPrefetchHit is the acceptance benchmark for
+// the session hot path: an orbiting session in steady state, every
+// predicted frame already cached, measured end to end through
+// Session.Frame (pose record, path prediction, verified-window probe,
+// cache hit). It must report 0 allocs/op, and its ns/op is required to
+// stay within 2x of BenchmarkRenderdFrameCacheHit — the session layer
+// may not double the cost of the frame it collapses to.
+func BenchmarkRenderdSessionPrefetchHit(b *testing.B) {
+	s := benchServer(b)
+	sess, err := s.OpenSession(FrameRequest{
+		Backend: core.RayTrace, Sim: "kripke", N: 8, Width: 64, DeadlineMillis: 1000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	// Warm: one full 24-angle lap renders (or speculates) every orbit
+	// frame into the cache; wait out in-flight speculation after each
+	// step so the steady state starts quiet.
+	const step = 15.0
+	az := 0.0
+	for i := 0; i < 26; i++ {
+		az += step
+		if az >= 360 {
+			az -= 360
+		}
+		if _, err := sess.Frame(az, 1); err != nil {
+			b.Fatal(err)
+		}
+		for sess.inflight.Load() > 0 || s.sched.bgDepth() > 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		az += step
+		if az >= 360 {
+			az -= 360
+		}
+		res, err := sess.Frame(az, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.CacheHit {
+			b.Fatal("steady-state session frame missed the cache")
+		}
+		if res.PrefetchHit {
+			hits++
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+	b.ReportMetric(100*float64(hits)/float64(b.N), "prefetch-hit-%")
+}
+
+// benchOrbitTTP drives one orbiting session with think time between
+// frames — the interactive workload — against a frame cache smaller
+// than the orbit (8 entries vs 24 angles), so without prefetch every
+// revisited angle has been evicted and must re-render, while prefetch
+// keeps renders 1-3 frames ahead of the client. Reports the
+// time-to-photon distribution.
+func benchOrbitTTP(b *testing.B, depth int) (lats []time.Duration, prefetchHits int) {
+	b.Helper()
+	s := New(advisor.New(testRegistry(b)), Config{
+		Arch: "serial", Workers: 2,
+		FrameCacheEntries: 8,
+		PrefetchDepth:     depth,
+		Logf:              func(string, ...any) {},
+	})
+	b.Cleanup(s.Close)
+	sess, err := s.OpenSession(FrameRequest{
+		Backend: core.RayTrace, Sim: "kripke", N: 8, Width: 64, DeadlineMillis: 1000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sess.Close()
+	const step, think = 15.0, 10 * time.Millisecond
+	az := 0.0
+	lats = make([]time.Duration, 0, b.N)
+	for i := 0; i < b.N; i++ {
+		az += step
+		if az >= 360 {
+			az -= 360
+		}
+		start := time.Now()
+		res, err := sess.Frame(az, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lats = append(lats, time.Since(start))
+		if res.PrefetchHit {
+			prefetchHits++
+		}
+		time.Sleep(think) // client think time: the headroom speculation renders into
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats, prefetchHits
+}
+
+func reportTTP(b *testing.B, lats []time.Duration, prefetchHits int) {
+	b.Helper()
+	if len(lats) == 0 {
+		return
+	}
+	pct := func(p float64) float64 {
+		return float64(lats[int(p*float64(len(lats)-1))].Nanoseconds())
+	}
+	b.ReportMetric(pct(0.50), "p50-ttp-ns")
+	b.ReportMetric(pct(0.99), "p99-ttp-ns")
+	b.ReportMetric(100*float64(prefetchHits)/float64(len(lats)), "prefetch-hit-%")
+}
+
+// BenchmarkRenderdSessionOrbitPrefetch and ...OrbitNoPrefetch are the
+// PR 8 contrast pair: the same orbiting interactive client with
+// speculation on vs off. ns/op includes the client's think time
+// (identical in both) — the figure of merit is p99-ttp-ns, which must
+// be at least 5x lower with prefetch: correct predictions collapse the
+// tail from a full render to a cache hit.
+func BenchmarkRenderdSessionOrbitPrefetch(b *testing.B) {
+	lats, hits := benchOrbitTTP(b, 3)
+	reportTTP(b, lats, hits)
+}
+
+func BenchmarkRenderdSessionOrbitNoPrefetch(b *testing.B) {
+	lats, hits := benchOrbitTTP(b, -1)
+	reportTTP(b, lats, hits)
 }

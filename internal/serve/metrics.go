@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"insitu/internal/cluster"
+	"insitu/internal/scenario"
 )
 
 // counters is the serving-path instrumentation; all atomics so the
@@ -31,6 +32,17 @@ type counters struct {
 	clusterShards                  atomic.Uint64
 	clusterCompositeNanos          atomic.Uint64
 	clusterPredictedCompositeNanos atomic.Uint64
+
+	sessionsOpened     atomic.Uint64
+	sessionsClosed     atomic.Uint64
+	sessionFrames      atomic.Uint64
+	prefetchHits       atomic.Uint64
+	prefetchScheduled  atomic.Uint64
+	prefetchRendered   atomic.Uint64
+	prefetchStale      atomic.Uint64
+	prefetchShed       atomic.Uint64
+	prefetchNoHeadroom atomic.Uint64
+	prefetchErrors     atomic.Uint64
 }
 
 // Stats is one metrics snapshot, JSON-shaped for /v1/metrics.
@@ -77,6 +89,37 @@ type Stats struct {
 	ClusterCompositeSecondsTotal          float64        `json:"cluster_composite_seconds_total"`
 	ClusterPredictedCompositeSecondsTotal float64        `json:"cluster_predicted_composite_seconds_total"`
 	Cluster                               *cluster.Stats `json:"cluster,omitempty"`
+
+	// Interactive sessions and speculative prefetch. PrefetchHits counts
+	// frames served from a speculatively rendered cache entry (including
+	// mid-render flight joins) — PrefetchHits/SessionFrames is the
+	// predictor's hit rate. Scheduled/Rendered/Stale partition submitted
+	// speculation by outcome (stale: the frame arrived or a flight
+	// started before the job ran); Shed counts jobs dropped by queue
+	// overflow or shutdown; NoHeadroom counts submissions refused because
+	// foreground load or per-session caps left no idle capacity.
+	SessionsOpened uint64 `json:"sessions_opened"`
+	SessionsClosed uint64 `json:"sessions_closed"`
+	SessionsOpen   int    `json:"sessions_open"`
+	SessionFrames  uint64 `json:"session_frames"`
+
+	PrefetchHits       uint64 `json:"prefetch_hits"`
+	PrefetchScheduled  uint64 `json:"prefetch_scheduled"`
+	PrefetchRendered   uint64 `json:"prefetch_rendered"`
+	PrefetchStale      uint64 `json:"prefetch_stale"`
+	PrefetchShed       uint64 `json:"prefetch_shed"`
+	PrefetchNoHeadroom uint64 `json:"prefetch_no_headroom"`
+	PrefetchErrors     uint64 `json:"prefetch_errors"`
+	// PrefetchQueueDepth is the queued (not yet running) speculative
+	// render count; ForegroundLoadSeconds the model-predicted cost of
+	// queued plus running foreground work — the headroom signal
+	// background admission gates on.
+	PrefetchQueueDepth    int     `json:"prefetch_queue_depth"`
+	ForegroundLoadSeconds float64 `json:"foreground_load_seconds"`
+
+	// RunnerCache is the lease/eviction view of the warm-runner cache
+	// sessions pin themselves into.
+	RunnerCache scenario.RunnerCacheStats `json:"runner_cache"`
 }
 
 // Stats snapshots the serving counters.
@@ -112,5 +155,22 @@ func (s *Server) Stats() Stats {
 		ClusterCompositeSecondsTotal:          float64(s.stats.clusterCompositeNanos.Load()) / 1e9,
 		ClusterPredictedCompositeSecondsTotal: float64(s.stats.clusterPredictedCompositeNanos.Load()) / 1e9,
 		Cluster:                               fleet,
+
+		SessionsOpened: s.stats.sessionsOpened.Load(),
+		SessionsClosed: s.stats.sessionsClosed.Load(),
+		SessionsOpen:   s.SessionsOpen(),
+		SessionFrames:  s.stats.sessionFrames.Load(),
+
+		PrefetchHits:          s.stats.prefetchHits.Load(),
+		PrefetchScheduled:     s.stats.prefetchScheduled.Load(),
+		PrefetchRendered:      s.stats.prefetchRendered.Load(),
+		PrefetchStale:         s.stats.prefetchStale.Load(),
+		PrefetchShed:          s.stats.prefetchShed.Load(),
+		PrefetchNoHeadroom:    s.stats.prefetchNoHeadroom.Load(),
+		PrefetchErrors:        s.stats.prefetchErrors.Load(),
+		PrefetchQueueDepth:    s.sched.bgDepth(),
+		ForegroundLoadSeconds: s.sched.foregroundLoad(),
+
+		RunnerCache: s.runners.Stats(),
 	}
 }

@@ -10,6 +10,17 @@
 // the traffic the scheduler admits continuously refits the very models
 // it admits with: the paper's predict → act → measure → refit loop in
 // one process.
+//
+// Interactive clients open persistent Sessions (OpenSession): a session
+// is admitted once, soft-pins its warm runner in the RunnerCache,
+// memoizes its admission per model generation, and tracks the client's
+// camera path. After each frame it extrapolates the next poses
+// (Config.Predictor) and speculatively renders the uncached ones into
+// the frame cache through a strictly-background scheduler class —
+// admitted only into idle headroom, budgeted by the model's predicted
+// cost against the measured client think time, shed first under
+// pressure — so a predictable camera path sees cache-hit
+// time-to-photon while foreground deadline traffic is never delayed.
 package serve
 
 import (
@@ -71,6 +82,10 @@ type FrameResult struct {
 	// request unless Degraded).
 	Width, Height, N int
 	RTWorkload       int
+	// PrefetchHit marks a cache hit on a frame that a session's
+	// speculative prefetch rendered before any client asked — the
+	// time-to-photon collapse interactive sessions exist for.
+	PrefetchHit bool
 	// PredictedSeconds is the admission-time prediction for the served
 	// quality; RenderSeconds the measured wall time of the frame's
 	// actual render (also set on cache hits, to the hit frame's
@@ -116,6 +131,21 @@ type Config struct {
 	// ObserveQueue buffers measured samples for the engine's observer;
 	// 0 disables calibration feedback.
 	ObserveQueue int // default 256
+	// PrefetchDepth is how many predicted poses ahead a streaming
+	// session speculatively renders (capped at MaxPrefetchDepth);
+	// negative disables prefetch, 0 picks the default 3.
+	PrefetchDepth int
+	// MaxSessions bounds concurrently open streaming sessions;
+	// SessionIdleTimeout lets an at-capacity OpenSession reap sessions
+	// idle longer than this instead of refusing.
+	MaxSessions        int           // default 4096
+	SessionIdleTimeout time.Duration // default 5m
+	// PrefetchQueueCap bounds queued (not yet running) speculative
+	// renders; overflow sheds the oldest prediction first.
+	PrefetchQueueCap int // default 64
+	// Predictor extrapolates session camera paths (default
+	// OrbitPredictor: constant-velocity orbit continuation).
+	Predictor PathPredictor
 	// Cluster, when non-nil, enables sharded frames: requests with
 	// Shards > 1 are partitioned across its worker fleet. The server
 	// does not own the cluster; close it after the server.
@@ -172,6 +202,24 @@ func (c *Config) setDefaults() {
 	if c.ClusterTimeout <= 0 {
 		c.ClusterTimeout = 60 * time.Second
 	}
+	if c.PrefetchDepth == 0 {
+		c.PrefetchDepth = 3
+	}
+	if c.PrefetchDepth > MaxPrefetchDepth {
+		c.PrefetchDepth = MaxPrefetchDepth
+	}
+	if c.MaxSessions < 1 {
+		c.MaxSessions = 4096
+	}
+	if c.SessionIdleTimeout <= 0 {
+		c.SessionIdleTimeout = 5 * time.Minute
+	}
+	if c.PrefetchQueueCap < 1 {
+		c.PrefetchQueueCap = 64
+	}
+	if c.Predictor == nil {
+		c.Predictor = OrbitPredictor{}
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -210,19 +258,26 @@ type preparedRunner struct {
 
 // cachedFrame is one encoded frame plus the measurements that produced
 // it (composite fields zero for local single-process frames).
+// speculative marks frames a session's prefetch rendered before any
+// client asked; hits on them are the prefetch hit rate.
 type cachedFrame struct {
 	png               []byte
 	renderSeconds     float64
 	compositeSeconds  float64
 	rankRenderSeconds []float64
+	speculative       bool
 }
 
 // flight coalesces concurrent misses on one frame key: followers wait
-// for the leader's render instead of queueing a duplicate.
+// for the leader's render instead of queueing a duplicate. A
+// speculative flight's leader is a background prefetch job — a
+// foreground miss that joins it still collapses to a wait instead of a
+// duplicate render, the mid-render form of a prefetch hit.
 type flight struct {
-	done chan struct{}
-	res  FrameResult
-	err  error
+	done        chan struct{}
+	speculative bool
+	res         FrameResult
+	err         error
 }
 
 // Server is the render-serving subsystem: admission, scheduling,
@@ -241,6 +296,11 @@ type Server struct {
 
 	flightMu sync.Mutex
 	flights  map[frameKey]*flight
+
+	sessMu    sync.Mutex
+	sessions  map[uint64]*Session
+	nextSess  uint64
+	sessClose bool
 
 	obsCh     chan core.Sample
 	obsWG     sync.WaitGroup
@@ -263,8 +323,9 @@ func New(engine *advisor.Engine, cfg Config) *Server {
 		admit:    lru.New[admitKey, decision](cfg.AdmitCacheEntries),
 		frames:   lru.New[frameKey, cachedFrame](cfg.FrameCacheEntries),
 		runners:  scenario.NewRunnerCache[runnerKey](cfg.RunnerCacheEntries),
-		sched:    newScheduler(cfg.Workers, cfg.QueueCap),
+		sched:    newScheduler(cfg.Workers, cfg.QueueCap, cfg.PrefetchQueueCap),
 		flights:  map[frameKey]*flight{},
+		sessions: map[uint64]*Session{},
 	}
 	for _, name := range sim.Names() {
 		s.sims[name] = true
@@ -287,9 +348,11 @@ func New(engine *advisor.Engine, cfg Config) *Server {
 // Engine exposes the advisor engine gating admissions.
 func (s *Server) Engine() *advisor.Engine { return s.engine }
 
-// Close drains the scheduler, stops the calibration feed, and releases
-// cached runners (device worker pools).
+// Close drains active sessions (releasing their runner pins), sheds
+// queued speculative work, drains the scheduler, stops the calibration
+// feed, and releases cached runners (device worker pools).
 func (s *Server) Close() {
+	s.closeAllSessions()
 	s.sched.close()
 	s.obsMu.Lock()
 	if s.obsCh != nil && !s.obsClosed {
@@ -376,24 +439,17 @@ func (s *Server) normalize(req *FrameRequest) error {
 //
 //insitu:noalloc
 func (s *Server) Render(req FrameRequest) (FrameResult, error) {
-	//insitu:noalloc-ok normalize is read-only for accepted requests; only rejections build errors
-	if err := s.normalize(&req); err != nil {
-		s.stats.badRequests.Add(1)
-		return FrameResult{}, err
-	}
-	//insitu:noalloc-ok registry probe is a map read; its error path only runs on rejected requests
-	backend, err := scenario.Lookup(req.Backend)
-	if err != nil {
-		s.stats.badRequests.Add(1)
-		//insitu:noalloc-ok bad-request path, never taken by a cache hit
-		return FrameResult{}, fmt.Errorf("%w: %s", ErrBadRequest, err)
-	}
-	if backend.NeedsStructured() && !sim.Structured(req.Sim) {
-		s.stats.badRequests.Add(1)
-		//insitu:noalloc-ok bad-request path, never taken by a cache hit
-		return FrameResult{}, badRequestf("%s needs a structured block; sim %q publishes an unstructured one", req.Backend, req.Sim)
-	}
+	res, _, err := s.serveFrame(req, nil)
+	return res, err
+}
 
+// admit runs the memoized model-gated admission for a normalized
+// request: one LRU probe in steady state, one full model costing per
+// (request shape, model generation) otherwise. The returned decision is
+// not yet checked for rejection.
+//
+//insitu:noalloc
+func (s *Server) admitRequest(req *FrameRequest) (decision, error) {
 	// Admission: memoized per (arch, backend, n, resolution, deadline,
 	// model generation) so the steady-state gate is one LRU probe.
 	ak := admitKey{
@@ -408,19 +464,52 @@ func (s *Server) Render(req FrameRequest) (FrameResult, error) {
 		// Admission miss: one full model costing, then memoized.
 		//insitu:noalloc-ok admission miss is once per (request shape, model generation)
 		spec, _ := core.LookupRenderer(req.Backend)
+		var err error
 		//insitu:noalloc-ok admission miss is once per (request shape, model generation)
-		d, err = s.decide(&req, spec.Surface)
+		d, err = s.decide(req, spec.Surface)
 		if err != nil {
-			s.stats.errors.Add(1)
-			return FrameResult{}, err
+			return decision{}, err
 		}
 		//insitu:noalloc-ok admission miss is once per (request shape, model generation)
 		s.admit.Add(ak, d)
 	}
+	return d, nil
+}
+
+// serveFrame is the shared frame path behind Render and Session.Frame:
+// validate, admit, probe the frame cache, and on a miss render through
+// the scheduler. sess, when non-nil, receives prefetch-hit accounting.
+// The cache-hit path performs zero heap allocations.
+//
+//insitu:noalloc
+func (s *Server) serveFrame(req FrameRequest, sess *Session) (FrameResult, decision, error) {
+	//insitu:noalloc-ok normalize is read-only for accepted requests; only rejections build errors
+	if err := s.normalize(&req); err != nil {
+		s.stats.badRequests.Add(1)
+		return FrameResult{}, decision{}, err
+	}
+	//insitu:noalloc-ok registry probe is a map read; its error path only runs on rejected requests
+	backend, err := scenario.Lookup(req.Backend)
+	if err != nil {
+		s.stats.badRequests.Add(1)
+		//insitu:noalloc-ok bad-request path, never taken by a cache hit
+		return FrameResult{}, decision{}, fmt.Errorf("%w: %s", ErrBadRequest, err)
+	}
+	if backend.NeedsStructured() && !sim.Structured(req.Sim) {
+		s.stats.badRequests.Add(1)
+		//insitu:noalloc-ok bad-request path, never taken by a cache hit
+		return FrameResult{}, decision{}, badRequestf("%s needs a structured block; sim %q publishes an unstructured one", req.Backend, req.Sim)
+	}
+
+	d, err := s.admitRequest(&req)
+	if err != nil {
+		s.stats.errors.Add(1)
+		return FrameResult{}, decision{}, err
+	}
 	if !d.ok {
 		s.stats.rejected.Add(1)
 		//insitu:noalloc-ok rejection path, never taken by a cache hit
-		return FrameResult{}, &RejectionError{
+		return FrameResult{}, d, &RejectionError{
 			DeadlineSeconds:       req.DeadlineMillis / 1e3,
 			PredictedSeconds:      d.requestedPredicted,
 			FloorPredictedSeconds: d.predicted,
@@ -432,33 +521,52 @@ func (s *Server) Render(req FrameRequest) (FrameResult, error) {
 		s.stats.degraded.Add(1)
 	}
 
-	fk := frameKey{
-		arch: req.Arch, backend: req.Backend, sim: req.Sim,
-		azMilli:   int64(math.Round(req.Azimuth * 1e3)),
-		zoomMilli: int64(math.Round(req.Zoom * 1e3)),
-		q:         d.q,
-	}
+	fk := frameKeyFor(&req, d.q)
 	if cf, ok := s.frames.Get(fk); ok {
 		s.stats.cacheHits.Add(1)
+		if cf.speculative {
+			s.stats.prefetchHits.Add(1)
+			if sess != nil {
+				sess.prefetchHits.Add(1)
+			}
+		}
 		return FrameResult{
 			PNG:   cf.png,
 			Width: d.q.W, Height: d.q.H, N: d.q.N, RTWorkload: d.q.RTWorkload,
+			PrefetchHit:      cf.speculative,
 			PredictedSeconds: d.predicted, RenderSeconds: cf.renderSeconds,
 			Shards:                    d.q.Shards,
 			CompositeSeconds:          cf.compositeSeconds,
 			PredictedCompositeSeconds: d.predictedComposite,
 			RankRenderSeconds:         cf.rankRenderSeconds,
 			CacheHit:                  true, Degraded: d.degraded, DegradeSteps: d.steps,
-		}, nil
+		}, d, nil
 	}
 	s.stats.cacheMisses.Add(1)
 	//insitu:noalloc-ok the miss path renders a frame; only the hit path above is allocation-free
-	return s.renderMiss(req, d, fk)
+	res, err := s.renderMiss(req, d, fk, sess)
+	return res, d, err
+}
+
+// frameKeyFor builds the cache identity of a normalized request at the
+// admitted quality. Camera angles are quantized to millidegrees
+// (normalize bounds them, so the quantization cannot overflow).
+//
+//insitu:noalloc
+func frameKeyFor(req *FrameRequest, q quality) frameKey {
+	return frameKey{
+		arch: req.Arch, backend: req.Backend, sim: req.Sim,
+		azMilli:   int64(math.Round(req.Azimuth * 1e3)),
+		zoomMilli: int64(math.Round(req.Zoom * 1e3)),
+		q:         q,
+	}
 }
 
 // renderMiss coalesces concurrent identical misses and renders through
-// the deadline scheduler.
-func (s *Server) renderMiss(req FrameRequest, d decision, fk frameKey) (FrameResult, error) {
+// the deadline scheduler. A miss that finds a speculative render
+// already in flight waits for it instead of queueing a duplicate — the
+// prefetch landed mid-render.
+func (s *Server) renderMiss(req FrameRequest, d decision, fk frameKey, sess *Session) (FrameResult, error) {
 	s.flightMu.Lock()
 	if f, ok := s.flights[fk]; ok {
 		s.flightMu.Unlock()
@@ -469,6 +577,13 @@ func (s *Server) renderMiss(req FrameRequest, d decision, fk frameKey) (FrameRes
 		res := f.res
 		res.CacheHit = true // served from the leader's render
 		s.stats.coalesced.Add(1)
+		if f.speculative {
+			res.PrefetchHit = true
+			s.stats.prefetchHits.Add(1)
+			if sess != nil {
+				sess.prefetchHits.Add(1)
+			}
+		}
 		return res, nil
 	}
 	f := &flight{done: make(chan struct{})}
@@ -503,7 +618,7 @@ func (s *Server) renderScheduled(req FrameRequest, d decision, fk frameKey) (Fra
 		err error
 	}
 	ch := make(chan outcome, 1)
-	err := s.sched.submit(deadline, func(ws *workerState) {
+	err := s.sched.submit(deadline, d.predicted, func(ws *workerState) {
 		res, err := s.renderFrame(ws, &req, d, fk)
 		ch <- outcome{res, err}
 	})

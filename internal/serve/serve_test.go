@@ -328,18 +328,18 @@ func TestServedFrameRefitsModels(t *testing.T) {
 // blocked worker refuses overflow with ErrQueueFull instead of queueing
 // unboundedly.
 func TestQueueFullAnswersBackpressure(t *testing.T) {
-	sched := newScheduler(1, 1)
+	sched := newScheduler(1, 1, 1)
 	defer sched.close()
 	block := make(chan struct{})
 	started := make(chan struct{})
-	if err := sched.submit(time.Time{}, func(*workerState) { close(started); <-block }); err != nil {
+	if err := sched.submit(time.Time{}, 0, func(*workerState) { close(started); <-block }); err != nil {
 		t.Fatal(err)
 	}
 	<-started
-	if err := sched.submit(time.Time{}, func(*workerState) {}); err != nil {
+	if err := sched.submit(time.Time{}, 0, func(*workerState) {}); err != nil {
 		t.Fatalf("first queued job refused: %v", err)
 	}
-	if err := sched.submit(time.Time{}, func(*workerState) {}); !errors.Is(err, ErrQueueFull) {
+	if err := sched.submit(time.Time{}, 0, func(*workerState) {}); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overflow err = %v, want ErrQueueFull", err)
 	}
 	close(block)
@@ -348,11 +348,11 @@ func TestQueueFullAnswersBackpressure(t *testing.T) {
 // TestSchedulerEDFOrder: queued jobs run earliest-deadline-first with
 // no-deadline jobs last, regardless of submission order.
 func TestSchedulerEDFOrder(t *testing.T) {
-	sched := newScheduler(1, 16)
+	sched := newScheduler(1, 16, 1)
 	defer sched.close()
 	block := make(chan struct{})
 	started := make(chan struct{})
-	if err := sched.submit(time.Time{}, func(*workerState) { close(started); <-block }); err != nil {
+	if err := sched.submit(time.Time{}, 0, func(*workerState) { close(started); <-block }); err != nil {
 		t.Fatal(err)
 	}
 	<-started
@@ -363,7 +363,7 @@ func TestSchedulerEDFOrder(t *testing.T) {
 	mu.ch = make(chan string, 8)
 	now := time.Now()
 	submit := func(name string, deadline time.Time) {
-		if err := sched.submit(deadline, func(*workerState) { mu.ch <- name }); err != nil {
+		if err := sched.submit(deadline, 0, func(*workerState) { mu.ch <- name }); err != nil {
 			t.Fatal(err)
 		}
 	}
