@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+// Repro: concurrent Frame calls on one session race on sess.cands
+// (written under sess.mu in planPrefetch, read lock-free in submitPrefetch).
+func TestSessionConcurrentFramesRace(t *testing.T) {
+	s := testServer(t, Config{Workers: 4, PrefetchDepth: 8})
+	sess, err := s.OpenSession(sessionRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				az := float64((g*50 + i) * 15 % 360)
+				if _, err := sess.Frame(az, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
