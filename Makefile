@@ -4,18 +4,18 @@ GO ?= go
 
 # bench-json output file; committed per PR (BENCH_4.json, BENCH_5.json,
 # ...) so benchmark trajectories survive across sessions.
-BENCH_JSON ?= BENCH_8.json
+BENCH_JSON ?= BENCH_9.json
 
 # Committed baselines guarding the zero-allocation steady state:
 # bench-json fails if a benchmark that was 0 allocs/op in any of these
 # is >0 now.
-BENCH_BASELINES ?= BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json
+BENCH_BASELINES ?= BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json
 
 # insitulint is the repo's analyzer suite (internal/analysis); built
 # into ./bin so the vettool path is hermetic to the checkout.
 LINT_BIN := bin/insitulint
 
-.PHONY: all build test race vet fmt lint bench bench-json cover ci clean
+.PHONY: all build test race vet fmt lint bench bench-json chaos cover ci clean
 
 all: ci
 
@@ -78,6 +78,13 @@ bench-json:
 	@rm -f $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp $(BENCH_JSON).serve.tmp $(BENCH_JSON).cluster.tmp
 	@echo "wrote $(BENCH_JSON)"
 
+# chaos runs the fault-injection suite under the race detector: rank
+# kills, stalled links, seeded packet loss, blame-driven eviction, and
+# the serving layer's retry/clamp/breaker recovery on top — the
+# recovery paths a green `make test` alone would leave cold.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestServedFrameSurvivesRankKill|TestBreakerOpensShortCircuitsAndRecovers|TestReadyzFleetQuorum' ./internal/cluster/ ./internal/serve/ ./cmd/renderd/
+
 # cover runs the test suite with coverage and prints a per-function
 # summary plus the total. The profile lands in cover.out for
 # `go tool cover -html=cover.out`.
@@ -85,7 +92,7 @@ cover:
 	$(GO) test -short -coverprofile=cover.out ./...
 	@$(GO) tool cover -func=cover.out | tail -1
 
-ci: build vet lint fmt test race
+ci: build vet lint fmt test race chaos
 
 clean:
 	$(GO) clean ./...

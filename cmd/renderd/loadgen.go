@@ -8,10 +8,32 @@ import (
 	"net/http/httptest"
 	"time"
 
+	"insitu/internal/cluster"
+	"insitu/internal/comm"
 	"insitu/internal/core"
 	"insitu/internal/loadgen"
 	"insitu/internal/serve"
 )
+
+// loadgenConfig carries the -loadgen flag set.
+type loadgenConfig struct {
+	target      string
+	regPath     string
+	bootstrap   bool
+	cacheSize   int
+	arch        string
+	duration    time.Duration
+	concurrency int
+	sessions    int
+	think       time.Duration
+	// chaos injects deterministic fleet faults (seeded packet loss from
+	// the start, a rank kill a third of the way in, healed a third
+	// later) against an in-process -cluster fleet, and reports how the
+	// served traffic degraded and recovered.
+	chaos     bool
+	chaosSeed uint64
+	clusterN  int
+}
 
 // runLoadgen sustains a frame-request mix against a renderd. With no
 // target it builds the full serving stack in-process (bootstrapping
@@ -23,20 +45,59 @@ import (
 // clients each open a streaming session and orbit the camera with think
 // time between frames, and the report is time-to-photon percentiles
 // plus the speculative-prefetch hit rate instead of raw QPS.
-func runLoadgen(target, regPath string, bootstrap bool, cacheSize int, arch string, duration time.Duration, concurrency, sessions int, think time.Duration) error {
+//
+// chaos switches to fault-injection mode: the in-process fleet runs
+// under a seeded fault plan and every response is bucketed by cause
+// (ok / degraded / retried / fleet-degraded / rejected), with the
+// fleet's failure, fallback, and circuit-breaker counters appended —
+// the CLI face of the chaos test suite.
+func runLoadgen(cfg loadgenConfig) error {
+	target := cfg.target
 	client := &http.Client{Timeout: 30 * time.Second}
+	if cfg.chaos {
+		if target != "" {
+			return fmt.Errorf("loadgen: -chaos drives its own in-process fleet; drop -target")
+		}
+		if cfg.sessions > 0 {
+			return fmt.Errorf("loadgen: -chaos applies to the frame mix, not -sessions")
+		}
+		if cfg.clusterN < 2 {
+			cfg.clusterN = 4
+		}
+	}
+	var plan *comm.FaultPlan
 	if target == "" {
 		// Calibration stays off: a benchmark must not refit the served
 		// models from its own synthetic mix, and must never rewrite the
 		// user's registry file.
-		srv, _, err := buildServer(regPath, bootstrap, cacheSize, false, 8, 0, serve.Config{
-			Arch: arch, Logf: func(string, ...any) {},
+		var copts *cluster.Options
+		if cfg.chaos {
+			plan = comm.NewFaultPlan(cfg.chaosSeed)
+			// Tighter detection than the serving defaults, so recovery
+			// fits inside a short loadgen run.
+			copts = &cluster.Options{
+				HeartbeatTimeout: 500 * time.Millisecond,
+				AttemptTimeout:   2 * time.Second,
+				DrainGrace:       500 * time.Millisecond,
+				RetryBackoff:     50 * time.Millisecond,
+				// Background packet loss should heal by retry, not
+				// snowball into blame evictions — the scheduled rank
+				// kill is the eviction event of the run.
+				BlameThreshold: 6,
+				Faults:         plan,
+			}
+		}
+		srv, fleet, err := buildServer(cfg.regPath, cfg.bootstrap, cfg.cacheSize, false, 8, cfg.clusterN, copts, serve.Config{
+			Arch: cfg.arch, Logf: func(string, ...any) {},
 		})
 		if err != nil {
 			return err
 		}
+		if fleet != nil {
+			defer fleet.Close()
+		}
 		defer srv.Close()
-		ts := httptest.NewServer(newWebServer(srv).handler())
+		ts := httptest.NewServer(newWebServer(srv, fleet).handler())
 		defer ts.Close()
 		target = ts.URL
 		client = ts.Client()
@@ -52,7 +113,7 @@ func runLoadgen(target, regPath string, bootstrap bool, cacheSize int, arch stri
 		return b
 	}
 
-	if sessions > 0 {
+	if cfg.sessions > 0 {
 		// A few distinct scene configurations, so concurrent sessions
 		// share (and contend for) the warm-runner cache like real mixed
 		// traffic would.
@@ -67,10 +128,10 @@ func runLoadgen(target, regPath string, bootstrap bool, cacheSize int, arch stri
 			}))
 		}
 		log.Printf("loadgen: %d interactive sessions for %s against %s (think %s)",
-			sessions, duration, target, think)
+			cfg.sessions, cfg.duration, target, cfg.think)
 		rep, err := loadgen.RunSessions(loadgen.SessionOptions{
 			Target: target, Client: client, Opens: opens,
-			Sessions: sessions, Duration: duration, ThinkTime: think,
+			Sessions: cfg.sessions, Duration: cfg.duration, ThinkTime: cfg.think,
 		})
 		if err != nil {
 			return err
@@ -83,7 +144,9 @@ func runLoadgen(target, regPath string, bootstrap bool, cacheSize int, arch stri
 	}
 	// The mix: a handful of distinct frames (so the cache works but is
 	// not a single key), a rotating camera, and a few deadline-gated
-	// requests that exercise degradation and rejection.
+	// requests that exercise degradation and rejection. In chaos mode
+	// the frames shard across the fleet, so the injected faults land on
+	// live traffic.
 	backends := []core.Renderer{core.RayTrace, core.Volume}
 	var shots []loadgen.Shot
 	for i := 0; i < 48; i++ {
@@ -100,23 +163,104 @@ func runLoadgen(target, regPath string, bootstrap bool, cacheSize int, arch stri
 		if i%12 == 0 {
 			req.DeadlineMillis = 0.001 // impossibly tight: a fast 422
 		}
+		if cfg.chaos {
+			req.Shards = 2 + i%(cfg.clusterN-1)
+		}
 		shots = append(shots, loadgen.Shot{Path: "/v1/frame", Body: mustJSON(req)})
 	}
 
-	log.Printf("loadgen: %d clients for %s against %s", concurrency, duration, target)
+	if plan != nil {
+		scheduleChaos(plan, cfg.clusterN, cfg.duration)
+	}
+	log.Printf("loadgen: %d clients for %s against %s", cfg.concurrency, cfg.duration, target)
 	rep, err := loadgen.Run(loadgen.Options{
 		Target: target, Client: client, Shots: shots,
-		Duration: duration, Concurrency: concurrency,
+		Duration: cfg.duration, Concurrency: cfg.concurrency,
 		Accept: func(status int) bool {
 			return status == http.StatusOK || status == http.StatusUnprocessableEntity
 		},
+		Classify: classifyFrameResponse,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("\nloadgen results\n%s", rep)
+	if cfg.chaos {
+		printFleetFaults(client, target)
+	}
 	if rep.Failed > 0 {
 		return fmt.Errorf("loadgen: %d requests failed", rep.Failed)
 	}
 	return nil
+}
+
+// classifyFrameResponse buckets one /v1/frame answer by cause for the
+// report breakdown. Order matters: a fleet-degraded frame may also be
+// quality-degraded; the fleet cause is the interesting one.
+func classifyFrameResponse(status int, h http.Header) string {
+	switch {
+	case status == http.StatusUnprocessableEntity:
+		return "rejected"
+	case status == http.StatusServiceUnavailable:
+		return "unavailable"
+	case status != http.StatusOK:
+		return fmt.Sprintf("http-%d", status)
+	case h.Get("X-Renderd-Fleet-Degraded") == "true":
+		return "fleet-degraded"
+	case h.Get("X-Renderd-Retries") != "" && h.Get("X-Renderd-Retries") != "0":
+		return "retried"
+	case h.Get("X-Renderd-Degraded") == "true":
+		return "degraded"
+	}
+	return "ok"
+}
+
+// scheduleChaos arms the fault timeline: seeded background packet loss
+// on every worker-worker link from the start, the highest rank killed a
+// third of the way through the run, the surviving links healed a third
+// later. Deterministic for a fixed seed, traffic order aside.
+func scheduleChaos(plan *comm.FaultPlan, clusterN int, duration time.Duration) {
+	for i := 1; i <= clusterN; i++ {
+		for j := 1; j <= clusterN; j++ {
+			if i != j {
+				plan.DropEvery(i, j, 0.001)
+			}
+		}
+	}
+	victim := clusterN
+	go func() {
+		time.Sleep(duration / 3)
+		log.Printf("chaos: killing rank %d", victim)
+		plan.KillRank(victim)
+		time.Sleep(duration / 3)
+		log.Printf("chaos: healing link faults (rank %d stays evicted)", victim)
+		plan.Reset()
+	}()
+}
+
+// printFleetFaults appends the server-side fault accounting to the
+// chaos report — the causes (breaker opens, evictions) behind the
+// response-header breakdown.
+func printFleetFaults(client *http.Client, target string) {
+	resp, err := client.Get(target + "/v1/metrics")
+	if err != nil {
+		log.Printf("chaos: fetching /v1/metrics: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	var mb metricsBody
+	if err := json.NewDecoder(resp.Body).Decode(&mb); err != nil {
+		log.Printf("chaos: decoding /v1/metrics: %v", err)
+		return
+	}
+	st := mb.Serve
+	fmt.Printf("  fleet:       retries %d  failures %d  fallbacks %d  clamped %d\n",
+		st.ClusterRetries, st.ClusterFailures, st.ClusterFallbacks, st.FleetClamped)
+	fmt.Printf("  breaker:     opens %d  short-circuits %d  state %s\n",
+		st.BreakerOpens, st.BreakerShortCircuits, st.BreakerState)
+	if st.Cluster != nil {
+		fmt.Printf("  cluster:     %d/%d ranks alive  dead %v  evictions %d  stale drops %d\n",
+			st.Cluster.AliveWorkers, st.Cluster.Workers, st.Cluster.DeadRanks,
+			st.Cluster.Evictions, st.Cluster.StaleDrops)
+	}
 }

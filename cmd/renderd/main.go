@@ -22,7 +22,8 @@
 // client's think time — strictly below foreground deadline work — so a
 // predictable camera (an orbit) sees cache-hit time-to-photon.
 //
-//	GET    /healthz              liveness, model count, registry generation
+//	GET    /healthz              liveness (always 200 while the process serves)
+//	GET    /readyz               readiness: models loaded + fleet quorum
 //	GET    /v1/frame             render (query: backend, sim, n, size, deadline_ms,
 //	                             azimuth, zoom, arch, shards) -> image/png
 //	POST   /v1/frame             same as JSON body
@@ -44,6 +45,8 @@
 //	renderd -loadgen [-target URL] [-duration 10s] [-concurrency 8]
 //	renderd -loadgen -sessions 8 [-think 50ms]   # interactive sessions:
 //	                                             # time-to-photon + prefetch hit rate
+//	renderd -loadgen -chaos [-cluster 4]         # fault-injected fleet:
+//	                                             # recovery breakdown by cause
 package main
 
 import (
@@ -85,17 +88,26 @@ func main() {
 		concurrency = flag.Int("concurrency", 8, "loadgen: concurrent clients")
 		sessions    = flag.Int("sessions", 0, "loadgen: interactive orbiting sessions instead of the request mix (reports time-to-photon + prefetch hit rate)")
 		think       = flag.Duration("think", 50*time.Millisecond, "loadgen: per-session pause between frames (the idle headroom prefetch renders into)")
+		chaos       = flag.Bool("chaos", false, "loadgen: inject deterministic fleet faults (packet loss, a rank kill) into an in-process -cluster fleet and report the recovery breakdown")
+		chaosSeed   = flag.Uint64("chaos-seed", 1, "loadgen: fault plan seed for -chaos")
 	)
 	flag.Parse()
 
 	if *loadgenMode {
-		if err := runLoadgen(*target, *regPath, *bootstrap, *cacheSize, *arch, *duration, *concurrency, *sessions, *think); err != nil {
+		err := runLoadgen(loadgenConfig{
+			target: *target, regPath: *regPath, bootstrap: *bootstrap,
+			cacheSize: *cacheSize, arch: *arch,
+			duration: *duration, concurrency: *concurrency,
+			sessions: *sessions, think: *think,
+			chaos: *chaos, chaosSeed: *chaosSeed, clusterN: *clusterN,
+		})
+		if err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 
-	srv, fleet, err := buildServer(*regPath, *bootstrap, *cacheSize, *calibrate, *refitEvery, *clusterN, serve.Config{
+	srv, fleet, err := buildServer(*regPath, *bootstrap, *cacheSize, *calibrate, *refitEvery, *clusterN, nil, serve.Config{
 		Arch: *arch, Workers: *workers, QueueCap: *queue,
 		FrameCacheEntries: *frames, RunnerCacheEntries: *runners,
 		Logf: log.Printf,
@@ -110,7 +122,7 @@ func main() {
 	}
 	defer srv.Close()
 
-	web := newWebServer(srv)
+	web := newWebServer(srv, fleet)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           logRequests(log.Printf, web.handler()),
@@ -150,8 +162,10 @@ func main() {
 // buildServer assembles the full serving stack: registry, advisor
 // engine, calibrator (when enabled), optional worker fleet for sharded
 // frames, and the render-serving subsystem. The returned cluster (nil
-// when clusterN is 0) must be closed after the server.
-func buildServer(regPath string, bootstrap bool, cacheSize int, calibrate bool, refitEvery, clusterN int, cfg serve.Config) (*serve.Server, *cluster.Cluster, error) {
+// when clusterN is 0) must be closed after the server. copts overrides
+// the fleet's fault-tolerance tuning (nil = defaults) — the chaos
+// loadgen uses it to install a fault plan.
+func buildServer(regPath string, bootstrap bool, cacheSize int, calibrate bool, refitEvery, clusterN int, copts *cluster.Options, cfg serve.Config) (*serve.Server, *cluster.Cluster, error) {
 	reg, err := serve.OpenRegistry(regPath, bootstrap, cacheSize, log.Printf)
 	if err != nil {
 		return nil, nil, err
@@ -168,7 +182,11 @@ func buildServer(regPath string, bootstrap bool, cacheSize int, calibrate bool, 
 	}
 	var fleet *cluster.Cluster
 	if clusterN > 0 {
-		fleet, err = cluster.New(reg, clusterN)
+		if copts != nil {
+			fleet, err = cluster.NewWithOptions(reg, clusterN, *copts)
+		} else {
+			fleet, err = cluster.New(reg, clusterN)
+		}
 		if err != nil {
 			return nil, nil, err
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"insitu/internal/advisor"
+	"insitu/internal/cluster"
 	"insitu/internal/core"
 	"insitu/internal/registry"
 	"insitu/internal/serve"
@@ -20,20 +21,24 @@ import (
 // bytes.
 const maxBodyBytes = 1 << 20
 
-// webServer wires the render-serving subsystem to HTTP.
+// webServer wires the render-serving subsystem to HTTP. fleet is the
+// optional worker cluster behind srv (nil without -cluster); readiness
+// reports its quorum.
 type webServer struct {
 	srv   *serve.Server
+	fleet *cluster.Cluster
 	start time.Time
 }
 
-func newWebServer(srv *serve.Server) *webServer {
-	return &webServer{srv: srv, start: time.Now()}
+func newWebServer(srv *serve.Server, fleet *cluster.Cluster) *webServer {
+	return &webServer{srv: srv, fleet: fleet, start: time.Now()}
 }
 
 // handler builds the route table.
 func (s *webServer) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /v1/frame", s.handleFrameGet)
 	mux.HandleFunc("POST /v1/frame", s.handleFramePost)
 	mux.HandleFunc("POST /v1/session", s.handleSessionOpen)
@@ -98,6 +103,8 @@ func (s *webServer) serveFrame(w http.ResponseWriter, req serve.FrameRequest) {
 	h.Set("X-Renderd-Predicted-Seconds", strconv.FormatFloat(res.PredictedSeconds, 'g', 6, 64))
 	h.Set("X-Renderd-Render-Seconds", strconv.FormatFloat(res.RenderSeconds, 'g', 6, 64))
 	h.Set("X-Renderd-Shards", strconv.Itoa(res.Shards))
+	h.Set("X-Renderd-Retries", strconv.Itoa(res.Retries))
+	h.Set("X-Renderd-Fleet-Degraded", strconv.FormatBool(res.FleetDegraded))
 	if res.Shards > 1 {
 		h.Set("X-Renderd-Composite-Seconds", strconv.FormatFloat(res.CompositeSeconds, 'g', 6, 64))
 		h.Set("X-Renderd-Predicted-Composite-Seconds", strconv.FormatFloat(res.PredictedCompositeSeconds, 'g', 6, 64))
@@ -186,19 +193,58 @@ type healthzBody struct {
 	UptimeSeconds int64  `json:"uptime_seconds"`
 }
 
+// handleHealthz is pure liveness: the process is up and answering. It
+// always returns 200 — a renderd with an empty registry or a degraded
+// fleet is alive, just not ready; orchestrators that restart on failed
+// liveness must not confuse the two (that restart loop would be worse
+// than the degradation). Readiness gating belongs to /readyz.
 func (s *webServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := healthzBody{
 		Status:        "ok",
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
 	}
+	if v, err := s.srv.Engine().Registry().View(); err == nil {
+		body.Generation = v.Generation()
+		body.Models = len(v.Snapshot().Models)
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// readyzBody is the readiness document: can this process serve frames
+// well right now?
+type readyzBody struct {
+	Status     string `json:"status"`
+	Models     int    `json:"models"`
+	Generation uint64 `json:"generation"`
+	// Fleet health, present when this renderd fronts a worker cluster.
+	// Ready requires a majority of ranks alive: below quorum the fleet
+	// serves only heavily clamped or fallback frames, so a load balancer
+	// should prefer a healthier replica.
+	FleetWorkers int   `json:"fleet_workers,omitempty"`
+	FleetAlive   int   `json:"fleet_alive,omitempty"`
+	FleetDead    []int `json:"fleet_dead,omitempty"`
+}
+
+func (s *webServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	body := readyzBody{Status: "ok"}
 	v, err := s.srv.Engine().Registry().View()
 	if err != nil {
-		body.Status = "empty"
+		body.Status = "no models loaded"
 		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
 	body.Generation = v.Generation()
 	body.Models = len(v.Snapshot().Models)
+	if s.fleet != nil {
+		body.FleetWorkers = s.fleet.Workers()
+		body.FleetAlive = s.fleet.AliveWorkers()
+		body.FleetDead = s.fleet.DeadRanks()
+		if 2*body.FleetAlive <= body.FleetWorkers {
+			body.Status = "fleet below quorum"
+			writeJSON(w, http.StatusServiceUnavailable, body)
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 

@@ -56,7 +56,7 @@ func startRenderd(t *testing.T, refitEvery int) (*httptest.Server, *serve.Server
 // plus an in-process worker fleet for sharded frames.
 func startRenderdCluster(t *testing.T, refitEvery, clusterN int) (*httptest.Server, *serve.Server) {
 	t.Helper()
-	srv, fleet, err := buildServer(testSnapshotFile(t), false, 1024, true, refitEvery, clusterN, serve.Config{
+	srv, fleet, err := buildServer(testSnapshotFile(t), false, 1024, true, refitEvery, clusterN, nil, serve.Config{
 		Arch: "serial", Workers: 2, Logf: t.Logf,
 	})
 	if err != nil {
@@ -66,7 +66,7 @@ func startRenderdCluster(t *testing.T, refitEvery, clusterN int) (*httptest.Serv
 		t.Cleanup(fleet.Close)
 	}
 	t.Cleanup(srv.Close)
-	ts := httptest.NewServer(newWebServer(srv).handler())
+	ts := httptest.NewServer(newWebServer(srv, fleet).handler())
 	t.Cleanup(ts.Close)
 	return ts, srv
 }

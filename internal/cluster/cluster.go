@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"insitu/internal/comm"
 	"insitu/internal/core"
@@ -40,15 +41,24 @@ type Result struct {
 	RenderSeconds     float64 // slowest rank's local render, max(T_local)
 	CompositeSeconds  float64 // measured sort-last composite, the paper's Tc
 	RankRenderSeconds []float64
+	// Retries is how many failed attempts preceded this frame (0 on the
+	// healthy path) — the serving layer surfaces it per response.
+	Retries int
 }
 
-// Stats is a point-in-time view of cluster transport and replication
-// counters.
+// Stats is a point-in-time view of cluster transport, replication, and
+// health counters.
 type Stats struct {
 	Workers           int      `json:"workers"`
+	AliveWorkers      int      `json:"alive_workers"`
+	DeadRanks         []int    `json:"dead_ranks,omitempty"`
 	FramesDispatched  int64    `json:"frames_dispatched"`
 	BytesSent         int64    `json:"bytes_sent"`
 	MessagesSent      int64    `json:"messages_sent"`
+	StaleDrops        int64    `json:"stale_drops"`
+	Evictions         int64    `json:"evictions"`
+	Retries           int64    `json:"retries"`
+	RankFailures      int64    `json:"rank_failures"`
 	SnapshotsPushed   int64    `json:"snapshots_pushed"`
 	SnapshotsAcked    int64    `json:"snapshots_acked"`
 	SnapshotErrors    int64    `json:"snapshot_errors"`
@@ -81,6 +91,26 @@ type Cluster struct {
 	pendMu  sync.Mutex
 	pending map[uint64]chan *wireResultMsg
 
+	// Fleet health (see health.go): per-rank eviction state, liveness
+	// timestamps (UnixNanos, refreshed by any demuxed message), and
+	// stuck-peer blame counters. Index 0 is unused.
+	opts     Options
+	dead     []atomic.Bool
+	lastBeat []atomic.Int64
+	blame    []atomic.Int64
+	alive    atomic.Int64
+
+	// attempts maps in-flight attempt ids to the context shared with
+	// their workers (cancelled on eviction of a member); doneCh routes
+	// members' completion notes to the attempt's drain barrier.
+	attemptMu sync.Mutex
+	attempts  map[uint64]*attemptCtl
+	doneMu    sync.Mutex
+	doneCh    map[uint64]chan wireDone
+
+	reasonMu     sync.Mutex
+	evictReasons map[int]string
+
 	nextID atomic.Uint64
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -90,6 +120,16 @@ type Cluster struct {
 	snapshotsPushed  atomic.Int64
 	snapshotsAcked   atomic.Int64
 	snapshotErrors   atomic.Int64
+	evictions        atomic.Int64
+	retries          atomic.Int64
+	rankFailures     atomic.Int64
+}
+
+// attemptCtl is the router-side handle of one in-flight attempt.
+type attemptCtl struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	members []int
 }
 
 type wireResultMsg struct {
@@ -97,10 +137,16 @@ type wireResultMsg struct {
 	img *framebuffer.Image
 }
 
-// New starts a fleet of workers wired to reg's models. The registry is
-// the router's source of truth; each worker gets its own replica, synced
-// on dispatch.
+// New starts a fleet of workers wired to reg's models with default
+// fault-tolerance options. The registry is the router's source of truth;
+// each worker gets its own replica, synced on dispatch.
 func New(reg *registry.Registry, workers int) (*Cluster, error) {
+	return NewWithOptions(reg, workers, Options{})
+}
+
+// NewWithOptions is New with explicit failure-detection and recovery
+// tuning (and, for chaos tests, an injected fault plan).
+func NewWithOptions(reg *registry.Registry, workers int, opts Options) (*Cluster, error) {
 	if workers < 1 {
 		return nil, fmt.Errorf("cluster: need at least 1 worker, got %d", workers)
 	}
@@ -109,23 +155,42 @@ func New(reg *registry.Registry, workers int) (*Cluster, error) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	world := comm.NewWorld(workers + 1)
+	opts = opts.withDefaults()
+	if opts.Faults != nil {
+		world.InjectFaults(opts.Faults)
+	}
 	cl := &Cluster{
-		world:    world,
-		router:   world.Endpoint(0),
-		reg:      reg,
-		workers:  workers,
-		replicas: make([]*registry.Registry, workers+1),
-		lastGen:  make([]uint64, workers+1),
-		pending:  map[uint64]chan *wireResultMsg{},
-		ctx:      ctx,
-		cancel:   cancel,
+		world:        world,
+		router:       world.Endpoint(0),
+		reg:          reg,
+		workers:      workers,
+		opts:         opts,
+		replicas:     make([]*registry.Registry, workers+1),
+		lastGen:      make([]uint64, workers+1),
+		pending:      map[uint64]chan *wireResultMsg{},
+		dead:         make([]atomic.Bool, workers+1),
+		lastBeat:     make([]atomic.Int64, workers+1),
+		blame:        make([]atomic.Int64, workers+1),
+		attempts:     map[uint64]*attemptCtl{},
+		doneCh:       map[uint64]chan wireDone{},
+		evictReasons: map[int]string{},
+		ctx:          ctx,
+		cancel:       cancel,
+	}
+	cl.alive.Store(int64(workers))
+	now := time.Now().UnixNano()
+	for w := 1; w <= workers; w++ {
+		cl.lastBeat[w].Store(now)
 	}
 	for w := 1; w <= workers; w++ {
 		cl.replicas[w] = registry.New(0)
-		cl.wg.Add(2)
+		cl.wg.Add(3)
 		go cl.workerLoop(w)
 		go cl.demuxLoop(w)
+		go cl.heartbeatLoop(w)
 	}
+	cl.wg.Add(1)
+	go cl.monitorLoop()
 	return cl, nil
 }
 
@@ -139,13 +204,19 @@ func (cl *Cluster) Close() {
 	cl.wg.Wait()
 }
 
-// Stats snapshots the transport and replication counters.
+// Stats snapshots the transport, replication, and health counters.
 func (cl *Cluster) Stats() Stats {
 	return Stats{
 		Workers:           cl.workers,
+		AliveWorkers:      cl.AliveWorkers(),
+		DeadRanks:         cl.DeadRanks(),
 		FramesDispatched:  cl.framesDispatched.Load(),
 		BytesSent:         cl.world.BytesSent(),
 		MessagesSent:      cl.world.MessagesSent(),
+		StaleDrops:        cl.world.StaleDrops(),
+		Evictions:         cl.evictions.Load(),
+		Retries:           cl.retries.Load(),
+		RankFailures:      cl.rankFailures.Load(),
 		SnapshotsPushed:   cl.snapshotsPushed.Load(),
 		SnapshotsAcked:    cl.snapshotsAcked.Load(),
 		SnapshotErrors:    cl.snapshotErrors.Load(),
@@ -164,35 +235,109 @@ func (cl *Cluster) WorkerGenerations() []uint64 {
 }
 
 // Render dispatches one sharded frame and blocks until the composited
-// image arrives or ctx expires. Safe for concurrent use: dispatch is
-// serialized, execution overlaps across disjoint worker sets.
+// image arrives, the caller's ctx expires, or the retry budget runs out.
+// Safe for concurrent use: dispatch is serialized, execution overlaps
+// across disjoint worker sets.
+//
+// Rank failure is handled here: an attempt a dead or wedged rank drags
+// past its deadline is abandoned by every survivor, drained, and — after
+// the failing ranks are evicted — re-placed over survivors and retried
+// with exponential backoff charged against ctx. HRW placement keeps
+// unaffected shards on their original ranks, so a retry pays only the
+// dead ranks' shards cold. When survivors cannot host the requested
+// shard count, or the attempt budget is spent, Render returns a typed
+// *RankFailure naming the dead ranks.
 func (cl *Cluster) Render(ctx context.Context, job Job) (*Result, error) {
-	members, err := placeShards(cl.workers, &job)
-	if err != nil {
-		return nil, err
+	backoff := cl.opts.RetryBackoff
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		members, err := placeShards(cl.workers, cl.isDead, &job)
+		if err != nil {
+			if dead := cl.DeadRanks(); len(dead) > 0 {
+				cl.rankFailures.Add(1)
+				if lastErr == nil {
+					lastErr = err
+				}
+				return nil, &RankFailure{Ranks: dead, Attempts: attempt - 1, Last: lastErr}
+			}
+			return nil, err
+		}
+		res, rerr, retry := cl.renderAttempt(ctx, &job, members)
+		if rerr == nil {
+			res.Retries = attempt - 1
+			return res, nil
+		}
+		if !retry {
+			return nil, rerr
+		}
+		lastErr = rerr
+		if attempt >= cl.opts.MaxAttempts {
+			cl.rankFailures.Add(1)
+			return nil, &RankFailure{Ranks: cl.DeadRanks(), Attempts: attempt, Last: rerr}
+		}
+		cl.retries.Add(1)
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-cl.ctx.Done():
+			return nil, fmt.Errorf("cluster: closed while rendering")
+		}
+		backoff *= 2
 	}
+}
+
+// renderAttempt runs one placement's attempt end to end. The third
+// return reports whether a failure is retryable (a transport-level
+// abandonment) as opposed to an application error or caller timeout.
+func (cl *Cluster) renderAttempt(ctx context.Context, job *Job, members []int) (*Result, error, bool) {
 	id := cl.nextID.Add(1)
+	deadline := time.Now().Add(cl.opts.AttemptTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 	wj := wireJob{
 		JobID:   id,
 		Backend: job.Backend, Sim: job.Sim, Arch: job.Arch,
 		N: job.N, Width: job.Width, Height: job.Height,
 		Shards: job.Shards, RTWorkload: job.RTWorkload,
 		Azimuth: job.Azimuth, Zoom: job.Zoom,
-		Members: members,
+		Members:           members,
+		DeadlineUnixNanos: deadline.UnixNano(),
 	}
 	msg, err := packJSON(&wj)
 	if err != nil {
-		return nil, fmt.Errorf("cluster: encoding job: %w", err)
+		return nil, fmt.Errorf("cluster: encoding job: %w", err), false
 	}
 
+	// The attempt context is shared with the job's workers via the
+	// attempt registry: its deadline aborts wedged collectives, and
+	// evicting a member cancels it so survivors abandon the attempt
+	// immediately instead of waiting out the deadline.
+	attemptCtx, cancel := context.WithDeadline(cl.ctx, deadline)
+	defer cancel()
+
 	ch := make(chan *wireResultMsg, 1)
+	done := make(chan wireDone, len(members)+1)
 	cl.pendMu.Lock()
 	cl.pending[id] = ch
 	cl.pendMu.Unlock()
-	unregister := func() {
+	cl.doneMu.Lock()
+	cl.doneCh[id] = done
+	cl.doneMu.Unlock()
+	cl.attemptMu.Lock()
+	cl.attempts[id] = &attemptCtl{ctx: attemptCtx, cancel: cancel, members: members}
+	cl.attemptMu.Unlock()
+	cleanup := func() {
 		cl.pendMu.Lock()
 		delete(cl.pending, id)
 		cl.pendMu.Unlock()
+		cl.doneMu.Lock()
+		delete(cl.doneCh, id)
+		cl.doneMu.Unlock()
+		cl.attemptMu.Lock()
+		delete(cl.attempts, id)
+		cl.attemptMu.Unlock()
 	}
 
 	// Dispatch atomically: snapshot sync first (FIFO links guarantee the
@@ -203,18 +348,24 @@ func (cl *Cluster) Render(ctx context.Context, job Job) (*Result, error) {
 	for _, w := range members {
 		if err := cl.router.SendCtx(cl.ctx, w, tagJob, msg); err != nil {
 			cl.dispatchMu.Unlock()
-			unregister()
-			return nil, fmt.Errorf("cluster: dispatch to worker %d: %w", w, err)
+			cleanup()
+			return nil, fmt.Errorf("cluster: dispatch to worker %d: %w", w, err), false
 		}
 	}
 	cl.framesDispatched.Add(1)
 	cl.dispatchMu.Unlock()
 
-	select {
-	case m := <-ch:
+	finish := func(m *wireResultMsg) (*Result, error, bool) {
 		if m.res.Err != "" {
-			return nil, fmt.Errorf("cluster: %s", m.res.Err)
+			if m.res.Retryable {
+				cl.drainAttempt(members, done, deadline)
+				cleanup()
+				return nil, fmt.Errorf("cluster: %s", m.res.Err), true
+			}
+			cleanup()
+			return nil, fmt.Errorf("cluster: %s", m.res.Err), false
 		}
+		cleanup()
 		return &Result{
 			Image:             m.img,
 			In:                m.res.In,
@@ -222,13 +373,29 @@ func (cl *Cluster) Render(ctx context.Context, job Job) (*Result, error) {
 			RenderSeconds:     m.res.RenderSeconds,
 			CompositeSeconds:  m.res.CompositeSeconds,
 			RankRenderSeconds: m.res.RankRenderSeconds,
-		}, nil
+		}, nil, false
+	}
+
+	select {
+	case m := <-ch:
+		return finish(m)
+	case <-attemptCtx.Done():
+		// The deadline expired or a member was evicted mid-attempt; a
+		// result may still have raced in.
+		select {
+		case m := <-ch:
+			return finish(m)
+		default:
+		}
+		cl.drainAttempt(members, done, deadline)
+		cleanup()
+		return nil, fmt.Errorf("cluster: attempt on ranks %v abandoned: %w", members, context.Cause(attemptCtx)), true
 	case <-ctx.Done():
-		unregister()
-		return nil, ctx.Err()
+		cleanup()
+		return nil, ctx.Err(), false
 	case <-cl.ctx.Done():
-		unregister()
-		return nil, fmt.Errorf("cluster: closed while rendering")
+		cleanup()
+		return nil, fmt.Errorf("cluster: closed while rendering"), false
 	}
 }
 
@@ -312,13 +479,30 @@ func (cl *Cluster) workerLoop(w int) {
 			if err != nil {
 				continue
 			}
-			res, img := st.render(gc, &job)
+			// Bind the group communicator to the attempt: its collectives
+			// carry the job's epoch (stale traffic from abandoned attempts
+			// is discarded on receive) and abort past the shared attempt
+			// context's deadline or on a member's eviction.
+			actx := cl.attemptContext(job.JobID)
+			res, img, stuckOn := st.renderJob(gc.WithEpoch(actx, job.JobID), &job)
+			// The completion note must go out whether the attempt succeeded
+			// or aborted: the router's drain barrier counts it as proof this
+			// rank is out of the exchange before re-dispatching.
+			if note, err := packJSON(&wireDone{JobID: job.JobID, Rank: w, StuckOn: stuckOn}); err == nil {
+				e.SendCtx(cl.ctx, 0, tagFrameDone, note)
+			}
 			if res == nil {
 				continue // not the group leader
 			}
 			if msg, err := encodeResult(res, img); err == nil {
 				e.SendCtx(cl.ctx, 0, tagResult, msg)
 			}
+		case tagEvict:
+			// Evicted (possibly wedged, not dead): drop shard caches so a
+			// hypothetical re-admission would rebuild from the registry, and
+			// free the device state the shards held.
+			st.Close()
+			st = newShardState(8, 4)
 		}
 	}
 }
@@ -333,7 +517,28 @@ func (cl *Cluster) demuxLoop(w int) {
 		if err != nil {
 			return // shutdown
 		}
+		// Any traffic proves liveness, not just beacons: a worker too busy
+		// streaming results to beacon on time is not dead.
+		cl.lastBeat[w].Store(time.Now().UnixNano())
 		switch tag {
+		case tagHeartbeat:
+			// Liveness refresh only, handled above.
+		case tagFrameDone:
+			var n wireDone
+			if _, err := unpackJSON(data, &n); err != nil {
+				continue
+			}
+			cl.doneMu.Lock()
+			ch, ok := cl.doneCh[n.JobID]
+			cl.doneMu.Unlock()
+			if ok {
+				// Buffered for every member; non-blocking in case the drain
+				// already gave up and nobody is receiving.
+				select {
+				case ch <- n:
+				default:
+				}
+			}
 		case tagSnapshotAck:
 			var ack wireAck
 			if _, err := unpackJSON(data, &ack); err != nil || ack.Err != "" {

@@ -21,13 +21,28 @@ func shardKey(job *Job, shard int) string {
 // Distinctness is required for correctness, not just balance — a worker
 // executes jobs serially, so two shards of one frame on the same rank
 // would deadlock in the frame's collectives. The assignment is a pure
-// function of the job parameters and fleet size, so repeated requests for
-// the same configuration always reuse the same ranks (hot runner caches)
-// and the standalone reference path can reproduce the grouping.
-func placeShards(workers int, job *Job) ([]int, error) {
+// function of the job parameters and the set of live ranks, so repeated
+// requests for the same configuration always reuse the same ranks (hot
+// runner caches) and the standalone reference path can reproduce the
+// grouping.
+//
+// dead (nil = all live) excludes evicted ranks. The HRW property makes
+// re-placement after an eviction minimal: a shard moves only if its
+// highest-weight rank was the evicted one; every other shard keeps its
+// rank and its warm caches.
+func placeShards(workers int, dead func(int) bool, job *Job) ([]int, error) {
 	k := job.Shards
-	if k < 1 || k > workers {
-		return nil, fmt.Errorf("cluster: %d shards for %d workers", k, workers)
+	alive := workers
+	if dead != nil {
+		alive = 0
+		for w := 1; w <= workers; w++ {
+			if !dead(w) {
+				alive++
+			}
+		}
+	}
+	if k < 1 || k > alive {
+		return nil, fmt.Errorf("cluster: %d shards for %d live workers", k, alive)
 	}
 	members := make([]int, k)
 	taken := make([]bool, workers+1)
@@ -35,7 +50,7 @@ func placeShards(workers int, job *Job) ([]int, error) {
 		key := shardKey(job, s)
 		best, bestScore := -1, uint64(0)
 		for w := 1; w <= workers; w++ {
-			if taken[w] {
+			if taken[w] || (dead != nil && dead(w)) {
 				continue
 			}
 			h := fnv.New64a()

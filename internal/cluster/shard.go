@@ -122,6 +122,17 @@ func (st *shardState) render(gc *comm.Comm, job *wireJob) (*wireResult, *framebu
 		buildSec  float64
 		in        core.Inputs
 	)
+	// A bound communicator abandons the attempt by panicking mid-
+	// collective when its deadline expires (see renderJob); the deferred
+	// release keeps the runner lease from leaking on that path.
+	released := false
+	rel := func() {
+		if lease != nil && !released {
+			released = true
+			lease.Release()
+		}
+	}
+	defer rel()
 	if rerr == nil {
 		rk := runnerKey{job.Arch, job.Backend, job.Sim, job.N, job.Width, job.Height, job.RTWorkload, job.Shards, shard}
 		lease, rerr = st.runners.Acquire(rk, func() (scenario.FrameRunner, func(), error) {
@@ -169,9 +180,7 @@ func (st *shardState) render(gc *comm.Comm, job *wireJob) (*wireResult, *framebu
 				msg = joinErrors(parts)
 			}
 		}
-		if lease != nil {
-			lease.Release()
-		}
+		rel()
 		if !leader {
 			return nil, nil
 		}
@@ -229,7 +238,7 @@ func (st *shardState) render(gc *comm.Comm, job *wireJob) (*wireResult, *framebu
 				msg = joinErrors(parts)
 			}
 		}
-		lease.Release()
+		rel()
 		if !leader {
 			return nil, nil
 		}
@@ -257,7 +266,7 @@ func (st *shardState) render(gc *comm.Comm, job *wireJob) (*wireResult, *framebu
 	perRank := gc.Gather(0, []float32{float32(renderSec)})
 
 	if !leader {
-		lease.Release()
+		rel()
 		return nil, nil
 	}
 	// The composited image aliases compositor (or runner-arena) scratch
@@ -265,7 +274,7 @@ func (st *shardState) render(gc *comm.Comm, job *wireJob) (*wireResult, *framebu
 	// releasing the lease.
 	final := framebuffer.NewImage(out.W, out.H)
 	final.CopyFrom(out)
-	lease.Release()
+	rel()
 	rr := make([]float64, len(perRank))
 	for i, p := range perRank {
 		rr[i] = float64(p[0])
@@ -280,6 +289,34 @@ func (st *shardState) render(gc *comm.Comm, job *wireJob) (*wireResult, *framebu
 		CompositeSeconds:  ct,
 		RankRenderSeconds: rr,
 	}, final
+}
+
+// renderJob runs render under an abort guard: when the attempt's bound
+// communicator panics with *comm.AbortError — the deadline expired or a
+// member was evicted while this rank was blocked in a collective — the
+// abandonment becomes a retryable result on the group leader and a
+// stuck-peer report (the world rank this member was blocked on, -1 when
+// none) on every rank, instead of crashing the worker loop. Application
+// errors still travel through render's error barrier and stay
+// non-retryable.
+func (st *shardState) renderJob(gc *comm.Comm, job *wireJob) (res *wireResult, img *framebuffer.Image, stuckOn int) {
+	stuckOn = -1
+	defer func() {
+		if p := recover(); p != nil {
+			ab, ok := p.(*comm.AbortError)
+			if !ok {
+				panic(p)
+			}
+			stuckOn = ab.Peer
+			img = nil
+			res = nil
+			if gc.Rank() == 0 {
+				res = &wireResult{JobID: job.JobID, Err: ab.Error(), Retryable: true}
+			}
+		}
+	}()
+	res, img = st.render(gc, job)
+	return
 }
 
 // joinErrors combines the per-rank packed error strings gathered at the

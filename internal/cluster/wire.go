@@ -16,6 +16,9 @@ const (
 	tagSnapshot    = 900002 // router -> worker: install a registry snapshot
 	tagSnapshotAck = 900003 // worker -> router: snapshot installed
 	tagResult      = 900004 // group leader -> router: finished frame
+	tagHeartbeat   = 900005 // worker -> router: liveness beacon
+	tagFrameDone   = 900006 // worker -> router: attempt finished or abandoned
+	tagEvict       = 900007 // router -> worker: evicted; drop shard caches
 )
 
 // wireJob is the render order broadcast to every member of a sharded
@@ -35,14 +38,22 @@ type wireJob struct {
 	Azimuth    float64
 	Zoom       float64
 	Members    []int
+	// DeadlineUnixNanos is the attempt's absolute abort deadline: every
+	// member abandons the frame's collectives past it (0 = none). The
+	// JobID doubles as the attempt's comm epoch.
+	DeadlineUnixNanos int64 `json:",omitempty"`
 }
 
 // wireResult is the header of a finished frame (or the combined error of
 // a failed one). The composited RGBA planes ride behind it in the same
 // message as raw float words.
 type wireResult struct {
-	JobID             uint64
-	Err               string `json:",omitempty"`
+	JobID uint64
+	Err   string `json:",omitempty"`
+	// Retryable marks failures caused by the transport (a dead or stalled
+	// peer aborted the attempt), not by the frame itself: the router may
+	// re-place and re-dispatch. Application errors are never retryable.
+	Retryable         bool `json:",omitempty"`
 	W, H              int
 	In                core.Inputs
 	BuildSeconds      float64
@@ -63,6 +74,18 @@ type wireSnapshot struct {
 type wireAck struct {
 	Gen uint64
 	Err string `json:",omitempty"`
+}
+
+// wireDone is a member's completion note for one attempt, sent whether
+// the attempt succeeded, failed, or was abandoned. The router's drain
+// barrier counts these before re-dispatching a failed frame (a member
+// that has noted is provably out of the old exchange), and StuckOn — the
+// world rank the member was blocked on when it aborted, -1 if none —
+// feeds the blame counters that evict wedged-but-beaconing ranks.
+type wireDone struct {
+	JobID   uint64
+	Rank    int
+	StuckOn int
 }
 
 // encodeResult packs a result header and, when the frame succeeded, the

@@ -86,7 +86,7 @@ func TestResultRoundTrip(t *testing.T) {
 func TestPlacementDistinctAndStable(t *testing.T) {
 	job := Job{Backend: "raytracer", Sim: "kripke", Arch: "serial", N: 8, Width: 64, Height: 64, Shards: 3}
 	const workers = 5
-	m1, err := placeShards(workers, &job)
+	m1, err := placeShards(workers, nil, &job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +104,7 @@ func TestPlacementDistinctAndStable(t *testing.T) {
 		seen[w] = true
 	}
 	// Stable across repeats.
-	m2, _ := placeShards(workers, &job)
+	m2, _ := placeShards(workers, nil, &job)
 	for i := range m1 {
 		if m1[i] != m2[i] {
 			t.Fatalf("placement unstable: %v vs %v", m1, m2)
@@ -114,7 +114,7 @@ func TestPlacementDistinctAndStable(t *testing.T) {
 	// shards on the ranks holding their sliced scenes.
 	degraded := job
 	degraded.Width, degraded.Height, degraded.RTWorkload = 32, 32, 1
-	m3, _ := placeShards(workers, &degraded)
+	m3, _ := placeShards(workers, nil, &degraded)
 	for i := range m1 {
 		if m1[i] != m3[i] {
 			t.Fatalf("degraded request migrated shards: %v vs %v", m1, m3)
@@ -123,7 +123,7 @@ func TestPlacementDistinctAndStable(t *testing.T) {
 	// Too many shards for the fleet is an error, not a wedge.
 	over := job
 	over.Shards = workers + 1
-	if _, err := placeShards(workers, &over); err == nil {
+	if _, err := placeShards(workers, nil, &over); err == nil {
 		t.Fatal("oversharded placement accepted")
 	}
 }
@@ -136,7 +136,7 @@ func TestPlacementDistinctAndStable(t *testing.T) {
 func TestPlacementCameraAffinity(t *testing.T) {
 	job := Job{Backend: "raytracer", Sim: "kripke", Arch: "serial", N: 8, Width: 64, Height: 64, Shards: 3}
 	const workers = 5
-	base, err := placeShards(workers, &job)
+	base, err := placeShards(workers, nil, &job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestPlacementCameraAffinity(t *testing.T) {
 		for _, zoom := range []float64{1, 1.25, 0.8} {
 			moved := job
 			moved.Azimuth, moved.Zoom = az, zoom
-			m, err := placeShards(workers, &moved)
+			m, err := placeShards(workers, nil, &moved)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -4,26 +4,41 @@
 // buffered channels, and the collectives the renderers and compositors
 // need (barrier, reductions, gather, broadcast) are built on top. Byte
 // counters expose communication volume to the study.
+//
+// Fault tolerance hooks: a deterministic FaultPlan (InjectFaults) can
+// sever ranks and corrupt chosen links for chaos testing, and WithEpoch
+// binds a communicator to one exchange attempt — sends are epoch-stamped,
+// receives discard other epochs, and blocking operations abort with a
+// recoverable *AbortError panic when the attempt's context expires
+// instead of wedging on a dead peer.
 package comm
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 )
 
 // message is one point-to-point payload. Data is always a private copy.
+// epoch identifies the exchange attempt the message belongs to (0 for
+// control-plane traffic); receivers bound to an epoch silently discard
+// messages from any other epoch, so an abandoned exchange cannot leak
+// stale payloads into its retry.
 type message struct {
-	tag  int
-	data []float32
+	tag   int
+	epoch uint64
+	data  []float32
 }
 
 // World owns the channels connecting size tasks.
 type World struct {
-	size  int
-	links [][]chan message // links[from][to]
-	bytes atomic.Int64
-	msgs  atomic.Int64
+	size   int
+	links  [][]chan message // links[from][to]
+	bytes  atomic.Int64
+	msgs   atomic.Int64
+	stale  atomic.Int64
+	faults atomic.Pointer[FaultPlan]
 }
 
 // NewWorld creates a world of n tasks.
@@ -51,6 +66,16 @@ func (w *World) BytesSent() int64 { return w.bytes.Load() }
 
 // MessagesSent returns the total message count so far.
 func (w *World) MessagesSent() int64 { return w.msgs.Load() }
+
+// StaleDrops returns how many received messages were discarded because
+// their epoch did not match the receiver's — the observable footprint of
+// abandoned exchange attempts.
+func (w *World) StaleDrops() int64 { return w.stale.Load() }
+
+// InjectFaults installs (or, with nil, removes) a fault plan. The plan
+// intercepts every subsequent send; a world without a plan pays one
+// atomic pointer load per message.
+func (w *World) InjectFaults(p *FaultPlan) { w.faults.Store(p) }
 
 // Run executes f once per rank, each on its own goroutine, and waits for
 // all of them. Panics inside a task are recovered and reported as that
@@ -111,6 +136,46 @@ type Comm struct {
 	// a position in members for a group, a world rank otherwise.
 	rank    int
 	members []int // nil for a whole-world communicator
+	// epoch stamps every send and filters every receive; abortCtx, when
+	// set, bounds every blocking operation (see WithEpoch).
+	epoch    uint64
+	abortCtx context.Context
+}
+
+// AbortError is the panic payload a bound communicator (WithEpoch) raises
+// when its context expires inside a blocking Send, Recv, or collective:
+// the exchange attempt is abandoned wholesale rather than wedging on a
+// dead or stalled peer. Callers running fallible exchanges recover it at
+// the attempt boundary and retry.
+type AbortError struct {
+	Rank int    // world rank of the aborting task
+	Peer int    // world rank of the link peer it was blocked on
+	Op   string // "send" or "recv"
+	Err  error  // the context's error
+}
+
+func (e *AbortError) Error() string {
+	return fmt.Sprintf("comm: rank %d aborted %s with rank %d: %v", e.Rank, e.Op, e.Peer, e.Err)
+}
+
+func (e *AbortError) Unwrap() error { return e.Err }
+
+// WithEpoch returns a communicator bound to one exchange attempt: sends
+// are stamped with epoch, receives silently discard messages from any
+// other epoch (counted by World.StaleDrops), and every blocking operation
+// — including the collectives and anything built on Send/Recv, such as
+// sort-last compositing — aborts by panicking with *AbortError once ctx
+// is done. Epoch 0 is the control plane (unbound communicators); exchange
+// attempts must use non-zero, attempt-unique epochs.
+//
+// The epoch filter makes retry safe: messages a failed attempt left in
+// flight are consumed and dropped by the retry's receives instead of
+// being mistaken for its own traffic.
+func (c *Comm) WithEpoch(ctx context.Context, epoch uint64) *Comm {
+	d := *c
+	d.epoch = epoch
+	d.abortCtx = ctx
+	return &d
 }
 
 // actual translates a rank in this communicator's coordinate space to a
@@ -166,7 +231,7 @@ func (c *Comm) Group(members []int) (*Comm, error) {
 	if me < 0 {
 		return nil, fmt.Errorf("comm: rank %d is not a member of group %v", c.rank, members)
 	}
-	return &Comm{world: c.world, rank: me, members: actual}, nil
+	return &Comm{world: c.world, rank: me, members: actual, epoch: c.epoch, abortCtx: c.abortCtx}, nil
 }
 
 // Send delivers a copy of data to the destination rank. Messages between a
@@ -177,23 +242,64 @@ func (c *Comm) Send(to, tag int, data []float32) {
 	}
 	cp := make([]float32, len(data))
 	copy(cp, data)
-	c.world.bytes.Add(int64(4 * len(data)))
-	c.world.msgs.Add(1)
-	c.world.links[c.actual(c.rank)][c.actual(to)] <- message{tag: tag, data: cp}
+	from, dst := c.actual(c.rank), c.actual(to)
+	m := message{tag: tag, epoch: c.epoch, data: cp}
+	if p := c.world.faults.Load(); p != nil {
+		for _, out := range p.route(from, dst, m) {
+			c.push(from, dst, out)
+		}
+		return
+	}
+	c.push(from, dst, m)
+}
+
+// push delivers one routed message on a link, honoring the abort binding.
+func (c *Comm) push(from, dst int, m message) {
+	w := c.world
+	w.bytes.Add(int64(4 * len(m.data)))
+	w.msgs.Add(1)
+	if c.abortCtx == nil {
+		w.links[from][dst] <- m
+		return
+	}
+	select {
+	case w.links[from][dst] <- m:
+	case <-c.abortCtx.Done():
+		panic(&AbortError{Rank: from, Peer: dst, Op: "send", Err: c.abortCtx.Err()})
+	}
 }
 
 // Recv blocks for the next message from a rank and checks its tag. A tag
 // mismatch indicates a protocol bug and panics (surfaced by Run as an
-// error).
+// error). Messages from other epochs are silently discarded; on a bound
+// communicator (WithEpoch) an expired context aborts the wait with an
+// *AbortError panic instead of blocking forever on a dead peer.
 func (c *Comm) Recv(from, tag int) []float32 {
 	if from < 0 || from >= c.Size() {
 		panic(fmt.Sprintf("comm: recv from invalid rank %d", from))
 	}
-	m := <-c.world.links[c.actual(from)][c.actual(c.rank)]
-	if m.tag != tag {
-		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag))
+	src, me := c.actual(from), c.actual(c.rank)
+	link := c.world.links[src][me]
+	for {
+		var m message
+		if c.abortCtx == nil {
+			m = <-link
+		} else {
+			select {
+			case m = <-link:
+			case <-c.abortCtx.Done():
+				panic(&AbortError{Rank: me, Peer: src, Op: "recv", Err: c.abortCtx.Err()})
+			}
+		}
+		if m.epoch != c.epoch {
+			c.world.stale.Add(1)
+			continue
+		}
+		if m.tag != tag {
+			panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag))
+		}
+		return m.data
 	}
-	return m.data
 }
 
 // Internal collective tags live in a reserved negative range.

@@ -24,9 +24,24 @@ func (c *Comm) SendCtx(ctx context.Context, to, tag int, data []float32) error {
 	}
 	cp := make([]float32, len(data))
 	copy(cp, data)
+	from, dst := c.actual(c.rank), c.actual(to)
+	m := message{tag: tag, epoch: c.epoch, data: cp}
+	if p := c.world.faults.Load(); p != nil {
+		for _, out := range p.route(from, dst, m) {
+			if err := c.pushCtx(ctx, from, dst, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return c.pushCtx(ctx, from, dst, m)
+}
+
+// pushCtx delivers one routed message, bounded by ctx.
+func (c *Comm) pushCtx(ctx context.Context, from, dst int, m message) error {
 	select {
-	case c.world.links[c.actual(c.rank)][c.actual(to)] <- message{tag: tag, data: cp}:
-		c.world.bytes.Add(int64(4 * len(data)))
+	case c.world.links[from][dst] <- m:
+		c.world.bytes.Add(int64(4 * len(m.data)))
 		c.world.msgs.Add(1)
 		return nil
 	case <-ctx.Done():
@@ -51,15 +66,23 @@ func (c *Comm) RecvCtx(ctx context.Context, from, tag int) ([]float32, error) {
 // RecvAnyCtx receives the next message from a rank regardless of tag,
 // returning the tag alongside the payload — the demultiplexing primitive
 // for a service loop that handles several message kinds (jobs, snapshot
-// pushes, results) over one link.
+// pushes, results) over one link. Messages from other epochs (stale
+// leftovers of an abandoned exchange attempt) are silently discarded.
 func (c *Comm) RecvAnyCtx(ctx context.Context, from int) (int, []float32, error) {
 	if from < 0 || from >= c.Size() {
 		return 0, nil, fmt.Errorf("comm: recv from invalid rank %d", from)
 	}
-	select {
-	case m := <-c.world.links[c.actual(from)][c.actual(c.rank)]:
-		return m.tag, m.data, nil
-	case <-ctx.Done():
-		return 0, nil, ctx.Err()
+	link := c.world.links[c.actual(from)][c.actual(c.rank)]
+	for {
+		select {
+		case m := <-link:
+			if m.epoch != c.epoch {
+				c.world.stale.Add(1)
+				continue
+			}
+			return m.tag, m.data, nil
+		case <-ctx.Done():
+			return 0, nil, ctx.Err()
+		}
 	}
 }

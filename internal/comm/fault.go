@@ -1,0 +1,274 @@
+package comm
+
+import (
+	"sync"
+)
+
+// Deterministic fault injection for chaos testing. A FaultPlan is
+// installed on a World with InjectFaults and intercepts every message at
+// the send side: it can sever a rank (sends from and deliveries to it are
+// swallowed), drop/duplicate/delay the nth message on a chosen link,
+// blackhole a link from its nth message onward, or drop a seeded
+// pseudo-random fraction of a link's traffic. All triggers are counters
+// over the plan's own per-link message indices — no wall-clock, no global
+// randomness — so a chaos test that replays the same traffic replays the
+// same faults.
+//
+// The steady-state cost of fault support is one atomic pointer load per
+// send; a World with no plan installed takes the branch-free fast path.
+
+// FaultPlan is a mutable, concurrency-safe set of fault triggers. The
+// zero value (via NewFaultPlan) injects nothing until triggers are added;
+// triggers may be added while traffic is flowing (e.g. KillRank mid-test).
+type FaultPlan struct {
+	mu   sync.Mutex
+	seed uint64
+
+	killed    map[int]bool // rank -> severed
+	killAfter map[int]int  // rank -> sends delivered before severing
+	sent      map[int]int  // rank -> sends routed so far
+	links     map[linkID]*linkFaults
+
+	stats FaultStats
+}
+
+type linkID struct{ from, to int }
+
+// linkFaults holds one directed link's triggers, all keyed by the link's
+// 1-based message index.
+type linkFaults struct {
+	n          int // messages routed on this link so far
+	dropNth    map[int]bool
+	dupNth     map[int]bool
+	delayNth   map[int]int   // index -> deliver after this many later messages
+	stallAfter int           // 0 = off; messages with index >= stallAfter vanish
+	dropRate   float64       // seeded bernoulli drop probability
+	held       []heldMessage // delayed messages awaiting release
+}
+
+type heldMessage struct {
+	m         message
+	releaseAt int // link index at which the message is re-delivered
+}
+
+// FaultStats counts what the plan has done to the traffic.
+type FaultStats struct {
+	Swallowed  int64 // messages severed with a killed rank
+	Dropped    int64
+	Duplicated int64
+	Delayed    int64
+	Stalled    int64
+}
+
+// NewFaultPlan returns an empty plan. seed parameterizes the
+// deterministic pseudo-random drops installed with DropEvery.
+func NewFaultPlan(seed uint64) *FaultPlan {
+	return &FaultPlan{
+		seed:      seed,
+		killed:    map[int]bool{},
+		killAfter: map[int]int{},
+		sent:      map[int]int{},
+		links:     map[linkID]*linkFaults{},
+	}
+}
+
+// KillRank severs a rank immediately: everything it sends from now on is
+// swallowed, and so is everything sent to it (so live senders never block
+// on a dead rank's full link). The rank's goroutine keeps running — like
+// a real network partition, the process does not know it is dead.
+func (p *FaultPlan) KillRank(rank int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.killed[rank] = true
+	delete(p.killAfter, rank)
+}
+
+// KillRankAfterSends severs a rank after it has delivered n more
+// messages — the deterministic mid-frame kill: the rank dies partway
+// through an exchange it already started.
+func (p *FaultPlan) KillRankAfterSends(rank, n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.killAfter[rank] = p.sent[rank] + n
+}
+
+// Killed reports whether a rank is currently severed.
+func (p *FaultPlan) Killed(rank int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.killed[rank]
+}
+
+// Reset clears every trigger — kills, link faults, pending delayed
+// messages — leaving counters and stats intact: the "network healed"
+// event recovery tests flip mid-run. Messages already swallowed stay
+// lost.
+func (p *FaultPlan) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.killed = map[int]bool{}
+	p.killAfter = map[int]int{}
+	p.links = map[linkID]*linkFaults{}
+}
+
+// DropNth drops the nth (1-based) message sent on the from->to link.
+func (p *FaultPlan) DropNth(from, to, nth int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	lf := p.link(from, to)
+	if lf.dropNth == nil {
+		lf.dropNth = map[int]bool{}
+	}
+	lf.dropNth[nth] = true
+}
+
+// DupNth delivers the nth message on the from->to link twice.
+func (p *FaultPlan) DupNth(from, to, nth int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	lf := p.link(from, to)
+	if lf.dupNth == nil {
+		lf.dupNth = map[int]bool{}
+	}
+	lf.dupNth[nth] = true
+}
+
+// DelayNth holds the nth message on the from->to link and re-delivers it
+// after byK later messages have passed — a deterministic reordering.
+func (p *FaultPlan) DelayNth(from, to, nth, byK int) {
+	if byK < 1 {
+		byK = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	lf := p.link(from, to)
+	if lf.delayNth == nil {
+		lf.delayNth = map[int]int{}
+	}
+	lf.delayNth[nth] = byK
+}
+
+// StallAfter blackholes the from->to link from its nth message onward:
+// sends are accepted (the sender never blocks) but nothing arrives — the
+// wedged-link failure mode, distinct from a dead rank because the sender
+// stays healthy and keeps heartbeating.
+func (p *FaultPlan) StallAfter(from, to, nth int) {
+	if nth < 1 {
+		nth = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.link(from, to).stallAfter = nth
+}
+
+// DropEvery drops each message on the from->to link independently with
+// probability rate, decided by a hash of (plan seed, link, message index)
+// — deterministic for a fixed seed and traffic order.
+func (p *FaultPlan) DropEvery(from, to int, rate float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.link(from, to).dropRate = rate
+}
+
+// Stats snapshots the plan's fault counters.
+func (p *FaultPlan) Stats() FaultStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// link returns (creating on demand) the trigger set for a directed link.
+// Caller holds p.mu.
+func (p *FaultPlan) link(from, to int) *linkFaults {
+	id := linkID{from, to}
+	lf := p.links[id]
+	if lf == nil {
+		lf = &linkFaults{}
+		p.links[id] = lf
+	}
+	return lf
+}
+
+// route decides one message's fate: the returned slice holds what is
+// actually delivered on the from->to link, in order (empty = swallowed;
+// two entries = duplicated; released delayed messages ride behind).
+func (p *FaultPlan) route(from, to int, m message) []message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	// Rank kills sever the whole rank, not one link.
+	if p.killed[from] {
+		p.stats.Swallowed++
+		return nil
+	}
+	if at, ok := p.killAfter[from]; ok {
+		if p.sent[from] >= at {
+			p.killed[from] = true
+			delete(p.killAfter, from)
+			p.stats.Swallowed++
+			return nil
+		}
+	}
+	p.sent[from]++
+	if p.killed[to] {
+		p.stats.Swallowed++
+		return nil
+	}
+
+	lf := p.links[linkID{from, to}]
+	if lf == nil {
+		return []message{m}
+	}
+	lf.n++
+	idx := lf.n
+	if lf.stallAfter > 0 && idx >= lf.stallAfter {
+		p.stats.Stalled++
+		return nil
+	}
+	out := make([]message, 0, 2+len(lf.held))
+	switch {
+	case lf.dropNth[idx]:
+		p.stats.Dropped++
+	case lf.dropRate > 0 && bernoulli(p.seed, from, to, idx, lf.dropRate):
+		p.stats.Dropped++
+	case lf.delayNth[idx] > 0:
+		lf.held = append(lf.held, heldMessage{m: m, releaseAt: idx + lf.delayNth[idx]})
+		p.stats.Delayed++
+	default:
+		out = append(out, m)
+		if lf.dupNth[idx] {
+			// The duplicate gets its own payload copy so the two
+			// deliveries stay independent.
+			cp := make([]float32, len(m.data))
+			copy(cp, m.data)
+			out = append(out, message{tag: m.tag, epoch: m.epoch, data: cp})
+			p.stats.Duplicated++
+		}
+	}
+	// Release held messages whose delay has elapsed.
+	kept := lf.held[:0]
+	for _, h := range lf.held {
+		if h.releaseAt <= idx {
+			out = append(out, h.m)
+		} else {
+			kept = append(kept, h)
+		}
+	}
+	lf.held = kept
+	return out
+}
+
+// bernoulli is a deterministic coin flip keyed on (seed, link, index).
+func bernoulli(seed uint64, from, to, idx int, rate float64) bool {
+	x := splitmix64(seed ^ uint64(from)<<40 ^ uint64(to)<<20 ^ uint64(idx))
+	return float64(x>>11)/(1<<53) < rate
+}
+
+// splitmix64 is the standard 64-bit finalizer — a tiny, well-mixed PRNG
+// step with no shared state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

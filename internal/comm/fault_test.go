@@ -1,0 +1,240 @@
+package comm
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestFaultPlanKillSeversBothDirections: a killed rank's sends vanish and
+// sends to it vanish (senders never block on its links).
+func TestFaultPlanKillSeversBothDirections(t *testing.T) {
+	w := NewWorld(2)
+	p := NewFaultPlan(1)
+	w.InjectFaults(p)
+	p.KillRank(1)
+
+	alive, dead := w.Endpoint(0), w.Endpoint(1)
+	// Sends to the dead rank are swallowed even past the link buffer depth.
+	for i := 0; i < 200; i++ {
+		alive.Send(1, 7, []float32{1})
+	}
+	// The dead rank's sends never arrive.
+	dead.Send(0, 7, []float32{2})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := alive.RecvAnyCtx(ctx, 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("message from killed rank was delivered (err=%v)", err)
+	}
+	if st := p.Stats(); st.Swallowed != 201 {
+		t.Errorf("swallowed = %d, want 201", st.Swallowed)
+	}
+}
+
+// TestFaultPlanKillAfterSends: the rank dies exactly after its nth
+// delivered message — deterministic mid-exchange kills.
+func TestFaultPlanKillAfterSends(t *testing.T) {
+	w := NewWorld(2)
+	p := NewFaultPlan(1)
+	w.InjectFaults(p)
+	p.KillRankAfterSends(0, 3)
+
+	s := w.Endpoint(0)
+	for i := 0; i < 5; i++ {
+		s.Send(1, 7, []float32{float32(i)})
+	}
+	r := w.Endpoint(1)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	var got []float32
+	for {
+		_, data, err := r.RecvAnyCtx(ctx, 0)
+		if err != nil {
+			break
+		}
+		got = append(got, data[0])
+	}
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("delivered %v, want the first 3 sends", got)
+	}
+	if !p.Killed(0) {
+		t.Error("rank 0 not marked killed after its budget")
+	}
+}
+
+// TestFaultPlanLinkTriggers: drop, duplicate, delay, and stall are all
+// per-link, per-index deterministic.
+func TestFaultPlanLinkTriggers(t *testing.T) {
+	recvAll := func(w *World, from, to int) []float32 {
+		r := w.Endpoint(to)
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		var got []float32
+		for {
+			_, data, err := r.RecvAnyCtx(ctx, from)
+			if err != nil {
+				return got
+			}
+			got = append(got, data[0])
+		}
+	}
+	send := func(w *World, n int) {
+		s := w.Endpoint(0)
+		for i := 1; i <= n; i++ {
+			s.Send(1, 7, []float32{float32(i)})
+		}
+	}
+
+	w := NewWorld(2)
+	p := NewFaultPlan(1)
+	w.InjectFaults(p)
+	p.DropNth(0, 1, 2)
+	p.DupNth(0, 1, 3)
+	p.DelayNth(0, 1, 4, 2) // message 4 arrives after message 6
+	send(w, 6)
+	got := recvAll(w, 0, 1)
+	want := []float32{1, 3, 3, 5, 6, 4}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", got, want)
+		}
+	}
+
+	w2 := NewWorld(2)
+	p2 := NewFaultPlan(1)
+	w2.InjectFaults(p2)
+	p2.StallAfter(0, 1, 3)
+	send(w2, 100) // sender never blocks on the stalled link
+	if got := recvAll(w2, 0, 1); len(got) != 2 {
+		t.Fatalf("stalled link delivered %v, want only the first 2", got)
+	}
+}
+
+// TestFaultPlanDropEveryIsSeeded: the same seed drops the same messages;
+// a different seed drops different ones.
+func TestFaultPlanDropEveryIsSeeded(t *testing.T) {
+	run := func(seed uint64) []float32 {
+		w := NewWorld(2)
+		p := NewFaultPlan(seed)
+		w.InjectFaults(p)
+		p.DropEvery(0, 1, 0.5)
+		s := w.Endpoint(0)
+		for i := 1; i <= 64; i++ {
+			s.Send(1, 7, []float32{float32(i)})
+		}
+		r := w.Endpoint(1)
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		defer cancel()
+		var got []float32
+		for {
+			_, data, err := r.RecvAnyCtx(ctx, 0)
+			if err != nil {
+				return got
+			}
+			got = append(got, data[0])
+		}
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different survivor counts: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different survivors")
+		}
+	}
+	if len(a) == 0 || len(a) == 64 {
+		t.Fatalf("rate 0.5 dropped %d of 64", 64-len(a))
+	}
+	c := run(43)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical drop patterns")
+	}
+}
+
+// TestWithEpochFiltersStaleMessages: a receiver bound to epoch E consumes
+// and discards traffic from other epochs, and the discard is counted.
+func TestWithEpochFiltersStaleMessages(t *testing.T) {
+	w := NewWorld(2)
+	old := w.Endpoint(0).WithEpoch(context.Background(), 1)
+	cur := w.Endpoint(0).WithEpoch(context.Background(), 2)
+	old.Send(1, 7, []float32{1}) // stale leftover of an abandoned attempt
+	cur.Send(1, 7, []float32{2})
+
+	r := w.Endpoint(1).WithEpoch(context.Background(), 2)
+	if got := r.Recv(0, 7); got[0] != 2 {
+		t.Fatalf("received %v, want the epoch-2 payload", got)
+	}
+	if w.StaleDrops() != 1 {
+		t.Errorf("stale drops = %d, want 1", w.StaleDrops())
+	}
+}
+
+// TestWithEpochAbortsOnDeadPeer: a blocking receive from a rank that will
+// never answer panics with *AbortError naming the peer once the attempt
+// context expires — the primitive rank-death detection builds on.
+func TestWithEpochAbortsOnDeadPeer(t *testing.T) {
+	w := NewWorld(3)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	c := w.Endpoint(1).WithEpoch(ctx, 9)
+	defer func() {
+		p := recover()
+		ab, ok := p.(*AbortError)
+		if !ok {
+			t.Fatalf("recovered %v, want *AbortError", p)
+		}
+		if ab.Rank != 1 || ab.Peer != 2 || ab.Op != "recv" {
+			t.Errorf("abort names rank %d peer %d op %q", ab.Rank, ab.Peer, ab.Op)
+		}
+		if !errors.Is(ab, context.DeadlineExceeded) {
+			t.Errorf("abort error does not unwrap to the context error: %v", ab.Err)
+		}
+	}()
+	c.Recv(2, 7) // rank 2 never sends
+	t.Fatal("recv from a silent peer returned")
+}
+
+// TestWithEpochAbortsCollectives: collectives built on Send/Recv inherit
+// the abort binding — an AllReduce with a dead participant abandons
+// instead of wedging.
+func TestWithEpochAbortsCollectives(t *testing.T) {
+	w := NewWorld(3)
+	p := NewFaultPlan(1)
+	w.InjectFaults(p)
+	p.KillRank(2)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	done := make(chan int, 2)
+	for _, rank := range []int{0, 1} {
+		go func(rank int) {
+			defer func() {
+				if _, ok := recover().(*AbortError); ok {
+					done <- rank
+				}
+			}()
+			w.Endpoint(rank).WithEpoch(ctx, 5).AllReduceMax(float64(rank))
+		}(rank)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("live ranks wedged in a collective with a dead peer")
+		}
+	}
+}

@@ -38,6 +38,11 @@ type Options struct {
 	// 2xx). A deadline-gated 422 rejection, for example, is a correct
 	// fast answer for renderd, not a failure.
 	Accept func(status int) bool
+	// Classify, when set, buckets every completed response (accepted or
+	// not) by cause — e.g. "ok", "rejected", "degraded", "retried" from
+	// the status and response headers — into Report.Breakdown. Transport
+	// errors land in the "transport-error" bucket.
+	Classify func(status int, header http.Header) string
 }
 
 // Report is the outcome of a run.
@@ -49,6 +54,9 @@ type Report struct {
 	Avg, P50, P95, P99, Max time.Duration
 	// ByStatus counts accepted answers per status code.
 	ByStatus map[int]uint64
+	// Breakdown counts every completed response per Classify bucket
+	// (nil when no Classify hook was configured).
+	Breakdown map[string]uint64
 }
 
 // Run sustains the mix against the target and aggregates the report.
@@ -77,7 +85,11 @@ func Run(opts Options) (Report, error) {
 		mu         sync.Mutex
 		lats       []time.Duration
 		byStatus   = map[int]uint64{}
+		breakdown  map[string]uint64
 	)
+	if opts.Classify != nil {
+		breakdown = map[string]uint64{}
+	}
 	deadline := time.Now().Add(opts.Duration)
 	for w := 0; w < opts.Concurrency; w++ {
 		wg.Add(1)
@@ -85,6 +97,7 @@ func Run(opts Options) (Report, error) {
 			defer wg.Done()
 			local := make([]time.Duration, 0, 4096)
 			localStatus := map[int]uint64{}
+			localCause := map[string]uint64{}
 			for i := w; time.Now().Before(deadline); i++ {
 				sh := opts.Shots[i%len(opts.Shots)]
 				method := sh.Method
@@ -107,10 +120,16 @@ func Run(opts Options) (Report, error) {
 				resp, err := client.Do(req)
 				if err != nil {
 					failed.Add(1)
+					if opts.Classify != nil {
+						localCause["transport-error"]++
+					}
 					continue
 				}
 				_, _ = io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
+				if opts.Classify != nil {
+					localCause[opts.Classify(resp.StatusCode, resp.Header)]++
+				}
 				if !accept(resp.StatusCode) {
 					failed.Add(1)
 					continue
@@ -124,6 +143,9 @@ func Run(opts Options) (Report, error) {
 			for code, n := range localStatus {
 				byStatus[code] += n
 			}
+			for cause, n := range localCause {
+				breakdown[cause] += n
+			}
 			mu.Unlock()
 		}(w)
 	}
@@ -132,7 +154,7 @@ func Run(opts Options) (Report, error) {
 	rep := Report{
 		OK: ok.Load(), Failed: failed.Load(),
 		Duration: opts.Duration, Concurrency: opts.Concurrency,
-		ByStatus: byStatus,
+		ByStatus: byStatus, Breakdown: breakdown,
 	}
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
@@ -185,6 +207,18 @@ func (r Report) String() string {
 		fmt.Fprintf(&b, "  status mix: ")
 		for _, c := range codes {
 			fmt.Fprintf(&b, " %d x%d", c, r.ByStatus[c])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	if len(r.Breakdown) > 0 {
+		causes := make([]string, 0, len(r.Breakdown))
+		for c := range r.Breakdown {
+			causes = append(causes, c)
+		}
+		sort.Strings(causes)
+		fmt.Fprintf(&b, "  breakdown:  ")
+		for _, c := range causes {
+			fmt.Fprintf(&b, " %s x%d", c, r.Breakdown[c])
 		}
 		fmt.Fprintf(&b, "\n")
 	}

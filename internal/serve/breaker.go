@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit over the cluster
+// fleet's sharded render path.
+type breakerState int32
+
+const (
+	breakerClosed   breakerState = iota // fleet healthy: sharded renders go to the cluster
+	breakerOpen                         // fleet failing: sharded renders short-circuit to standalone
+	breakerHalfOpen                     // cooldown elapsed: one probe render may try the cluster
+)
+
+func (b breakerState) String() string {
+	switch b {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker guards the cluster render path: consecutive rank failures trip
+// it open, after which sharded traffic is served by the standalone
+// fallback — at the same admitted quality, so frames stay byte-identical
+// and cache keys stable — instead of queueing on a dying fleet. After a
+// cooldown one request probes the cluster; success closes the circuit,
+// failure re-opens it. A fleet with zero live workers is treated as open
+// regardless of counters (quorum loss needs no failure streak to prove).
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	failures  int       // consecutive cluster failures while closed
+	openedAt  time.Time // when the circuit last tripped
+	probing   bool      // a half-open probe is in flight
+	threshold int
+	cooldown  time.Duration
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether the next sharded render may try the cluster.
+// In the open state it flips to half-open once the cooldown elapses and
+// admits exactly one probe; concurrent requests keep short-circuiting
+// until the probe reports back.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a cluster render that completed; it closes a half-open
+// circuit and clears the failure streak.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	b.state = breakerClosed
+}
+
+// failure records a cluster render that failed after its retry budget.
+// It reports whether this failure tripped the circuit open (for the
+// trip counter) — a failed half-open probe re-opens without recounting.
+func (b *breaker) failure() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.probing = false
+		return true
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot returns the current state for metrics.
+func (b *breaker) snapshot() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

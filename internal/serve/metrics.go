@@ -32,6 +32,12 @@ type counters struct {
 	clusterShards                  atomic.Uint64
 	clusterCompositeNanos          atomic.Uint64
 	clusterPredictedCompositeNanos atomic.Uint64
+	clusterRetries                 atomic.Uint64
+	clusterFailures                atomic.Uint64
+	clusterFallbacks               atomic.Uint64
+	breakerOpens                   atomic.Uint64
+	breakerShortCircuits           atomic.Uint64
+	fleetClamped                   atomic.Uint64
 
 	sessionsOpened     atomic.Uint64
 	sessionsClosed     atomic.Uint64
@@ -90,6 +96,20 @@ type Stats struct {
 	ClusterPredictedCompositeSecondsTotal float64        `json:"cluster_predicted_composite_seconds_total"`
 	Cluster                               *cluster.Stats `json:"cluster,omitempty"`
 
+	// Fleet fault tolerance. ClusterRetries sums per-frame recovery
+	// retries; ClusterFailures counts frames the fleet gave up on (each
+	// served by the standalone fallback, with ClusterFallbacks also
+	// counting breaker short-circuits); FleetClamped counts requests
+	// whose shard count was re-planned to the surviving workers.
+	// BreakerState is "closed", "open", or "half-open".
+	ClusterRetries       uint64 `json:"cluster_retries"`
+	ClusterFailures      uint64 `json:"cluster_failures"`
+	ClusterFallbacks     uint64 `json:"cluster_fallbacks"`
+	BreakerOpens         uint64 `json:"breaker_opens"`
+	BreakerShortCircuits uint64 `json:"breaker_short_circuits"`
+	BreakerState         string `json:"breaker_state,omitempty"`
+	FleetClamped         uint64 `json:"fleet_clamped"`
+
 	// Interactive sessions and speculative prefetch. PrefetchHits counts
 	// frames served from a speculatively rendered cache entry (including
 	// mid-render flight joins) — PrefetchHits/SessionFrames is the
@@ -125,9 +145,11 @@ type Stats struct {
 // Stats snapshots the serving counters.
 func (s *Server) Stats() Stats {
 	var fleet *cluster.Stats
+	breakerState := ""
 	if s.cfg.Cluster != nil {
 		st := s.cfg.Cluster.Stats()
 		fleet = &st
+		breakerState = s.brk.snapshot().String()
 	}
 	return Stats{
 		Admitted:            s.stats.admitted.Load(),
@@ -155,6 +177,14 @@ func (s *Server) Stats() Stats {
 		ClusterCompositeSecondsTotal:          float64(s.stats.clusterCompositeNanos.Load()) / 1e9,
 		ClusterPredictedCompositeSecondsTotal: float64(s.stats.clusterPredictedCompositeNanos.Load()) / 1e9,
 		Cluster:                               fleet,
+
+		ClusterRetries:       s.stats.clusterRetries.Load(),
+		ClusterFailures:      s.stats.clusterFailures.Load(),
+		ClusterFallbacks:     s.stats.clusterFallbacks.Load(),
+		BreakerOpens:         s.stats.breakerOpens.Load(),
+		BreakerShortCircuits: s.stats.breakerShortCircuits.Load(),
+		BreakerState:         breakerState,
+		FleetClamped:         s.stats.fleetClamped.Load(),
 
 		SessionsOpened: s.stats.sessionsOpened.Load(),
 		SessionsClosed: s.stats.sessionsClosed.Load(),

@@ -104,6 +104,15 @@ type FrameResult struct {
 	CacheHit                  bool
 	Degraded                  bool
 	DegradeSteps              int
+	// Retries is how many failed cluster attempts preceded this frame
+	// (rank failures healed by re-placement; 0 on the healthy path).
+	Retries int
+	// FleetDegraded marks a frame the fleet could not serve as asked:
+	// the shard count was clamped to the surviving workers, or the frame
+	// fell back to the standalone renderer (cluster failure or open
+	// circuit breaker). The pixels are still exact — recovery changes
+	// where a frame renders, never what it shows.
+	FleetDegraded bool
 }
 
 // Config tunes a Server. Zero values pick the documented defaults.
@@ -151,8 +160,15 @@ type Config struct {
 	// does not own the cluster; close it after the server.
 	Cluster *cluster.Cluster
 	// ClusterTimeout bounds one sharded frame end to end (dispatch,
-	// render, composite, result transfer).
+	// render, composite, result transfer — including any failure-recovery
+	// retries). A tighter request deadline overrides it per frame.
 	ClusterTimeout time.Duration // default 60s
+	// BreakerThreshold is how many consecutive cluster failures trip the
+	// circuit breaker, flipping sharded traffic to the standalone
+	// fallback; BreakerCooldown is how long it stays open before probing
+	// the fleet again.
+	BreakerThreshold int           // default 3
+	BreakerCooldown  time.Duration // default 5s
 	// Logf, when non-nil, receives operational log lines.
 	Logf func(format string, args ...any)
 }
@@ -201,6 +217,12 @@ func (c *Config) setDefaults() {
 	}
 	if c.ClusterTimeout <= 0 {
 		c.ClusterTimeout = 60 * time.Second
+	}
+	if c.BreakerThreshold < 1 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
 	}
 	if c.PrefetchDepth == 0 {
 		c.PrefetchDepth = 3
@@ -293,6 +315,7 @@ type Server struct {
 	frames  *lru.Cache[frameKey, cachedFrame]
 	runners *scenario.RunnerCache[runnerKey]
 	sched   *scheduler
+	brk     *breaker
 
 	flightMu sync.Mutex
 	flights  map[frameKey]*flight
@@ -324,6 +347,7 @@ func New(engine *advisor.Engine, cfg Config) *Server {
 		frames:   lru.New[frameKey, cachedFrame](cfg.FrameCacheEntries),
 		runners:  scenario.NewRunnerCache[runnerKey](cfg.RunnerCacheEntries),
 		sched:    newScheduler(cfg.Workers, cfg.QueueCap, cfg.PrefetchQueueCap),
+		brk:      newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		flights:  map[frameKey]*flight{},
 		sessions: map[uint64]*Session{},
 	}
@@ -501,6 +525,20 @@ func (s *Server) serveFrame(req FrameRequest, sess *Session) (FrameResult, decis
 		return FrameResult{}, decision{}, badRequestf("%s needs a structured block; sim %q publishes an unstructured one", req.Backend, req.Sim)
 	}
 
+	// Fleet-health clamp: a request sharded wider than the surviving
+	// workers re-plans at the feasible width before admission, so the
+	// degrade ladder (and the admission memo, keyed on the clamped
+	// count) works against what the fleet can actually place. The static
+	// Workers() cap in normalize stays a 400; losing ranks degrades.
+	fleetClamped := false
+	if req.Shards > 1 && s.cfg.Cluster != nil {
+		if alive := s.cfg.Cluster.AliveWorkers(); req.Shards > alive {
+			req.Shards = maxInt(alive, 1)
+			fleetClamped = true
+			s.stats.fleetClamped.Add(1)
+		}
+	}
+
 	d, err := s.admitRequest(&req)
 	if err != nil {
 		s.stats.errors.Add(1)
@@ -540,11 +578,13 @@ func (s *Server) serveFrame(req FrameRequest, sess *Session) (FrameResult, decis
 			PredictedCompositeSeconds: d.predictedComposite,
 			RankRenderSeconds:         cf.rankRenderSeconds,
 			CacheHit:                  true, Degraded: d.degraded, DegradeSteps: d.steps,
+			FleetDegraded: fleetClamped,
 		}, d, nil
 	}
 	s.stats.cacheMisses.Add(1)
 	//insitu:noalloc-ok the miss path renders a frame; only the hit path above is allocation-free
 	res, err := s.renderMiss(req, d, fk, sess)
+	res.FleetDegraded = res.FleetDegraded || fleetClamped
 	return res, d, err
 }
 
@@ -619,7 +659,7 @@ func (s *Server) renderScheduled(req FrameRequest, d decision, fk frameKey) (Fra
 	}
 	ch := make(chan outcome, 1)
 	err := s.sched.submit(deadline, d.predicted, func(ws *workerState) {
-		res, err := s.renderFrame(ws, &req, d, fk)
+		res, err := s.renderFrame(ws, &req, d, fk, deadline)
 		ch <- outcome{res, err}
 	})
 	if err != nil {
@@ -636,10 +676,11 @@ func (s *Server) renderScheduled(req FrameRequest, d decision, fk frameKey) (Fra
 // renderFrame runs on a scheduler worker: lease the (cached) runner,
 // point its camera at this request's orbit position, render, encode,
 // and feed the measurement back to calibration. Sharded frames are
-// routed to the cluster fleet instead of the local runner cache.
-func (s *Server) renderFrame(ws *workerState, req *FrameRequest, d decision, fk frameKey) (FrameResult, error) {
+// routed to the cluster fleet instead of the local runner cache;
+// deadline (zero = none) bounds a cluster frame's recovery retries.
+func (s *Server) renderFrame(ws *workerState, req *FrameRequest, d decision, fk frameKey, deadline time.Time) (FrameResult, error) {
 	if d.q.Shards > 1 {
-		return s.renderClusterFrame(ws, req, d)
+		return s.renderClusterFrame(ws, req, d, deadline)
 	}
 	rk := runnerKey{arch: req.Arch, backend: req.Backend, sim: req.Sim, q: d.q}
 	lease, err := s.runners.Acquire(rk, func() (scenario.FrameRunner, func(), error) {
@@ -688,17 +729,44 @@ func (s *Server) renderFrame(ws *workerState, req *FrameRequest, d decision, fk 
 // quality's shard group, wait for the composited image, encode it, and
 // feed the reduced measurement — including the measured compositing
 // time the Tc model refits on — back to calibration.
-func (s *Server) renderClusterFrame(ws *workerState, req *FrameRequest, d decision) (FrameResult, error) {
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ClusterTimeout)
-	defer cancel()
+//
+// Fault handling wraps the dispatch, not the steady state: the circuit
+// breaker decides whether the fleet gets the frame at all, the render
+// context carries the request deadline so recovery retries are charged
+// against it, and a frame the fleet cannot deliver is re-rendered by the
+// standalone path at the same admitted quality — byte-identical by
+// construction, so the frame cache and clients see degraded placement,
+// never degraded pixels.
+func (s *Server) renderClusterFrame(ws *workerState, req *FrameRequest, d decision, deadline time.Time) (FrameResult, error) {
+	if !s.brk.allow() {
+		s.stats.breakerShortCircuits.Add(1)
+		return s.renderClusterFallback(ws, req, d)
+	}
+	limit := time.Now().Add(s.cfg.ClusterTimeout)
+	if !deadline.IsZero() && deadline.Before(limit) {
+		limit = deadline
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), limit)
 	res, err := s.cfg.Cluster.Render(ctx, cluster.Job{
 		Backend: string(req.Backend), Sim: req.Sim, Arch: req.Arch,
 		N: d.q.N, Width: d.q.W, Height: d.q.H,
 		Shards: d.q.Shards, RTWorkload: d.q.RTWorkload,
 		Azimuth: req.Azimuth, Zoom: req.Zoom,
 	})
+	cancel()
 	if err != nil {
-		return FrameResult{}, fmt.Errorf("serve: cluster render %s/%s x%d: %w", req.Backend, req.Sim, d.q.Shards, err)
+		s.stats.clusterFailures.Add(1)
+		if s.brk.failure() {
+			s.stats.breakerOpens.Add(1)
+			s.cfg.Logf("serve: circuit breaker opened after cluster failure: %v", err)
+		}
+		s.cfg.Logf("serve: cluster render %s/%s x%d failed, falling back to standalone: %v",
+			req.Backend, req.Sim, d.q.Shards, err)
+		return s.renderClusterFallback(ws, req, d)
+	}
+	s.brk.success()
+	if res.Retries > 0 {
+		s.stats.clusterRetries.Add(uint64(res.Retries))
 	}
 
 	var buf bytes.Buffer
@@ -727,6 +795,51 @@ func (s *Server) renderClusterFrame(ws *workerState, req *FrameRequest, d decisi
 		PredictedCompositeSeconds: d.predictedComposite,
 		RankRenderSeconds:         res.RankRenderSeconds,
 		Degraded:                  d.degraded, DegradeSteps: d.steps,
+		Retries: res.Retries,
+	}, nil
+}
+
+// renderClusterFallback serves a sharded frame the fleet could not: the
+// standalone renderer runs the identical job — same decomposition, same
+// collectives, same composite — in one process, so the frame is
+// byte-identical to what the healthy cluster would have produced and the
+// cache key does not churn. This is the graceful-degradation floor: a
+// burning fleet costs latency, never availability or pixels.
+func (s *Server) renderClusterFallback(ws *workerState, req *FrameRequest, d decision) (FrameResult, error) {
+	res, err := cluster.RenderStandalone(cluster.Job{
+		Backend: string(req.Backend), Sim: req.Sim, Arch: req.Arch,
+		N: d.q.N, Width: d.q.W, Height: d.q.H,
+		Shards: d.q.Shards, RTWorkload: d.q.RTWorkload,
+		Azimuth: req.Azimuth, Zoom: req.Zoom,
+	})
+	if err != nil {
+		return FrameResult{}, fmt.Errorf("serve: standalone fallback %s/%s x%d: %w", req.Backend, req.Sim, d.q.Shards, err)
+	}
+	s.stats.clusterFallbacks.Add(1)
+
+	var buf bytes.Buffer
+	if err := ws.enc.Encode(&buf, res.Image); err != nil {
+		return FrameResult{}, fmt.Errorf("serve: encoding fallback frame: %w", err)
+	}
+
+	wall := res.RenderSeconds
+	s.stats.framesRendered.Add(1)
+	s.stats.renderNanos.Add(uint64(wall * 1e9))
+	if dl := req.DeadlineMillis / 1e3; dl > 0 && wall+res.CompositeSeconds > dl {
+		s.stats.deadlineMisses.Add(1)
+	}
+	s.feedObservation(req, d.q, res.In, res.BuildSeconds, wall, res.CompositeSeconds)
+
+	return FrameResult{
+		PNG:   buf.Bytes(),
+		Width: d.q.W, Height: d.q.H, N: d.q.N, RTWorkload: d.q.RTWorkload,
+		PredictedSeconds: d.predicted, RenderSeconds: wall,
+		Shards:                    d.q.Shards,
+		CompositeSeconds:          res.CompositeSeconds,
+		PredictedCompositeSeconds: d.predictedComposite,
+		RankRenderSeconds:         res.RankRenderSeconds,
+		Degraded:                  d.degraded, DegradeSteps: d.steps,
+		FleetDegraded: true,
 	}, nil
 }
 

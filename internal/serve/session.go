@@ -552,12 +552,18 @@ func (sess *Session) submitPrefetch(req *FrameRequest, d decision, n int) {
 	// Think-time budget: the client's inter-frame gap times the workers
 	// left after the foreground reserve. Zero means "not measured yet"
 	// — bootstrap speculatively.
+	//
+	// Snapshot the candidates in the same critical section: sess.cands is
+	// prediction scratch that a concurrent Frame's planPrefetch rewrites
+	// under sess.mu, so reading it lock-free here would tear.
 	sess.mu.Lock()
 	budget := sess.emaGap * float64(s.sched.bgSlots())
+	var cands [MaxPrefetchDepth]prefetchCand
+	copy(cands[:], sess.cands[:n])
 	sess.mu.Unlock()
 	spent := 0.0
 	for i := 0; i < n; i++ {
-		cand := sess.cands[i]
+		cand := cands[i]
 		if int(sess.inflight.Load()) >= sess.depth {
 			s.stats.prefetchNoHeadroom.Add(1)
 			continue
@@ -627,7 +633,7 @@ func (s *Server) runPrefetchJob(ws *workerState, sess *Session, req FrameRequest
 	s.flights[fk] = f
 	s.flightMu.Unlock()
 
-	f.res, f.err = s.renderFrame(ws, &req, d, fk)
+	f.res, f.err = s.renderFrame(ws, &req, d, fk, time.Time{})
 	if f.err == nil {
 		s.stats.prefetchRendered.Add(1)
 		s.frames.Add(fk, cachedFrame{

@@ -462,3 +462,31 @@ func TestSessionPrefetchUnderForegroundPressure(t *testing.T) {
 	t.Logf("under pressure: scheduled=%d noHeadroom=%d shed=%d hits=%d",
 		st.PrefetchScheduled, st.PrefetchNoHeadroom, st.PrefetchShed, st.PrefetchHits)
 }
+
+// TestSessionConcurrentFramesRace hammers one session from many
+// goroutines: Sessions document themselves safe for concurrent use, and
+// under -race this held a regression where prediction scratch
+// (sess.cands, written under sess.mu in planPrefetch) was read lock-free
+// by submitPrefetch, tearing between a concurrent Frame's replan.
+func TestSessionConcurrentFramesRace(t *testing.T) {
+	s := testServer(t, Config{Workers: 4, PrefetchDepth: 8})
+	sess, err := s.OpenSession(sessionRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				az := float64((g*50 + i) * 15 % 360)
+				if _, err := sess.Frame(az, 1); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
