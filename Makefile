@@ -4,18 +4,18 @@ GO ?= go
 
 # bench-json output file; committed per PR (BENCH_4.json, BENCH_5.json,
 # ...) so benchmark trajectories survive across sessions.
-BENCH_JSON ?= BENCH_9.json
+BENCH_JSON ?= BENCH_10.json
 
 # Committed baselines guarding the zero-allocation steady state:
 # bench-json fails if a benchmark that was 0 allocs/op in any of these
 # is >0 now.
-BENCH_BASELINES ?= BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json
+BENCH_BASELINES ?= BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json BENCH_9.json
 
 # insitulint is the repo's analyzer suite (internal/analysis); built
 # into ./bin so the vettool path is hermetic to the checkout.
 LINT_BIN := bin/insitulint
 
-.PHONY: all build test race vet fmt lint bench bench-json chaos cover ci clean
+.PHONY: all build test race vet fmt lint bench bench-json chaos obs cover ci clean
 
 all: ci
 
@@ -58,6 +58,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkStudySmallPlan|BenchmarkPlanGeneration' -benchtime 1x ./internal/study/
 	$(GO) test -run '^$$' -bench BenchmarkRenderd -benchtime 1x ./internal/serve/
 	$(GO) test -run '^$$' -bench BenchmarkClusterThroughput -benchtime 1x ./internal/cluster/
+	$(GO) test -run '^$$' -bench 'BenchmarkHistogramObserve|BenchmarkTraceSpan|BenchmarkDriftObserve' -benchtime 1x ./internal/obs/
 
 # bench-json records the render, dispatch, small-plan study, and
 # renderd serving-path benchmarks (ns/op + allocs/op via -benchmem) as
@@ -74,8 +75,9 @@ bench-json:
 	@$(GO) test -run '^$$' -bench 'BenchmarkStudySmallPlan|BenchmarkPlanGeneration' -benchtime 3x -benchmem ./internal/study/ > $(BENCH_JSON).study.tmp
 	@$(GO) test -run '^$$' -bench BenchmarkRenderd -benchtime 2s -benchmem ./internal/serve/ > $(BENCH_JSON).serve.tmp
 	@$(GO) test -run '^$$' -bench BenchmarkClusterThroughput -benchtime 2s -benchmem ./internal/cluster/ > $(BENCH_JSON).cluster.tmp
-	@cat $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp $(BENCH_JSON).serve.tmp $(BENCH_JSON).cluster.tmp | $(GO) run ./tools/benchjson $(foreach b,$(BENCH_BASELINES),-baseline $(b)) > $(BENCH_JSON)
-	@rm -f $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp $(BENCH_JSON).serve.tmp $(BENCH_JSON).cluster.tmp
+	@$(GO) test -run '^$$' -bench 'BenchmarkHistogramObserve|BenchmarkTraceSpan|BenchmarkDriftObserve' -benchtime 2s -benchmem ./internal/obs/ > $(BENCH_JSON).obs.tmp
+	@cat $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp $(BENCH_JSON).serve.tmp $(BENCH_JSON).cluster.tmp $(BENCH_JSON).obs.tmp | $(GO) run ./tools/benchjson $(foreach b,$(BENCH_BASELINES),-baseline $(b)) > $(BENCH_JSON)
+	@rm -f $(BENCH_JSON).render.tmp $(BENCH_JSON).dispatch.tmp $(BENCH_JSON).study.tmp $(BENCH_JSON).serve.tmp $(BENCH_JSON).cluster.tmp $(BENCH_JSON).obs.tmp
 	@echo "wrote $(BENCH_JSON)"
 
 # chaos runs the fault-injection suite under the race detector: rank
@@ -85,6 +87,17 @@ bench-json:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestServedFrameSurvivesRankKill|TestBreakerOpensShortCircuitsAndRecovers|TestReadyzFleetQuorum' ./internal/cluster/ ./internal/serve/ ./cmd/renderd/
 
+# obs is the observability smoke: boot renderd and assert the scrape
+# surfaces answer (/metrics Prometheus exposition validates, /v1/trace
+# returns lifecycle timelines, /v1/metrics keeps its JSON shape), then
+# run insitulint over the instrumented hot paths so a span or histogram
+# added off the noalloc discipline fails here, not in a benchmark.
+obs:
+	$(GO) test -run 'TestPromExposition|TestTraceEndpoint|TestMetricsJSONShape|TestFrameResponseQueueHeaders' ./cmd/renderd/
+	$(GO) test -run 'TestFrameTrace' ./internal/serve/
+	$(GO) build -o $(LINT_BIN) ./tools/insitulint
+	$(GO) vet -vettool=$(CURDIR)/$(LINT_BIN) ./internal/obs/ ./internal/serve/ ./internal/cluster/ ./internal/comm/ ./cmd/renderd/ ./cmd/advisord/
+
 # cover runs the test suite with coverage and prints a per-function
 # summary plus the total. The profile lands in cover.out for
 # `go tool cover -html=cover.out`.
@@ -92,7 +105,7 @@ cover:
 	$(GO) test -short -coverprofile=cover.out ./...
 	@$(GO) tool cover -func=cover.out | tail -1
 
-ci: build vet lint fmt test race chaos
+ci: build vet lint fmt test race chaos obs
 
 clean:
 	$(GO) clean ./...

@@ -11,7 +11,10 @@
 //	POST /v1/observations   ingest measured samples; background refit +
 //	                        atomic hot-reload (continuous calibration)
 //	GET  /v1/metrics        per-operation latency + prediction cache stats
+//	GET  /metrics           the same snapshot as Prometheus text exposition
 //	POST /v1/reload         hot-reload the registry file
+//
+// With -debug-addr a second listener serves net/http/pprof.
 //
 // Usage:
 //
@@ -37,6 +40,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,9 +52,23 @@ import (
 	"insitu/internal/study"
 )
 
+// pprofHandler builds an explicit pprof mux — the serving mux never
+// exposes the profiler; it lives only on the separate -debug-addr
+// listener, which deployments keep off the public network.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func main() {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		debugAddr   = flag.String("debug-addr", "", "optional debug listen address serving net/http/pprof (empty = disabled)")
 		regPath     = flag.String("registry", "", "registry snapshot JSON (from 'repro export')")
 		cacheSize   = flag.Int("cache", 4096, "prediction LRU cache entries (0 disables)")
 		bootstrap   = flag.Bool("bootstrap", false, "if the registry file is missing, run a short study and fit one")
@@ -84,6 +102,13 @@ func main() {
 		web.startCalibration(64, log.Printf)
 		defer web.stopCalibration()
 		log.Printf("continuous calibration enabled (POST /v1/observations)")
+	}
+
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("pprof debug server on %s", *debugAddr)
+			log.Printf("pprof debug server exited: %v", http.ListenAndServe(*debugAddr, pprofHandler()))
+		}()
 	}
 
 	srv := &http.Server{

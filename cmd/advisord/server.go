@@ -12,6 +12,7 @@ import (
 
 	"insitu/internal/advisor"
 	"insitu/internal/core"
+	"insitu/internal/obs"
 	"insitu/internal/registry"
 	"insitu/internal/serve"
 )
@@ -106,6 +107,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/max_triangles", s.handleMaxTriangles)
 	mux.HandleFunc("POST /v1/observations", s.handleObservations)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handleProm)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	return mux
 }
@@ -352,14 +354,25 @@ type cacheBody struct {
 	Size   int    `json:"size"`
 }
 
-func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *server) metricsSnapshot() metricsBody {
 	hits, misses, size := s.engine.Registry().CacheStats()
-	writeJSON(w, http.StatusOK, metricsBody{
+	return metricsBody{
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
 		Generation:    s.engine.Registry().Generation(),
 		Ops:           s.engine.Metrics(),
 		Cache:         cacheBody{Hits: hits, Misses: misses, Size: size},
-	})
+	}
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metricsSnapshot())
+}
+
+// handleProm renders the same snapshot /v1/metrics serves, as Prometheus
+// text exposition, so advisord scrapes with no sidecar.
+func (s *server) handleProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WriteProm(w, "advisord", s.metricsSnapshot())
 }
 
 // handleReload hot-reloads the registry file; on failure the previous

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -14,6 +15,7 @@ import (
 
 	"insitu/internal/advisor"
 	"insitu/internal/core"
+	"insitu/internal/obs"
 	"insitu/internal/registry"
 	"insitu/internal/scenario"
 	"insitu/internal/study"
@@ -242,6 +244,26 @@ func TestModelsHealthzMetricsEndpoints(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("metrics missing predict traffic: %+v", mb.Ops)
+	}
+
+	// The Prometheus exposition renders the same snapshot and validates
+	// against the text format.
+	r, err = ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidatePromText(string(raw)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, raw)
+	}
+	for _, want := range []string{"advisord_generation ", "advisord_cache_hits "} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }
 

@@ -35,7 +35,14 @@
 //	DELETE /v1/session/{id}      close the session, release its runner pin
 //	GET    /v1/models            served models + calibration generation
 //	GET    /v1/metrics           admission/cache/scheduler/session/prefetch/
-//	                             calibration/cluster counters
+//	                             calibration/cluster counters, per-stage frame
+//	                             latency histograms, model-drift distributions
+//	GET    /v1/trace             recent frame lifecycle traces (query: last=N,
+//	                             format=chrome for a chrome://tracing dump)
+//	GET    /metrics              the same metrics snapshot as Prometheus text
+//	                             exposition (scrape-ready, no sidecar)
+//
+// With -debug-addr a second listener serves net/http/pprof.
 //
 // Usage:
 //
@@ -55,6 +62,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -67,9 +75,23 @@ import (
 	"insitu/internal/study"
 )
 
+// pprofHandler builds an explicit pprof mux — the serving mux never
+// exposes the profiler; it lives only on the separate -debug-addr
+// listener, which deployments keep off the public network.
+func pprofHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func main() {
 	var (
 		addr       = flag.String("addr", ":8090", "listen address")
+		debugAddr  = flag.String("debug-addr", "", "optional debug listen address serving net/http/pprof (empty = disabled)")
 		regPath    = flag.String("registry", "", "registry snapshot JSON (from 'repro export')")
 		cacheSize  = flag.Int("cache", 4096, "prediction LRU cache entries (0 disables)")
 		bootstrap  = flag.Bool("bootstrap", false, "if the registry file is missing, run a short study and fit one")
@@ -121,6 +143,13 @@ func main() {
 		defer fleet.Close()
 	}
 	defer srv.Close()
+
+	if *debugAddr != "" {
+		go func() {
+			log.Printf("pprof debug server on %s", *debugAddr)
+			log.Printf("pprof debug server exited: %v", http.ListenAndServe(*debugAddr, pprofHandler()))
+		}()
+	}
 
 	web := newWebServer(srv, fleet)
 	httpSrv := &http.Server{

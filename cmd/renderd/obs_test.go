@@ -1,0 +1,241 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"insitu/internal/obs"
+)
+
+// obsServer renders a couple of frames (one miss, one hit) so every
+// observability surface has data to show.
+func obsServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ts, _ := startRenderd(t, 1000)
+	for i := 0; i < 2; i++ {
+		resp, body := getFrame(t, ts, "backend=raytracer&sim=kripke&n=8&size=64")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("frame status %d: %s", resp.StatusCode, body)
+		}
+	}
+	return ts
+}
+
+// walkJSON descends a decoded JSON document by key path, failing the
+// test with the path when a segment is missing.
+func walkJSON(t *testing.T, doc any, path ...string) any {
+	t.Helper()
+	cur := doc
+	for i, key := range path {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			t.Fatalf("%s: not an object", strings.Join(path[:i], "."))
+		}
+		cur, ok = m[key]
+		if !ok {
+			t.Fatalf("missing key %s", strings.Join(path[:i+1], "."))
+		}
+	}
+	return cur
+}
+
+// TestMetricsJSONShape is the golden shape test for /v1/metrics: the
+// keys dashboards and the chaos harness read must exist with the
+// documented structure — a histogram with quantiles and buckets per
+// lifecycle stage, and per-backend drift series.
+func TestMetricsJSONShape(t *testing.T) {
+	ts := obsServer(t)
+	resp, err := ts.Client().Get(ts.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, key := range []string{"uptime_seconds", "generation", "serve", "ops", "predict_cache"} {
+		walkJSON(t, doc, key)
+	}
+	for _, key := range []string{"admitted", "cache_hits", "frames_rendered", "frame_stages"} {
+		walkJSON(t, doc, "serve", key)
+	}
+
+	// The total histogram carries count, quantiles, and buckets.
+	total := walkJSON(t, doc, "serve", "frame_stages", "total")
+	for _, key := range []string{"count", "sum_seconds", "p50_seconds", "p95_seconds", "p99_seconds", "buckets"} {
+		walkJSON(t, total, key)
+	}
+	if n := walkJSON(t, total, "count").(float64); n < 2 {
+		t.Errorf("frame_stages.total.count = %v, want >= 2", n)
+	}
+	buckets := walkJSON(t, total, "buckets").([]any)
+	if len(buckets) == 0 {
+		t.Fatal("frame_stages.total.buckets empty")
+	}
+	walkJSON(t, buckets[0], "le_seconds")
+	walkJSON(t, buckets[0], "count")
+
+	// Per-stage histograms name the lifecycle stages this traffic took.
+	stages := walkJSON(t, doc, "serve", "frame_stages", "stages").([]any)
+	seen := map[string]bool{}
+	for _, s := range stages {
+		seen[walkJSON(t, s, "stage").(string)] = true
+		walkJSON(t, s, "count")
+	}
+	for _, want := range []string{"admit", "queue_wait", "runner_lease", "render", "encode", "cache_store"} {
+		if !seen[want] {
+			t.Errorf("frame_stages.stages missing %q (have %v)", want, seen)
+		}
+	}
+
+	// Drift series: backend x term with count, means, and buckets.
+	drift := walkJSON(t, doc, "serve", "model_drift").([]any)
+	var rendered int
+	for _, d := range drift {
+		for _, key := range []string{"backend", "term", "count", "mean_error", "mean_abs_error", "buckets"} {
+			walkJSON(t, d, key)
+		}
+		if walkJSON(t, d, "term").(string) == "render" && walkJSON(t, d, "count").(float64) > 0 {
+			rendered++
+		}
+	}
+	if rendered == 0 {
+		t.Errorf("model_drift has no populated render series: %v", drift)
+	}
+}
+
+// TestPromExposition validates /metrics against the Prometheus text
+// format and spot-checks the series a scrape must carry.
+func TestPromExposition(t *testing.T) {
+	ts := obsServer(t)
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(raw)
+	if err := obs.ValidatePromText(text); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"renderd_serve_frames_rendered ",
+		"renderd_serve_frame_stages_total_count ",
+		"renderd_serve_frame_stages_total_bucket{le=",
+		`renderd_serve_model_drift_bucket{backend="raytracer",term="render",le=`,
+		"renderd_generation ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestTraceEndpoint: /v1/trace returns the recent lifecycle timelines,
+// honors last=N, and format=chrome emits a trace_event array.
+func TestTraceEndpoint(t *testing.T) {
+	ts := obsServer(t)
+	resp, err := ts.Client().Get(ts.URL + "/v1/trace?last=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body traceBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Count < 2 || len(body.Traces) != body.Count {
+		t.Fatalf("trace count %d (%d entries), want >= 2", body.Count, len(body.Traces))
+	}
+	// One miss (full lifecycle) and one hit (admission only).
+	var sawRender, sawHit bool
+	for _, tr := range body.Traces {
+		if tr.CacheHit {
+			sawHit = true
+		}
+		for _, sp := range tr.Spans {
+			if sp.Stage == "render" {
+				sawRender = true
+			}
+		}
+		if len(tr.Spans) == 0 || tr.WallSeconds < 0 {
+			t.Errorf("degenerate trace: %+v", tr)
+		}
+	}
+	if !sawRender || !sawHit {
+		t.Errorf("traces missing render span (%v) or cache hit (%v)", sawRender, sawHit)
+	}
+
+	// last=1 narrows the window.
+	var one traceBody
+	if code := getJSON(t, ts, "/v1/trace?last=1", &one); code != http.StatusOK || one.Count != 1 {
+		t.Errorf("last=1: code %d count %d", code, one.Count)
+	}
+	// A bad last is a 400.
+	var eb errorBody
+	if code := getJSON(t, ts, "/v1/trace?last=zero", &eb); code != http.StatusBadRequest {
+		t.Errorf("bad last: code %d", code)
+	}
+
+	// The Chrome dump is a JSON array of complete events.
+	resp2, err := ts.Client().Get(ts.URL + "/v1/trace?last=10&format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var events []map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("chrome dump has no events")
+	}
+	for _, ev := range events {
+		if ev["ph"] != "X" {
+			t.Fatalf("event phase %v, want X: %v", ev["ph"], ev)
+		}
+	}
+}
+
+// TestFrameResponseQueueHeaders: a rendered frame reports its scheduler
+// queue wait; impossible deadlines never get far enough to queue, and a
+// served frame that missed its deadline is flagged.
+func TestFrameResponseQueueHeaders(t *testing.T) {
+	ts, _ := startRenderd(t, 1000)
+	resp, body := getFrame(t, ts, "backend=raytracer&sim=kripke&n=8&size=64")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("frame status %d: %s", resp.StatusCode, body)
+	}
+	qs := resp.Header.Get("X-Renderd-Queue-Seconds")
+	if qs == "" {
+		t.Fatal("X-Renderd-Queue-Seconds missing")
+	}
+	var sec float64
+	if _, err := fmt.Sscanf(qs, "%g", &sec); err != nil || sec < 0 {
+		t.Errorf("X-Renderd-Queue-Seconds = %q", qs)
+	}
+	if resp.Header.Get("X-Renderd-Deadline-Miss") != "" {
+		t.Errorf("fresh render flagged as a deadline miss: %+v", resp.Header)
+	}
+	// A cache hit never queued: zero wait, no miss flag.
+	resp2, _ := getFrame(t, ts, "backend=raytracer&sim=kripke&n=8&size=64")
+	if resp2.Header.Get("X-Renderd-Cache") != "hit" {
+		t.Fatal("second request missed the cache")
+	}
+	if got := resp2.Header.Get("X-Renderd-Queue-Seconds"); got != "0" {
+		t.Errorf("cache hit queue seconds %q, want 0", got)
+	}
+}

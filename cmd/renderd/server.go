@@ -13,6 +13,7 @@ import (
 	"insitu/internal/advisor"
 	"insitu/internal/cluster"
 	"insitu/internal/core"
+	"insitu/internal/obs"
 	"insitu/internal/registry"
 	"insitu/internal/serve"
 )
@@ -48,6 +49,8 @@ func (s *webServer) handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionClose)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	mux.HandleFunc("GET /metrics", s.handleProm)
 	return mux
 }
 
@@ -105,6 +108,10 @@ func (s *webServer) serveFrame(w http.ResponseWriter, req serve.FrameRequest) {
 	h.Set("X-Renderd-Shards", strconv.Itoa(res.Shards))
 	h.Set("X-Renderd-Retries", strconv.Itoa(res.Retries))
 	h.Set("X-Renderd-Fleet-Degraded", strconv.FormatBool(res.FleetDegraded))
+	h.Set("X-Renderd-Queue-Seconds", strconv.FormatFloat(res.QueueSeconds, 'g', 6, 64))
+	if res.DeadlineMiss {
+		h.Set("X-Renderd-Deadline-Miss", "1")
+	}
 	if res.Shards > 1 {
 		h.Set("X-Renderd-Composite-Seconds", strconv.FormatFloat(res.CompositeSeconds, 'g', 6, 64))
 		h.Set("X-Renderd-Predicted-Composite-Seconds", strconv.FormatFloat(res.PredictedCompositeSeconds, 'g', 6, 64))
@@ -304,16 +311,66 @@ type cacheBody struct {
 	Size   int    `json:"size"`
 }
 
-func (s *webServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *webServer) metricsSnapshot() metricsBody {
 	eng := s.srv.Engine()
 	hits, misses, size := eng.Registry().CacheStats()
-	writeJSON(w, http.StatusOK, metricsBody{
+	return metricsBody{
 		UptimeSeconds: int64(time.Since(s.start).Seconds()),
 		Generation:    eng.Registry().Generation(),
 		Serve:         s.srv.Stats(),
 		Ops:           eng.Metrics(),
 		PredictCache:  cacheBody{Hits: hits, Misses: misses, Size: size},
-	})
+	}
+}
+
+func (s *webServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metricsSnapshot())
+}
+
+// handleProm renders the same metrics snapshot /v1/metrics serves, in
+// Prometheus text exposition format, so a scraper needs no sidecar.
+func (s *webServer) handleProm(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.WriteProm(w, "renderd", s.metricsSnapshot()); err != nil {
+		// Headers are out; all we can do is log through the access log.
+		_ = err
+	}
+}
+
+// traceBody is the /v1/trace document: the most recent committed frame
+// lifecycle traces, oldest first.
+type traceBody struct {
+	Count  int             `json:"count"`
+	Traces []obs.TraceJSON `json:"traces"`
+}
+
+// handleTrace serves recent frame lifecycle traces. Query: last=N
+// (default 64, bounded by the tracer's ring capacity) selects how many;
+// format=chrome streams a chrome://tracing-loadable trace_event array
+// instead of the native timeline JSON.
+func (s *webServer) handleTrace(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	last := 64
+	if v := q.Get("last"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("bad last: %q", v)})
+			return
+		}
+		last = n
+	}
+	traces := s.srv.Traces(last)
+	if q.Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="renderd-trace.json"`)
+		_ = obs.WriteChromeTrace(w, traces)
+		return
+	}
+	body := traceBody{Count: len(traces), Traces: make([]obs.TraceJSON, len(traces))}
+	for i := range traces {
+		body.Traces[i] = traces[i].JSON()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // logRequests is minimal access logging middleware.

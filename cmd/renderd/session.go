@@ -124,6 +124,10 @@ func (s *webServer) handleSessionFrame(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Renderd-Cache", hitMiss(res.CacheHit))
 	h.Set("X-Renderd-Prefetch", hitMiss(res.PrefetchHit))
 	h.Set("X-Renderd-Quality", fmt.Sprintf("%dx%d n=%d wl=%d", res.Width, res.Height, res.N, res.RTWorkload))
+	h.Set("X-Renderd-Queue-Seconds", strconv.FormatFloat(res.QueueSeconds, 'g', 6, 64))
+	if res.DeadlineMiss {
+		h.Set("X-Renderd-Deadline-Miss", "1")
+	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(res.PNG)
 }

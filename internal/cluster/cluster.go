@@ -41,6 +41,10 @@ type Result struct {
 	RenderSeconds     float64 // slowest rank's local render, max(T_local)
 	CompositeSeconds  float64 // measured sort-last composite, the paper's Tc
 	RankRenderSeconds []float64
+	// RankCompositeSeconds is each rank's measured share of the sort-last
+	// exchange, in shard order — the per-rank span the frame trace blames
+	// a slow composite on.
+	RankCompositeSeconds []float64
 	// Retries is how many failed attempts preceded this frame (0 on the
 	// healthy path) — the serving layer surfaces it per response.
 	Retries int
@@ -63,6 +67,22 @@ type Stats struct {
 	SnapshotsAcked    int64    `json:"snapshots_acked"`
 	SnapshotErrors    int64    `json:"snapshot_errors"`
 	WorkerGenerations []uint64 `json:"worker_generations"`
+	// Ranks is per-rank health: heartbeat age and blame are the gauges
+	// the failure detector acts on, surfaced so an operator can watch a
+	// rank drift toward eviction instead of learning after the fact.
+	Ranks []RankHealth `json:"ranks,omitempty"`
+	// Links is per-directed-link transport volume (world rank 0 is the
+	// router), the topology behind the bytes_sent/messages_sent totals.
+	Links []comm.LinkStat `json:"links,omitempty"`
+}
+
+// RankHealth is one worker rank's liveness view.
+type RankHealth struct {
+	Rank                int     `json:"rank"`
+	Alive               bool    `json:"alive"`
+	HeartbeatAgeSeconds float64 `json:"heartbeat_age_seconds"`
+	Blame               int64   `json:"blame"`
+	EvictReason         string  `json:"evict_reason,omitempty"`
 }
 
 // Cluster is the router side of a worker fleet: it owns rank 0 of an
@@ -221,7 +241,27 @@ func (cl *Cluster) Stats() Stats {
 		SnapshotsAcked:    cl.snapshotsAcked.Load(),
 		SnapshotErrors:    cl.snapshotErrors.Load(),
 		WorkerGenerations: cl.WorkerGenerations(),
+		Ranks:             cl.RankHealths(),
+		Links:             cl.world.LinkStats(),
 	}
+}
+
+// RankHealths snapshots every worker rank's liveness view.
+func (cl *Cluster) RankHealths() []RankHealth {
+	now := time.Now().UnixNano()
+	out := make([]RankHealth, cl.workers)
+	cl.reasonMu.Lock()
+	for w := 1; w <= cl.workers; w++ {
+		out[w-1] = RankHealth{
+			Rank:                w,
+			Alive:               !cl.dead[w].Load(),
+			HeartbeatAgeSeconds: float64(now-cl.lastBeat[w].Load()) / 1e9,
+			Blame:               cl.blame[w].Load(),
+			EvictReason:         cl.evictReasons[w],
+		}
+	}
+	cl.reasonMu.Unlock()
+	return out
 }
 
 // WorkerGenerations returns each worker replica's registry generation, in
@@ -367,12 +407,13 @@ func (cl *Cluster) renderAttempt(ctx context.Context, job *Job, members []int) (
 		}
 		cleanup()
 		return &Result{
-			Image:             m.img,
-			In:                m.res.In,
-			BuildSeconds:      m.res.BuildSeconds,
-			RenderSeconds:     m.res.RenderSeconds,
-			CompositeSeconds:  m.res.CompositeSeconds,
-			RankRenderSeconds: m.res.RankRenderSeconds,
+			Image:                m.img,
+			In:                   m.res.In,
+			BuildSeconds:         m.res.BuildSeconds,
+			RenderSeconds:        m.res.RenderSeconds,
+			CompositeSeconds:     m.res.CompositeSeconds,
+			RankRenderSeconds:    m.res.RankRenderSeconds,
+			RankCompositeSeconds: m.res.RankCompositeSeconds,
 		}, nil, false
 	}
 

@@ -264,6 +264,10 @@ func (st *shardState) render(gc *comm.Comm, job *wireJob) (*wireResult, *framebu
 		in.AvgAP = in.AP
 	}
 	perRank := gc.Gather(0, []float32{float32(renderSec)})
+	// Per-rank composite spans ride back with the render spans so the
+	// trace can blame a slow exchange on a specific rank. Unconditional:
+	// every rank runs every collective on every frame.
+	perComp := gc.Gather(0, []float32{float32(compSec)})
 
 	if !leader {
 		rel()
@@ -279,15 +283,20 @@ func (st *shardState) render(gc *comm.Comm, job *wireJob) (*wireResult, *framebu
 	for i, p := range perRank {
 		rr[i] = float64(p[0])
 	}
+	rc := make([]float64, len(perComp))
+	for i, p := range perComp {
+		rc[i] = float64(p[0])
+	}
 	return &wireResult{
-		JobID:             job.JobID,
-		W:                 final.W,
-		H:                 final.H,
-		In:                in,
-		BuildSeconds:      buildSec,
-		RenderSeconds:     rt,
-		CompositeSeconds:  ct,
-		RankRenderSeconds: rr,
+		JobID:                job.JobID,
+		W:                    final.W,
+		H:                    final.H,
+		In:                   in,
+		BuildSeconds:         buildSec,
+		RenderSeconds:        rt,
+		CompositeSeconds:     ct,
+		RankRenderSeconds:    rr,
+		RankCompositeSeconds: rc,
 	}, final
 }
 

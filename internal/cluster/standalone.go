@@ -52,11 +52,12 @@ func RenderStandalone(job Job) (*Result, error) {
 		return nil, errors.New("cluster: standalone render produced no frame")
 	}
 	return &Result{
-		Image:             lead.img,
-		In:                lead.res.In,
-		BuildSeconds:      lead.res.BuildSeconds,
-		RenderSeconds:     lead.res.RenderSeconds,
-		CompositeSeconds:  lead.res.CompositeSeconds,
-		RankRenderSeconds: lead.res.RankRenderSeconds,
+		Image:                lead.img,
+		In:                   lead.res.In,
+		BuildSeconds:         lead.res.BuildSeconds,
+		RenderSeconds:        lead.res.RenderSeconds,
+		CompositeSeconds:     lead.res.CompositeSeconds,
+		RankRenderSeconds:    lead.res.RankRenderSeconds,
+		RankCompositeSeconds: lead.res.RankCompositeSeconds,
 	}, nil
 }

@@ -53,13 +53,14 @@ type wireResult struct {
 	// Retryable marks failures caused by the transport (a dead or stalled
 	// peer aborted the attempt), not by the frame itself: the router may
 	// re-place and re-dispatch. Application errors are never retryable.
-	Retryable         bool `json:",omitempty"`
-	W, H              int
-	In                core.Inputs
-	BuildSeconds      float64
-	RenderSeconds     float64 // slowest rank, the paper's max(T_local)
-	CompositeSeconds  float64
-	RankRenderSeconds []float64
+	Retryable            bool `json:",omitempty"`
+	W, H                 int
+	In                   core.Inputs
+	BuildSeconds         float64
+	RenderSeconds        float64 // slowest rank, the paper's max(T_local)
+	CompositeSeconds     float64
+	RankRenderSeconds    []float64
+	RankCompositeSeconds []float64
 }
 
 // wireSnapshot replicates one registry snapshot. Gen is the router-side

@@ -33,12 +33,17 @@ type message struct {
 
 // World owns the channels connecting size tasks.
 type World struct {
-	size   int
-	links  [][]chan message // links[from][to]
-	bytes  atomic.Int64
-	msgs   atomic.Int64
-	stale  atomic.Int64
-	faults atomic.Pointer[FaultPlan]
+	size  int
+	links [][]chan message // links[from][to]
+	bytes atomic.Int64
+	msgs  atomic.Int64
+	stale atomic.Int64
+	// Per-link traffic counters, indexed like links. They answer the
+	// topology question the totals cannot: which pairs carry the
+	// compositing traffic, and how lopsided the exchange pattern is.
+	linkBytes [][]atomic.Int64
+	linkMsgs  [][]atomic.Int64
+	faults    atomic.Pointer[FaultPlan]
 }
 
 // NewWorld creates a world of n tasks.
@@ -46,9 +51,16 @@ func NewWorld(n int) *World {
 	if n < 1 {
 		n = 1
 	}
-	w := &World{size: n, links: make([][]chan message, n)}
+	w := &World{
+		size:      n,
+		links:     make([][]chan message, n),
+		linkBytes: make([][]atomic.Int64, n),
+		linkMsgs:  make([][]atomic.Int64, n),
+	}
 	for from := 0; from < n; from++ {
 		w.links[from] = make([]chan message, n)
+		w.linkBytes[from] = make([]atomic.Int64, n)
+		w.linkMsgs[from] = make([]atomic.Int64, n)
 		for to := 0; to < n; to++ {
 			// Deep buffering lets symmetric exchange patterns (binary
 			// swap) post sends before the matching receives.
@@ -71,6 +83,35 @@ func (w *World) MessagesSent() int64 { return w.msgs.Load() }
 // their epoch did not match the receiver's — the observable footprint of
 // abandoned exchange attempts.
 func (w *World) StaleDrops() int64 { return w.stale.Load() }
+
+// LinkStat is one directed link's cumulative traffic.
+type LinkStat struct {
+	From     int   `json:"from"`
+	To       int   `json:"to"`
+	Bytes    int64 `json:"bytes"`
+	Messages int64 `json:"messages"`
+}
+
+// LinkStats returns the cumulative traffic of every link that has
+// carried at least one message, ordered by (from, to). Export path:
+// allocates a fresh slice per call.
+func (w *World) LinkStats() []LinkStat {
+	var out []LinkStat
+	for from := 0; from < w.size; from++ {
+		for to := 0; to < w.size; to++ {
+			m := w.linkMsgs[from][to].Load()
+			if m == 0 {
+				continue
+			}
+			out = append(out, LinkStat{
+				From: from, To: to,
+				Bytes:    w.linkBytes[from][to].Load(),
+				Messages: m,
+			})
+		}
+	}
+	return out
+}
 
 // InjectFaults installs (or, with nil, removes) a fault plan. The plan
 // intercepts every subsequent send; a world without a plan pays one
@@ -258,6 +299,8 @@ func (c *Comm) push(from, dst int, m message) {
 	w := c.world
 	w.bytes.Add(int64(4 * len(m.data)))
 	w.msgs.Add(1)
+	w.linkBytes[from][dst].Add(int64(4 * len(m.data)))
+	w.linkMsgs[from][dst].Add(1)
 	if c.abortCtx == nil {
 		w.links[from][dst] <- m
 		return

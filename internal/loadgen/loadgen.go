@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"insitu/internal/obs"
 )
 
 // Shot is one request in the mix.
@@ -45,18 +47,61 @@ type Options struct {
 	Classify func(status int, header http.Header) string
 }
 
-// Report is the outcome of a run.
+// Report is the outcome of a run, JSON-shaped so chaos/session harnesses
+// can persist full distributions, not just the headline percentiles.
 type Report struct {
-	OK, Failed  uint64
-	Duration    time.Duration
-	Concurrency int
-	// Latency distribution over successful requests.
-	Avg, P50, P95, P99, Max time.Duration
+	OK          uint64        `json:"ok"`
+	Failed      uint64        `json:"failed"`
+	Duration    time.Duration `json:"duration_nanos"`
+	Concurrency int           `json:"concurrency"`
+	// Latency distribution over successful requests, read from the same
+	// log-spaced histogram the serving path uses (no sample retention).
+	Avg time.Duration `json:"avg_nanos"`
+	P50 time.Duration `json:"p50_nanos"`
+	P95 time.Duration `json:"p95_nanos"`
+	P99 time.Duration `json:"p99_nanos"`
+	Max time.Duration `json:"max_nanos"`
+	// Latency carries the full histogram — buckets, count, sum — so a
+	// consumer can merge runs or recompute any quantile.
+	Latency obs.HistogramJSON `json:"latency"`
 	// ByStatus counts accepted answers per status code.
-	ByStatus map[int]uint64
+	ByStatus map[int]uint64 `json:"by_status,omitempty"`
 	// Breakdown counts every completed response per Classify bucket
 	// (nil when no Classify hook was configured).
-	Breakdown map[string]uint64
+	Breakdown map[string]uint64 `json:"breakdown,omitempty"`
+}
+
+// latencyAgg accumulates a latency distribution concurrently: a shared
+// lock-free histogram plus an exact max (the one statistic log-spaced
+// buckets blur).
+type latencyAgg struct {
+	hist     obs.Histogram
+	maxNanos atomic.Int64
+}
+
+func (a *latencyAgg) observe(d time.Duration) {
+	a.hist.ObserveDuration(d)
+	for {
+		cur := a.maxNanos.Load()
+		if int64(d) <= cur || a.maxNanos.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// fill writes the distribution into the report fields every loadgen
+// report shares.
+func (a *latencyAgg) fill(avg, p50, p95, p99, max *time.Duration, latency *obs.HistogramJSON) {
+	snap := a.hist.Snapshot()
+	if snap.Count == 0 {
+		return
+	}
+	*avg = time.Duration(snap.Mean())
+	*p50 = time.Duration(snap.Quantile(0.50))
+	*p95 = time.Duration(snap.Quantile(0.95))
+	*p99 = time.Duration(snap.Quantile(0.99))
+	*max = time.Duration(a.maxNanos.Load())
+	*latency = snap.JSON()
 }
 
 // Run sustains the mix against the target and aggregates the report.
@@ -83,7 +128,7 @@ func Run(opts Options) (Report, error) {
 		ok, failed atomic.Uint64
 		wg         sync.WaitGroup
 		mu         sync.Mutex
-		lats       []time.Duration
+		lat        latencyAgg
 		byStatus   = map[int]uint64{}
 		breakdown  map[string]uint64
 	)
@@ -95,7 +140,6 @@ func Run(opts Options) (Report, error) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			local := make([]time.Duration, 0, 4096)
 			localStatus := map[int]uint64{}
 			localCause := map[string]uint64{}
 			for i := w; time.Now().Before(deadline); i++ {
@@ -134,12 +178,11 @@ func Run(opts Options) (Report, error) {
 					failed.Add(1)
 					continue
 				}
-				local = append(local, time.Since(start))
+				lat.observe(time.Since(start))
 				localStatus[resp.StatusCode]++
 				ok.Add(1)
 			}
 			mu.Lock()
-			lats = append(lats, local...)
 			for code, n := range localStatus {
 				byStatus[code] += n
 			}
@@ -156,28 +199,8 @@ func Run(opts Options) (Report, error) {
 		Duration: opts.Duration, Concurrency: opts.Concurrency,
 		ByStatus: byStatus, Breakdown: breakdown,
 	}
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		var sum time.Duration
-		for _, l := range lats {
-			sum += l
-		}
-		rep.Avg = sum / time.Duration(len(lats))
-		rep.P50 = percentile(lats, 0.50)
-		rep.P95 = percentile(lats, 0.95)
-		rep.P99 = percentile(lats, 0.99)
-		rep.Max = lats[len(lats)-1]
-	}
+	lat.fill(&rep.Avg, &rep.P50, &rep.P95, &rep.P99, &rep.Max, &rep.Latency)
 	return rep, nil
-}
-
-// percentile reads the p-quantile from sorted latencies.
-func percentile(sorted []time.Duration, p float64) time.Duration {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := int(p * float64(len(sorted)-1))
-	return sorted[idx]
 }
 
 // QPS is the sustained successful request rate.

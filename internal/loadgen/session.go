@@ -7,12 +7,13 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"insitu/internal/obs"
 )
 
 // SessionOptions configures an interactive-session run: each virtual
@@ -40,19 +41,28 @@ type SessionOptions struct {
 	ThinkTime   time.Duration
 }
 
-// SessionReport is the outcome of an interactive-session run.
+// SessionReport is the outcome of an interactive-session run,
+// JSON-shaped like Report.
 type SessionReport struct {
-	Sessions int
-	Duration time.Duration
+	Sessions int           `json:"sessions"`
+	Duration time.Duration `json:"duration_nanos"`
 	// Frames counts delivered frames across all sessions; Failed both
 	// failed opens and failed frames.
-	Frames, Failed uint64
+	Frames uint64 `json:"frames"`
+	Failed uint64 `json:"failed"`
 	// PrefetchHits counts frames the server marked as served from a
 	// speculatively rendered cache entry; CacheHits any cache-served
 	// frame (prefetch hits included).
-	PrefetchHits, CacheHits uint64
-	// Time-to-photon distribution over delivered frames.
-	Avg, P50, P95, P99, Max time.Duration
+	PrefetchHits uint64 `json:"prefetch_hits"`
+	CacheHits    uint64 `json:"cache_hits"`
+	// Time-to-photon distribution over delivered frames, histogram-backed
+	// with the full buckets alongside the headline percentiles.
+	Avg     time.Duration     `json:"avg_nanos"`
+	P50     time.Duration     `json:"p50_nanos"`
+	P95     time.Duration     `json:"p95_nanos"`
+	P99     time.Duration     `json:"p99_nanos"`
+	Max     time.Duration     `json:"max_nanos"`
+	Latency obs.HistogramJSON `json:"latency"`
 }
 
 // sessionOpenBody is the slice of the open response this package needs.
@@ -86,8 +96,7 @@ func RunSessions(opts SessionOptions) (SessionReport, error) {
 	var (
 		frames, failed, prefetch, cached atomic.Uint64
 		wg                               sync.WaitGroup
-		mu                               sync.Mutex
-		lats                             []time.Duration
+		lat                              latencyAgg
 	)
 	deadline := time.Now().Add(opts.Duration)
 	for c := 0; c < opts.Sessions; c++ {
@@ -100,7 +109,6 @@ func RunSessions(opts SessionOptions) (SessionReport, error) {
 				return
 			}
 			defer closeSession(client, opts.Target, id)
-			local := make([]time.Duration, 0, 4096)
 			for time.Now().Before(deadline) {
 				az += opts.StepDegrees
 				for az >= 360 {
@@ -118,12 +126,9 @@ func RunSessions(opts SessionOptions) (SessionReport, error) {
 				if hit {
 					cached.Add(1)
 				}
-				local = append(local, elapsed)
+				lat.observe(elapsed)
 				time.Sleep(opts.ThinkTime)
 			}
-			mu.Lock()
-			lats = append(lats, local...)
-			mu.Unlock()
 		}(c)
 	}
 	wg.Wait()
@@ -133,18 +138,7 @@ func RunSessions(opts SessionOptions) (SessionReport, error) {
 		Frames: frames.Load(), Failed: failed.Load(),
 		PrefetchHits: prefetch.Load(), CacheHits: cached.Load(),
 	}
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-		var sum time.Duration
-		for _, l := range lats {
-			sum += l
-		}
-		rep.Avg = sum / time.Duration(len(lats))
-		rep.P50 = percentile(lats, 0.50)
-		rep.P95 = percentile(lats, 0.95)
-		rep.P99 = percentile(lats, 0.99)
-		rep.Max = lats[len(lats)-1]
-	}
+	lat.fill(&rep.Avg, &rep.P50, &rep.P95, &rep.P99, &rep.Max, &rep.Latency)
 	return rep, nil
 }
 

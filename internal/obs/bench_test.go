@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkHistogramObserve must stay 0 allocs/op — it runs on every
+// frame's hot path and is guarded by the bench-json 0-alloc baseline.
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)*37 + 1000)
+	}
+}
+
+// BenchmarkTraceSpan measures a full trace lifecycle — begin, spans,
+// finish, commit into the ring, fold into the stage histograms — and
+// must stay 0 allocs/op under the same baseline guard.
+func BenchmarkTraceSpan(b *testing.B) {
+	tr := NewTracer(4, 256)
+	var lat StageLatency
+	epoch := time.Unix(0, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ft FrameTrace
+		ft.Seq = tr.NextSeq()
+		ft.Backend = "raytrace"
+		ft.Begin(epoch)
+		ft.Span(StageAdmit, epoch, 10*time.Microsecond)
+		ft.Span(StageQueueWait, epoch.Add(10*time.Microsecond), 5*time.Microsecond)
+		ft.Span(StageRender, epoch.Add(15*time.Microsecond), 2*time.Millisecond)
+		ft.Span(StageEncode, epoch.Add(2015*time.Microsecond), 100*time.Microsecond)
+		ft.Finish(epoch.Add(2200 * time.Microsecond))
+		tr.Commit(&ft)
+		lat.ObserveTrace(&ft)
+	}
+}
+
+// BenchmarkDriftObserve keeps the residual path honest too.
+func BenchmarkDriftObserve(b *testing.B) {
+	r := NewResiduals([]ResidualKey{{Backend: "raytrace", Term: "render"}})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Observe("raytrace", "render", 1.05, 1.0)
+	}
+}

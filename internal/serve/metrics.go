@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"insitu/internal/cluster"
+	"insitu/internal/obs"
 	"insitu/internal/scenario"
 )
 
@@ -140,6 +141,16 @@ type Stats struct {
 	// RunnerCache is the lease/eviction view of the warm-runner cache
 	// sessions pin themselves into.
 	RunnerCache scenario.RunnerCacheStats `json:"runner_cache"`
+
+	// FrameStages is the per-stage latency breakdown of every committed
+	// frame trace: one histogram per lifecycle stage plus end-to-end wall
+	// time, with interpolated p50/p95/p99.
+	FrameStages obs.StageLatencyJSON `json:"frame_stages"`
+
+	// ModelDrift is the per-backend, per-term distribution of prediction
+	// residuals (predicted − measured)/measured — the live view of how far
+	// the fitted models have wandered from what the serving path measures.
+	ModelDrift []obs.DriftJSON `json:"model_drift,omitempty"`
 }
 
 // Stats snapshots the serving counters.
@@ -202,5 +213,8 @@ func (s *Server) Stats() Stats {
 		ForegroundLoadSeconds: s.sched.foregroundLoad(),
 
 		RunnerCache: s.runners.Stats(),
+
+		FrameStages: s.stageLat.JSON(),
+		ModelDrift:  s.residuals.JSON(),
 	}
 }

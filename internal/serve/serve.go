@@ -37,6 +37,7 @@ import (
 	"insitu/internal/core"
 	"insitu/internal/device"
 	"insitu/internal/lru"
+	"insitu/internal/obs"
 	"insitu/internal/render"
 	"insitu/internal/scenario"
 	"insitu/internal/sim"
@@ -104,6 +105,17 @@ type FrameResult struct {
 	CacheHit                  bool
 	Degraded                  bool
 	DegradeSteps              int
+	// RankCompositeSeconds is each rank's measured share of the sort-last
+	// exchange (sharded frames only) — the per-rank span behind a slow
+	// composite.
+	RankCompositeSeconds []float64
+	// QueueSeconds is how long the frame waited in the scheduler queue
+	// before a worker picked it up (0 for cache hits).
+	QueueSeconds float64
+	// DeadlineMiss marks a served frame whose measured time exceeded the
+	// admitted deadline — surfaced per response so the client that
+	// suffered the miss sees it, not just a global counter.
+	DeadlineMiss bool
 	// Retries is how many failed cluster attempts preceded this frame
 	// (rank failures healed by re-placement; 0 on the healthy path).
 	Retries int
@@ -283,11 +295,12 @@ type preparedRunner struct {
 // speculative marks frames a session's prefetch rendered before any
 // client asked; hits on them are the prefetch hit rate.
 type cachedFrame struct {
-	png               []byte
-	renderSeconds     float64
-	compositeSeconds  float64
-	rankRenderSeconds []float64
-	speculative       bool
+	png                  []byte
+	renderSeconds        float64
+	compositeSeconds     float64
+	rankRenderSeconds    []float64
+	rankCompositeSeconds []float64
+	speculative          bool
 }
 
 // flight coalesces concurrent misses on one frame key: followers wait
@@ -331,6 +344,14 @@ type Server struct {
 	obsClosed bool
 
 	stats counters
+
+	// Frame-lifecycle observability: every served frame commits a
+	// FrameTrace into the tracer's rings and folds into the per-stage
+	// latency histograms; every measured render/composite records its
+	// model residual. All three are allocation-free on the hot path.
+	tracer    *obs.Tracer
+	stageLat  *obs.StageLatency
+	residuals *obs.Residuals
 }
 
 // New builds a server over the engine. When the engine has an observer
@@ -350,7 +371,16 @@ func New(engine *advisor.Engine, cfg Config) *Server {
 		brk:      newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
 		flights:  map[frameKey]*flight{},
 		sessions: map[uint64]*Session{},
+		tracer:   obs.NewTracer(4, 256),
+		stageLat: &obs.StageLatency{},
 	}
+	var rkeys []obs.ResidualKey
+	for _, name := range scenario.Names() {
+		rkeys = append(rkeys,
+			obs.ResidualKey{Backend: string(name), Term: "render"},
+			obs.ResidualKey{Backend: string(name), Term: "composite"})
+	}
+	s.residuals = obs.NewResiduals(rkeys)
 	for _, name := range sim.Names() {
 		s.sims[name] = true
 	}
@@ -371,6 +401,28 @@ func New(engine *advisor.Engine, cfg Config) *Server {
 
 // Engine exposes the advisor engine gating admissions.
 func (s *Server) Engine() *advisor.Engine { return s.engine }
+
+// Traces returns the most recent n committed frame traces, oldest
+// first — the data behind GET /v1/trace.
+func (s *Server) Traces(n int) []obs.FrameTrace { return s.tracer.Last(n) }
+
+// traceIdentity stamps a trace with the frame's served identity.
+//
+//insitu:noalloc
+func traceIdentity(tr *obs.FrameTrace, req *FrameRequest, q quality) {
+	tr.Backend = string(req.Backend)
+	tr.Width, tr.Height, tr.N = q.W, q.H, q.N
+	tr.Shards = q.Shards
+}
+
+// commitTrace finishes a trace and folds it into the stage histograms.
+//
+//insitu:noalloc
+func (s *Server) commitTrace(tr *obs.FrameTrace, now time.Time) {
+	tr.Finish(now)
+	s.tracer.Commit(tr)
+	s.stageLat.ObserveTrace(tr)
+}
 
 // Close drains active sessions (releasing their runner pins), sheds
 // queued speculative work, drains the scheduler, stops the calibration
@@ -507,6 +559,7 @@ func (s *Server) admitRequest(req *FrameRequest) (decision, error) {
 //
 //insitu:noalloc
 func (s *Server) serveFrame(req FrameRequest, sess *Session) (FrameResult, decision, error) {
+	start := time.Now()
 	//insitu:noalloc-ok normalize is read-only for accepted requests; only rejections build errors
 	if err := s.normalize(&req); err != nil {
 		s.stats.badRequests.Add(1)
@@ -559,6 +612,7 @@ func (s *Server) serveFrame(req FrameRequest, sess *Session) (FrameResult, decis
 		s.stats.degraded.Add(1)
 	}
 
+	admitDur := time.Since(start)
 	fk := frameKeyFor(&req, d.q)
 	if cf, ok := s.frames.Get(fk); ok {
 		s.stats.cacheHits.Add(1)
@@ -568,6 +622,16 @@ func (s *Server) serveFrame(req FrameRequest, sess *Session) (FrameResult, decis
 				sess.prefetchHits.Add(1)
 			}
 		}
+		// The hit path's trace lives on this stack frame and commits by
+		// copy — sharing the miss path's trace would make it escape into
+		// the scheduler closure and heap-allocate every hit.
+		var tr obs.FrameTrace
+		tr.Seq = s.tracer.NextSeq()
+		traceIdentity(&tr, &req, d.q)
+		tr.CacheHit, tr.Degraded = true, d.degraded
+		tr.Begin(start)
+		tr.Span(obs.StageAdmit, start, admitDur)
+		s.commitTrace(&tr, time.Now())
 		return FrameResult{
 			PNG:   cf.png,
 			Width: d.q.W, Height: d.q.H, N: d.q.N, RTWorkload: d.q.RTWorkload,
@@ -577,13 +641,14 @@ func (s *Server) serveFrame(req FrameRequest, sess *Session) (FrameResult, decis
 			CompositeSeconds:          cf.compositeSeconds,
 			PredictedCompositeSeconds: d.predictedComposite,
 			RankRenderSeconds:         cf.rankRenderSeconds,
+			RankCompositeSeconds:      cf.rankCompositeSeconds,
 			CacheHit:                  true, Degraded: d.degraded, DegradeSteps: d.steps,
 			FleetDegraded: fleetClamped,
 		}, d, nil
 	}
 	s.stats.cacheMisses.Add(1)
 	//insitu:noalloc-ok the miss path renders a frame; only the hit path above is allocation-free
-	res, err := s.renderMiss(req, d, fk, sess)
+	res, err := s.renderMiss(req, d, fk, sess, start, admitDur)
 	res.FleetDegraded = res.FleetDegraded || fleetClamped
 	return res, d, err
 }
@@ -606,7 +671,7 @@ func frameKeyFor(req *FrameRequest, q quality) frameKey {
 // the deadline scheduler. A miss that finds a speculative render
 // already in flight waits for it instead of queueing a duplicate — the
 // prefetch landed mid-render.
-func (s *Server) renderMiss(req FrameRequest, d decision, fk frameKey, sess *Session) (FrameResult, error) {
+func (s *Server) renderMiss(req FrameRequest, d decision, fk frameKey, sess *Session, start time.Time, admitDur time.Duration) (FrameResult, error) {
 	s.flightMu.Lock()
 	if f, ok := s.flights[fk]; ok {
 		s.flightMu.Unlock()
@@ -624,20 +689,42 @@ func (s *Server) renderMiss(req FrameRequest, d decision, fk frameKey, sess *Ses
 				sess.prefetchHits.Add(1)
 			}
 		}
+		// The leader's flight committed the render trace; the follower
+		// traces as a hit (its wall time is the wait on the flight).
+		var tr obs.FrameTrace
+		tr.Seq = s.tracer.NextSeq()
+		traceIdentity(&tr, &req, d.q)
+		tr.CacheHit, tr.Degraded = true, d.degraded
+		tr.Begin(start)
+		tr.Span(obs.StageAdmit, start, admitDur)
+		s.commitTrace(&tr, time.Now())
 		return res, nil
 	}
 	f := &flight{done: make(chan struct{})}
 	s.flights[fk] = f
 	s.flightMu.Unlock()
 
-	f.res, f.err = s.renderScheduled(req, d, fk)
+	// The miss path's trace is heap-shared with the scheduler closure —
+	// a render allocates regardless, so escape here is free.
+	tr := &obs.FrameTrace{Seq: s.tracer.NextSeq()}
+	traceIdentity(tr, &req, d.q)
+	tr.Degraded = d.degraded
+	tr.Begin(start)
+	tr.Span(obs.StageAdmit, start, admitDur)
+
+	f.res, f.err = s.renderScheduled(req, d, fk, tr)
 	if f.err == nil {
+		storeStart := time.Now()
 		s.frames.Add(fk, cachedFrame{
-			png:               f.res.PNG,
-			renderSeconds:     f.res.RenderSeconds,
-			compositeSeconds:  f.res.CompositeSeconds,
-			rankRenderSeconds: f.res.RankRenderSeconds,
+			png:                  f.res.PNG,
+			renderSeconds:        f.res.RenderSeconds,
+			compositeSeconds:     f.res.CompositeSeconds,
+			rankRenderSeconds:    f.res.RankRenderSeconds,
+			rankCompositeSeconds: f.res.RankCompositeSeconds,
 		})
+		tr.Span(obs.StageCacheStore, storeStart, time.Since(storeStart))
+		tr.DeadlineMiss = f.res.DeadlineMiss
+		s.commitTrace(tr, time.Now())
 	}
 	s.flightMu.Lock()
 	delete(s.flights, fk)
@@ -647,8 +734,8 @@ func (s *Server) renderMiss(req FrameRequest, d decision, fk frameKey, sess *Ses
 }
 
 // renderScheduled queues the render with its absolute deadline and
-// waits for a worker.
-func (s *Server) renderScheduled(req FrameRequest, d decision, fk frameKey) (FrameResult, error) {
+// waits for a worker, charging the queue wait to the frame's trace.
+func (s *Server) renderScheduled(req FrameRequest, d decision, fk frameKey, tr *obs.FrameTrace) (FrameResult, error) {
 	var deadline time.Time
 	if req.DeadlineMillis > 0 {
 		deadline = time.Now().Add(time.Duration(req.DeadlineMillis * float64(time.Millisecond)))
@@ -658,8 +745,12 @@ func (s *Server) renderScheduled(req FrameRequest, d decision, fk frameKey) (Fra
 		err error
 	}
 	ch := make(chan outcome, 1)
+	submitT := time.Now()
 	err := s.sched.submit(deadline, d.predicted, func(ws *workerState) {
-		res, err := s.renderFrame(ws, &req, d, fk, deadline)
+		waited := time.Since(submitT)
+		tr.Span(obs.StageQueueWait, submitT, waited)
+		res, err := s.renderFrame(ws, &req, d, fk, deadline, tr)
+		res.QueueSeconds = waited.Seconds()
 		ch <- outcome{res, err}
 	})
 	if err != nil {
@@ -678,10 +769,11 @@ func (s *Server) renderScheduled(req FrameRequest, d decision, fk frameKey) (Fra
 // and feed the measurement back to calibration. Sharded frames are
 // routed to the cluster fleet instead of the local runner cache;
 // deadline (zero = none) bounds a cluster frame's recovery retries.
-func (s *Server) renderFrame(ws *workerState, req *FrameRequest, d decision, fk frameKey, deadline time.Time) (FrameResult, error) {
+func (s *Server) renderFrame(ws *workerState, req *FrameRequest, d decision, fk frameKey, deadline time.Time, tr *obs.FrameTrace) (FrameResult, error) {
 	if d.q.Shards > 1 {
-		return s.renderClusterFrame(ws, req, d, deadline)
+		return s.renderClusterFrame(ws, req, d, deadline, tr)
 	}
+	leaseStart := time.Now()
 	rk := runnerKey{arch: req.Arch, backend: req.Backend, sim: req.Sim, q: d.q}
 	lease, err := s.runners.Acquire(rk, func() (scenario.FrameRunner, func(), error) {
 		return s.prepareRunner(req, d.q)
@@ -689,30 +781,39 @@ func (s *Server) renderFrame(ws *workerState, req *FrameRequest, d decision, fk 
 	if err != nil {
 		return FrameResult{}, err
 	}
+	tr.Span(obs.StageRunnerLease, leaseStart, time.Since(leaseStart))
 	pr := lease.Runner().(*preparedRunner)
 	pr.SetCamera(render.OrbitCamera(pr.bounds, req.Azimuth, 20, req.Zoom))
 	in := core.Inputs{Pixels: float64(d.q.W * d.q.H), Tasks: 1}
+	renderStart := time.Now()
 	elapsed, img, err := pr.RenderFrame(&in)
 	if err != nil {
 		lease.Release()
 		return FrameResult{}, fmt.Errorf("serve: rendering %s/%s: %w", req.Backend, req.Sim, err)
 	}
+	tr.Span(obs.StageRender, renderStart, elapsed)
 	in.AvgAP = in.AP
 	build := pr.BuildSeconds()
 
+	encStart := time.Now()
 	var buf bytes.Buffer
 	encErr := ws.enc.Encode(&buf, img)
 	lease.Release()
 	if encErr != nil {
 		return FrameResult{}, fmt.Errorf("serve: encoding frame: %w", encErr)
 	}
+	tr.Span(obs.StageEncode, encStart, time.Since(encStart))
 
 	wall := elapsed.Seconds()
 	s.stats.framesRendered.Add(1)
 	s.stats.renderNanos.Add(uint64(elapsed.Nanoseconds()))
+	miss := false
 	if dl := req.DeadlineMillis / 1e3; dl > 0 && wall > dl {
 		s.stats.deadlineMisses.Add(1)
+		miss = true
+		tr.DeadlineMiss = true
 	}
+	s.residuals.Observe(string(req.Backend), "render", d.predicted, wall)
 	s.feedObservation(req, d.q, in, build, wall, 0)
 
 	return FrameResult{
@@ -721,6 +822,7 @@ func (s *Server) renderFrame(ws *workerState, req *FrameRequest, d decision, fk 
 		PredictedSeconds: d.predicted, RenderSeconds: wall,
 		Shards:   1,
 		Degraded: d.degraded, DegradeSteps: d.steps,
+		DeadlineMiss: miss,
 	}, nil
 }
 
@@ -737,16 +839,17 @@ func (s *Server) renderFrame(ws *workerState, req *FrameRequest, d decision, fk 
 // standalone path at the same admitted quality — byte-identical by
 // construction, so the frame cache and clients see degraded placement,
 // never degraded pixels.
-func (s *Server) renderClusterFrame(ws *workerState, req *FrameRequest, d decision, deadline time.Time) (FrameResult, error) {
+func (s *Server) renderClusterFrame(ws *workerState, req *FrameRequest, d decision, deadline time.Time, tr *obs.FrameTrace) (FrameResult, error) {
 	if !s.brk.allow() {
 		s.stats.breakerShortCircuits.Add(1)
-		return s.renderClusterFallback(ws, req, d)
+		return s.renderClusterFallback(ws, req, d, tr)
 	}
 	limit := time.Now().Add(s.cfg.ClusterTimeout)
 	if !deadline.IsZero() && deadline.Before(limit) {
 		limit = deadline
 	}
 	ctx, cancel := context.WithDeadline(context.Background(), limit)
+	dispatchStart := time.Now()
 	res, err := s.cfg.Cluster.Render(ctx, cluster.Job{
 		Backend: string(req.Backend), Sim: req.Sim, Arch: req.Arch,
 		N: d.q.N, Width: d.q.W, Height: d.q.H,
@@ -762,17 +865,27 @@ func (s *Server) renderClusterFrame(ws *workerState, req *FrameRequest, d decisi
 		}
 		s.cfg.Logf("serve: cluster render %s/%s x%d failed, falling back to standalone: %v",
 			req.Backend, req.Sim, d.q.Shards, err)
-		return s.renderClusterFallback(ws, req, d)
+		return s.renderClusterFallback(ws, req, d, tr)
 	}
 	s.brk.success()
 	if res.Retries > 0 {
 		s.stats.clusterRetries.Add(uint64(res.Retries))
 	}
+	// The dispatch span is the fleet round trip; the slowest rank's
+	// render and the sort-last exchange nest inside it, placed from the
+	// remote measurements (the fleet's clocks are this process's clocks —
+	// the workers are in-process ranks).
+	tr.Span(obs.StageShardDispatch, dispatchStart, time.Since(dispatchStart))
+	dispatchOff := tr.StartOffset(obs.StageShardDispatch)
+	tr.SpanNanos(obs.StageRankRender, int64(dispatchOff), int64(res.RenderSeconds*1e9))
+	tr.SpanNanos(obs.StageComposite, int64(dispatchOff)+int64(res.RenderSeconds*1e9), int64(res.CompositeSeconds*1e9))
 
+	encStart := time.Now()
 	var buf bytes.Buffer
 	if err := ws.enc.Encode(&buf, res.Image); err != nil {
 		return FrameResult{}, fmt.Errorf("serve: encoding cluster frame: %w", err)
 	}
+	tr.Span(obs.StageEncode, encStart, time.Since(encStart))
 
 	wall := res.RenderSeconds
 	s.stats.framesRendered.Add(1)
@@ -781,9 +894,14 @@ func (s *Server) renderClusterFrame(ws *workerState, req *FrameRequest, d decisi
 	s.stats.clusterShards.Add(uint64(d.q.Shards))
 	s.stats.clusterCompositeNanos.Add(uint64(res.CompositeSeconds * 1e9))
 	s.stats.clusterPredictedCompositeNanos.Add(uint64(d.predictedComposite * 1e9))
+	miss := false
 	if dl := req.DeadlineMillis / 1e3; dl > 0 && wall+res.CompositeSeconds > dl {
 		s.stats.deadlineMisses.Add(1)
+		miss = true
+		tr.DeadlineMiss = true
 	}
+	s.residuals.Observe(string(req.Backend), "render", d.predicted, wall)
+	s.residuals.Observe(string(req.Backend), "composite", d.predictedComposite, res.CompositeSeconds)
 	s.feedObservation(req, d.q, res.In, res.BuildSeconds, wall, res.CompositeSeconds)
 
 	return FrameResult{
@@ -794,8 +912,10 @@ func (s *Server) renderClusterFrame(ws *workerState, req *FrameRequest, d decisi
 		CompositeSeconds:          res.CompositeSeconds,
 		PredictedCompositeSeconds: d.predictedComposite,
 		RankRenderSeconds:         res.RankRenderSeconds,
+		RankCompositeSeconds:      res.RankCompositeSeconds,
 		Degraded:                  d.degraded, DegradeSteps: d.steps,
-		Retries: res.Retries,
+		DeadlineMiss: miss,
+		Retries:      res.Retries,
 	}, nil
 }
 
@@ -805,7 +925,8 @@ func (s *Server) renderClusterFrame(ws *workerState, req *FrameRequest, d decisi
 // byte-identical to what the healthy cluster would have produced and the
 // cache key does not churn. This is the graceful-degradation floor: a
 // burning fleet costs latency, never availability or pixels.
-func (s *Server) renderClusterFallback(ws *workerState, req *FrameRequest, d decision) (FrameResult, error) {
+func (s *Server) renderClusterFallback(ws *workerState, req *FrameRequest, d decision, tr *obs.FrameTrace) (FrameResult, error) {
+	renderStart := time.Now()
 	res, err := cluster.RenderStandalone(cluster.Job{
 		Backend: string(req.Backend), Sim: req.Sim, Arch: req.Arch,
 		N: d.q.N, Width: d.q.W, Height: d.q.H,
@@ -816,18 +937,28 @@ func (s *Server) renderClusterFallback(ws *workerState, req *FrameRequest, d dec
 		return FrameResult{}, fmt.Errorf("serve: standalone fallback %s/%s x%d: %w", req.Backend, req.Sim, d.q.Shards, err)
 	}
 	s.stats.clusterFallbacks.Add(1)
+	tr.Span(obs.StageRender, renderStart, time.Since(renderStart))
+	renderOff := tr.StartOffset(obs.StageRender)
+	tr.SpanNanos(obs.StageComposite, int64(renderOff)+int64(res.RenderSeconds*1e9), int64(res.CompositeSeconds*1e9))
 
+	encStart := time.Now()
 	var buf bytes.Buffer
 	if err := ws.enc.Encode(&buf, res.Image); err != nil {
 		return FrameResult{}, fmt.Errorf("serve: encoding fallback frame: %w", err)
 	}
+	tr.Span(obs.StageEncode, encStart, time.Since(encStart))
 
 	wall := res.RenderSeconds
 	s.stats.framesRendered.Add(1)
 	s.stats.renderNanos.Add(uint64(wall * 1e9))
+	miss := false
 	if dl := req.DeadlineMillis / 1e3; dl > 0 && wall+res.CompositeSeconds > dl {
 		s.stats.deadlineMisses.Add(1)
+		miss = true
+		tr.DeadlineMiss = true
 	}
+	s.residuals.Observe(string(req.Backend), "render", d.predicted, wall)
+	s.residuals.Observe(string(req.Backend), "composite", d.predictedComposite, res.CompositeSeconds)
 	s.feedObservation(req, d.q, res.In, res.BuildSeconds, wall, res.CompositeSeconds)
 
 	return FrameResult{
@@ -838,7 +969,9 @@ func (s *Server) renderClusterFallback(ws *workerState, req *FrameRequest, d dec
 		CompositeSeconds:          res.CompositeSeconds,
 		PredictedCompositeSeconds: d.predictedComposite,
 		RankRenderSeconds:         res.RankRenderSeconds,
+		RankCompositeSeconds:      res.RankCompositeSeconds,
 		Degraded:                  d.degraded, DegradeSteps: d.steps,
+		DeadlineMiss:  miss,
 		FleetDegraded: true,
 	}, nil
 }

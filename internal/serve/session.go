@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"insitu/internal/obs"
 	"insitu/internal/scenario"
 	"insitu/internal/sim"
 )
@@ -381,6 +382,7 @@ func (sess *Session) Frame(azimuth, zoom float64) (FrameResult, error) {
 //insitu:noalloc
 func (sess *Session) fastFrame(req *FrameRequest) (FrameResult, decision, bool) {
 	s := sess.srv
+	start := time.Now()
 	gen := s.engine.Registry().Generation()
 	sess.mu.Lock()
 	d, current := sess.d, sess.gen == gen
@@ -402,6 +404,16 @@ func (sess *Session) fastFrame(req *FrameRequest) (FrameResult, decision, bool) 
 		s.stats.prefetchHits.Add(1)
 		sess.prefetchHits.Add(1)
 	}
+	// Same stack-local discipline as serveFrame's hit path: the trace
+	// commits by copy, so it never escapes and the fast path stays
+	// allocation-free.
+	var tr obs.FrameTrace
+	tr.Seq = s.tracer.NextSeq()
+	traceIdentity(&tr, req, d.q)
+	tr.CacheHit, tr.Degraded = true, d.degraded
+	tr.Begin(start)
+	tr.Span(obs.StageAdmit, start, time.Since(start))
+	s.commitTrace(&tr, time.Now())
 	return FrameResult{
 		PNG:   cf.png,
 		Width: d.q.W, Height: d.q.H, N: d.q.N, RTWorkload: d.q.RTWorkload,
@@ -411,6 +423,7 @@ func (sess *Session) fastFrame(req *FrameRequest) (FrameResult, decision, bool) 
 		CompositeSeconds:          cf.compositeSeconds,
 		PredictedCompositeSeconds: d.predictedComposite,
 		RankRenderSeconds:         cf.rankRenderSeconds,
+		RankCompositeSeconds:      cf.rankCompositeSeconds,
 		CacheHit:                  true, Degraded: d.degraded, DegradeSteps: d.steps,
 	}, d, true
 }
@@ -633,16 +646,27 @@ func (s *Server) runPrefetchJob(ws *workerState, sess *Session, req FrameRequest
 	s.flights[fk] = f
 	s.flightMu.Unlock()
 
-	f.res, f.err = s.renderFrame(ws, &req, d, fk, time.Time{})
+	// Speculative frames trace like any other render — they are real
+	// frames — minus the admit/queue-wait stages a client request pays.
+	tr := &obs.FrameTrace{Seq: s.tracer.NextSeq()}
+	traceIdentity(tr, &req, d.q)
+	tr.Degraded = d.degraded
+	tr.Begin(time.Now())
+
+	f.res, f.err = s.renderFrame(ws, &req, d, fk, time.Time{}, tr)
 	if f.err == nil {
 		s.stats.prefetchRendered.Add(1)
+		storeStart := time.Now()
 		s.frames.Add(fk, cachedFrame{
-			png:               f.res.PNG,
-			renderSeconds:     f.res.RenderSeconds,
-			compositeSeconds:  f.res.CompositeSeconds,
-			rankRenderSeconds: f.res.RankRenderSeconds,
-			speculative:       true,
+			png:                  f.res.PNG,
+			renderSeconds:        f.res.RenderSeconds,
+			compositeSeconds:     f.res.CompositeSeconds,
+			rankRenderSeconds:    f.res.RankRenderSeconds,
+			rankCompositeSeconds: f.res.RankCompositeSeconds,
+			speculative:          true,
 		})
+		tr.Span(obs.StageCacheStore, storeStart, time.Since(storeStart))
+		s.commitTrace(tr, time.Now())
 	} else {
 		s.stats.prefetchErrors.Add(1)
 	}

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"insitu/internal/core"
+	"insitu/internal/obs"
+)
+
+// latestTrace returns the most recently committed trace.
+func latestTrace(t *testing.T, s *Server) obs.FrameTrace {
+	t.Helper()
+	traces := s.Traces(1)
+	if len(traces) != 1 {
+		t.Fatalf("Traces(1) returned %d traces", len(traces))
+	}
+	return traces[0]
+}
+
+// requireStages asserts the trace recorded exactly the expected stage
+// set, each with a non-negative duration inside the frame's wall time.
+func requireStages(t *testing.T, tr obs.FrameTrace, want ...obs.Stage) {
+	t.Helper()
+	wanted := map[obs.Stage]bool{}
+	for _, s := range want {
+		wanted[s] = true
+	}
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		if tr.Has(s) != wanted[s] {
+			t.Errorf("stage %s: recorded=%v want=%v", s.Name(), tr.Has(s), wanted[s])
+		}
+		if !tr.Has(s) {
+			continue
+		}
+		if tr.Dur(s) < 0 {
+			t.Errorf("stage %s: negative duration %v", s.Name(), tr.Dur(s))
+		}
+		if tr.StartOffset(s) < 0 {
+			t.Errorf("stage %s: starts before the frame began (%v)", s.Name(), tr.StartOffset(s))
+		}
+	}
+}
+
+// TestFrameTraceCoversLifecycle proves a rendered frame's trace covers
+// every stage its path took, and that the non-overlapping spans sum to
+// approximately the frame's wall time — the trace accounts for where
+// the time went, not just that it passed.
+func TestFrameTraceCoversLifecycle(t *testing.T) {
+	s := testServer(t, Config{})
+	if _, err := s.Render(FrameRequest{Backend: core.RayTrace, Sim: "kripke", N: 8, Width: 72}); err != nil {
+		t.Fatal(err)
+	}
+	tr := latestTrace(t, s)
+	if tr.CacheHit {
+		t.Fatal("rendered frame traced as a cache hit")
+	}
+	requireStages(t, tr,
+		obs.StageAdmit, obs.StageQueueWait, obs.StageRunnerLease,
+		obs.StageRender, obs.StageEncode, obs.StageCacheStore)
+	if tr.Backend != string(core.RayTrace) || tr.Width != 72 || tr.N != 8 {
+		t.Errorf("trace identity: %+v", tr)
+	}
+
+	wall := tr.Wall()
+	if wall <= 0 {
+		t.Fatalf("wall time %v", wall)
+	}
+	// These stages are sequential and non-overlapping on the local path,
+	// so their sum must stay within wall time and account for nearly all
+	// of it (the remainder is inter-stage bookkeeping: flight maps,
+	// closure dispatch, channel handoff).
+	var sum time.Duration
+	for _, st := range []obs.Stage{
+		obs.StageAdmit, obs.StageQueueWait, obs.StageRunnerLease,
+		obs.StageRender, obs.StageEncode, obs.StageCacheStore,
+	} {
+		sum += tr.Dur(st)
+	}
+	if sum > wall+wall/10 {
+		t.Errorf("span sum %v exceeds wall %v", sum, wall)
+	}
+	if sum < wall/2 {
+		t.Errorf("span sum %v covers under half of wall %v — a stage is untraced", sum, wall)
+	}
+
+	// Every span must end inside the frame (small slack for clock reads
+	// between the last span close and Finish).
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		if tr.Has(st) && tr.StartOffset(st)+tr.Dur(st) > wall+time.Millisecond {
+			t.Errorf("stage %s ends at %v, past wall %v", st.Name(), tr.StartOffset(st)+tr.Dur(st), wall)
+		}
+	}
+
+	// The commit fed the stage histograms and the model residuals.
+	st := s.Stats()
+	if st.FrameStages.Total.Count != 1 {
+		t.Errorf("frame_stages total count %d, want 1", st.FrameStages.Total.Count)
+	}
+	foundRender := false
+	for _, d := range st.ModelDrift {
+		if d.Backend == string(core.RayTrace) && d.Term == "render" {
+			foundRender = true
+			if d.Count == 0 {
+				t.Error("render drift histogram empty after a render")
+			}
+		}
+	}
+	if !foundRender {
+		t.Errorf("model_drift lacks the raytracer render series: %+v", st.ModelDrift)
+	}
+}
+
+// TestFrameTraceCacheHit: a hit commits a minimal trace — admission
+// only, flagged as a hit — so hit latency is observable without
+// polluting the render-stage histograms.
+func TestFrameTraceCacheHit(t *testing.T) {
+	s := testServer(t, Config{})
+	req := FrameRequest{Backend: core.Volume, Sim: "kripke", N: 8, Width: 64}
+	if _, err := s.Render(req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Render(req); err != nil {
+		t.Fatal(err)
+	}
+	tr := latestTrace(t, s)
+	if !tr.CacheHit {
+		t.Fatalf("second render's trace not marked as a hit: %+v", tr)
+	}
+	requireStages(t, tr, obs.StageAdmit)
+	if total := s.Stats().FrameStages.Total.Count; total != 2 {
+		t.Errorf("frame_stages total count %d, want 2 (miss + hit)", total)
+	}
+}
+
+// TestFrameTraceClusterStages: a sharded frame's trace swaps the local
+// render stage for the fleet stages, with the slowest rank's render and
+// the sort-last composite nested inside the dispatch span, and the
+// per-rank composite seconds ride back to the client result.
+func TestFrameTraceClusterStages(t *testing.T) {
+	s, _, _ := clusterServer(t, 2, Config{})
+	res, err := s.Render(FrameRequest{Backend: core.Volume, Sim: "kripke", N: 8, Width: 48, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RankCompositeSeconds) != 2 {
+		t.Errorf("RankCompositeSeconds = %v, want 2 entries", res.RankCompositeSeconds)
+	}
+	tr := latestTrace(t, s)
+	requireStages(t, tr,
+		obs.StageAdmit, obs.StageQueueWait, obs.StageShardDispatch,
+		obs.StageRankRender, obs.StageComposite, obs.StageEncode, obs.StageCacheStore)
+	if tr.Shards != 2 {
+		t.Errorf("trace shards %d, want 2", tr.Shards)
+	}
+	// The rank stages nest inside the dispatch span.
+	dEnd := tr.StartOffset(obs.StageShardDispatch) + tr.Dur(obs.StageShardDispatch)
+	for _, st := range []obs.Stage{obs.StageRankRender, obs.StageComposite} {
+		if tr.StartOffset(st) < tr.StartOffset(obs.StageShardDispatch) {
+			t.Errorf("stage %s starts before dispatch", st.Name())
+		}
+		if tr.StartOffset(st)+tr.Dur(st) > dEnd+time.Millisecond {
+			t.Errorf("stage %s ends past the dispatch span", st.Name())
+		}
+	}
+	// Both the render and composite residual series observed the frame.
+	terms := map[string]uint64{}
+	for _, d := range s.Stats().ModelDrift {
+		if d.Backend == string(core.Volume) {
+			terms[d.Term] += d.Count
+		}
+	}
+	if terms["render"] == 0 || terms["composite"] == 0 {
+		t.Errorf("cluster frame left drift series empty: %v", terms)
+	}
+}
